@@ -1,0 +1,340 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) and times the machinery with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                      (full study, limit 10000)
+     dune exec bench/main.exe -- --limit 2000      (quicker study)
+     dune exec bench/main.exe -- table3 fig2       (selected sections)
+     dune exec bench/main.exe -- perf              (Bechamel timings only)
+
+   Sections: table1 table2 table3 fig2 fig3 fig4 perf (default: all). *)
+
+open Bechamel
+open Toolkit
+
+let sections, limit, seed =
+  let sections = ref [] in
+  let limit = ref 10_000 in
+  let seed = ref 0 in
+  let rec parse = function
+    | [] -> ()
+    | "--limit" :: v :: rest ->
+        limit := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let all =
+    [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "por"; "pct"; "perf" ]
+  in
+  let sections = if !sections = [] then all else List.rev !sections in
+  (sections, !limit, !seed)
+
+let wants s = List.mem s sections
+
+let options =
+  { Sct_explore.Techniques.default_options with
+    Sct_explore.Techniques.limit; seed }
+
+(* The full study run is shared by table2/table3/fig2/fig3/fig4. *)
+let study_rows =
+  lazy
+    (let progress (b : Sctbench.Bench.t) =
+       Printf.eprintf "[%2d/52] %s...\n%!" b.Sctbench.Bench.id
+         b.Sctbench.Bench.name
+     in
+     Sct_report.Run_data.run_all ~progress options Sctbench.Registry.all)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let rr_scheduler (ctx : Sct_core.Runtime.ctx) =
+  match
+    Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+      ~enabled:ctx.c_enabled
+  with
+  | Some t -> t
+  | None -> assert false
+
+let bench_program name =
+  match Sctbench.Registry.by_name name with
+  | Some b -> b.Sctbench.Bench.program
+  | None -> failwith ("missing benchmark " ^ name)
+
+let promote_all _ = true
+
+let perf_tests () =
+  let small = bench_program "CS.twostage_bad" in
+  let wsq = bench_program "chess.WSQ" in
+  let engine =
+    Test.make_grouped ~name:"engine"
+      [
+        Test.make ~name:"rr-execution/twostage"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_core.Runtime.exec ~promote:promote_all
+                    ~record_decisions:false ~scheduler:rr_scheduler small)));
+        Test.make ~name:"rr-execution/wsq"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_core.Runtime.exec ~promote:promote_all
+                    ~record_decisions:false ~scheduler:rr_scheduler wsq)));
+      ]
+  in
+  let techniques =
+    (* per-technique cost of exploring (up to) 25 terminal schedules of the
+       same benchmark: the ablation view of the study's engine *)
+    Test.make_grouped ~name:"schedules-25"
+      [
+        Test.make ~name:"dfs"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Dfs.explore ~promote:promote_all
+                    ~bound:Sct_explore.Dfs.Unbounded ~limit:25 small)));
+        Test.make ~name:"ipb"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Bounded.explore ~promote:promote_all
+                    ~kind:Sct_explore.Bounded.Preemption_bounding ~limit:25
+                    small)));
+        Test.make ~name:"idb"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Bounded.explore ~promote:promote_all
+                    ~kind:Sct_explore.Bounded.Delay_bounding ~limit:25 small)));
+        Test.make ~name:"rand"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Random_walk.explore ~promote:promote_all ~seed:1
+                    ~runs:25 small)));
+        Test.make ~name:"pct"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Pct.explore ~promote:promote_all ~seed:1
+                    ~runs:25 small)));
+      ]
+  in
+  let race =
+    Test.make_grouped ~name:"race-detection"
+      [
+        Test.make ~name:"one-round/twostage"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_race.Promotion.detect ~runs:1 ~max_rounds:1 small)));
+        Test.make ~name:"fixpoint/twostage"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity (Sct_race.Promotion.detect ~runs:2 small)));
+      ]
+  in
+  (* one Bechamel test per table/figure generator (on a 3-benchmark slice) *)
+  let mini_rows =
+    lazy
+      (let o =
+         { Sct_explore.Techniques.default_options with
+           Sct_explore.Techniques.limit = 200 }
+       in
+       let pick n = Option.get (Sctbench.Registry.by_name n) in
+       Sct_report.Run_data.run_all o
+         [ pick "CS.lazy01_bad"; pick "CS.twostage_bad"; pick "splash2.fft" ])
+  in
+  let null_out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let tables =
+    Test.make_grouped ~name:"reports"
+      [
+        Test.make ~name:"table1"
+          (Staged.stage (fun () ->
+               Sct_report.Table1.print ~out:null_out Sctbench.Registry.all));
+        Test.make ~name:"table2"
+          (Staged.stage (fun () ->
+               Sct_report.Table2.print ~out:null_out ~limit:200
+                 (Lazy.force mini_rows)));
+        Test.make ~name:"table3"
+          (Staged.stage (fun () ->
+               Sct_report.Table3.print ~out:null_out ~limit:200
+                 (Lazy.force mini_rows)));
+        Test.make ~name:"fig2"
+          (Staged.stage (fun () ->
+               Sct_report.Venn.print_figure2 ~out:null_out
+                 (Lazy.force mini_rows)));
+        Test.make ~name:"fig3"
+          (Staged.stage (fun () ->
+               Sct_report.Figures.print_figure3 ~out:null_out ~limit:200
+                 (Lazy.force mini_rows)));
+        Test.make ~name:"fig4"
+          (Staged.stage (fun () ->
+               Sct_report.Figures.print_figure4 ~out:null_out ~limit:200
+                 (Lazy.force mini_rows)));
+      ]
+  in
+  Test.make_grouped ~name:"sctbench" [ engine; techniques; race; tables ]
+
+(* Extension ablation 1 (paper §8 future work): partial-order reduction.
+   POR needs complete dependence information, so every location is promoted
+   and the comparison baseline is plain unbounded DFS under the same
+   promotion. *)
+let run_por () =
+  hr "Extension: partial-order reduction vs. plain DFS (all locations visible)";
+  Printf.printf "%-28s %9s %9s %9s %9s %11s %s\n" "benchmark" "DFS" "hb-cls"
+    "sleep" "dpor" "dpor+sleep" "(schedules / 'L' = limit; * = bug found)";
+  let subset =
+    [
+      "CS.account_bad";
+      "CS.bluetooth_driver_bad";
+      "CS.deadlock01_bad";
+      "CS.lazy01_bad";
+      "CS.reorder_3_bad";
+      "CS.stack_bad";
+      "CS.twostage_bad";
+      "CS.wronglock_3_bad";
+      "misc.ctrace-test";
+      "splash2.fft";
+      "splash2.lu";
+    ]
+  in
+  List.iter
+    (fun name ->
+      let program = bench_program name in
+      let show_d (r : Sct_explore.Dfs.level_result) =
+        Printf.sprintf "%s%s"
+          (if r.Sct_explore.Dfs.hit_limit then "L"
+           else string_of_int r.Sct_explore.Dfs.counted)
+          (if r.Sct_explore.Dfs.to_first_bug <> None then "*" else "")
+      in
+      let show_p (r : Sct_explore.Por.result) =
+        Printf.sprintf "%s%s"
+          (if r.Sct_explore.Por.hit_limit then "L"
+           else string_of_int r.Sct_explore.Por.counted)
+          (if r.Sct_explore.Por.to_first_bug <> None then "*" else "")
+      in
+      let d =
+        Sct_explore.Dfs.explore ~promote:promote_all
+          ~bound:Sct_explore.Dfs.Unbounded ~limit program
+      in
+      (* distinct happens-before classes among the DFS schedules: the
+         redundancy HB caching / POR removes (paper §7) *)
+      let _, hb_classes =
+        Sct_explore.Hb_signature.distinct_under_dfs ~promote:promote_all
+          ~limit program
+      in
+      let p mode = Sct_explore.Por.explore ~promote:promote_all ~mode ~limit program in
+      Printf.printf "%-28s %9s %9d %9s %9s %11s\n" name (show_d d) hb_classes
+        (show_p (p Sct_explore.Por.Sleep))
+        (show_p (p Sct_explore.Por.Dpor))
+        (show_p (p Sct_explore.Por.Dpor_sleep)))
+    subset
+
+(* Extension ablation 2 (paper §7 related work): PCT vs. the naive random
+   scheduler, under the same budget and the study's promotion sets. *)
+let run_pct () =
+  hr "Extension: PCT vs. naive random scheduling";
+  Printf.printf "%-28s | %-18s | %-18s\n" "benchmark" "Rand first/buggy"
+    "PCT first/buggy";
+  let o = options in
+  List.iter
+    (fun name ->
+      let b = Option.get (Sctbench.Registry.by_name name) in
+      let detection =
+        Sct_explore.Techniques.detect_races o b.Sctbench.Bench.program
+      in
+      let promote = Sct_race.Promotion.promote detection in
+      let show (s : Sct_explore.Stats.t) =
+        Printf.sprintf "%s/%d"
+          (match s.Sct_explore.Stats.to_first_bug with
+          | Some i -> string_of_int i
+          | None -> "-")
+          s.Sct_explore.Stats.buggy
+      in
+      let rand =
+        Sct_explore.Techniques.run ~promote o Sct_explore.Techniques.Rand
+          b.Sctbench.Bench.program
+      in
+      let pct =
+        Sct_explore.Techniques.run ~promote o Sct_explore.Techniques.PCT
+          b.Sctbench.Bench.program
+      in
+      Printf.printf "%-28s | %-18s | %-18s\n" name (show rand) (show pct))
+    [
+      "CB.stringbuffer-jdk1.4";
+      "CS.reorder_4_bad";
+      "CS.wronglock_bad";
+      "chess.WSQ";
+      "inspect.qsort_mt";
+      "parsec.ferret";
+      "radbench.bug2";
+      "radbench.bug4";
+      "misc.safestack";
+    ]
+
+let run_perf () =
+  hr "Bechamel timings";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances (perf_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e6 then Printf.printf "%-55s %10.2f ms/run\n" name (est /. 1e6)
+      else if est >= 1e3 then
+        Printf.printf "%-55s %10.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "%-55s %10.1f ns/run\n" name est)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf
+    "SCTBench schedule-bounding study — limit %d terminal schedules per \
+     technique, seed %d\n"
+    limit seed;
+  if wants "table1" then begin
+    hr "Table 1";
+    Sct_report.Table1.print Sctbench.Registry.all
+  end;
+  let rows_needed =
+    List.exists wants [ "table2"; "table3"; "fig2"; "fig3"; "fig4" ]
+  in
+  if rows_needed then begin
+    let rows = Lazy.force study_rows in
+    if wants "table3" then begin
+      hr "Table 3";
+      Sct_report.Table3.print ~limit rows;
+      Sct_report.Table3.print_agreement rows
+    end;
+    if wants "table2" then begin
+      hr "Table 2";
+      Sct_report.Table2.print ~limit rows
+    end;
+    if wants "fig2" then begin
+      hr "Figure 2";
+      Sct_report.Venn.print_figure2 rows
+    end;
+    if wants "fig3" then begin
+      hr "Figure 3";
+      Sct_report.Figures.print_figure3 ~limit rows
+    end;
+    if wants "fig4" then begin
+      hr "Figure 4";
+      Sct_report.Figures.print_figure4 ~limit rows
+    end
+  end;
+  if wants "por" then run_por ();
+  if wants "pct" then run_pct ();
+  if wants "perf" then run_perf ()

@@ -1,0 +1,330 @@
+(* Command-line front-end: run SCTBench benchmarks under the study's
+   techniques and regenerate the paper's tables and figures. *)
+
+open Cmdliner
+
+let limit_t =
+  let doc = "Schedule limit per technique (the paper uses 10000)." in
+  Arg.(value & opt int 10_000 & info [ "limit" ] ~docv:"N" ~doc)
+
+let seed_t =
+  let doc = "Random seed for Rand/PCT/Maple and race detection." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let suite_t =
+  let doc = "Restrict to one suite (CB, chess, CS, inspect, misc, parsec, radbench, splash2)." in
+  Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"SUITE" ~doc)
+
+let ids_t =
+  let doc = "Restrict to specific benchmark ids." in
+  Arg.(value & opt_all int [] & info [ "id" ] ~docv:"ID" ~doc)
+
+let techniques_t =
+  let doc =
+    "Techniques to run (ipb, idb, dfs, rand, pct, maple); default: the \
+     paper's five."
+  in
+  Arg.(value & opt_all string [] & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
+
+let options_of limit seed =
+  { Sct_explore.Techniques.default_options with
+    Sct_explore.Techniques.limit; seed }
+
+let parse_techniques names =
+  match names with
+  | [] -> Sct_explore.Techniques.all_paper
+  | names ->
+      List.map
+        (fun n ->
+          match Sct_explore.Techniques.of_name n with
+          | Some t -> t
+          | None -> failwith ("unknown technique: " ^ n))
+        names
+
+let select suite ids =
+  let all = Sctbench.Registry.all in
+  let all =
+    match suite with
+    | None -> all
+    | Some s -> (
+        match Sctbench.Bench.suite_of_name s with
+        | Some suite -> List.filter (fun (b : Sctbench.Bench.t) -> b.Sctbench.Bench.suite = suite) all
+        | None -> failwith ("unknown suite: " ^ s))
+  in
+  match ids with
+  | [] -> all
+  | ids -> List.filter (fun (b : Sctbench.Bench.t) -> List.mem b.Sctbench.Bench.id ids) all
+
+let progress (b : Sctbench.Bench.t) =
+  Printf.eprintf "[%2d] %s...\n%!" b.Sctbench.Bench.id b.Sctbench.Bench.name
+
+(* list *)
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Sctbench.Bench.t) ->
+        Printf.printf "%2d  %-28s %s\n" b.Sctbench.Bench.id
+          b.Sctbench.Bench.name b.Sctbench.Bench.description)
+      Sctbench.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 52 SCTBench benchmarks.")
+    Term.(const run $ const ())
+
+(* detect *)
+let detect_cmd =
+  let run seed name =
+    match Sctbench.Registry.by_name name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some b ->
+        let o = options_of 0 seed in
+        let d = Sct_explore.Techniques.detect_races o b.Sctbench.Bench.program in
+        Printf.printf "racy locations (%d):\n" (List.length d.Sct_race.Promotion.racy);
+        List.iter (fun l -> Printf.printf "  %s\n" l) d.Sct_race.Promotion.racy
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Run the data-race detection phase on one benchmark.")
+    Term.(const run $ seed_t $ name_t)
+
+(* run one benchmark *)
+let run_cmd =
+  let run limit seed techs name =
+    match Sctbench.Registry.by_name name with
+    | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
+    | Some b ->
+        let o = options_of limit seed in
+        let techniques = parse_techniques techs in
+        let row = Sct_report.Run_data.run_benchmark ~techniques o b in
+        Printf.printf "%s (%d racy locations)\n" b.Sctbench.Bench.name
+          row.Sct_report.Run_data.racy_locations;
+        List.iter
+          (fun (t, s) ->
+            Format.printf "  %-8s %a@."
+              (Sct_explore.Techniques.name t)
+              Sct_explore.Stats.pp s;
+            (match s.Sct_explore.Stats.distinct with
+            | Some d ->
+                Format.printf "           distinct schedules: %d of %d@." d
+                  s.Sct_explore.Stats.total
+            | None -> ());
+            (match Sct_explore.Guarantee.of_stats s with
+            | Sct_explore.Guarantee.None_ -> ()
+            | g ->
+                Format.printf "           coverage: %a@."
+                  Sct_explore.Guarantee.pp g);
+            match s.Sct_explore.Stats.first_bug with
+            | Some w ->
+                Format.printf "           bug: %a (pc=%d dc=%d, %d steps)@."
+                  Sct_core.Outcome.pp_bug w.Sct_explore.Stats.w_bug
+                  w.Sct_explore.Stats.w_pc w.Sct_explore.Stats.w_dc
+                  (Sct_core.Schedule.length w.Sct_explore.Stats.w_schedule)
+            | None -> ())
+          row.Sct_report.Run_data.results
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
+    Term.(const run $ limit_t $ seed_t $ techniques_t $ name_t)
+
+let with_bench name f =
+  match Sctbench.Registry.by_name name with
+  | None ->
+      prerr_endline ("unknown benchmark: " ^ name);
+      exit 1
+  | Some b -> f b
+
+let detection_promote seed (b : Sctbench.Bench.t) =
+  let o = options_of 0 seed in
+  Sct_race.Promotion.promote
+    (Sct_explore.Techniques.detect_races o b.Sctbench.Bench.program)
+
+(* benchmark details *)
+let info_cmd =
+  let run name =
+    with_bench name (fun b ->
+        let p = b.Sctbench.Bench.paper in
+        Printf.printf "%s (id %d, suite %s)\n\n%s\n\n" b.Sctbench.Bench.name
+          b.Sctbench.Bench.id
+          (Sctbench.Bench.suite_name b.Sctbench.Bench.suite)
+          b.Sctbench.Bench.description;
+        let opt = function None -> "not found" | Some i -> "bound " ^ string_of_int i in
+        Printf.printf "paper Table 3 row:\n";
+        Printf.printf "  threads %d, max enabled %d\n" p.Sctbench.Bench.p_threads
+          p.Sctbench.Bench.p_max_enabled;
+        Printf.printf "  IPB %s; IDB %s; DFS %s; Rand %s; MapleAlg %s\n"
+          (opt p.Sctbench.Bench.p_ipb_bound)
+          (opt p.Sctbench.Bench.p_idb_bound)
+          (if p.Sctbench.Bench.p_dfs_found then "found" else "not found")
+          (if p.Sctbench.Bench.p_rand_found then "found" else "not found")
+          (if p.Sctbench.Bench.p_maple_found then "found" else "not found");
+        match (b.Sctbench.Bench.expect_ipb, b.Sctbench.Bench.expect_idb) with
+        | None, None -> ()
+        | ipb, idb ->
+            Printf.printf "expected bounds in this model: IPB %s, IDB %s\n"
+              (match ipb with Some i -> string_of_int i | None -> "-")
+              (match idb with Some i -> string_of_int i | None -> "-"))
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a benchmark and its paper row.")
+    Term.(const run $ name_t)
+
+(* replay a schedule *)
+let replay_cmd =
+  let run seed name trace =
+    with_bench name (fun b ->
+        let schedule = Sct_explore.Replay.parse trace in
+        let promote = detection_promote seed b in
+        match
+          Sct_explore.Replay.replay ~promote ~schedule b.Sctbench.Bench.program
+        with
+        | None -> print_endline "schedule is infeasible for this program"
+        | Some r ->
+            Format.printf "outcome: %a@." Sct_core.Outcome.pp
+              r.Sct_core.Runtime.r_outcome;
+            Format.printf "executed schedule (pc=%d dc=%d): %a@."
+              r.Sct_core.Runtime.r_pc r.Sct_core.Runtime.r_dc
+              Sct_core.Schedule.pp r.Sct_core.Runtime.r_schedule)
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let trace_t =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SCHEDULE" ~doc:"Comma-separated thread ids, e.g. 0,0,1,2.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a schedule against a benchmark.")
+    Term.(const run $ seed_t $ name_t $ trace_t)
+
+(* find a bug with the random scheduler, then simplify its trace *)
+let minimize_cmd =
+  let run limit seed name =
+    with_bench name (fun b ->
+        let promote = detection_promote seed b in
+        let s =
+          Sct_explore.Random_walk.explore ~promote ~stop_on_bug:true ~seed
+            ~runs:limit b.Sctbench.Bench.program
+        in
+        match s.Sct_explore.Stats.first_bug with
+        | None -> print_endline "no bug found by the random scheduler"
+        | Some w -> (
+            Format.printf "random witness: pc=%d dc=%d, %d steps@."
+              w.Sct_explore.Stats.w_pc w.Sct_explore.Stats.w_dc
+              (Sct_core.Schedule.length w.Sct_explore.Stats.w_schedule);
+            match
+              Sct_explore.Simplify.minimize ~promote
+                ~program:b.Sctbench.Bench.program
+                w.Sct_explore.Stats.w_schedule
+            with
+            | None -> print_endline "witness did not replay as buggy"
+            | Some m ->
+                Format.printf
+                  "simplified witness: pc=%d dc=%d, %d steps (%d rounds)@."
+                  m.Sct_explore.Simplify.result.Sct_core.Runtime.r_pc
+                  m.Sct_explore.Simplify.result.Sct_core.Runtime.r_dc
+                  (Sct_core.Schedule.length m.Sct_explore.Simplify.schedule)
+                  m.Sct_explore.Simplify.rounds;
+                Format.printf "schedule: %a@." Sct_core.Schedule.pp
+                  m.Sct_explore.Simplify.schedule))
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+         "Find a bug with the random scheduler and simplify the witness \
+          trace to few preemptions.")
+    Term.(const run $ limit_t $ seed_t $ name_t)
+
+(* partial-order reduction *)
+let por_cmd =
+  let run limit name mode =
+    with_bench name (fun b ->
+        let mode =
+          match String.lowercase_ascii mode with
+          | "sleep" -> Sct_explore.Por.Sleep
+          | "dpor" -> Sct_explore.Por.Dpor
+          | "both" | "dpor+sleep" -> Sct_explore.Por.Dpor_sleep
+          | m -> failwith ("unknown POR mode: " ^ m)
+        in
+        (* POR needs full dependence information: promote everything *)
+        let r =
+          Sct_explore.Por.explore ~promote:(fun _ -> true) ~mode ~limit
+            b.Sctbench.Bench.program
+        in
+        Printf.printf
+          "%s: %d schedules (%d sleep-pruned, %d executions), %d buggy, \
+           complete=%b%s\n"
+          b.Sctbench.Bench.name r.Sct_explore.Por.counted
+          r.Sct_explore.Por.pruned_sleep r.Sct_explore.Por.executions
+          r.Sct_explore.Por.buggy r.Sct_explore.Por.complete
+          (match r.Sct_explore.Por.to_first_bug with
+          | Some i -> Printf.sprintf ", first bug at %d" i
+          | None -> ""))
+  in
+  let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let mode_t =
+    Arg.(
+      value & opt string "both"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"sleep, dpor, or both.")
+  in
+  Cmd.v
+    (Cmd.info "por"
+       ~doc:
+         "Explore a benchmark with partial-order reduction (unbounded, all \
+          locations visible).")
+    Term.(const run $ limit_t $ name_t $ mode_t)
+
+(* the full study: tables and figures *)
+let study what limit seed suite ids techs =
+  let benches = select suite ids in
+  let o = options_of limit seed in
+  match what with
+  | `Table1 -> Sct_report.Table1.print benches
+  | (`Table2 | `Table3 | `Fig2 | `Fig3 | `Fig4 | `Agreement | `Csv) as what ->
+      let techniques = parse_techniques techs in
+      let rows = Sct_report.Run_data.run_all ~techniques ~progress o benches in
+      (match what with
+      | `Table2 -> Sct_report.Table2.print ~limit rows
+      | `Table3 ->
+          Sct_report.Table3.print ~limit rows;
+          Sct_report.Table3.print_agreement rows
+      | `Fig2 -> Sct_report.Venn.print_figure2 rows
+      | `Fig3 -> Sct_report.Figures.print_figure3 ~limit rows
+      | `Fig4 -> Sct_report.Figures.print_figure4 ~limit rows
+      | `Agreement -> Sct_report.Table3.print_agreement rows
+      | `Csv -> Sct_report.Csv.table3 ~limit rows)
+
+let study_cmd name what doc =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (study what) $ limit_t $ seed_t $ suite_t $ ids_t $ techniques_t)
+
+let () =
+  let cmds =
+    [
+      list_cmd;
+      info_cmd;
+      detect_cmd;
+      run_cmd;
+      replay_cmd;
+      minimize_cmd;
+      por_cmd;
+      study_cmd "table1" `Table1 "Regenerate Table 1 (suite overview).";
+      study_cmd "table2" `Table2 "Regenerate Table 2 (trivial benchmarks).";
+      study_cmd "table3" `Table3 "Regenerate Table 3 (full results).";
+      study_cmd "fig2" `Fig2 "Regenerate Figure 2 (Venn diagrams).";
+      study_cmd "fig3" `Fig3 "Regenerate Figure 3 (schedules to first bug).";
+      study_cmd "fig4" `Fig4 "Regenerate Figure 4 (worst-case schedules).";
+      study_cmd "agreement" `Agreement
+        "Paper-vs-measured bug-finding agreement only.";
+      study_cmd "csv" `Csv "Export the Table 3 data as CSV.";
+    ]
+  in
+  let info =
+    Cmd.info "sctbench_run" ~version:"1.0.0"
+      ~doc:
+        "Systematic concurrency testing on SCTBench: schedule bounding \
+         study reproduction."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

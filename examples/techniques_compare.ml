@@ -1,0 +1,51 @@
+(* Compare the bug-finding techniques across a whole suite.
+
+   Runs the study pipeline on every benchmark of one SCTBench suite
+   (default: splash2; pass another suite name as the first argument) and
+   prints the per-technique verdicts side by side with the paper's Table 3.
+
+     dune exec examples/techniques_compare.exe -- CS 2000 *)
+
+let () =
+  let suite_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "splash2" in
+  let limit =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 5_000
+  in
+  let suite =
+    match Sctbench.Bench.suite_of_name suite_name with
+    | Some s -> s
+    | None -> failwith ("unknown suite: " ^ suite_name)
+  in
+  let benches = Sctbench.Registry.of_suite suite in
+  Printf.printf "suite %s: %d benchmarks, limit %d schedules/technique\n\n"
+    suite_name (List.length benches) limit;
+  let o =
+    { Sct_explore.Techniques.default_options with Sct_explore.Techniques.limit }
+  in
+  Printf.printf "%-28s | %-22s | %-22s\n" "benchmark" "ours (I/D/F/R/M)"
+    "paper (I/D/F/R/M)";
+  List.iter
+    (fun (b : Sctbench.Bench.t) ->
+      let row = Sct_report.Run_data.run_benchmark o b in
+      let mark t =
+        if Sct_report.Run_data.found_by row t then "+" else "."
+      in
+      let ours =
+        String.concat ""
+          (List.map mark
+             Sct_explore.Techniques.
+               [ IPB; IDB; DFS; Rand; Maple ])
+      in
+      let p = b.Sctbench.Bench.paper in
+      let pm cond = if cond then "+" else "." in
+      let paper =
+        pm (p.Sctbench.Bench.p_ipb_bound <> None)
+        ^ pm (p.Sctbench.Bench.p_idb_bound <> None)
+        ^ pm p.Sctbench.Bench.p_dfs_found
+        ^ pm p.Sctbench.Bench.p_rand_found
+        ^ pm p.Sctbench.Bench.p_maple_found
+      in
+      Printf.printf "%-28s | %-22s | %-22s%s\n" b.Sctbench.Bench.name ours
+        paper
+        (if ours = paper then "" else "   <- deviation"))
+    benches

@@ -1,0 +1,57 @@
+(* Testing a lock-free-ish data structure: the CHESS work-stealing queue.
+
+   Runs the study's five techniques on the seeded THE-protocol deque
+   (chess.WSQ) and prints how many terminal schedules each needed — the
+   per-benchmark view behind the paper's Figure 3.
+
+     dune exec examples/work_stealing.exe *)
+
+let () =
+  let bench =
+    match Sctbench.Registry.by_name "chess.WSQ" with
+    | Some b -> b
+    | None -> failwith "chess.WSQ missing from the registry"
+  in
+  Printf.printf "%s\n%s\n\n" bench.Sctbench.Bench.name
+    bench.Sctbench.Bench.description;
+  let o =
+    { Sct_explore.Techniques.default_options with Sct_explore.Techniques.limit = 10_000 }
+  in
+  let detection, results = Sct_explore.Techniques.run_all o bench.Sctbench.Bench.program in
+  Printf.printf "racy locations: %s\n\n"
+    (String.concat ", " detection.Sct_race.Promotion.racy);
+  Printf.printf "%-10s %-8s %-14s %-10s %s\n" "technique" "found?"
+    "schedules-to-bug" "bound" "witness (pc/dc)";
+  List.iter
+    (fun (t, s) ->
+      let first =
+        match s.Sct_explore.Stats.to_first_bug with
+        | Some i -> string_of_int i
+        | None -> "-"
+      in
+      let bound =
+        match s.Sct_explore.Stats.bound with
+        | Some b -> string_of_int b
+        | None -> "-"
+      in
+      let witness =
+        match s.Sct_explore.Stats.first_bug with
+        | Some w ->
+            Printf.sprintf "%d/%d" w.Sct_explore.Stats.w_pc
+              w.Sct_explore.Stats.w_dc
+        | None -> "-"
+      in
+      Printf.printf "%-10s %-8s %-14s %-10s %s\n"
+        (Sct_explore.Techniques.name t)
+        (if Sct_explore.Stats.found s then "yes" else "no")
+        first bound witness)
+    results;
+  print_newline ();
+  print_endline
+    "The bug needs the thief's locked steal interleaved into the owner's\n\
+     stale-head pop window. Depth-first search drowns in the deep\n\
+     interleavings of the 20+-item workload and the idiom-forcing\n\
+     heuristic cannot compose the multi-step window, while both bounding\n\
+     techniques reach the bug at a small bound and the random scheduler\n\
+     stumbles into it within a few thousand runs — the Table 3 row's\n\
+     exact shape."

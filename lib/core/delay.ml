@@ -1,0 +1,30 @@
+let mem t l = List.exists (Tid.equal t) l
+
+let delays ~n ~last ~enabled t =
+  match last with
+  | None -> 0
+  | Some l ->
+      let d = Tid.distance ~n l t in
+      let count = ref 0 in
+      for x = 0 to d - 1 do
+        if mem ((l + x) mod n) enabled then incr count
+      done;
+      !count
+
+let count ~n_at ~steps =
+  let _, dc, _ =
+    List.fold_left
+      (fun (i, dc, last) (enabled, chosen) ->
+        let n = n_at i in
+        (i + 1, dc + delays ~n ~last ~enabled chosen, Some chosen))
+      (0, 0, None) steps
+  in
+  dc
+
+let rr_order ~n ~last ~enabled =
+  let start = match last with None -> 0 | Some l -> l in
+  let key t = Tid.distance ~n start t in
+  List.sort (fun a b -> compare (key a) (key b)) enabled
+
+let deterministic_choice ~n ~last ~enabled =
+  match rr_order ~n ~last ~enabled with [] -> None | t :: _ -> Some t

@@ -1,0 +1,27 @@
+type t =
+  | Access of {
+      tid : Tid.t;
+      id : int;
+      name : string;
+      kind : Op.access_kind;
+    }
+  | Acquire of { tid : Tid.t; obj : int }
+  | Release of { tid : Tid.t; obj : int }
+  | Fork of { parent : Tid.t; child : Tid.t }
+  | Joined of { parent : Tid.t; child : Tid.t }
+
+let pp ppf = function
+  | Access { tid; name; kind; _ } ->
+      let k =
+        match kind with
+        | Op.Plain_read -> "r"
+        | Op.Plain_write -> "w"
+        | Op.Atomic_op s -> "a:" ^ s
+      in
+      Format.fprintf ppf "%a %s %s" Tid.pp tid k name
+  | Acquire { tid; obj } -> Format.fprintf ppf "%a acq #%d" Tid.pp tid obj
+  | Release { tid; obj } -> Format.fprintf ppf "%a rel #%d" Tid.pp tid obj
+  | Fork { parent; child } ->
+      Format.fprintf ppf "%a fork %a" Tid.pp parent Tid.pp child
+  | Joined { parent; child } ->
+      Format.fprintf ppf "%a join %a" Tid.pp parent Tid.pp child

@@ -1,0 +1,24 @@
+(** Events emitted by the runtime during an execution.
+
+    Consumed by the dynamic data-race detector ([Sct_race]) to build the
+    happens-before relation, mirroring the paper's data-race detection phase
+    (§5). Every shared-memory access is reported — including plain accesses
+    that are not (yet) promoted to visible operations. *)
+
+type t =
+  | Access of {
+      tid : Tid.t;
+      id : int;  (** runtime object id of the variable / array *)
+      name : string;  (** the access site used for promotion *)
+      kind : Op.access_kind;
+    }
+  | Acquire of { tid : Tid.t; obj : int }
+      (** lock acquired / semaphore decremented / barrier left / condition
+          wake received / atomic operation (reader side) *)
+  | Release of { tid : Tid.t; obj : int }
+      (** lock released / semaphore incremented / barrier arrived / condition
+          signalled / atomic operation (writer side) *)
+  | Fork of { parent : Tid.t; child : Tid.t }
+  | Joined of { parent : Tid.t; child : Tid.t }
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type access_kind = Plain_read | Plain_write | Atomic_op of string
+
+type t =
+  | Spawn
+  | Join of Tid.t
+  | Lock of int
+  | Try_lock of int
+  | Unlock of int
+  | Mutex_destroy of int
+  | Cond_wait of int * int
+  | Reacquire of int
+  | Signal of int
+  | Broadcast of int
+  | Sem_wait of int
+  | Sem_post of int
+  | Barrier_wait of int
+  | Barrier_resume of int
+  | Rd_lock of int
+  | Wr_lock of int
+  | Rw_unlock of int
+  | Access of { id : int; name : string; kind : access_kind }
+  | Yield
+
+let pp ppf = function
+  | Spawn -> Format.pp_print_string ppf "spawn"
+  | Join t -> Format.fprintf ppf "join(%a)" Tid.pp t
+  | Lock m -> Format.fprintf ppf "lock(#%d)" m
+  | Try_lock m -> Format.fprintf ppf "try_lock(#%d)" m
+  | Unlock m -> Format.fprintf ppf "unlock(#%d)" m
+  | Mutex_destroy m -> Format.fprintf ppf "mutex_destroy(#%d)" m
+  | Cond_wait (c, m) -> Format.fprintf ppf "cond_wait(#%d,#%d)" c m
+  | Reacquire m -> Format.fprintf ppf "reacquire(#%d)" m
+  | Signal c -> Format.fprintf ppf "signal(#%d)" c
+  | Broadcast c -> Format.fprintf ppf "broadcast(#%d)" c
+  | Sem_wait s -> Format.fprintf ppf "sem_wait(#%d)" s
+  | Sem_post s -> Format.fprintf ppf "sem_post(#%d)" s
+  | Barrier_wait b -> Format.fprintf ppf "barrier_wait(#%d)" b
+  | Barrier_resume b -> Format.fprintf ppf "barrier_resume(#%d)" b
+  | Rd_lock l -> Format.fprintf ppf "rd_lock(#%d)" l
+  | Wr_lock l -> Format.fprintf ppf "wr_lock(#%d)" l
+  | Rw_unlock l -> Format.fprintf ppf "rw_unlock(#%d)" l
+  | Access { name; kind; _ } ->
+      let k =
+        match kind with
+        | Plain_read -> "read"
+        | Plain_write -> "write"
+        | Atomic_op s -> "atomic-" ^ s
+      in
+      Format.fprintf ppf "%s(%s)" k name
+  | Yield -> Format.pp_print_string ppf "yield"
+
+let to_string op = Format.asprintf "%a" pp op
+let is_blocking = function Cond_wait _ | Barrier_wait _ -> true | _ -> false

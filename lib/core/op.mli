@@ -1,0 +1,45 @@
+(** Visible operations.
+
+    A step of an execution is one visible operation followed by the invisible
+    operations up to (not including) the next visible operation (paper §2).
+    A thread suspends immediately before each visible operation; the value of
+    this type describes the pending operation so that the scheduler can
+    (a) decide enabledness and (b) report traces. *)
+
+(** How a shared-memory location is touched. *)
+type access_kind =
+  | Plain_read
+  | Plain_write
+  | Atomic_op of string
+      (** e.g. ["load"], ["store"], ["cas"], ["faa"], ["xchg"]. *)
+
+type t =
+  | Spawn  (** create a new thread (child tid assigned at execution) *)
+  | Join of Tid.t  (** enabled iff the target thread has finished *)
+  | Lock of int  (** enabled iff the mutex is free and not destroyed-pending *)
+  | Try_lock of int
+  | Unlock of int
+  | Mutex_destroy of int
+  | Cond_wait of int * int  (** [(cond, mutex)]: release + block *)
+  | Reacquire of int
+      (** re-acquire of a mutex after a condition wait; enabled iff free *)
+  | Signal of int
+  | Broadcast of int
+  | Sem_wait of int  (** enabled iff the semaphore count is positive *)
+  | Sem_post of int
+  | Barrier_wait of int
+  | Barrier_resume of int  (** resumption point after a barrier opens *)
+  | Rd_lock of int
+  | Wr_lock of int
+  | Rw_unlock of int
+  | Access of { id : int; name : string; kind : access_kind }
+      (** a shared-memory access promoted to a visible operation *)
+  | Yield
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_blocking : t -> bool
+(** [is_blocking op] is [true] when executing [op] can leave the executing
+    thread disabled (condition waits and barrier waits). Used only for
+    reporting; enabledness is decided by the runtime against object state. *)

@@ -1,0 +1,28 @@
+let footprint : Op.t -> (int * bool) list = function
+  | Op.Yield -> []
+  | Op.Access { id; kind; _ } -> (
+      match kind with
+      | Op.Plain_read -> [ (id, false) ]
+      | Op.Plain_write -> [ (id, true) ]
+      | Op.Atomic_op "load" -> [ (id, false) ]
+      | Op.Atomic_op _ -> [ (id, true) ])
+  | Op.Lock m | Op.Try_lock m | Op.Unlock m | Op.Mutex_destroy m
+  | Op.Reacquire m ->
+      [ (m, true) ]
+  | Op.Cond_wait (c, m) -> [ (c, true); (m, true) ]
+  | Op.Signal c | Op.Broadcast c -> [ (c, true) ]
+  | Op.Sem_wait s | Op.Sem_post s -> [ (s, true) ]
+  | Op.Barrier_wait b | Op.Barrier_resume b -> [ (b, true) ]
+  | Op.Rd_lock l -> [ (l, false) ]
+  | Op.Wr_lock l | Op.Rw_unlock l -> [ (l, true) ]
+  | Op.Spawn | Op.Join _ -> []
+
+let global = function Op.Spawn | Op.Join _ -> true | _ -> false
+
+let dependent a b =
+  global a || global b
+  ||
+  let fa = footprint a and fb = footprint b in
+  List.exists
+    (fun (ia, wa) -> List.exists (fun (ib, wb) -> ia = ib && (wa || wb)) fb)
+    fa

@@ -1,0 +1,21 @@
+(** Dependence between visible operations, for partial-order reduction
+    (paper §7 related work: Godefroid 1996; Flanagan & Godefroid 2005).
+
+    Two operations are independent when executing them in either order from
+    any state where both are enabled yields the same state. This module
+    gives a sound (conservative) approximation from operation footprints:
+    operations conflict when they touch a common object and at least one
+    side mutates it or affects enabledness. *)
+
+val footprint : Op.t -> (int * bool) list
+(** [footprint op] is the list of [(object_id, writes)] pairs the operation
+    touches. [Yield] has an empty footprint (independent of everything);
+    synchronisation operations mutate their object's state. *)
+
+val global : Op.t -> bool
+(** [global op] holds for operations whose effect is not captured by an
+    object footprint ([Spawn], [Join]): they are conservatively treated as
+    dependent with every operation. *)
+
+val dependent : Op.t -> Op.t -> bool
+(** Symmetric; [true] when the operations may not commute. *)

@@ -1,0 +1,41 @@
+type bug =
+  | Assertion_failure of string
+  | Deadlock of Tid.t list
+  | Lock_error of string
+  | Memory_error of string
+  | Uncaught_exn of string
+
+type t = Ok | Bug of { bug : bug; by : Tid.t } | Step_limit
+
+exception Bug_exn of bug
+
+let is_buggy = function Bug _ -> true | Ok | Step_limit -> false
+
+let bug_equal a b =
+  match (a, b) with
+  | Assertion_failure x, Assertion_failure y -> String.equal x y
+  | Deadlock x, Deadlock y -> x = y
+  | Lock_error x, Lock_error y -> String.equal x y
+  | Memory_error x, Memory_error y -> String.equal x y
+  | Uncaught_exn x, Uncaught_exn y -> String.equal x y
+  | ( ( Assertion_failure _ | Deadlock _ | Lock_error _ | Memory_error _
+      | Uncaught_exn _ ),
+      _ ) ->
+      false
+
+let pp_bug ppf = function
+  | Assertion_failure m -> Format.fprintf ppf "assertion failure: %s" m
+  | Deadlock ts ->
+      Format.fprintf ppf "deadlock (stuck:%a)"
+        (fun ppf -> List.iter (Format.fprintf ppf " %a" Tid.pp))
+        ts
+  | Lock_error m -> Format.fprintf ppf "lock error: %s" m
+  | Memory_error m -> Format.fprintf ppf "memory error: %s" m
+  | Uncaught_exn m -> Format.fprintf ppf "uncaught exception: %s" m
+
+let pp ppf = function
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Bug { bug; by } -> Format.fprintf ppf "BUG by %a: %a" Tid.pp by pp_bug bug
+  | Step_limit -> Format.pp_print_string ppf "step-limit"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+(** Terminal outcomes of a single execution.
+
+    Bugs are deadlocks, crashes or assertion failures, including assertions
+    that identify incorrect output (paper §5). Lock misuse and out-of-bounds
+    accesses to model arrays are crashes. *)
+
+type bug =
+  | Assertion_failure of string
+  | Deadlock of Tid.t list  (** the unfinished threads *)
+  | Lock_error of string
+      (** unlock by non-owner, double destroy, use after destroy, ... *)
+  | Memory_error of string  (** out-of-bounds access on a model array *)
+  | Uncaught_exn of string
+
+type t =
+  | Ok  (** all threads terminated with no error *)
+  | Bug of { bug : bug; by : Tid.t }
+  | Step_limit
+      (** the per-execution step budget was exhausted (live-lock guard);
+          treated as a terminal, non-buggy schedule *)
+
+val is_buggy : t -> bool
+val bug_equal : bug -> bug -> bool
+val pp_bug : Format.formatter -> bug -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+exception Bug_exn of bug
+(** Raised inside a thread to abort the execution with a bug. *)

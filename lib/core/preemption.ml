@@ -1,0 +1,13 @@
+let delta ~last ~enabled t =
+  match last with
+  | None -> 0
+  | Some l -> if (not (Tid.equal l t)) && List.exists (Tid.equal l) enabled then 1 else 0
+
+let count ~steps =
+  let pc, _ =
+    List.fold_left
+      (fun (pc, last) (enabled, chosen) ->
+        (pc + delta ~last ~enabled chosen, Some chosen))
+      (0, None) steps
+  in
+  pc

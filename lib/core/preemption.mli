@@ -1,0 +1,16 @@
+(** Preemption counting (paper §2, Musuvathi & Qadeer 2007).
+
+    Step [i] of a schedule is a context switch iff [α(i) ≠ α(i-1)]; the
+    switch is preemptive iff the thread of step [i-1] remained enabled after
+    that step. The preemption count [PC] accumulates preemptive switches. *)
+
+val delta : last:Tid.t option -> enabled:Tid.t list -> Tid.t -> int
+(** [delta ~last ~enabled t] is the preemption-count increment of extending a
+    schedule whose last step ran [last] by one step of [t], where [enabled]
+    is the enabled set at the extension point: [1] iff [last = Some l],
+    [l ≠ t], and [l ∈ enabled]; [0] otherwise (including for the first step
+    of a schedule). *)
+
+val count : steps:(Tid.t list * Tid.t) list -> int
+(** [count ~steps] folds {!delta} over a list of [(enabled, chosen)] decision
+    records (in execution order) and returns the schedule's [PC]. *)

@@ -1,0 +1,600 @@
+type mutex_state = { mutable holder : Tid.t option; mutable destroyed : bool }
+type cond_state = { mutable waiters : (Tid.t * int) list }
+type sem_state = { mutable count : int }
+type barrier_state = { size : int; mutable waiting : Tid.t list }
+
+type rw_state = {
+  mutable readers : Tid.t list;
+  mutable writer : Tid.t option;
+}
+
+type obj =
+  | O_mutex of mutex_state
+  | O_cond of cond_state
+  | O_sem of sem_state
+  | O_barrier of barrier_state
+  | O_rw of rw_state
+  | O_location of { name : string }
+
+type _ Effect.t +=
+  | Visible : Op.t -> unit Effect.t
+  | Spawn_eff : (unit -> unit) -> Tid.t Effect.t
+
+(* Raised into live continuations when tearing an execution down, so fibres
+   unwind (running their exception handlers) without being recorded. *)
+exception Aborted
+
+type pending =
+  | P_op of Op.t * (unit, unit) Effect.Deep.continuation
+  | P_spawn of (unit -> unit) * (Tid.t, unit) Effect.Deep.continuation
+
+type status =
+  | Runnable of pending
+  | Blocked_cond of { k : (unit, unit) Effect.Deep.continuation; mutex : int }
+  | Blocked_barrier of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type thread = { tid : Tid.t; mutable status : status }
+
+type decision = {
+  d_enabled : Tid.t list;
+  d_chosen : Tid.t;
+  d_op : Op.t;
+  d_n_threads : int;
+}
+
+type t = {
+  mutable threads : thread option array;
+  mutable count : int;  (* threads created *)
+  objects : (int, obj) Hashtbl.t;
+  mutable next_obj : int;
+  promote : string -> bool;
+  listener : (Event.t -> unit) option;
+  max_steps : int;
+  record_decisions : bool;
+  mutable schedule_rev : Tid.t list;
+  mutable decisions_rev : decision list;
+  mutable steps : int;
+  mutable outcome : Outcome.t option;
+  mutable last : Tid.t option;
+  mutable pc : int;
+  mutable dc : int;
+  mutable max_enabled : int;
+  mutable multi_points : int;
+  mutable running : Tid.t;
+  mutable teardown : bool;
+  mutable try_lock_result : bool;
+}
+
+type ctx = {
+  c_step : int;
+  c_last : Tid.t option;
+  c_enabled : Tid.t list;
+  c_n_threads : int;
+  c_rt : t;
+}
+
+type scheduler = ctx -> Tid.t
+
+type result = {
+  r_outcome : Outcome.t;
+  r_schedule : Schedule.t;
+  r_decisions : decision list;
+  r_pc : int;
+  r_dc : int;
+  r_n_threads : int;
+  r_max_enabled : int;
+  r_multi_points : int;
+  r_steps : int;
+}
+
+(* Ambient runtime: execution is fully serialised, so a single slot works;
+   [exec] saves and restores it, allowing (non-concurrent) nesting. *)
+let ambient_rt : t option ref = ref None
+
+let ambient () =
+  match !ambient_rt with
+  | Some rt -> rt
+  | None -> invalid_arg "Sct_core.Runtime: no execution in progress"
+
+let self rt = rt.running
+let n_threads rt = rt.count
+
+let thread rt tid =
+  match rt.threads.(tid) with
+  | Some th -> th
+  | None -> invalid_arg "Sct_core.Runtime: unknown thread"
+
+let thread_finished rt tid =
+  match (thread rt tid).status with Finished -> true | _ -> false
+
+let new_object rt obj =
+  let id = rt.next_obj in
+  rt.next_obj <- id + 1;
+  Hashtbl.replace rt.objects id obj;
+  id
+
+let find_object rt id =
+  match Hashtbl.find_opt rt.objects id with
+  | Some o -> o
+  | None -> invalid_arg "Sct_core.Runtime: unknown object"
+
+let promoted rt name = rt.promote name
+let try_lock_result rt = rt.try_lock_result
+
+let emit rt ev =
+  match rt.listener with None -> () | Some f -> f ev
+
+let bug rt b =
+  ignore rt;
+  raise (Outcome.Bug_exn b)
+
+let set_bug rt ~by b =
+  if (not rt.teardown) && rt.outcome = None then
+    rt.outcome <- Some (Outcome.Bug { bug = b; by })
+
+let pending_of = function P_op (op, _) -> op | P_spawn _ -> Op.Spawn
+
+let pending_op rt tid =
+  match (thread rt tid).status with
+  | Runnable p -> Some (pending_of p)
+  | Blocked_cond _ | Blocked_barrier _ | Finished -> None
+
+let mutex_st rt id ~ctx =
+  match find_object rt id with
+  | O_mutex m -> m
+  | _ -> invalid_arg ("Sct_core.Runtime: not a mutex: " ^ ctx)
+
+let cond_st rt id =
+  match find_object rt id with
+  | O_cond c -> c
+  | _ -> invalid_arg "Sct_core.Runtime: not a condition variable"
+
+let sem_st rt id =
+  match find_object rt id with
+  | O_sem s -> s
+  | _ -> invalid_arg "Sct_core.Runtime: not a semaphore"
+
+let barrier_st rt id =
+  match find_object rt id with
+  | O_barrier b -> b
+  | _ -> invalid_arg "Sct_core.Runtime: not a barrier"
+
+let rw_st rt id =
+  match find_object rt id with
+  | O_rw r -> r
+  | _ -> invalid_arg "Sct_core.Runtime: not a rwlock"
+
+(* Enabledness of a pending visible operation, per the object state it will
+   act on. Operations on destroyed mutexes stay enabled so that executing
+   them reports the lock error. A lock whose holder is the thread itself is
+   never enabled: self-deadlock, caught by the global deadlock check. *)
+let op_enabled rt op =
+  match op with
+  | Op.Lock m | Op.Reacquire m ->
+      let m = mutex_st rt m ~ctx:"lock" in
+      m.destroyed || m.holder = None
+  | Op.Join target -> thread_finished rt target
+  | Op.Sem_wait s -> (sem_st rt s).count > 0
+  | Op.Rd_lock l -> (rw_st rt l).writer = None
+  | Op.Wr_lock l ->
+      let r = rw_st rt l in
+      r.writer = None && r.readers = []
+  | Op.Spawn | Op.Try_lock _ | Op.Unlock _ | Op.Mutex_destroy _
+  | Op.Cond_wait _ | Op.Signal _ | Op.Broadcast _ | Op.Sem_post _
+  | Op.Barrier_wait _ | Op.Barrier_resume _ | Op.Rw_unlock _ | Op.Access _
+  | Op.Yield ->
+      true
+
+let thread_enabled rt th =
+  match th.status with
+  | Runnable p -> op_enabled rt (pending_of p)
+  | Blocked_cond _ | Blocked_barrier _ | Finished -> false
+
+let is_finished th = match th.status with Finished -> true | _ -> false
+
+let unfinished rt =
+  let acc = ref [] in
+  for i = rt.count - 1 downto 0 do
+    match rt.threads.(i) with
+    | Some th when not (is_finished th) -> acc := th :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+let handler rt tid : (unit, unit) Effect.Deep.handler =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> (thread rt tid).status <- Finished);
+    exnc =
+      (fun e ->
+        (thread rt tid).status <- Finished;
+        match e with
+        | Aborted -> ()
+        | Outcome.Bug_exn b -> set_bug rt ~by:tid b
+        | e ->
+            set_bug rt ~by:tid (Outcome.Uncaught_exn (Printexc.to_string e)));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Visible op ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if rt.teardown then discontinue k Aborted
+                else (thread rt tid).status <- Runnable (P_op (op, k)))
+        | Spawn_eff f ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if rt.teardown then discontinue k Aborted
+                else (thread rt tid).status <- Runnable (P_spawn (f, k)))
+        | _ -> None);
+  }
+
+(* Run or resume a fibre. Control returns here when the fibre suspends at
+   its next visible operation, finishes, or raises. *)
+let start_fibre rt tid f = Effect.Deep.match_with f () (handler rt tid)
+let continue_unit _rt _tid k = Effect.Deep.continue k ()
+let continue_tid _rt _tid k v = Effect.Deep.continue k v
+
+(* Create a thread and eagerly run its invisible prefix: a step is "a
+   visible operation followed by invisible operations" (paper §2), so a
+   fresh thread is parked just before its first visible operation (or may
+   finish outright without ever occupying a schedule step). *)
+let add_thread rt f =
+  let tid = rt.count in
+  if tid >= Array.length rt.threads then begin
+    let bigger = Array.make (2 * Array.length rt.threads) None in
+    Array.blit rt.threads 0 bigger 0 (Array.length rt.threads);
+    rt.threads <- bigger
+  end;
+  rt.threads.(tid) <- Some { tid; status = Finished };
+  rt.count <- tid + 1;
+  let caller = rt.running in
+  rt.running <- tid;
+  start_fibre rt tid f;
+  rt.running <- caller;
+  tid
+
+let wake_cond_waiter rt cid w mid =
+  let wth = thread rt w in
+  match wth.status with
+  | Blocked_cond { k; mutex } ->
+      assert (mutex = mid);
+      emit rt (Event.Acquire { tid = w; obj = cid });
+      wth.status <- Runnable (P_op (Op.Reacquire mid, k))
+  | _ -> invalid_arg "Sct_core.Runtime: condition waiter in wrong state"
+
+(* Execute the pending visible operation of thread [tid]; the caller
+   guarantees the operation is enabled. *)
+let execute rt th =
+  let tid = th.tid in
+  rt.running <- tid;
+  match th.status with
+  | Finished | Blocked_cond _ | Blocked_barrier _ ->
+      invalid_arg "Sct_core.Runtime: scheduled a non-runnable thread"
+  | Runnable pending -> (
+      (* The handler (or retc/exnc) will overwrite the status as soon as the
+         fibre suspends or terminates. *)
+      th.status <- Finished;
+      match pending with
+      | P_spawn (f, k) ->
+          let child = rt.count in
+          emit rt (Event.Fork { parent = tid; child });
+          let child' = add_thread rt f in
+          assert (child = child');
+          continue_tid rt tid k child
+      | P_op (op, k) -> (
+          match op with
+          | Op.Spawn -> invalid_arg "Sct_core.Runtime: impossible pending op"
+          | Op.Yield | Op.Access _ ->
+              (* Access semantics (the load/store itself and its race event)
+                 run in the fibre, immediately after resumption. *)
+              continue_unit rt tid k
+          | Op.Lock id ->
+              let m = mutex_st rt id ~ctx:"lock" in
+              if m.destroyed then (
+                set_bug rt ~by:tid (Outcome.Lock_error "lock of destroyed mutex");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                m.holder <- Some tid;
+                emit rt (Event.Acquire { tid; obj = id });
+                continue_unit rt tid k
+              end
+          | Op.Try_lock id ->
+              let m = mutex_st rt id ~ctx:"try_lock" in
+              if m.destroyed then (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "try_lock of destroyed mutex");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                if m.holder = None then begin
+                  m.holder <- Some tid;
+                  emit rt (Event.Acquire { tid; obj = id });
+                  rt.try_lock_result <- true
+                end
+                else rt.try_lock_result <- false;
+                continue_unit rt tid k
+              end
+          | Op.Unlock id ->
+              let m = mutex_st rt id ~ctx:"unlock" in
+              if m.destroyed then (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "unlock of destroyed mutex");
+                Effect.Deep.discontinue k Aborted)
+              else if m.holder <> Some tid then (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "unlock of mutex not held by the thread");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                m.holder <- None;
+                emit rt (Event.Release { tid; obj = id });
+                continue_unit rt tid k
+              end
+          | Op.Mutex_destroy id ->
+              let m = mutex_st rt id ~ctx:"destroy" in
+              if m.destroyed then (
+                set_bug rt ~by:tid (Outcome.Lock_error "double mutex destroy");
+                Effect.Deep.discontinue k Aborted)
+              else if m.holder <> None then (
+                set_bug rt ~by:tid (Outcome.Lock_error "destroy of locked mutex");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                m.destroyed <- true;
+                continue_unit rt tid k
+              end
+          | Op.Cond_wait (cid, mid) ->
+              let m = mutex_st rt mid ~ctx:"cond_wait" in
+              if m.holder <> Some tid then (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "cond_wait without holding the mutex");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                let c = cond_st rt cid in
+                m.holder <- None;
+                emit rt (Event.Release { tid; obj = mid });
+                c.waiters <- c.waiters @ [ (tid, mid) ];
+                th.status <- Blocked_cond { k; mutex = mid }
+              end
+          | Op.Reacquire id ->
+              let m = mutex_st rt id ~ctx:"reacquire" in
+              if m.destroyed then (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "wait wake-up on destroyed mutex");
+                Effect.Deep.discontinue k Aborted)
+              else begin
+                m.holder <- Some tid;
+                emit rt (Event.Acquire { tid; obj = id });
+                continue_unit rt tid k
+              end
+          | Op.Signal cid ->
+              let c = cond_st rt cid in
+              emit rt (Event.Release { tid; obj = cid });
+              (match c.waiters with
+              | [] -> ()
+              | (w, mid) :: rest ->
+                  c.waiters <- rest;
+                  wake_cond_waiter rt cid w mid);
+              continue_unit rt tid k
+          | Op.Broadcast cid ->
+              let c = cond_st rt cid in
+              emit rt (Event.Release { tid; obj = cid });
+              let ws = c.waiters in
+              c.waiters <- [];
+              List.iter (fun (w, mid) -> wake_cond_waiter rt cid w mid) ws;
+              continue_unit rt tid k
+          | Op.Sem_wait id ->
+              let s = sem_st rt id in
+              assert (s.count > 0);
+              s.count <- s.count - 1;
+              emit rt (Event.Acquire { tid; obj = id });
+              continue_unit rt tid k
+          | Op.Sem_post id ->
+              let s = sem_st rt id in
+              s.count <- s.count + 1;
+              emit rt (Event.Release { tid; obj = id });
+              continue_unit rt tid k
+          | Op.Barrier_wait id ->
+              let b = barrier_st rt id in
+              emit rt (Event.Release { tid; obj = id });
+              if List.length b.waiting + 1 < b.size then begin
+                b.waiting <- tid :: b.waiting;
+                th.status <- Blocked_barrier k
+              end
+              else begin
+                let woken = b.waiting in
+                b.waiting <- [];
+                List.iter
+                  (fun w ->
+                    let wth = thread rt w in
+                    match wth.status with
+                    | Blocked_barrier wk ->
+                        wth.status <- Runnable (P_op (Op.Barrier_resume id, wk))
+                    | _ ->
+                        invalid_arg
+                          "Sct_core.Runtime: barrier waiter in wrong state")
+                  woken;
+                emit rt (Event.Acquire { tid; obj = id });
+                continue_unit rt tid k
+              end
+          | Op.Barrier_resume id ->
+              emit rt (Event.Acquire { tid; obj = id });
+              continue_unit rt tid k
+          | Op.Rd_lock id ->
+              let r = rw_st rt id in
+              r.readers <- tid :: r.readers;
+              emit rt (Event.Acquire { tid; obj = id });
+              continue_unit rt tid k
+          | Op.Wr_lock id ->
+              let r = rw_st rt id in
+              r.writer <- Some tid;
+              emit rt (Event.Acquire { tid; obj = id });
+              continue_unit rt tid k
+          | Op.Rw_unlock id ->
+              let r = rw_st rt id in
+              if r.writer = Some tid then begin
+                r.writer <- None;
+                emit rt (Event.Release { tid; obj = id });
+                continue_unit rt tid k
+              end
+              else if List.exists (Tid.equal tid) r.readers then begin
+                r.readers <-
+                  List.filter (fun x -> not (Tid.equal tid x)) r.readers;
+                emit rt (Event.Release { tid; obj = id });
+                continue_unit rt tid k
+              end
+              else (
+                set_bug rt ~by:tid
+                  (Outcome.Lock_error "rwlock unlock without holding it");
+                Effect.Deep.discontinue k Aborted)
+          | Op.Join target ->
+              emit rt (Event.Joined { parent = tid; child = target });
+              continue_unit rt tid k))
+
+let teardown rt =
+  rt.teardown <- true;
+  for i = 0 to rt.count - 1 do
+    match rt.threads.(i) with
+    | None -> ()
+    | Some th -> (
+        let disc k =
+          try Effect.Deep.discontinue k Aborted
+          with Aborted | Outcome.Bug_exn _ -> ()
+        in
+        match th.status with
+        | Finished -> ()
+        | Runnable (P_op (_, k)) ->
+            th.status <- Finished;
+            disc k
+        | Runnable (P_spawn (_, k)) ->
+            th.status <- Finished;
+            (try Effect.Deep.discontinue k Aborted
+             with Aborted | Outcome.Bug_exn _ -> ())
+        | Blocked_cond { k; _ } ->
+            th.status <- Finished;
+            disc k
+        | Blocked_barrier k ->
+            th.status <- Finished;
+            disc k)
+  done
+
+let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
+    ?(record_decisions = true) ~scheduler program =
+  let rt =
+    {
+      threads = Array.make 8 None;
+      count = 0;
+      objects = Hashtbl.create 64;
+      next_obj = 0;
+      promote;
+      listener;
+      max_steps;
+      record_decisions;
+      schedule_rev = [];
+      decisions_rev = [];
+      steps = 0;
+      outcome = None;
+      last = None;
+      pc = 0;
+      dc = 0;
+      max_enabled = 0;
+      multi_points = 0;
+      running = Tid.main;
+      teardown = false;
+      try_lock_result = false;
+    }
+  in
+  let saved = !ambient_rt in
+  ambient_rt := Some rt;
+  let restore () = ambient_rt := saved in
+  let finish outcome =
+    teardown rt;
+    restore ();
+    {
+      r_outcome = outcome;
+      r_schedule = List.rev rt.schedule_rev;
+      r_decisions = List.rev rt.decisions_rev;
+      r_pc = rt.pc;
+      r_dc = rt.dc;
+      r_n_threads = rt.count;
+      r_max_enabled = rt.max_enabled;
+      r_multi_points = rt.multi_points;
+      r_steps = rt.steps;
+    }
+  in
+  try
+    ignore (add_thread rt program);
+    let rec loop () =
+      match rt.outcome with
+      | Some o -> o
+      | None -> (
+          match unfinished rt with
+          | [] -> Outcome.Ok
+          | stuck -> (
+              let enabled =
+                List.filter_map
+                  (fun th ->
+                    if thread_enabled rt th then Some th.tid else None)
+                  stuck
+              in
+              match enabled with
+              | [] ->
+                  Outcome.Bug
+                    {
+                      bug = Outcome.Deadlock (List.map (fun th -> th.tid) stuck);
+                      by = Tid.main;
+                    }
+              | enabled ->
+                  if rt.steps >= rt.max_steps then Outcome.Step_limit
+                  else begin
+                    let n_enabled = List.length enabled in
+                    if n_enabled > rt.max_enabled then
+                      rt.max_enabled <- n_enabled;
+                    if n_enabled > 1 then
+                      rt.multi_points <- rt.multi_points + 1;
+                    let ctx =
+                      {
+                        c_step = rt.steps;
+                        c_last = rt.last;
+                        c_enabled = enabled;
+                        c_n_threads = rt.count;
+                        c_rt = rt;
+                      }
+                    in
+                    let chosen = scheduler ctx in
+                    if not (List.exists (Tid.equal chosen) enabled) then
+                      invalid_arg
+                        "Sct_core.Runtime: scheduler chose a disabled thread";
+                    let th = thread rt chosen in
+                    let op =
+                      match th.status with
+                      | Runnable p -> pending_of p
+                      | _ -> assert false
+                    in
+                    if record_decisions then
+                      rt.decisions_rev <-
+                        {
+                          d_enabled = enabled;
+                          d_chosen = chosen;
+                          d_op = op;
+                          d_n_threads = rt.count;
+                        }
+                        :: rt.decisions_rev;
+                    rt.schedule_rev <- chosen :: rt.schedule_rev;
+                    rt.pc <-
+                      rt.pc + Preemption.delta ~last:rt.last ~enabled chosen;
+                    rt.dc <-
+                      rt.dc
+                      + Delay.delays ~n:rt.count ~last:rt.last ~enabled chosen;
+                    rt.last <- Some chosen;
+                    rt.steps <- rt.steps + 1;
+                    execute rt th;
+                    loop ()
+                  end))
+    in
+    let outcome = loop () in
+    finish outcome
+  with e ->
+    (* A scheduler or listener callback raised: tear down and re-raise. *)
+    teardown rt;
+    restore ();
+    raise e

@@ -1,0 +1,132 @@
+(** The deterministic, serialised execution engine.
+
+    This is the OCaml analogue of Maple's systematic mode (paper §3): the
+    program under test runs as a set of effect-handled fibres; every visible
+    operation suspends the executing fibre at a scheduling point, and a
+    user-supplied scheduler picks the next enabled thread. Execution is fully
+    serialised, so repeated execution of the same schedule always reaches the
+    same program state, provided the program's only nondeterminism is
+    scheduling (paper §2).
+
+    Programs are written against the {!Sct} DSL, which performs the effects
+    declared here; explorers drive {!exec} with different schedulers. *)
+
+(** {1 Object state} *)
+
+(** Internal state of a synchronisation object or shared location. Object
+    ids are assigned in creation order, so they are stable across executions
+    of a deterministic program. *)
+
+type mutex_state = { mutable holder : Tid.t option; mutable destroyed : bool }
+
+type cond_state = { mutable waiters : (Tid.t * int) list }
+(** Waiter thread paired with the mutex it must re-acquire. *)
+
+type sem_state = { mutable count : int }
+type barrier_state = { size : int; mutable waiting : Tid.t list }
+
+type rw_state = {
+  mutable readers : Tid.t list;
+  mutable writer : Tid.t option;
+}
+
+type obj =
+  | O_mutex of mutex_state
+  | O_cond of cond_state
+  | O_sem of sem_state
+  | O_barrier of barrier_state
+  | O_rw of rw_state
+  | O_location of { name : string }
+      (** a shared variable or array; state lives in typed client code *)
+
+type t
+(** A runtime instance: one per execution. *)
+
+(** {1 Effects performed by the DSL} *)
+
+type _ Effect.t +=
+  | Visible : Op.t -> unit Effect.t
+        (** suspend at a scheduling point just before the described visible
+            operation; resumption means the operation was executed (or, for
+            access operations, may now be executed by the thread itself) *)
+  | Spawn_eff : (unit -> unit) -> Tid.t Effect.t
+        (** suspend; on execution a new thread is created and its creation
+            order id is returned *)
+
+(** {1 Scheduling} *)
+
+type decision = {
+  d_enabled : Tid.t list;  (** enabled set, sorted by thread id *)
+  d_chosen : Tid.t;
+  d_op : Op.t;  (** the pending operation the chosen thread executed *)
+  d_n_threads : int;  (** threads created when the decision was taken *)
+}
+
+type ctx = {
+  c_step : int;  (** 0-based decision index *)
+  c_last : Tid.t option;  (** previously scheduled thread *)
+  c_enabled : Tid.t list;  (** sorted by thread id; never empty *)
+  c_n_threads : int;
+  c_rt : t;
+}
+
+type scheduler = ctx -> Tid.t
+(** Must return a member of [c_enabled]. *)
+
+type result = {
+  r_outcome : Outcome.t;
+  r_schedule : Schedule.t;
+  r_decisions : decision list;  (** in execution order *)
+  r_pc : int;  (** preemption count of the terminal schedule *)
+  r_dc : int;  (** delay count of the terminal schedule *)
+  r_n_threads : int;  (** total threads created *)
+  r_max_enabled : int;  (** max simultaneously enabled threads *)
+  r_multi_points : int;  (** #decisions where more than one thread enabled *)
+  r_steps : int;
+}
+
+val exec :
+  ?promote:(string -> bool) ->
+  ?listener:(Event.t -> unit) ->
+  ?max_steps:int ->
+  ?record_decisions:bool ->
+  scheduler:scheduler ->
+  (unit -> unit) ->
+  result
+(** [exec ~scheduler program] runs [program] as thread 0 to a terminal state:
+    all threads finished ([Ok]), no enabled thread remains ([Deadlock]), a
+    bug was raised, or [max_steps] (default [100_000]) visible steps were
+    executed ([Step_limit], the live-lock guard).
+
+    [promote] decides which shared-location names are treated as visible
+    operations (the outcome of the data-race-detection phase, paper §5);
+    default: none. [listener] receives every {!Event.t} (shared accesses —
+    visible or not — and synchronisation events). [record_decisions]
+    (default [true]) keeps the per-step decision trace in the result. *)
+
+(** {1 Introspection used by the DSL and by schedulers} *)
+
+val ambient : unit -> t
+(** The runtime of the execution in progress on this stack.
+    @raise Invalid_argument outside of {!exec}. *)
+
+val self : t -> Tid.t
+(** The currently executing thread. *)
+
+val new_object : t -> obj -> int
+val find_object : t -> int -> obj
+val promoted : t -> string -> bool
+val emit : t -> Event.t -> unit
+val pending_op : t -> Tid.t -> Op.t option
+(** The visible operation [tid] is suspended before, if it is runnable. *)
+
+val thread_finished : t -> Tid.t -> bool
+val n_threads : t -> int
+
+val try_lock_result : t -> bool
+(** Result of the most recently executed [Try_lock] operation; read by the
+    DSL immediately after resumption (execution is serialised, so this
+    cannot be clobbered in between). *)
+
+val bug : t -> Outcome.bug -> 'a
+(** Abort the current execution with a bug attributed to {!self}. Raises. *)

@@ -1,0 +1,18 @@
+type t = Tid.t list
+
+let empty = []
+let length = List.length
+let snoc a t = a @ [ t ]
+let last a = match List.rev a with [] -> None | t :: _ -> Some t
+let of_list l = l
+let to_list l = l
+let equal = List.equal Tid.equal
+
+let pp ppf a =
+  Format.fprintf ppf "@[<h>⟨%a⟩@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Tid.pp)
+    a
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,21 @@
+(** Schedules.
+
+    A schedule [α = ⟨α(1), …, α(n)⟩] is a list of thread identifiers; [α(i)]
+    is the thread executing step [i] (paper §2). *)
+
+type t = Tid.t list
+
+val empty : t
+val length : t -> int
+
+val snoc : t -> Tid.t -> t
+(** [snoc α t] is [α · t]. *)
+
+val last : t -> Tid.t option
+(** [last α] is [α(n)], or [None] for the empty schedule. *)
+
+val of_list : Tid.t list -> t
+val to_list : t -> Tid.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,222 @@
+let perform_visible op = Effect.perform (Runtime.Visible op)
+let rt () = Runtime.ambient ()
+let spawn f = Effect.perform (Runtime.Spawn_eff f)
+let join tid = perform_visible (Op.Join tid)
+let yield () = perform_visible Op.Yield
+let self () = Runtime.self (rt ())
+
+let check cond msg =
+  if not cond then raise (Outcome.Bug_exn (Outcome.Assertion_failure msg))
+
+let fail msg = raise (Outcome.Bug_exn (Outcome.Assertion_failure msg))
+let memory_error msg = raise (Outcome.Bug_exn (Outcome.Memory_error msg))
+
+module Mutex = struct
+  type t = { id : int }
+
+  let create () =
+    { id = Runtime.new_object (rt ()) (O_mutex { holder = None; destroyed = false }) }
+
+  let lock m = perform_visible (Op.Lock m.id)
+  let unlock m = perform_visible (Op.Unlock m.id)
+
+  let try_lock m =
+    perform_visible (Op.Try_lock m.id);
+    Runtime.try_lock_result (rt ())
+
+  let destroy m = perform_visible (Op.Mutex_destroy m.id)
+  let id m = m.id
+end
+
+module Cond = struct
+  type t = { id : int }
+
+  let create () = { id = Runtime.new_object (rt ()) (O_cond { waiters = [] }) }
+  let wait c m = perform_visible (Op.Cond_wait (c.id, Mutex.id m))
+  let signal c = perform_visible (Op.Signal c.id)
+  let broadcast c = perform_visible (Op.Broadcast c.id)
+  let id c = c.id
+end
+
+module Sem = struct
+  type t = { id : int }
+
+  let create count =
+    if count < 0 then invalid_arg "Sct.Sem.create: negative count";
+    { id = Runtime.new_object (rt ()) (O_sem { count }) }
+
+  let wait s = perform_visible (Op.Sem_wait s.id)
+  let post s = perform_visible (Op.Sem_post s.id)
+  let id s = s.id
+end
+
+module Barrier = struct
+  type t = { id : int }
+
+  let create size =
+    if size <= 0 then invalid_arg "Sct.Barrier.create: non-positive size";
+    { id = Runtime.new_object (rt ()) (O_barrier { size; waiting = [] }) }
+
+  let wait b = perform_visible (Op.Barrier_wait b.id)
+  let id b = b.id
+end
+
+module Rwlock = struct
+  type t = { id : int }
+
+  let create () =
+    { id = Runtime.new_object (rt ()) (O_rw { readers = []; writer = None }) }
+
+  let rd_lock l = perform_visible (Op.Rd_lock l.id)
+  let wr_lock l = perform_visible (Op.Wr_lock l.id)
+  let unlock l = perform_visible (Op.Rw_unlock l.id)
+  let id l = l.id
+end
+
+(* Shared locations register an [O_location] with the runtime so they get an
+   id in the single object-id namespace; their typed contents stay here.
+   Unnamed locations get a stable creation-order-derived name. *)
+module Var = struct
+  type 'a t = {
+    id : int;
+    name : string;
+    mutable v : 'a;
+    promoted : bool;
+  }
+
+  let make ?name v =
+    let r = rt () in
+    let id, name =
+      match name with
+      | Some n -> (Runtime.new_object r (O_location { name = n }), n)
+      | None ->
+          let id = Runtime.new_object r (O_location { name = "" }) in
+          (id, Printf.sprintf "loc%d" id)
+    in
+    { id; name; v; promoted = Runtime.promoted r name }
+
+  let access x kind =
+    if x.promoted then
+      perform_visible (Op.Access { id = x.id; name = x.name; kind });
+    let r = rt () in
+    Runtime.emit r
+      (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
+
+  let read x =
+    access x Op.Plain_read;
+    x.v
+
+  let write x v =
+    access x Op.Plain_write;
+    x.v <- v
+
+  let name x = x.name
+  let id x = x.id
+end
+
+module Atomic = struct
+  type 'a t = { id : int; name : string; mutable v : 'a }
+
+  let make ?name v =
+    let r = rt () in
+    let id, name =
+      match name with
+      | Some n -> (Runtime.new_object r (O_location { name = n }), n)
+      | None ->
+          let id = Runtime.new_object r (O_location { name = "" }) in
+          (id, Printf.sprintf "atomic%d" id)
+    in
+    { id; name; v }
+
+  (* Every atomic op is a visible operation and a full synchronisation
+     (acquire + release) on the location, so the race detector orders all
+     atomic accesses to the same location. *)
+  let sync x opname =
+    perform_visible (Op.Access { id = x.id; name = x.name; kind = Op.Atomic_op opname });
+    let r = rt () in
+    let tid = Runtime.self r in
+    Runtime.emit r
+      (Event.Access { tid; id = x.id; name = x.name; kind = Op.Atomic_op opname });
+    Runtime.emit r (Event.Acquire { tid; obj = x.id });
+    Runtime.emit r (Event.Release { tid; obj = x.id })
+
+  let load x =
+    sync x "load";
+    x.v
+
+  let store x v =
+    sync x "store";
+    x.v <- v
+
+  let exchange x v =
+    sync x "xchg";
+    let old = x.v in
+    x.v <- v;
+    old
+
+  let compare_and_set x expected desired =
+    sync x "cas";
+    if x.v = expected then begin
+      x.v <- desired;
+      true
+    end
+    else false
+
+  let fetch_and_add x d =
+    sync x "faa";
+    let old = x.v in
+    x.v <- old + d;
+    old
+
+  let incr x = ignore (fetch_and_add x 1)
+  let decr x = ignore (fetch_and_add x (-1))
+  let name x = x.name
+  let id x = x.id
+end
+
+module Arr = struct
+  type 'a t = {
+    id : int;
+    name : string;
+    data : 'a array;
+    promoted : bool;
+  }
+
+  let make ?name n v =
+    let r = rt () in
+    let id, name =
+      match name with
+      | Some nm -> (Runtime.new_object r (O_location { name = nm }), nm)
+      | None ->
+          let id = Runtime.new_object r (O_location { name = "" }) in
+          (id, Printf.sprintf "arr%d" id)
+    in
+    if n < 0 then memory_error (Printf.sprintf "%s: negative length %d" name n);
+    { id; name; data = Array.make n v; promoted = Runtime.promoted r name }
+
+  let access x kind =
+    if x.promoted then
+      perform_visible (Op.Access { id = x.id; name = x.name; kind });
+    let r = rt () in
+    Runtime.emit r
+      (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
+
+  let bounds_check x i =
+    if i < 0 || i >= Array.length x.data then
+      memory_error
+        (Printf.sprintf "%s: index %d out of bounds [0,%d)" x.name i
+           (Array.length x.data))
+
+  let get x i =
+    access x Op.Plain_read;
+    bounds_check x i;
+    x.data.(i)
+
+  let set x i v =
+    access x Op.Plain_write;
+    bounds_check x i;
+    x.data.(i) <- v
+
+  let length x = Array.length x.data
+  let name x = x.name
+end

@@ -1,0 +1,146 @@
+(** The programming interface for programs under test.
+
+    Programs written against this module are pthread-style multi-threaded
+    test cases: a main function that spawns threads, shares {!Var}s, model
+    arrays ({!Arr}) and synchronisation objects with them, and asserts
+    correctness conditions with {!check}. Such a program is the unit the
+    explorers in [Sct_explore] repeatedly execute under different schedules.
+
+    Every function here must be called from inside an execution driven by
+    {!Runtime.exec} (the explorers take care of that). Plain {!Var} and
+    {!Arr} accesses are invisible to the scheduler unless their location name
+    was promoted by the data-race-detection phase; {!Atomic} operations and
+    all synchronisation operations are always visible. *)
+
+val spawn : (unit -> unit) -> Tid.t
+(** Create a thread running the given body. Thread ids are assigned in
+    creation order (the delay-bounding round-robin order). *)
+
+val join : Tid.t -> unit
+(** Block until the target thread has finished. *)
+
+val yield : unit -> unit
+(** A no-op visible operation: a pure scheduling point, used to model
+    bounded busy-waiting. *)
+
+val self : unit -> Tid.t
+
+val check : bool -> string -> unit
+(** [check cond msg] aborts the execution with
+    [Assertion_failure msg] when [cond] is false. *)
+
+val fail : string -> 'a
+(** Unconditional assertion failure. *)
+
+val memory_error : string -> 'a
+(** Abort with a {!Outcome.Memory_error} (models an out-of-bounds crash). *)
+
+(** POSIX-style (non-recursive) mutexes. Self-relock deadlocks; unlock by a
+    non-owner, and any use after {!Mutex.destroy}, are lock-error bugs —
+    this mirrors the checks that exposed the [pbzip2] bug (paper §4.2). *)
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+
+  val try_lock : t -> bool
+  (** [true] iff the lock was acquired. *)
+
+  val destroy : t -> unit
+  val id : t -> int
+end
+
+(** Condition variables. Waking order is FIFO (deterministic, as required
+    for systematic testing). Signals with no waiter are lost, enabling the
+    classic lost-wake-up bugs. *)
+module Cond : sig
+  type t
+
+  val create : unit -> t
+  val wait : t -> Mutex.t -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+  val id : t -> int
+end
+
+(** Counting semaphores. *)
+module Sem : sig
+  type t
+
+  val create : int -> t
+  val wait : t -> unit
+  val post : t -> unit
+  val id : t -> int
+end
+
+(** Cyclic barriers for a fixed party count. *)
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  val wait : t -> unit
+  val id : t -> int
+end
+
+(** Writer-preference-free reader/writer locks. *)
+module Rwlock : sig
+  type t
+
+  val create : unit -> t
+  val rd_lock : t -> unit
+  val wr_lock : t -> unit
+  val unlock : t -> unit
+  val id : t -> int
+end
+
+(** Plain shared variables. Reads and writes are invisible operations unless
+    the variable's name is promoted; they always report {!Event.t} access
+    events to the race detector. *)
+module Var : sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+  (** Unnamed variables get a stable name derived from their creation
+      order. *)
+
+  val read : 'a t -> 'a
+  val write : 'a t -> 'a -> unit
+  val name : 'a t -> string
+  val id : 'a t -> int
+end
+
+(** Sequentially consistent atomic variables (the C++11 atomics of the
+    CHESS and safestack benchmarks). Always visible; never racy. *)
+module Atomic : sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+  val load : 'a t -> 'a
+  val store : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Structural equality on the expected value. *)
+
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+  val name : 'a t -> string
+  val id : 'a t -> int
+end
+
+(** Bounds-checked shared arrays: the model analogue of the out-of-bounds
+    detector of §4.2 — an access outside [0, length) aborts the execution
+    with a {!Outcome.Memory_error} bug. Element accesses are reported (and
+    promotable) under the array's single location name. *)
+module Arr : sig
+  type 'a t
+
+  val make : ?name:string -> int -> 'a -> 'a t
+  val get : 'a t -> int -> 'a
+  val set : 'a t -> int -> 'a -> unit
+  val length : 'a t -> int
+  val name : 'a t -> string
+end

@@ -1,0 +1,13 @@
+type t = int
+
+let main = 0
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let pp ppf t = Format.fprintf ppf "T%d" t
+let to_string t = "T" ^ string_of_int t
+
+let distance ~n x y =
+  assert (n > 0);
+  assert (0 <= x && x < n);
+  assert (0 <= y && y < n);
+  ((y - x) mod n + n) mod n

@@ -1,0 +1,20 @@
+(** Thread identifiers.
+
+    Threads are numbered in order of creation, exactly as assumed by the
+    delay-bounding definition in the paper (§2): the initial thread has id
+    [0], and the [n]-th created thread has id [n]. *)
+
+type t = int
+
+val main : t
+(** The initial thread. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val distance : n:int -> t -> t -> int
+(** [distance ~n x y] is the round-robin distance from [x] to [y] among [n]
+    threads: the unique [d] in [0, n-1] such that [(x + d) mod n = y]
+    (paper §2). Requires [0 <= x < n] and [0 <= y < n]. *)

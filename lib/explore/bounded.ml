@@ -1,0 +1,70 @@
+type kind = Preemption_bounding | Delay_bounding
+
+let technique_name = function
+  | Preemption_bounding -> "IPB"
+  | Delay_bounding -> "IDB"
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(max_levels = 64) ~kind ~limit program =
+  let wrap c =
+    match kind with
+    | Preemption_bounding -> Dfs.Preemption c
+    | Delay_bounding -> Dfs.Delay c
+  in
+  let rec level c (acc : Stats.t) =
+    if acc.Stats.total >= limit then
+      { acc with Stats.bound = Some c; hit_limit = true }
+    else if c > max_levels then { acc with Stats.bound = Some c }
+    else begin
+      let r =
+        Dfs.explore ~promote ~max_steps ~count_exact:c ~bound:(wrap c)
+          ~limit:(limit - acc.Stats.total) program
+      in
+      let acc =
+        {
+          acc with
+          Stats.total = acc.Stats.total + r.Dfs.counted;
+          buggy = acc.Stats.buggy + r.Dfs.buggy;
+          executions = acc.Stats.executions + r.Dfs.executions;
+          n_threads = max acc.Stats.n_threads r.Dfs.n_threads;
+          max_enabled = max acc.Stats.max_enabled r.Dfs.max_enabled;
+          max_sched_points =
+            max acc.Stats.max_sched_points r.Dfs.max_sched_points;
+        }
+      in
+      match r.Dfs.to_first_bug with
+      | Some i ->
+          (* Bug found at this level; the level has been fully explored
+             (unless the limit intervened), per the paper's method. *)
+          {
+            acc with
+            Stats.bound = Some c;
+            bound_complete = r.Dfs.complete;
+            to_first_bug = Some (acc.Stats.total - r.Dfs.counted + i);
+            new_at_bound = r.Dfs.counted;
+            first_bug = r.Dfs.first_bug;
+            hit_limit = r.Dfs.hit_limit;
+          }
+      | None ->
+          if r.Dfs.hit_limit then
+            {
+              acc with
+              Stats.bound = Some c;
+              bound_complete = false;
+              new_at_bound = r.Dfs.counted;
+              hit_limit = true;
+            }
+          else if not r.Dfs.pruned then
+            (* Nothing was cut off by the bound: the whole schedule space
+               has been explored; no bug exists for this benchmark model. *)
+            {
+              acc with
+              Stats.bound = Some c;
+              bound_complete = true;
+              new_at_bound = r.Dfs.counted;
+              complete = true;
+            }
+          else level (c + 1) acc
+    end
+  in
+  level 0 (Stats.base ~technique:(technique_name kind))

@@ -1,0 +1,24 @@
+(** Iterative schedule bounding (paper §2, §5).
+
+    All terminal schedules with zero preemptions (resp. delays) are explored
+    first, then those with one, etc., until a bug is found (the level is
+    still completed), the schedule limit is reached, or the whole space has
+    been explored. Each distinct terminal schedule is counted exactly once,
+    at the level equal to its exact preemption/delay count. *)
+
+type kind = Preemption_bounding | Delay_bounding
+
+val technique_name : kind -> string
+(** ["IPB"] or ["IDB"]. *)
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?max_levels:int ->
+  kind:kind ->
+  limit:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore ~kind ~limit program] performs the full iterative search with a
+    total budget of [limit] counted terminal schedules. [max_levels]
+    (default 64) caps the number of bound levels as a safety net. *)

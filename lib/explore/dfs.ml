@@ -1,0 +1,180 @@
+open Sct_core
+
+type bound = Unbounded | Preemption of int | Delay of int
+
+type level_result = {
+  counted : int;
+  buggy : int;
+  to_first_bug : int option;
+  first_bug : Stats.bug_witness option;
+  pruned : bool;
+  hit_limit : bool;
+  complete : bool;
+  executions : int;
+  n_threads : int;
+  max_enabled : int;
+  max_sched_points : int;
+}
+
+type frame = {
+  mutable chosen : Tid.t;
+  mutable rest : Tid.t list;
+  f_enabled : Tid.t list;
+}
+
+let dummy_frame = { chosen = 0; rest = []; f_enabled = [] }
+
+(* Growable stack of decision frames. *)
+type stack = { mutable frames : frame array; mutable len : int }
+
+let push st fr =
+  if st.len = Array.length st.frames then begin
+    let bigger = Array.make (2 * st.len) dummy_frame in
+    Array.blit st.frames 0 bigger 0 st.len;
+    st.frames <- bigger
+  end;
+  st.frames.(st.len) <- fr;
+  st.len <- st.len + 1
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
+    ?(on_schedule = fun _ -> ()) ?(record_decisions = false) ~bound ~limit
+    program =
+  let bound_c =
+    match bound with Unbounded -> max_int | Preemption c | Delay c -> c
+  in
+  let delta (ctx : Runtime.ctx) t =
+    match bound with
+    | Unbounded -> 0
+    | Preemption _ -> Preemption.delta ~last:ctx.c_last ~enabled:ctx.c_enabled t
+    | Delay _ ->
+        Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled t
+  in
+  let st = { frames = Array.make 1024 dummy_frame; len = 0 } in
+  let replay_len = ref 0 in
+  let depth = ref 0 in
+  let cur_count = ref 0 in
+  let pruned = ref false in
+  let scheduler (ctx : Runtime.ctx) =
+    let i = !depth in
+    depth := i + 1;
+    if i < !replay_len then begin
+      let fr = st.frames.(i) in
+      if not (List.equal Tid.equal fr.f_enabled ctx.c_enabled) then
+        failwith
+          (Printf.sprintf
+             "Sct_explore.Dfs: nondeterministic program: enabled set \
+              mismatch at decision %d (is the program's state created \
+              inside its closure?)"
+             i);
+      cur_count := !cur_count + delta ctx fr.chosen;
+      fr.chosen
+    end
+    else begin
+      let order =
+        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+          ~enabled:ctx.c_enabled
+      in
+      let allowed =
+        List.filter (fun t -> !cur_count + delta ctx t <= bound_c) order
+      in
+      if List.compare_lengths allowed order < 0 then pruned := true;
+      match allowed with
+      | [] ->
+          (* A zero-cost child always exists within any bound (see DESIGN),
+             so the filtered list cannot be empty. *)
+          assert false
+      | t :: rest ->
+          push st { chosen = t; rest; f_enabled = ctx.c_enabled };
+          cur_count := !cur_count + delta ctx t;
+          t
+    end
+  in
+  (* Drop exhausted frames; advance the deepest frame with an untried
+     alternative. Returns false when the tree is exhausted. *)
+  let backtrack () =
+    let rec drop () =
+      if st.len = 0 then false
+      else
+        let top = st.frames.(st.len - 1) in
+        match top.rest with
+        | [] ->
+            st.len <- st.len - 1;
+            drop ()
+        | t :: rest ->
+            top.chosen <- t;
+            top.rest <- rest;
+            true
+    in
+    let more = drop () in
+    replay_len := st.len;
+    more
+  in
+  let counted = ref 0 in
+  let buggy = ref 0 in
+  let to_first_bug = ref None in
+  let first_bug = ref None in
+  let executions = ref 0 in
+  let n_threads = ref 0 in
+  let max_enabled = ref 0 in
+  let max_points = ref 0 in
+  let hit_limit = ref false in
+  let complete = ref false in
+  let continue_ = ref (limit > 0) in
+  while !continue_ do
+    depth := 0;
+    cur_count := 0;
+    let res =
+      Runtime.exec ~promote ~max_steps ~record_decisions ~scheduler program
+    in
+    incr executions;
+    n_threads := max !n_threads res.r_n_threads;
+    max_enabled := max !max_enabled res.r_max_enabled;
+    max_points := max !max_points res.r_multi_points;
+    let exact =
+      match bound with
+      | Unbounded | Preemption _ -> res.r_pc
+      | Delay _ -> res.r_dc
+    in
+    let counts = match count_exact with None -> true | Some c -> exact = c in
+    if counts then begin
+      incr counted;
+      on_schedule res;
+      match res.r_outcome with
+      | Outcome.Bug { bug; by } ->
+          incr buggy;
+          if !to_first_bug = None then begin
+            to_first_bug := Some !counted;
+            first_bug :=
+              Some
+                {
+                  Stats.w_bug = bug;
+                  w_by = by;
+                  w_schedule = res.r_schedule;
+                  w_pc = res.r_pc;
+                  w_dc = res.r_dc;
+                }
+          end
+      | Outcome.Ok | Outcome.Step_limit -> ()
+    end;
+    if !counted >= limit then begin
+      hit_limit := true;
+      continue_ := false
+    end
+    else if not (backtrack ()) then begin
+      complete := true;
+      continue_ := false
+    end
+  done;
+  {
+    counted = !counted;
+    buggy = !buggy;
+    to_first_bug = !to_first_bug;
+    first_bug = !first_bug;
+    pruned = !pruned;
+    hit_limit = !hit_limit;
+    complete = !complete;
+    executions = !executions;
+    n_threads = !n_threads;
+    max_enabled = !max_enabled;
+    max_sched_points = !max_points;
+  }

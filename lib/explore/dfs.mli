@@ -1,0 +1,52 @@
+(** Stateless depth-first exploration of the schedule space, with optional
+    schedule bounding (paper §3, "Maple's systematic mode").
+
+    The explorer maintains an explicit stack of scheduling decisions; every
+    terminal schedule costs one full re-execution of the program from its
+    initial state (stateless model checking). Children at a scheduling point
+    are ordered by round-robin distance from the previously scheduled thread,
+    so the first terminal schedule explored is the non-preemptive round-robin
+    schedule — identical for IPB, IDB and DFS, as in the paper. *)
+
+type bound =
+  | Unbounded
+  | Preemption of int  (** prune schedules with [PC > c] *)
+  | Delay of int  (** prune schedules with [DC > c] *)
+
+type level_result = {
+  counted : int;  (** terminal schedules counted by this call *)
+  buggy : int;
+  to_first_bug : int option;  (** 1-based index among counted schedules *)
+  first_bug : Stats.bug_witness option;
+  pruned : bool;  (** at least one child was cut off by the bound *)
+  hit_limit : bool;  (** stopped because [limit] schedules were counted *)
+  complete : bool;  (** the (bounded) tree was exhausted *)
+  executions : int;
+  n_threads : int;
+  max_enabled : int;
+  max_sched_points : int;
+}
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?count_exact:int ->
+  ?on_schedule:(Sct_core.Runtime.result -> unit) ->
+  ?record_decisions:bool ->
+  bound:bound ->
+  limit:int ->
+  (unit -> unit) ->
+  level_result
+(** [explore ~bound ~limit program] walks the schedule tree within [bound].
+    With [count_exact = Some c], only terminal schedules whose exact
+    preemption (resp. delay) count equals [c] are counted — this is how
+    iterative bounding counts each distinct schedule exactly once across
+    levels (see DESIGN.md). Exploration never stops early on a bug: the
+    paper completes the current bound level to enable worst-case analysis.
+
+    [on_schedule] is called on every counted terminal schedule's execution
+    result; pass [record_decisions:true] if the callback needs the decision
+    trace (off by default for speed).
+
+    @raise Failure if the program is nondeterministic (the enabled set at a
+    replayed decision differs from the recorded one). *)

@@ -1,0 +1,54 @@
+open Sct_core
+
+(* Per-object access sequences plus per-thread step counts. Objects are
+   identified by footprint ids; operations whose effect is global (spawn,
+   join) are folded into a pseudo-object so reorderings around them are
+   never conflated. *)
+type t = {
+  per_object : (int * (Tid.t * string) list) list;  (** sorted by object *)
+  per_thread : (Tid.t * int) list;  (** sorted by thread *)
+}
+
+let equal a b = a = b
+let hash = Hashtbl.hash
+let global_object = -1
+
+let op_tag (op : Op.t) =
+  (* constructor-level tag: enough to distinguish conflicting effects *)
+  Op.to_string op
+
+let of_decisions decisions =
+  let objects : (int, (Tid.t * string) list) Hashtbl.t = Hashtbl.create 32 in
+  let threads : (Tid.t, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Runtime.decision) ->
+      let t = d.Runtime.d_chosen in
+      Hashtbl.replace threads t
+        (1 + Option.value ~default:0 (Hashtbl.find_opt threads t));
+      let touch x =
+        let prev = Option.value ~default:[] (Hashtbl.find_opt objects x) in
+        Hashtbl.replace objects x ((t, op_tag d.Runtime.d_op) :: prev)
+      in
+      if Op_depend.global d.Runtime.d_op then touch global_object
+      else
+        List.iter (fun (x, _) -> touch x) (Op_depend.footprint d.Runtime.d_op))
+    decisions;
+  {
+    per_object =
+      Hashtbl.fold (fun x seq acc -> (x, List.rev seq) :: acc) objects []
+      |> List.sort compare;
+    per_thread =
+      Hashtbl.fold (fun t n acc -> (t, n) :: acc) threads []
+      |> List.sort compare;
+  }
+
+let distinct_under_dfs ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ~limit program =
+  let seen : (t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let r =
+    Dfs.explore ~promote ~max_steps ~record_decisions:true
+      ~on_schedule:(fun res ->
+        Hashtbl.replace seen (of_decisions res.Runtime.r_decisions) ())
+      ~bound:Dfs.Unbounded ~limit program
+  in
+  (r.Dfs.counted, Hashtbl.length seen)

@@ -1,0 +1,32 @@
+(** Happens-before signatures of executions.
+
+    The paper's related work (§7) describes happens-before graph caching
+    [24, 26]: using the partial order of synchronisation operations as an
+    approximation of the state, so that schedules inducing the same partial
+    order are explored only once (an effect similar to sleep sets).
+
+    A signature is a canonical encoding of an execution's happens-before
+    graph: for every object, the sequence of (thread, operation-kind)
+    touching it, plus each thread's operation count. Two executions with
+    equal signatures are permutations of each other that commute only
+    independent operations — they reach the same final state and exhibit
+    the same bugs. *)
+
+type t
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_decisions : Sct_core.Runtime.decision list -> t
+(** Build the signature from a run's recorded decisions (requires
+    [record_decisions:true] in {!Sct_core.Runtime.exec}). *)
+
+val distinct_under_dfs :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  limit:int ->
+  (unit -> unit) ->
+  int * int
+(** [(schedules, distinct_hb)] — explore with plain unbounded DFS and count
+    how many of the terminal schedules are distinct up to happens-before
+    equivalence: the redundancy that HB caching (or POR) would remove. *)

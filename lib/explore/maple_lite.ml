@@ -1,0 +1,206 @@
+open Sct_core
+
+type akind = R | W | A
+
+let akind_of = function
+  | Op.Plain_read -> R
+  | Op.Plain_write -> W
+  | Op.Atomic_op _ -> A
+
+let is_write = function W | A -> true | R -> false
+
+(* An idiom-1 iRoot: on [loc], an access of kind [first] is immediately
+   followed (in the location's access history) by an access of kind [second]
+   from a different thread. *)
+type iroot = { loc : string; first : akind; second : akind }
+
+module Iroot_set = Set.Make (struct
+  type t = iroot
+
+  let compare = compare
+end)
+
+(* Profiling state: the observed iRoots, the latest access kind per
+   (location, thread), and the lockset context of each (location, kind) —
+   the synchronisation objects held when such an access was performed.
+   Maple forces iRoots at the instruction level, where a thread can be held
+   just before the lock acquisition guarding the access; the lockset lets
+   the active phase do the same. *)
+type profile = {
+  mutable observed : Iroot_set.t;
+      (** pairs built from every kind each peer thread has used: the
+          candidate-generating set *)
+  mutable adjacent : Iroot_set.t;
+      (** pairs built from each peer's latest access only: the (stricter)
+          already-seen set used to filter candidates *)
+  last_access :
+    (string, (Sct_core.Tid.t, akind * akind list) Hashtbl.t) Hashtbl.t;
+      (** per location: each thread's latest access kind and kind set *)
+}
+
+let new_profile () =
+  {
+    observed = Iroot_set.empty;
+    adjacent = Iroot_set.empty;
+    last_access = Hashtbl.create 64;
+  }
+
+(* Record, for every access, iRoot pairs with other threads' previous
+   accesses to the same location (Maple's idiom-1 inter-thread
+   dependencies), provided at least one side is a write: against each
+   peer's latest kind for the already-seen set, and against each peer's
+   whole kind set for the candidate-generating set. *)
+let observe_run_pairs p (ev : Event.t) =
+  match ev with
+  | Event.Access { tid; name; kind; _ } ->
+      let k = akind_of kind in
+      let per_thread =
+        match Hashtbl.find_opt p.last_access name with
+        | Some m -> m
+        | None ->
+            let m = Hashtbl.create 4 in
+            Hashtbl.replace p.last_access name m;
+            m
+      in
+      Hashtbl.iter
+        (fun prev_tid (latest, prev_ks) ->
+          if prev_tid <> tid then begin
+            if is_write latest || is_write k then
+              p.adjacent <-
+                Iroot_set.add { loc = name; first = latest; second = k }
+                  p.adjacent;
+            List.iter
+              (fun prev_k ->
+                if is_write prev_k || is_write k then
+                  p.observed <-
+                    Iroot_set.add
+                      { loc = name; first = prev_k; second = k }
+                      p.observed)
+              prev_ks
+          end)
+        per_thread;
+      let ks =
+        match Hashtbl.find_opt per_thread tid with
+        | Some (_, ks) -> if List.mem k ks then ks else k :: ks
+        | None -> [ k ]
+      in
+      Hashtbl.replace per_thread tid (k, ks)
+  | Event.Acquire _ | Event.Release _ | Event.Fork _ | Event.Joined _ -> ()
+
+let bug_stats s (res : Runtime.result) =
+  match res.Runtime.r_outcome with
+  | Outcome.Bug { bug; by } ->
+      let s = { s with Stats.buggy = s.Stats.buggy + 1 } in
+      if s.Stats.to_first_bug = None then
+        {
+          s with
+          Stats.to_first_bug = Some s.Stats.total;
+          first_bug =
+            Some
+              {
+                Stats.w_bug = bug;
+                w_by = by;
+                w_schedule = res.Runtime.r_schedule;
+                w_pc = res.Runtime.r_pc;
+                w_dc = res.Runtime.r_dc;
+              };
+        }
+      else s
+  | Outcome.Ok | Outcome.Step_limit -> s
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(profile_runs = 10) ~seed program =
+  let stats = ref (Stats.base ~technique:"MapleAlg") in
+  let count res =
+    let s = Stats.observe_run !stats res in
+    let s =
+      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
+    in
+    stats := bug_stats s res
+  in
+  (* Phase 1: profiling — Maple profiles under native, uncontrolled
+     execution, which is mostly run-to-block scheduling with occasional OS
+     preemptions; we model that as round-robin with sparse random
+     deviations. *)
+  let profile = new_profile () in
+  let i = ref 0 in
+  while !i < profile_runs && not (Stats.found !stats) do
+    Hashtbl.reset profile.last_access;
+    let rng = Random.State.make [| seed; !i; 0x3aF |] in
+    let scheduler (ctx : Runtime.ctx) =
+      if Random.State.int rng 16 = 0 then
+        List.nth ctx.c_enabled
+          (Random.State.int rng (List.length ctx.c_enabled))
+      else
+        match
+          Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads
+            ~last:ctx.c_last ~enabled:ctx.c_enabled
+        with
+        | Some t -> t
+        | None -> assert false
+    in
+    let res =
+      Runtime.exec ~promote ~max_steps ~record_decisions:false
+        ~listener:(observe_run_pairs profile) ~scheduler program
+    in
+    count res;
+    incr i
+  done;
+  (* Phase 2: candidates = unobserved reversals on promoted locations. *)
+  let candidates =
+    Iroot_set.fold
+      (fun r acc ->
+        let rev = { r with first = r.second; second = r.first } in
+        if promote r.loc && not (Iroot_set.mem rev profile.adjacent) then
+          Iroot_set.add rev acc
+        else acc)
+      profile.observed Iroot_set.empty
+  in
+  let kind_matches k op_kind = akind_of op_kind = k in
+  let active_run target =
+    (* Round-robin, but a thread about to perform the [second] access of the
+       target is withheld until some other thread performs the [first]
+       access — then scheduling returns to plain round-robin. Maple's own
+       forcing gives up after a bounded wait (its "timeout" heuristics); we
+       model that with a withholding budget. *)
+    let forced = ref false in
+    let patience = ref 400 in
+    let scheduler (ctx : Runtime.ctx) =
+      let rt = ctx.c_rt in
+      let pending_matches t k =
+        match Runtime.pending_op rt t with
+        | Some (Op.Access { name; kind; _ }) ->
+            name = target.loc && kind_matches k kind
+        | _ -> false
+      in
+      let pending_second t = pending_matches t target.second in
+      let order =
+        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+          ~enabled:ctx.c_enabled
+      in
+      let choice =
+        if !forced || !patience = 0 then List.hd order
+        else begin
+          let withheld, rest = List.partition pending_second order in
+          match rest with
+          | [] ->
+              (* every enabled thread is withheld: release the most recently
+                 created one, keeping earlier ones (usually the forced
+                 party) parked *)
+              List.fold_left max (List.hd withheld) withheld
+          | t :: _ ->
+              if withheld <> [] then decr patience;
+              if withheld <> [] && pending_matches t target.first then
+                forced := true;
+              t
+        end
+      in
+      choice
+    in
+    Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
+      program
+  in
+  Iroot_set.iter
+    (fun c -> if not (Stats.found !stats) then count (active_run c))
+    candidates;
+  { !stats with Stats.complete = true }

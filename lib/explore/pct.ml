@@ -1,0 +1,88 @@
+open Sct_core
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(change_points = 2) ~seed ~runs program =
+  (* Estimate the execution length with one deterministic round-robin run
+     (the same initial schedule the systematic techniques start from). *)
+  let rr (ctx : Runtime.ctx) =
+    match
+      Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+  in
+  let probe =
+    Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler:rr
+      program
+  in
+  let k_est = ref (max 1 probe.Runtime.r_steps) in
+  let stats = ref (Stats.base ~technique:"PCT") in
+  for i = 0 to runs - 1 do
+    let rng = Random.State.make [| seed; i; 0x9c7 |] in
+    (* Distinct-with-high-probability initial priorities above the change
+       values; change value j is j itself (all below initial priorities). *)
+    let priorities : (Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
+    let priority t =
+      match Hashtbl.find_opt priorities t with
+      | Some p -> p
+      | None ->
+          let p = change_points + 1 + Random.State.int rng 1_000_000 in
+          Hashtbl.replace priorities t p;
+          p
+    in
+    let depths =
+      List.init change_points (fun j ->
+          (1 + Random.State.int rng !k_est, j))
+    in
+    let scheduler (ctx : Runtime.ctx) =
+      let best () =
+        List.fold_left
+          (fun acc t ->
+            match acc with
+            | None -> Some t
+            | Some u -> if priority t > priority u then Some t else acc)
+          None ctx.c_enabled
+      in
+      (match best () with
+      | Some t ->
+          List.iter
+            (fun (d, j) ->
+              if d = ctx.c_step + 1 then Hashtbl.replace priorities t j)
+            depths
+      | None -> ());
+      match best () with Some t -> t | None -> assert false
+    in
+    let res =
+      Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
+        program
+    in
+    k_est := max !k_est res.Runtime.r_steps;
+    let s = Stats.observe_run !stats res in
+    let s =
+      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
+    in
+    let s =
+      match res.Runtime.r_outcome with
+      | Outcome.Bug { bug; by } ->
+          let s = { s with Stats.buggy = s.Stats.buggy + 1 } in
+          if s.Stats.to_first_bug = None then
+            {
+              s with
+              Stats.to_first_bug = Some s.Stats.total;
+              first_bug =
+                Some
+                  {
+                    Stats.w_bug = bug;
+                    w_by = by;
+                    w_schedule = res.Runtime.r_schedule;
+                    w_pc = res.Runtime.r_pc;
+                    w_dc = res.Runtime.r_dc;
+                  };
+            }
+          else s
+      | Outcome.Ok | Outcome.Step_limit -> s
+    in
+    stats := s
+  done;
+  { !stats with Stats.hit_limit = true }

@@ -1,0 +1,26 @@
+(** The PCT randomised priority scheduler (Burckhardt et al., ASPLOS 2010;
+    paper §7 related work).
+
+    Each thread receives a distinct random priority above [change_points];
+    the scheduler always runs the highest-priority enabled thread. At
+    [change_points] randomly chosen step depths, the priority of the thread
+    about to be scheduled is lowered to a unique value below all initial
+    priorities, forcing an interleaving change. With bug depth [d], PCT
+    detects the bug with probability at least [1/(n·k^(d-1))].
+
+    Not part of the paper's Table 3 — implemented as the study extension the
+    paper's related-work section points at, and benchmarked in the ablation
+    benches. *)
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?change_points:int ->
+  seed:int ->
+  runs:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore ~seed ~runs program] performs [runs] PCT executions
+    ([change_points] defaults to 2). The execution-length estimate [k] is
+    taken from the longest execution observed so far (initialised by one
+    uncounted round-robin run). *)

@@ -1,0 +1,300 @@
+open Sct_core
+
+type mode = Sleep | Dpor | Dpor_sleep
+
+type result = {
+  counted : int;
+  pruned_sleep : int;
+  buggy : int;
+  to_first_bug : int option;
+  first_bug : Stats.bug_witness option;
+  complete : bool;
+  hit_limit : bool;
+  executions : int;
+}
+
+(* Raised by the scheduler when every enabled thread is asleep: the branch
+   only contains interleavings equivalent to already-explored ones. *)
+exception Sleep_pruned
+
+type frame = {
+  mutable chosen : Tid.t;
+  mutable todo : Tid.t list;  (** children still to explore *)
+  mutable done_ : (Tid.t * Op.t) list;  (** explored children, with ops *)
+  f_enabled : (Tid.t * Op.t) list;  (** enabled threads at the node *)
+  f_sleep : (Tid.t * Op.t) list;  (** sleep set on entry to the node *)
+}
+
+let dummy_frame =
+  { chosen = 0; todo = []; done_ = []; f_enabled = []; f_sleep = [] }
+
+type stack = { mutable frames : frame array; mutable len : int }
+
+let push st fr =
+  if st.len = Array.length st.frames then begin
+    let bigger = Array.make (2 * st.len) dummy_frame in
+    Array.blit st.frames 0 bigger 0 st.len;
+    st.frames <- bigger
+  end;
+  st.frames.(st.len) <- fr;
+  st.len <- st.len + 1
+
+let op_of enabled t =
+  match List.assoc_opt t enabled with
+  | Some op -> op
+  | None -> invalid_arg "Sct_explore.Por: thread not in enabled set"
+
+(* The child's sleep set: parent sleep plus explored siblings, minus
+   everything woken by the chosen operation. *)
+let advance_sleep sleep done_ chosen_op =
+  List.filter
+    (fun (_, op) -> not (Op_depend.dependent chosen_op op))
+    (sleep @ done_)
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
+    program =
+  let with_sleep = mode = Sleep || mode = Dpor_sleep in
+  let with_dpor = mode = Dpor || mode = Dpor_sleep in
+  let st = { frames = Array.make 1024 dummy_frame; len = 0 } in
+  let replay_len = ref 0 in
+  let depth = ref 0 in
+  (* running sleep set along the current path *)
+  let cur_sleep = ref [] in
+  (* DPOR per-execution happens-before state. Accesses are kept per
+     (object, thread) as a full history: keeping only the last access would
+     shadow the lock-acquire races that make lock-handover reorderings
+     reachable (a blocked thread can never be scheduled at the inner frames,
+     so the only usable backtrack points are at earlier acquires). *)
+  let clocks : (Tid.t, Sct_race.Vclock.t) Hashtbl.t = Hashtbl.create 16 in
+  let accesses :
+      (int, (Tid.t, (int * Sct_race.Vclock.t * Op.t) list) Hashtbl.t) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  let clock_of t =
+    match Hashtbl.find_opt clocks t with
+    | Some c -> c
+    | None -> Sct_race.Vclock.tick Sct_race.Vclock.zero t
+  in
+  (* Add [p] to the backtrack set of frame [j]; if [p] was not enabled
+     there, add every enabled thread (Flanagan & Godefroid 2005). *)
+  let add_backtrack j p =
+    let fr = st.frames.(j) in
+    let add t =
+      let explored =
+        Tid.equal t fr.chosen || List.mem_assoc t fr.done_
+        || List.exists (Tid.equal t) fr.todo
+      in
+      let asleep = with_sleep && List.mem_assoc t fr.f_sleep in
+      if (not explored) && not asleep then fr.todo <- t :: fr.todo
+    in
+    if List.mem_assoc p fr.f_enabled then add p
+    else List.iter (fun (t, _) -> add t) fr.f_enabled
+  in
+  (* DPOR bookkeeping for the op about to execute at frame [i] by [p]. *)
+  let dpor_step i p op =
+    let c = ref (clock_of p) in
+    (match op with
+    | Op.Join target -> c := Sct_race.Vclock.join !c (clock_of target)
+    | _ -> ());
+    (* Race checks are evaluated against the clock as it was before this
+       scan: joining during the scan would make a thread's later accesses
+       mask the races with its earlier ones. *)
+    let before = !c in
+    List.iter
+      (fun (x, _) ->
+        match Hashtbl.find_opt accesses x with
+        | None -> ()
+        | Some per_thread ->
+            Hashtbl.iter
+              (fun q history ->
+                if not (Tid.equal q p) then
+                  List.iter
+                    (fun (j, cq, oq) ->
+                      if Op_depend.dependent op oq then begin
+                        (* race: q's access at frame j is concurrent with
+                           the current operation *)
+                        if
+                          j < i
+                          && not
+                               (Sct_race.Vclock.get cq q
+                               <= Sct_race.Vclock.get before q)
+                        then add_backtrack j p;
+                        c := Sct_race.Vclock.join !c cq
+                      end)
+                    history)
+              per_thread)
+      (Op_depend.footprint op);
+    c := Sct_race.Vclock.tick !c p;
+    Hashtbl.replace clocks p !c;
+    List.iter
+      (fun (x, _) ->
+        let per_thread =
+          match Hashtbl.find_opt accesses x with
+          | Some m -> m
+          | None ->
+              let m = Hashtbl.create 4 in
+              Hashtbl.replace accesses x m;
+              m
+        in
+        let history =
+          Option.value ~default:[] (Hashtbl.find_opt per_thread p)
+        in
+        Hashtbl.replace per_thread p ((i, !c, op) :: history))
+      (Op_depend.footprint op)
+  in
+  let dpor_spawned parent child =
+    Hashtbl.replace clocks child
+      (Sct_race.Vclock.tick (clock_of parent) child)
+  in
+  let scheduler (ctx : Runtime.ctx) =
+    let i = !depth in
+    depth := i + 1;
+    let rt = ctx.c_rt in
+    let pending t =
+      match Runtime.pending_op rt t with
+      | Some op -> op
+      | None -> invalid_arg "Sct_explore.Por: enabled thread without an op"
+    in
+    let chosen, fr =
+      if i < !replay_len then begin
+        let fr = st.frames.(i) in
+        if
+          not
+            (List.equal Tid.equal
+               (List.map fst fr.f_enabled)
+               ctx.c_enabled)
+        then
+          failwith
+            "Sct_explore.Por: nondeterministic program: enabled set mismatch"
+        else (fr.chosen, fr)
+      end
+      else begin
+        let enabled = List.map (fun t -> (t, pending t)) ctx.c_enabled in
+        let order =
+          Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+            ~enabled:ctx.c_enabled
+        in
+        let allowed =
+          if with_sleep then
+            List.filter (fun t -> not (List.mem_assoc t !cur_sleep)) order
+          else order
+        in
+        match allowed with
+        | [] -> raise Sleep_pruned
+        | c :: rest ->
+            let todo = if with_dpor then [] else rest in
+            let fr =
+              {
+                chosen = c;
+                todo;
+                done_ = [];
+                f_enabled = enabled;
+                f_sleep = !cur_sleep;
+              }
+            in
+            push st fr;
+            (c, fr)
+      end
+    in
+    let op = op_of fr.f_enabled chosen in
+    if with_dpor then begin
+      dpor_step i chosen op;
+      if op = Op.Spawn then dpor_spawned chosen ctx.c_n_threads
+    end;
+    if with_sleep then cur_sleep := advance_sleep fr.f_sleep fr.done_ op;
+    chosen
+  in
+  (* Advance the deepest frame with an unexplored, non-sleeping child. *)
+  let backtrack () =
+    let rec drop () =
+      if st.len = 0 then false
+      else begin
+        let top = st.frames.(st.len - 1) in
+        top.done_ <- (top.chosen, op_of top.f_enabled top.chosen) :: top.done_;
+        let skip t =
+          List.mem_assoc t top.done_
+          || (with_sleep && List.mem_assoc t top.f_sleep)
+        in
+        let rec next = function
+          | [] -> None
+          | t :: rest -> if skip t then next rest else Some (t, rest)
+        in
+        match next top.todo with
+        | Some (t, rest) ->
+            top.chosen <- t;
+            top.todo <- rest;
+            true
+        | None ->
+            st.len <- st.len - 1;
+            drop ()
+      end
+    in
+    let more = drop () in
+    replay_len := st.len;
+    more
+  in
+  let counted = ref 0 in
+  let pruned = ref 0 in
+  let buggy = ref 0 in
+  let to_first_bug = ref None in
+  let first_bug = ref None in
+  let executions = ref 0 in
+  let hit_limit = ref false in
+  let complete = ref false in
+  let continue_ = ref (limit > 0) in
+  while !continue_ do
+    depth := 0;
+    cur_sleep := [];
+    Hashtbl.reset clocks;
+    Hashtbl.reset accesses;
+    incr executions;
+    let outcome =
+      match
+        Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
+          program
+      with
+      | res -> Some res
+      | exception Sleep_pruned ->
+          incr pruned;
+          None
+    in
+    (match outcome with
+    | None -> ()
+    | Some res -> (
+        incr counted;
+        match res.Runtime.r_outcome with
+        | Outcome.Bug { bug; by } ->
+            incr buggy;
+            if !to_first_bug = None then begin
+              to_first_bug := Some !counted;
+              first_bug :=
+                Some
+                  {
+                    Stats.w_bug = bug;
+                    w_by = by;
+                    w_schedule = res.Runtime.r_schedule;
+                    w_pc = res.Runtime.r_pc;
+                    w_dc = res.Runtime.r_dc;
+                  }
+            end
+        | Outcome.Ok | Outcome.Step_limit -> ()));
+    if !counted >= limit then begin
+      hit_limit := true;
+      continue_ := false
+    end
+    else if not (backtrack ()) then begin
+      complete := true;
+      continue_ := false
+    end
+  done;
+  {
+    counted = !counted;
+    pruned_sleep = !pruned;
+    buggy = !buggy;
+    to_first_bug = !to_first_bug;
+    first_bug = !first_bug;
+    complete = !complete;
+    hit_limit = !hit_limit;
+    executions = !executions;
+  }

@@ -1,0 +1,45 @@
+(** Partial-order reduction for the stateless depth-first search — the
+    paper's named future work (§7/§8): sleep sets (Godefroid 1996) and the
+    classic dynamic partial-order reduction of Flanagan & Godefroid
+    (POPL 2005), optionally combined.
+
+    Both techniques prune schedules that are guaranteed equivalent (up to
+    commuting independent operations) to schedules explored elsewhere, so
+    safety violations — assertion failures, deadlocks, crashes — are still
+    found, with far fewer executions:
+
+    - {b Sleep sets}: after exploring child [t] of a node, [t] (with its
+      pending operation) is put to sleep for the node's remaining children
+      and stays asleep down those subtrees until a dependent operation
+      executes; branches where every enabled thread sleeps are pruned.
+    - {b DPOR}: a node initially explores only its round-robin child; when a
+      later step is found to race (be dependent and concurrent) with an
+      earlier one, the racing thread is added to the earlier node's
+      backtrack set. Happens-before is tracked with vector clocks.
+
+    The reduction assumes full dependence information, so it requires every
+    shared location to be visible ([promote] everything the program
+    touches); see {!Op_depend} for the dependence relation. Schedule
+    bounding is deliberately not combined with POR — the paper cites the
+    interaction as an open research topic — so this explorer is unbounded. *)
+
+type mode = Sleep | Dpor | Dpor_sleep
+
+type result = {
+  counted : int;  (** terminal schedules explored *)
+  pruned_sleep : int;  (** branches cut because every enabled thread slept *)
+  buggy : int;
+  to_first_bug : int option;
+  first_bug : Stats.bug_witness option;
+  complete : bool;
+  hit_limit : bool;
+  executions : int;
+}
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  mode:mode ->
+  limit:int ->
+  (unit -> unit) ->
+  result

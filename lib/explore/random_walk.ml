@@ -1,0 +1,56 @@
+open Sct_core
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(stop_on_bug = false) ~seed ~runs program =
+  let stats = ref (Stats.base ~technique:"Rand") in
+  (* keyed by the schedule itself: the default hash only inspects a prefix,
+     but full structural equality resolves collisions correctly *)
+  let seen : (Tid.t list, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let continue_ = ref true in
+  let i = ref 0 in
+  while !continue_ && !i < runs do
+    let rng = Random.State.make [| seed; !i |] in
+    let scheduler (ctx : Runtime.ctx) =
+      List.nth ctx.c_enabled (Random.State.int rng (List.length ctx.c_enabled))
+    in
+    let res =
+      Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
+        program
+    in
+    Hashtbl.replace seen (Schedule.to_list res.Runtime.r_schedule) ();
+    let s = Stats.observe_run !stats res in
+    let s =
+      {
+        s with
+        Stats.total = s.Stats.total + 1;
+        executions = s.executions + 1;
+        distinct = Some (Hashtbl.length seen);
+      }
+    in
+    let s =
+      match res.Runtime.r_outcome with
+      | Outcome.Bug { bug; by } ->
+          let s = { s with Stats.buggy = s.Stats.buggy + 1 } in
+          if s.Stats.to_first_bug = None then begin
+            if stop_on_bug then continue_ := false;
+            {
+              s with
+              Stats.to_first_bug = Some s.Stats.total;
+              first_bug =
+                Some
+                  {
+                    Stats.w_bug = bug;
+                    w_by = by;
+                    w_schedule = res.Runtime.r_schedule;
+                    w_pc = res.Runtime.r_pc;
+                    w_dc = res.Runtime.r_dc;
+                  };
+            }
+          end
+          else s
+      | Outcome.Ok | Outcome.Step_limit -> s
+    in
+    stats := s;
+    incr i
+  done;
+  { !stats with Stats.hit_limit = true }

@@ -1,0 +1,18 @@
+(** The naive random scheduler (paper §3, "Rand").
+
+    At every scheduling point one enabled thread is chosen uniformly at
+    random. No information is saved between executions, so the same schedule
+    may be explored multiple times and the search never "completes" — as in
+    Maple's random mode. *)
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?stop_on_bug:bool ->
+  seed:int ->
+  runs:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore ~seed ~runs program] performs [runs] independent executions.
+    With [stop_on_bug] (default [false], as in the paper) the walk stops at
+    the first buggy schedule. *)

@@ -1,0 +1,44 @@
+open Sct_core
+
+exception Infeasible
+
+let replay ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(strict = true) ~schedule program =
+  let remaining = ref (Schedule.to_list schedule) in
+  let scheduler (ctx : Runtime.ctx) =
+    let fallback () =
+      match
+        Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+          ~enabled:ctx.c_enabled
+      with
+      | Some t -> t
+      | None -> assert false
+    in
+    match !remaining with
+    | [] -> fallback ()
+    | t :: rest ->
+        if List.exists (Tid.equal t) ctx.c_enabled then begin
+          remaining := rest;
+          t
+        end
+        else if strict then raise Infeasible
+        else begin
+          remaining := rest;
+          fallback ()
+        end
+  in
+  match
+    Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
+      program
+  with
+  | res -> Some res
+  | exception Infeasible -> None
+
+let parse s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun x ->
+         match int_of_string_opt (String.trim x) with
+         | Some t when t >= 0 -> t
+         | _ -> failwith ("Replay.parse: bad thread id " ^ x))
+  |> Schedule.of_list

@@ -1,0 +1,22 @@
+(** Schedule replay: drive an execution along a given schedule.
+
+    SCT's reproducibility promise (paper §1): a bug-inducing schedule can be
+    forced again at will. The guided scheduler follows the given thread
+    list; when the schedule is exhausted (or names a disabled thread with
+    [strict] off) it falls back to the deterministic round-robin choice. *)
+
+val replay :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?strict:bool ->
+  schedule:Sct_core.Schedule.t ->
+  (unit -> unit) ->
+  Sct_core.Runtime.result option
+(** [replay ~schedule program] re-executes [program] along [schedule].
+    With [strict] (default [true]), returns [None] if the schedule names a
+    thread that is not enabled at some step — the schedule is infeasible
+    for this program. *)
+
+val parse : string -> Sct_core.Schedule.t
+(** Parse a schedule from a comma-separated list of thread ids, e.g.
+    ["0,0,1,2,1"]. @raise Failure on malformed input. *)

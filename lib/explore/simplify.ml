@@ -1,0 +1,87 @@
+open Sct_core
+
+type outcome = {
+  schedule : Schedule.t;
+  result : Runtime.result;
+  rounds : int;
+}
+
+let switches sched =
+  let _, n =
+    List.fold_left
+      (fun (last, n) t ->
+        match last with
+        | Some l when not (Tid.equal l t) -> (Some t, n + 1)
+        | _ -> (Some t, n))
+      (None, 0) (Schedule.to_list sched)
+  in
+  n
+
+let preemptions = switches
+
+(* Lexicographic improvement measure: fewer preemptions, then fewer context
+   switches, then shorter — guarantees termination of the greedy loop. *)
+let measure (r : Runtime.result) =
+  (r.Runtime.r_pc, switches r.Runtime.r_schedule, r.Runtime.r_steps)
+
+let is_buggy (r : Runtime.result) = Outcome.is_buggy r.Runtime.r_outcome
+
+(* At the context switch leaving thread [p] at position [i], pull [p]'s next
+   step (at the first later position j with α(j) = p) forward to [i]:
+   thread [p] runs one step longer before being interrupted. *)
+let pull_forward sched i p =
+  let arr = Array.of_list sched in
+  let n = Array.length arr in
+  let rec find j = if j >= n then None else if Tid.equal arr.(j) p then Some j else find (j + 1) in
+  match find i with
+  | None -> None
+  | Some j ->
+      let out = Array.make n arr.(0) in
+      Array.blit arr 0 out 0 i;
+      out.(i) <- p;
+      Array.blit arr i out (i + 1) (j - i);
+      Array.blit arr (j + 1) out (j + 1) (n - j - 1);
+      Some (Array.to_list out)
+
+let minimize ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(max_rounds = 1_000) ~program schedule =
+  let replay sched =
+    Replay.replay ~promote ~max_steps ~strict:false
+      ~schedule:(Schedule.of_list sched) program
+  in
+  match replay (Schedule.to_list schedule) with
+  | None -> None
+  | Some first when not (is_buggy first) -> None
+  | Some first ->
+      let current = ref first in
+      let rounds = ref 0 in
+      let improved = ref true in
+      while !improved && !rounds < max_rounds do
+        improved := false;
+        let sched = Schedule.to_list !current.Runtime.r_schedule in
+        let arr = Array.of_list sched in
+        let n = Array.length arr in
+        let i = ref 1 in
+        while (not !improved) && !i < n do
+          (* a context switch away from arr.(i-1) *)
+          if not (Tid.equal arr.(!i - 1) arr.(!i)) then begin
+            match pull_forward sched !i arr.(!i - 1) with
+            | None -> ()
+            | Some candidate -> (
+                match replay candidate with
+                | Some res when is_buggy res && measure res < measure !current
+                  ->
+                    current := res;
+                    incr rounds;
+                    improved := true
+                | _ -> ())
+          end;
+          incr i
+        done
+      done;
+      Some
+        {
+          schedule = !current.Runtime.r_schedule;
+          result = !current;
+          rounds = !rounds;
+        }

@@ -1,0 +1,30 @@
+(** Counterexample trace simplification.
+
+    The paper motivates schedule bounding partly by trace quality: "a trace
+    with a small number of preemptions is likely to be easy to understand",
+    citing the trace-simplification lines of work (§1, refs [15, 16]). This
+    module turns any buggy schedule — e.g. a high-preemption witness from
+    the random scheduler — into an equivalent low-preemption one, by
+    repeatedly extending interrupted thread runs across context switches and
+    keeping each transformed schedule only if it still reproduces a bug. *)
+
+type outcome = {
+  schedule : Sct_core.Schedule.t;  (** the simplified, still-buggy schedule *)
+  result : Sct_core.Runtime.result;  (** the replayed execution *)
+  rounds : int;  (** accepted transformations *)
+}
+
+val preemptions : Sct_core.Schedule.t -> int
+(** Number of context switches in the schedule (an upper bound on its
+    preemption count, cheap to compute without replay). *)
+
+val minimize :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?max_rounds:int ->
+  program:(unit -> unit) ->
+  Sct_core.Schedule.t ->
+  outcome option
+(** [minimize ~program schedule] greedily reduces the witness; [None] if
+    [schedule] does not reproduce a bug in the first place. The result's
+    preemption count never exceeds the input's. *)

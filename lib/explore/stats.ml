@@ -1,0 +1,61 @@
+type bug_witness = {
+  w_bug : Sct_core.Outcome.bug;
+  w_by : Sct_core.Tid.t;
+  w_schedule : Sct_core.Schedule.t;
+  w_pc : int;
+  w_dc : int;
+}
+
+type t = {
+  technique : string;
+  bound : int option;
+  bound_complete : bool;
+  to_first_bug : int option;
+  total : int;
+  new_at_bound : int;
+  buggy : int;
+  complete : bool;
+  hit_limit : bool;
+  first_bug : bug_witness option;
+  n_threads : int;
+  max_enabled : int;
+  max_sched_points : int;
+  executions : int;
+  distinct : int option;
+}
+
+let found t = t.to_first_bug <> None
+
+let base ~technique =
+  {
+    technique;
+    bound = None;
+    bound_complete = false;
+    to_first_bug = None;
+    total = 0;
+    new_at_bound = 0;
+    buggy = 0;
+    complete = false;
+    hit_limit = false;
+    first_bug = None;
+    n_threads = 0;
+    max_enabled = 0;
+    max_sched_points = 0;
+    executions = 0;
+    distinct = None;
+  }
+
+let observe_run t (r : Sct_core.Runtime.result) =
+  {
+    t with
+    n_threads = max t.n_threads r.r_n_threads;
+    max_enabled = max t.max_enabled r.r_max_enabled;
+    max_sched_points = max t.max_sched_points r.r_multi_points;
+  }
+
+let pp ppf t =
+  let opt = function None -> "-" | Some i -> string_of_int i in
+  Format.fprintf ppf
+    "%s: bound=%s first=%s total=%d new=%d buggy=%d complete=%b limit=%b"
+    t.technique (opt t.bound) (opt t.to_first_bug) t.total t.new_at_bound
+    t.buggy t.complete t.hit_limit

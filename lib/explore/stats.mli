@@ -1,0 +1,49 @@
+(** Per-technique exploration statistics: the columns of the paper's
+    Table 3. *)
+
+type bug_witness = {
+  w_bug : Sct_core.Outcome.bug;
+  w_by : Sct_core.Tid.t;
+  w_schedule : Sct_core.Schedule.t;
+  w_pc : int;  (** preemption count of the witness schedule *)
+  w_dc : int;  (** delay count of the witness schedule *)
+}
+
+type t = {
+  technique : string;
+  bound : int option;
+      (** bound at which the bug was found, or the bound reached when the
+          schedule limit was hit; [None] for unbounded techniques *)
+  bound_complete : bool;
+      (** the final bound level was fully explored (Figures 3/4 worst-case
+          analysis is valid only in this case) *)
+  to_first_bug : int option;
+      (** number of terminal schedules explored up to and including the
+          first buggy one *)
+  total : int;  (** total terminal schedules explored (counted once each) *)
+  new_at_bound : int;
+      (** schedules with exactly the final bound (the paper's
+          "# new schedules") *)
+  buggy : int;  (** buggy schedules among [total] *)
+  complete : bool;  (** the entire schedule space was explored *)
+  hit_limit : bool;
+  first_bug : bug_witness option;
+  n_threads : int;  (** max threads created over all runs *)
+  max_enabled : int;  (** max simultaneously enabled threads over all runs *)
+  max_sched_points : int;
+      (** max number of decisions with >1 enabled thread in one run *)
+  executions : int;
+      (** real program executions, including bounded-level replays *)
+  distinct : int option;
+      (** distinct schedules among [total], when the technique tracks it
+          (the random scheduler re-explores duplicates, paper §3) *)
+}
+
+val found : t -> bool
+val base : technique:string -> t
+(** All-zero statistics to be folded over. *)
+
+val observe_run : t -> Sct_core.Runtime.result -> t
+(** Fold a run's structural aggregates (threads / enabled / points). *)
+
+val pp : Format.formatter -> t -> unit

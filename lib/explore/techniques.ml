@@ -1,0 +1,86 @@
+type t = IPB | IDB | DFS | Rand | PCT | Maple
+
+let all_paper = [ IPB; IDB; DFS; Rand; Maple ]
+
+let name = function
+  | IPB -> "IPB"
+  | IDB -> "IDB"
+  | DFS -> "DFS"
+  | Rand -> "Rand"
+  | PCT -> "PCT"
+  | Maple -> "MapleAlg"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "ipb" -> Some IPB
+  | "idb" -> Some IDB
+  | "dfs" -> Some DFS
+  | "rand" | "random" -> Some Rand
+  | "pct" -> Some PCT
+  | "maple" | "maplealg" -> Some Maple
+  | _ -> None
+
+type options = {
+  limit : int;
+  seed : int;
+  max_steps : int;
+  race_runs : int;
+  pct_change_points : int;
+  maple_profile_runs : int;
+}
+
+let default_options =
+  {
+    limit = 10_000;
+    seed = 0;
+    max_steps = 100_000;
+    race_runs = 10;
+    pct_change_points = 2;
+    maple_profile_runs = 10;
+  }
+
+let run ?(promote = fun _ -> false) o technique program =
+  match technique with
+  | IPB ->
+      Bounded.explore ~promote ~max_steps:o.max_steps
+        ~kind:Bounded.Preemption_bounding ~limit:o.limit program
+  | IDB ->
+      Bounded.explore ~promote ~max_steps:o.max_steps
+        ~kind:Bounded.Delay_bounding ~limit:o.limit program
+  | DFS ->
+      let r =
+        Dfs.explore ~promote ~max_steps:o.max_steps ~bound:Dfs.Unbounded
+          ~limit:o.limit program
+      in
+      {
+        (Stats.base ~technique:"DFS") with
+        Stats.to_first_bug = r.Dfs.to_first_bug;
+        total = r.Dfs.counted;
+        buggy = r.Dfs.buggy;
+        complete = r.Dfs.complete;
+        hit_limit = r.Dfs.hit_limit;
+        first_bug = r.Dfs.first_bug;
+        n_threads = r.Dfs.n_threads;
+        max_enabled = r.Dfs.max_enabled;
+        max_sched_points = r.Dfs.max_sched_points;
+        executions = r.Dfs.executions;
+      }
+  | Rand ->
+      Random_walk.explore ~promote ~max_steps:o.max_steps ~seed:o.seed
+        ~runs:o.limit program
+  | PCT ->
+      Pct.explore ~promote ~max_steps:o.max_steps
+        ~change_points:o.pct_change_points ~seed:o.seed ~runs:o.limit program
+  | Maple ->
+      Maple_lite.explore ~promote ~max_steps:o.max_steps
+        ~profile_runs:o.maple_profile_runs ~seed:o.seed program
+
+let detect_races o program =
+  Sct_race.Promotion.detect ~runs:o.race_runs ~seed:o.seed
+    ~max_steps:o.max_steps program
+
+let run_all ?(techniques = all_paper) o program =
+  let detection = detect_races o program in
+  let promote = Sct_race.Promotion.promote detection in
+  let results = List.map (fun t -> (t, run ~promote o t program)) techniques in
+  (detection, results)

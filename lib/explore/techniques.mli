@@ -1,0 +1,40 @@
+(** Uniform front-end over the concurrency-testing techniques of the study
+    (paper §5): the race-detection phase followed by any of the IPB, IDB,
+    DFS, Rand and MapleAlg phases, plus the PCT extension. *)
+
+type t = IPB | IDB | DFS | Rand | PCT | Maple
+
+val all_paper : t list
+(** The five techniques of Table 3, in the paper's column order. *)
+
+val name : t -> string
+val of_name : string -> t option
+
+type options = {
+  limit : int;  (** schedule limit per technique (paper: 10,000) *)
+  seed : int;
+  max_steps : int;  (** per-execution live-lock guard *)
+  race_runs : int;  (** data-race detection executions (paper: 10) *)
+  pct_change_points : int;
+  maple_profile_runs : int;
+}
+
+val default_options : options
+(** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
+    pct_change_points = 2; maple_profile_runs = 10]. *)
+
+val run :
+  ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Stats.t
+(** Run one technique with an externally supplied promotion predicate
+    (defaults to promoting nothing). *)
+
+val detect_races : options -> (unit -> unit) -> Sct_race.Promotion.result
+(** Phase 1: the data-race detection phase. *)
+
+val run_all :
+  ?techniques:t list ->
+  options ->
+  (unit -> unit) ->
+  Sct_race.Promotion.result * (t * Stats.t) list
+(** The full per-benchmark pipeline: detect races, promote racy locations,
+    then run each technique ([all_paper] by default). *)

@@ -1,0 +1,113 @@
+open Sct_core
+
+type race = {
+  location : string;
+  first : Tid.t;
+  second : Tid.t;
+  write_write : bool;
+}
+
+(* Per-location access history: the clock of the last write and last read of
+   each thread, as vector clocks (component t = thread t's clock at its most
+   recent access). *)
+type loc = {
+  name : string;
+  mutable writes : Vclock.t;
+  mutable reads : Vclock.t;
+}
+
+type t = {
+  mutable clocks : (Tid.t, Vclock.t) Hashtbl.t;
+  obj_clocks : (int, Vclock.t) Hashtbl.t;
+  locs : (int, loc) Hashtbl.t;
+  mutable found : race list;
+  racy : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    clocks = Hashtbl.create 16;
+    obj_clocks = Hashtbl.create 64;
+    locs = Hashtbl.create 64;
+    found = [];
+    racy = Hashtbl.create 16;
+  }
+
+let reset_execution d =
+  Hashtbl.reset d.clocks;
+  Hashtbl.reset d.obj_clocks;
+  Hashtbl.reset d.locs
+
+let clock d tid =
+  match Hashtbl.find_opt d.clocks tid with
+  | Some c -> c
+  | None ->
+      (* First sight of a thread: its clock starts at one for itself. *)
+      let c = Vclock.tick Vclock.zero tid in
+      Hashtbl.replace d.clocks tid c;
+      c
+
+let set_clock d tid c = Hashtbl.replace d.clocks tid c
+
+let obj_clock d id =
+  match Hashtbl.find_opt d.obj_clocks id with
+  | Some c -> c
+  | None -> Vclock.zero
+
+let loc_state d id name =
+  match Hashtbl.find_opt d.locs id with
+  | Some l -> l
+  | None ->
+      let l = { name; writes = Vclock.zero; reads = Vclock.zero } in
+      Hashtbl.replace d.locs id l;
+      l
+
+let record_race d ~location ~first ~second ~write_write =
+  d.found <- { location; first; second; write_write } :: d.found;
+  Hashtbl.replace d.racy location ()
+
+(* An access vector clock [past] (per-thread clocks of previous accesses) is
+   ordered before thread [tid]'s current access iff every component is <= the
+   thread's clock. A component from another thread exceeding it witnesses an
+   unordered previous access: a race. *)
+let check_ordered d ~tid ~c ~past ~location ~write_write =
+  match Vclock.find_exceeding ~past ~clock:c ~except:tid with
+  | Some other -> record_race d ~location ~first:other ~second:tid ~write_write
+  | None -> ()
+
+let handle_access d tid id name kind =
+  let c = clock d tid in
+  let l = loc_state d id name in
+  match (kind : Op.access_kind) with
+  | Op.Atomic_op _ ->
+      (* Synchronisation handled via the Acquire/Release events the DSL
+         emits alongside; nothing to check. *)
+      ()
+  | Op.Plain_read ->
+      check_ordered d ~tid ~c ~past:l.writes ~location:name ~write_write:false;
+      l.reads <- Vclock.set l.reads tid (Vclock.get c tid)
+  | Op.Plain_write ->
+      check_ordered d ~tid ~c ~past:l.writes ~location:name ~write_write:true;
+      check_ordered d ~tid ~c ~past:l.reads ~location:name ~write_write:false;
+      l.writes <- Vclock.set l.writes tid (Vclock.get c tid)
+
+let listener d (ev : Event.t) =
+  match ev with
+  | Event.Access { tid; id; name; kind } -> handle_access d tid id name kind
+  | Event.Acquire { tid; obj } ->
+      set_clock d tid (Vclock.join (clock d tid) (obj_clock d obj))
+  | Event.Release { tid; obj } ->
+      let c = clock d tid in
+      Hashtbl.replace d.obj_clocks obj (Vclock.join (obj_clock d obj) c);
+      set_clock d tid (Vclock.tick c tid)
+  | Event.Fork { parent; child } ->
+      let pc = clock d parent in
+      set_clock d child (Vclock.tick (Vclock.join (clock d child) pc) child);
+      set_clock d parent (Vclock.tick pc parent)
+  | Event.Joined { parent; child } ->
+      set_clock d parent (Vclock.join (clock d parent) (clock d child))
+
+let races d = List.rev d.found
+
+let racy_locations d =
+  Hashtbl.fold (fun k () acc -> k :: acc) d.racy [] |> List.sort_uniq compare

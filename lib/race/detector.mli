@@ -1,0 +1,31 @@
+(** Dynamic data-race detection over runtime events.
+
+    A vector-clock (FastTrack-style) detector: it consumes the {!Sct_core.Event.t}
+    stream of an execution and reports, per shared location, whether two
+    accesses (at least one a write, at least one a plain access) were
+    unordered by happens-before. Atomic accesses synchronise on their
+    location and therefore never race.
+
+    This implements the paper's data-race-detection phase (§5): locations
+    found racy are promoted to visible operations for the SCT phases. *)
+
+type race = {
+  location : string;  (** location name of the racy variable / array *)
+  first : Sct_core.Tid.t;
+  second : Sct_core.Tid.t;
+  write_write : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val listener : t -> Sct_core.Event.t -> unit
+(** Feed one event; pass as [?listener] to {!Sct_core.Runtime.exec}. The
+    detector may be reused across executions: call {!reset_execution} in
+    between (location race verdicts accumulate; clocks reset). *)
+
+val reset_execution : t -> unit
+val races : t -> race list
+val racy_locations : t -> string list
+(** Sorted, deduplicated location names involved in at least one race. *)

@@ -1,0 +1,35 @@
+(** The data-race-detection phase (paper §5).
+
+    Executes the program a fixed number of times under a seeded random
+    scheduler with no promoted locations (so only synchronisation operations
+    are scheduling points), collecting every location that participates in a
+    data race. The resulting racy-location set is then used to promote plain
+    accesses to visible operations in the SCT phases — the same
+    under-approximation the paper uses, with per-location granularity
+    replacing binary instruction offsets. *)
+
+type result = {
+  racy : string list;  (** sorted racy location names *)
+  races : Detector.race list;  (** individual race reports *)
+  runs : int;  (** total detection executions, across all rounds *)
+}
+
+val detect :
+  ?runs:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?max_rounds:int ->
+  (unit -> unit) ->
+  result
+(** [detect program] runs the detection phase; [runs] executions per round
+    (default 10, as in the paper), [seed] defaults to 0. Detection is
+    iterated to a fixpoint (at most [max_rounds], default 4): locations found
+    racy in one round are promoted to visible operations for the next, so
+    interleavings hidden by the coarse atomicity of unpromoted code are
+    progressively uncovered — the model-level analogue of the paper's
+    instruction-level instrumentation under an uncontrolled OS scheduler.
+    Executions that hit a bug still contribute the races observed up to the
+    bug. *)
+
+val promote : result -> string -> bool
+(** The promotion predicate to pass to the explorers. *)

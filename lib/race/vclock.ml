@@ -1,0 +1,37 @@
+(* Clocks are immutable int arrays indexed by thread id; all operations are
+   tolerant of arrays of different lengths (missing components are zero). *)
+type t = int array
+
+let zero = [||]
+let get c t = if t < Array.length c then c.(t) else 0
+
+let set c t v =
+  let n = max (Array.length c) (t + 1) in
+  let out = Array.make n 0 in
+  Array.blit c 0 out 0 (Array.length c);
+  out.(t) <- v;
+  out
+
+let tick c t = set c t (get c t + 1)
+
+let join a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i -> max (get a i) (get b i))
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > get b i then ok := false) a;
+  !ok
+
+let equal a b = leq a b && leq b a
+
+let find_exceeding ~past ~clock ~except =
+  let found = ref None in
+  Array.iteri
+    (fun i v -> if i <> except && v > get clock i && !found = None then found := Some i)
+    past;
+  !found
+
+let pp ppf c =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int c)))

@@ -1,0 +1,26 @@
+(** Vector clocks over thread identifiers. *)
+
+type t
+
+val zero : t
+val get : t -> Sct_core.Tid.t -> int
+val set : t -> Sct_core.Tid.t -> int -> t
+val tick : t -> Sct_core.Tid.t -> t
+(** Increment the component of the given thread. *)
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise less-or-equal (happens-before ordering of clocks). *)
+
+val equal : t -> t -> bool
+
+val find_exceeding :
+  past:t -> clock:t -> except:Sct_core.Tid.t -> Sct_core.Tid.t option
+(** [find_exceeding ~past ~clock ~except] is a thread [u ≠ except] whose
+    component in [past] exceeds its component in [clock], if any — i.e. a
+    witness that some event recorded in [past] does not happen-before the
+    state [clock]. *)
+
+val pp : Format.formatter -> t -> unit

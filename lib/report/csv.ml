@@ -1,0 +1,56 @@
+open Sct_explore
+
+let header =
+  "id,name,threads,max_enabled,max_points,racy_locations,"
+  ^ "ipb_bound,ipb_first,ipb_total,ipb_new,ipb_buggy,"
+  ^ "idb_bound,idb_first,idb_total,idb_new,idb_buggy,"
+  ^ "dfs_first,dfs_total,dfs_buggy,rand_first,rand_buggy,rand_distinct,"
+  ^ "maple_found,maple_total"
+
+let opt = function None -> "" | Some i -> string_of_int i
+
+let table3 ?(out = Format.std_formatter) ~limit rows =
+  ignore limit;
+  Format.fprintf out "%s@." header;
+  List.iter
+    (fun (row : Run_data.row) ->
+      let b = row.Run_data.bench in
+      let get t = Run_data.stats_of row t in
+      let thr, en, pts =
+        match get Techniques.IDB with
+        | Some s -> (s.Stats.n_threads, s.Stats.max_enabled, s.Stats.max_sched_points)
+        | None -> (0, 0, 0)
+      in
+      let bounded t =
+        match get t with
+        | None -> ",,,,"
+        | Some s ->
+            Printf.sprintf "%s,%s,%d,%d,%d" (opt s.Stats.bound)
+              (opt s.Stats.to_first_bug) s.Stats.total s.Stats.new_at_bound
+              s.Stats.buggy
+      in
+      let dfs =
+        match get Techniques.DFS with
+        | None -> ",,"
+        | Some s ->
+            Printf.sprintf "%s,%d,%d" (opt s.Stats.to_first_bug) s.Stats.total
+              s.Stats.buggy
+      in
+      let rand =
+        match get Techniques.Rand with
+        | None -> ",,"
+        | Some s ->
+            Printf.sprintf "%s,%d,%s" (opt s.Stats.to_first_bug) s.Stats.buggy
+              (opt s.Stats.distinct)
+      in
+      let maple =
+        match get Techniques.Maple with
+        | None -> ","
+        | Some s ->
+            Printf.sprintf "%b,%d" (Stats.found s) s.Stats.total
+      in
+      Format.fprintf out "%d,%s,%d,%d,%d,%d,%s,%s,%s,%s,%s@."
+        b.Sctbench.Bench.id b.Sctbench.Bench.name thr en pts
+        row.Run_data.racy_locations (bounded Techniques.IPB)
+        (bounded Techniques.IDB) dfs rand maple)
+    rows

@@ -1,0 +1,8 @@
+(** Machine-readable exports of the study's results, for plotting the
+    figures with external tools. *)
+
+val table3 : ?out:Format.formatter -> limit:int -> Run_data.row list -> unit
+(** One CSV row per benchmark with every Table 3 column. *)
+
+val header : string
+(** The column header line of {!table3}. *)

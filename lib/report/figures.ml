@@ -1,0 +1,87 @@
+open Sct_explore
+
+let series ~out ~limit ~value ~header rows =
+  Format.fprintf out "%s@." header;
+  Format.fprintf out "id,name,idb_x,ipb_y,idb_total,ipb_total@.";
+  List.iter
+    (fun (row : Run_data.row) ->
+      let ipb = Run_data.stats_of row Techniques.IPB in
+      let idb = Run_data.stats_of row Techniques.IDB in
+      match (ipb, idb) with
+      | Some ipb, Some idb when Stats.found ipb || Stats.found idb ->
+          let v s = if Stats.found s then value s else limit in
+          Format.fprintf out "%d,%s,%d,%d,%d,%d@." row.Run_data.bench.Sctbench.Bench.id
+            row.Run_data.bench.Sctbench.Bench.name (v idb) (v ipb)
+            (min limit idb.Stats.total)
+            (min limit ipb.Stats.total)
+      | _ -> ())
+    rows
+
+let figure3_points ~limit rows =
+  List.filter_map
+    (fun (row : Run_data.row) ->
+      let ipb = Run_data.stats_of row Techniques.IPB in
+      let idb = Run_data.stats_of row Techniques.IDB in
+      match (ipb, idb) with
+      | Some ipb, Some idb when Stats.found ipb || Stats.found idb ->
+          let v (s : Stats.t) =
+            match s.Stats.to_first_bug with Some i -> i | None -> limit
+          in
+          Some (v idb, v ipb)
+      | _ -> None)
+    rows
+
+let print_scatter ?(out = Format.std_formatter) ~limit ~title points =
+  let width = 56 and height = 24 in
+  let lmax = log10 (float_of_int (max 10 limit)) in
+  let scale extent v =
+    let f = log10 (float_of_int (max 1 v)) /. lmax in
+    min (extent - 1) (int_of_float (f *. float_of_int (extent - 1)))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  (* the diagonal x = y *)
+  for gx = 0 to width - 1 do
+    let gy = gx * (height - 1) / (width - 1) in
+    grid.(gy).(gx) <- '.'
+  done;
+  List.iter
+    (fun (x, y) ->
+      let gx = scale width x and gy = scale height y in
+      grid.(gy).(gx) <- (if grid.(gy).(gx) = '*' then '#' else '*'))
+    points;
+  Format.fprintf out "%s@." title;
+  Format.fprintf out
+    "  y = IPB schedules-to-first-bug (log), x = IDB (log); points above \
+     the diagonal: IDB faster@.";
+  for gy = height - 1 downto 0 do
+    let label =
+      if gy = height - 1 then Printf.sprintf "%6d |" limit
+      else if gy = 0 then "     1 |"
+      else "       |"
+    in
+    Format.fprintf out "%s%s@." label (String.init width (fun gx -> grid.(gy).(gx)))
+  done;
+  Format.fprintf out "        %s@." (String.make width '-');
+  Format.fprintf out "        1%s%d@."
+    (String.make (width - 1 - String.length (string_of_int limit)) ' ')
+    limit
+
+let print_figure3 ?(out = Format.std_formatter) ~limit rows =
+  series ~out ~limit
+    ~value:(fun s ->
+      match s.Stats.to_first_bug with Some i -> i | None -> limit)
+    ~header:
+      "Figure 3: # schedules to first bug (x=IDB, y=IPB); totals within the \
+       discovering bound"
+    rows;
+  print_scatter ~out ~limit
+    ~title:"Figure 3 (scatter): schedules to first bug"
+    (figure3_points ~limit rows)
+
+let print_figure4 ?(out = Format.std_formatter) ~limit rows =
+  series ~out ~limit
+    ~value:(fun s -> max 0 (s.Stats.total - s.Stats.buggy))
+    ~header:
+      "Figure 4: worst case — total non-buggy schedules within the \
+       discovering bound (x=IDB, y=IPB)"
+    rows

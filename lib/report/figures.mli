@@ -1,0 +1,30 @@
+(** Figures 3 and 4: per-benchmark IPB-vs-IDB scatter series, printed as CSV
+    so they can be plotted directly.
+
+    Figure 3 plots, per benchmark where at least one technique found the
+    bug, the number of schedules to the first bug (cross) and the total
+    number of schedules explored up to the bound that found the bug
+    (square); a not-found entry sits at the schedule limit. Figure 4 plots
+    the worst case instead: the number of *non-buggy* schedules within the
+    bound (total - buggy), meaningful where the bound level was fully
+    explored. *)
+
+val print_figure3 :
+  ?out:Format.formatter -> limit:int -> Run_data.row list -> unit
+
+val print_figure4 :
+  ?out:Format.formatter -> limit:int -> Run_data.row list -> unit
+
+val print_scatter :
+  ?out:Format.formatter ->
+  limit:int ->
+  title:string ->
+  (int * int) list ->
+  unit
+(** Log-log ASCII scatter plot (x = IDB, y = IPB), with the diagonal drawn;
+    points above the diagonal mean IPB needed more schedules than IDB —
+    visually, the paper's Figure 3/4 claim. *)
+
+val figure3_points : limit:int -> Run_data.row list -> (int * int) list
+(** The (idb, ipb) schedules-to-first-bug pairs of Figure 3 (not-found is
+    plotted at the limit, as the paper does). *)

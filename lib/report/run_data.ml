@@ -1,0 +1,29 @@
+type row = {
+  bench : Sctbench.Bench.t;
+  racy_locations : int;
+  results : (Sct_explore.Techniques.t * Sct_explore.Stats.t) list;
+}
+
+let stats_of row t = List.assoc_opt t row.results
+
+let found_by row t =
+  match stats_of row t with
+  | Some s -> Sct_explore.Stats.found s
+  | None -> false
+
+let run_benchmark ?techniques o (bench : Sctbench.Bench.t) =
+  let detection, results =
+    Sct_explore.Techniques.run_all ?techniques o bench.Sctbench.Bench.program
+  in
+  {
+    bench;
+    racy_locations = List.length detection.Sct_race.Promotion.racy;
+    results;
+  }
+
+let run_all ?techniques ?(progress = fun _ -> ()) o benches =
+  List.map
+    (fun b ->
+      progress b;
+      run_benchmark ?techniques o b)
+    benches

@@ -1,0 +1,24 @@
+(** The result of running the full study pipeline on one benchmark: the
+    inputs to every table and figure. *)
+
+type row = {
+  bench : Sctbench.Bench.t;
+  racy_locations : int;  (** from the data-race detection phase *)
+  results : (Sct_explore.Techniques.t * Sct_explore.Stats.t) list;
+}
+
+val stats_of : row -> Sct_explore.Techniques.t -> Sct_explore.Stats.t option
+val found_by : row -> Sct_explore.Techniques.t -> bool
+
+val run_benchmark :
+  ?techniques:Sct_explore.Techniques.t list ->
+  Sct_explore.Techniques.options ->
+  Sctbench.Bench.t ->
+  row
+
+val run_all :
+  ?techniques:Sct_explore.Techniques.t list ->
+  ?progress:(Sctbench.Bench.t -> unit) ->
+  Sct_explore.Techniques.options ->
+  Sctbench.Bench.t list ->
+  row list

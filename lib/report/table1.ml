@@ -1,0 +1,17 @@
+open Sctbench
+
+let print ?(out = Format.std_formatter) benches =
+  Format.fprintf out "Table 1: overview of the benchmark suites@.";
+  Format.fprintf out "%-10s %-62s %6s %s@." "Set" "Benchmark types" "# used"
+    "# skipped (reason)";
+  List.iter
+    (fun (skip : Bench.skip) ->
+      let suite = skip.Bench.s_suite in
+      let used =
+        List.length (List.filter (fun (b : Bench.t) -> b.Bench.suite = suite) benches)
+      in
+      Format.fprintf out "%-10s %-62s %6d %d %s@." (Bench.suite_name suite)
+        (Bench.table1_types suite) used skip.Bench.s_count
+        (if skip.Bench.s_reason = "" then "" else "(" ^ skip.Bench.s_reason ^ ")"))
+    Bench.table1_skips;
+  Format.fprintf out "Total used: %d@." (List.length benches)

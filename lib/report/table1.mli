@@ -1,0 +1,5 @@
+(** Table 1: overview of the benchmark suites — types, counts used, counts
+    skipped (the skips are carried as registry metadata, since they describe
+    the paper's collection process, not runnable code). *)
+
+val print : ?out:Format.formatter -> Sctbench.Bench.t list -> unit

@@ -1,0 +1,47 @@
+open Sct_explore
+
+type t = {
+  db0 : int;
+  small_space : int;
+  rand_over_half : int;
+  rand_all : int;
+}
+
+let db0_found row =
+  match Run_data.stats_of row Techniques.IDB with
+  | Some s -> Stats.found s && s.Stats.bound = Some 0
+  | None -> false
+
+let small_space ~limit row =
+  match Run_data.stats_of row Techniques.DFS with
+  | Some s -> s.Stats.complete && s.Stats.total < limit
+  | None -> false
+
+let rand_fraction row =
+  match Run_data.stats_of row Techniques.Rand with
+  | Some s when s.Stats.total > 0 ->
+      float_of_int s.Stats.buggy /. float_of_int s.Stats.total
+  | _ -> 0.
+
+let compute ~limit rows =
+  let count p = List.length (List.filter p rows) in
+  {
+    db0 = count db0_found;
+    small_space = count (small_space ~limit);
+    rand_over_half = count (fun r -> rand_fraction r > 0.5);
+    rand_all = count (fun r -> rand_fraction r >= 1.);
+  }
+
+let trivial ~limit row =
+  db0_found row || small_space ~limit row || rand_fraction row > 0.5
+
+let print ?(out = Format.std_formatter) ~limit rows =
+  let t = compute ~limit rows in
+  Format.fprintf out "Table 2: benchmarks where bug-finding is arguably trivial@.";
+  Format.fprintf out "  %-52s %d@." "Bug found with DB = 0" t.db0;
+  Format.fprintf out "  %-52s %d@."
+    (Printf.sprintf "Total terminal schedules < %d" limit)
+    t.small_space;
+  Format.fprintf out "  %-52s %d@." "> 50% of random schedules were buggy"
+    t.rand_over_half;
+  Format.fprintf out "  %-52s %d@." "Every random schedule was buggy" t.rand_all

@@ -1,0 +1,15 @@
+(** Table 2: benchmarks where bug-finding is arguably trivial (paper §6),
+    derived from the Table 3 run. *)
+
+type t = {
+  db0 : int;  (** bug found with a delay bound of 0 *)
+  small_space : int;  (** total terminal schedules below the limit (DFS) *)
+  rand_over_half : int;  (** more than 50% of random schedules buggy *)
+  rand_all : int;  (** every random schedule buggy *)
+}
+
+val compute : limit:int -> Run_data.row list -> t
+val print : ?out:Format.formatter -> limit:int -> Run_data.row list -> unit
+
+val trivial : limit:int -> Run_data.row -> bool
+(** A benchmark is "arguably trivial" if it hits any Table 2 property. *)

@@ -1,0 +1,10 @@
+(** Regenerates the paper's Table 3: per-benchmark results for IPB, IDB,
+    DFS, Rand and MapleAlg, in the paper's column layout, plus a
+    paper-vs-measured agreement summary. *)
+
+val print : ?out:Format.formatter -> limit:int -> Run_data.row list -> unit
+
+val print_agreement : ?out:Format.formatter -> Run_data.row list -> unit
+(** For each benchmark and technique, compare "bug found?" (and the bound,
+    for IPB/IDB) against the paper's row; print per-benchmark deviations
+    and the aggregate agreement count. *)

@@ -1,0 +1,49 @@
+open Sct_explore
+
+type three = {
+  only_a : int;
+  only_b : int;
+  only_c : int;
+  ab : int;
+  ac : int;
+  bc : int;
+  abc : int;
+  none : int;
+}
+
+let compute rows a b c =
+  let z = { only_a = 0; only_b = 0; only_c = 0; ab = 0; ac = 0; bc = 0; abc = 0; none = 0 } in
+  List.fold_left
+    (fun acc row ->
+      let fa = Run_data.found_by row a
+      and fb = Run_data.found_by row b
+      and fc = Run_data.found_by row c in
+      match (fa, fb, fc) with
+      | true, false, false -> { acc with only_a = acc.only_a + 1 }
+      | false, true, false -> { acc with only_b = acc.only_b + 1 }
+      | false, false, true -> { acc with only_c = acc.only_c + 1 }
+      | true, true, false -> { acc with ab = acc.ab + 1 }
+      | true, false, true -> { acc with ac = acc.ac + 1 }
+      | false, true, true -> { acc with bc = acc.bc + 1 }
+      | true, true, true -> { acc with abc = acc.abc + 1 }
+      | false, false, false -> { acc with none = acc.none + 1 })
+    z rows
+
+let print_one out title (na, nb, nc) v =
+  Format.fprintf out "%s@." title;
+  Format.fprintf out "  only %-8s: %d@." na v.only_a;
+  Format.fprintf out "  only %-8s: %d@." nb v.only_b;
+  Format.fprintf out "  only %-8s: %d@." nc v.only_c;
+  Format.fprintf out "  %s+%s (not %s): %d@." na nb nc v.ab;
+  Format.fprintf out "  %s+%s (not %s): %d@." na nc nb v.ac;
+  Format.fprintf out "  %s+%s (not %s): %d@." nb nc na v.bc;
+  Format.fprintf out "  all three     : %d@." v.abc;
+  Format.fprintf out "  none          : %d@." v.none
+
+let print_figure2 ?(out = Format.std_formatter) rows =
+  let a = compute rows Techniques.IPB Techniques.IDB Techniques.DFS in
+  print_one out "Figure 2a: systematic techniques (IPB / IDB / DFS)"
+    ("IPB", "IDB", "DFS") a;
+  let b = compute rows Techniques.IDB Techniques.Rand Techniques.Maple in
+  print_one out "Figure 2b: IDB vs. others (IDB / Rand / MapleAlg)"
+    ("IDB", "Rand", "MapleAlg") b

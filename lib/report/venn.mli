@@ -1,0 +1,23 @@
+(** Figure 2: Venn diagrams of the per-technique bug-finding sets. *)
+
+type three = {
+  only_a : int;
+  only_b : int;
+  only_c : int;
+  ab : int;  (** in a and b, not c *)
+  ac : int;
+  bc : int;
+  abc : int;
+  none : int;  (** found by none of the three *)
+}
+
+val compute :
+  Run_data.row list ->
+  Sct_explore.Techniques.t ->
+  Sct_explore.Techniques.t ->
+  Sct_explore.Techniques.t ->
+  three
+
+val print_figure2 : ?out:Format.formatter -> Run_data.row list -> unit
+(** Prints both Venn diagrams of Figure 2: (a) IPB/IDB/DFS and
+    (b) IDB/Rand/MapleAlg, as region counts. *)

@@ -1,0 +1,99 @@
+type suite = CB | CHESS | CS | Inspect | Misc | Parsec | Radbench | Splash2
+
+let suite_name = function
+  | CB -> "CB"
+  | CHESS -> "chess"
+  | CS -> "CS"
+  | Inspect -> "inspect"
+  | Misc -> "misc"
+  | Parsec -> "parsec"
+  | Radbench -> "radbench"
+  | Splash2 -> "splash2"
+
+let suite_of_name s =
+  match String.lowercase_ascii s with
+  | "cb" -> Some CB
+  | "chess" -> Some CHESS
+  | "cs" -> Some CS
+  | "inspect" -> Some Inspect
+  | "misc" -> Some Misc
+  | "parsec" -> Some Parsec
+  | "radbench" -> Some Radbench
+  | "splash2" | "splash" -> Some Splash2
+  | _ -> None
+
+type paper_row = {
+  p_threads : int;
+  p_max_enabled : int;
+  p_ipb_bound : int option;
+  p_idb_bound : int option;
+  p_dfs_found : bool;
+  p_rand_found : bool;
+  p_maple_found : bool;
+}
+
+type t = {
+  id : int;
+  suite : suite;
+  name : string;
+  program : unit -> unit;
+  description : string;
+  paper : paper_row;
+  expect_ipb : int option;
+  expect_idb : int option;
+}
+
+let qualified_name suite name = suite_name suite ^ "." ^ name
+
+let paper_row ~threads ~max_enabled ?ipb ?idb ~dfs ~rand ~maple () =
+  {
+    p_threads = threads;
+    p_max_enabled = max_enabled;
+    p_ipb_bound = ipb;
+    p_idb_bound = idb;
+    p_dfs_found = dfs;
+    p_rand_found = rand;
+    p_maple_found = maple;
+  }
+
+let entry ~id ~suite ~name ~description ~paper ?expect_ipb ?expect_idb program
+    =
+  {
+    id;
+    suite;
+    name = qualified_name suite name;
+    program;
+    description;
+    paper;
+    expect_ipb;
+    expect_idb;
+  }
+
+type skip = { s_suite : suite; s_count : int; s_reason : string }
+
+(* Table 1's "# skipped" column, encoded as data. *)
+let table1_skips =
+  [
+    { s_suite = CB; s_count = 17; s_reason = "networked applications" };
+    { s_suite = CHESS; s_count = 0; s_reason = "" };
+    { s_suite = CS; s_count = 24; s_reason = "were non-buggy" };
+    { s_suite = Inspect; s_count = 28; s_reason = "were non-buggy" };
+    { s_suite = Misc; s_count = 0; s_reason = "" };
+    { s_suite = Parsec; s_count = 29; s_reason = "were non-buggy" };
+    {
+      s_suite = Radbench;
+      s_count = 9;
+      s_reason = "5 Chromium browser; 4 networking";
+    };
+    { s_suite = Splash2; s_count = 9; s_reason = "same missing-join bug" };
+  ]
+
+let table1_types = function
+  | CB -> "Test cases for real applications"
+  | CHESS -> "Test cases for several versions of a work stealing queue"
+  | CS -> "Small test cases and some small programs"
+  | Inspect -> "Small test cases and some small programs"
+  | Misc -> "Test case for lock-free stack and a debugging library test case"
+  | Parsec -> "Parallel workloads"
+  | Radbench -> "Tests cases for real applications"
+  | Splash2 -> "Parallel workloads"

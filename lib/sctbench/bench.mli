@@ -1,0 +1,72 @@
+(** The SCTBench benchmark registry (paper §4).
+
+    Each entry is an OCaml reimplementation of one of the 52 publicly
+    available buggy concurrent benchmarks, preserving the thread structure,
+    synchronisation pattern, and bug mechanism of the original. The paper's
+    Table 3 row for the benchmark is carried alongside, so the benches can
+    report paper-vs-measured shape agreement. *)
+
+type suite = CB | CHESS | CS | Inspect | Misc | Parsec | Radbench | Splash2
+
+val suite_name : suite -> string
+val suite_of_name : string -> suite option
+
+(** The paper's Table 3 facts we compare against. [None] bounds mean the
+    technique did not find the bug within the 10,000-schedule limit. *)
+type paper_row = {
+  p_threads : int;  (** "# threads" column *)
+  p_max_enabled : int;  (** "# max enabled threads" column *)
+  p_ipb_bound : int option;  (** bound at which IPB exposed the bug *)
+  p_idb_bound : int option;
+  p_dfs_found : bool;
+  p_rand_found : bool;
+  p_maple_found : bool;
+}
+
+type t = {
+  id : int;  (** the paper's benchmark id (0..51) *)
+  suite : suite;
+  name : string;  (** qualified name, e.g. ["CS.account_bad"] *)
+  program : unit -> unit;
+      (** the program under test; creates all of its state inside the call,
+          so repeated executions are independent *)
+  description : string;  (** origin and bug mechanism *)
+  paper : paper_row;
+  expect_ipb : int option;
+      (** smallest preemption bound exposing the bug in OUR model ([None] =
+          not expected within the limit); asserted by the test suite *)
+  expect_idb : int option;
+}
+
+val qualified_name : suite -> string -> string
+
+val paper_row :
+  threads:int ->
+  max_enabled:int ->
+  ?ipb:int ->
+  ?idb:int ->
+  dfs:bool ->
+  rand:bool ->
+  maple:bool ->
+  unit ->
+  paper_row
+(** Shorthand for Table 3 rows; omitted [ipb]/[idb] mean "bug not found". *)
+
+val entry :
+  id:int ->
+  suite:suite ->
+  name:string ->
+  description:string ->
+  paper:paper_row ->
+  ?expect_ipb:int ->
+  ?expect_idb:int ->
+  (unit -> unit) ->
+  t
+(** Build a registry entry; [name] is the unqualified benchmark name. *)
+
+(** A skipped-benchmarks line of the paper's Table 1. *)
+type skip = { s_suite : suite; s_count : int; s_reason : string }
+
+val table1_skips : skip list
+val table1_types : suite -> string
+(** The "Benchmark types" column of Table 1. *)

@@ -1,0 +1,165 @@
+(* The CB (Concurrency Bugs, Yu & Narayanasamy) benchmarks, ids 0..2
+   (paper §4.1). The paper modelled aget's network functions to read from a
+   file and called its interrupt handler asynchronously; we model the same
+   structure: downloader threads, an asynchronous interrupt, and an output
+   check run at the end (paper §4.2, "output checking"). *)
+
+open Sct_core
+
+let v = Sct.Var.make
+
+(* 0. CB.aget-bug2 — aget is a segmented file downloader; on interrupt it
+   saves per-segment resume offsets. Bug 2: the signal handler saves the
+   shared byte counter while segment threads are still adding to it, so the
+   saved resume state under-counts and the "downloaded" file is corrupt
+   (incorrect output, checked by an added assertion). The initial
+   round-robin schedule already interleaves the interrupt before the
+   downloads complete. *)
+let aget_bug2 () =
+  let segments = 2 and chunks = 3 in
+  let total = segments * chunks in
+  let file = Sct.Arr.make ~name:"aget_file" total 0 in
+  let bytes_done = v ~name:"aget_bwritten" 0 in
+  let saved = v ~name:"aget_saved" (-1) in
+  let interrupted = v ~name:"aget_intr" false in
+  (* The asynchronous SIGINT handler (delivered first, as a signal can be):
+     snapshot progress and stop the segment threads. *)
+  let handler =
+    Sct.spawn (fun () ->
+        Sct.Var.write saved (Sct.Var.read bytes_done);
+        Sct.Var.write interrupted true)
+  in
+  let downloaders =
+    List.init segments (fun s ->
+        Sct.spawn (fun () ->
+            let quit = ref false in
+            let c = ref 0 in
+            while (not !quit) && !c < chunks do
+              (* the in-flight write completes before the signal check... *)
+              Sct.Arr.set file ((s * chunks) + !c) 1;
+              if Sct.Var.read interrupted then
+                (* ...so an interrupt here loses the chunk from the saved
+                   resume offset: the bug *)
+                quit := true
+              else begin
+                Sct.Var.write bytes_done (Sct.Var.read bytes_done + 1);
+                incr c
+              end
+            done))
+  in
+  List.iter Sct.join downloaders;
+  Sct.join handler;
+  (* Output check (supplied as a separate program in the original): the
+     resume offset must cover every byte actually present in the file. *)
+  let written = ref 0 in
+  for i = 0 to total - 1 do
+    if Sct.Arr.get file i = 1 then incr written
+  done;
+  Sct.check (Sct.Var.read saved >= !written) "aget: resume offset loses data"
+
+(* 1. CB.pbzip2-0.9.4 — parallel bzip2: the main thread destroys the queue
+   mutex after the producer signals completion, while a consumer may still
+   be about to use it. Detected as a use of a destroyed synchronisation
+   object (paper §4.2: "out-of-bound accesses to synchronisation objects
+   ... proved useful in pbzip2"). *)
+let pbzip2 () =
+  let blocks = 2 in
+  let fifo_mut = Sct.Mutex.create () in
+  let queue = v ~name:"pbzip_queue" 0 in
+  let all_done = v ~name:"pbzip_done" false in
+  let consumers =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            let quit = ref false in
+            let attempts = ref 0 in
+            while (not !quit) && !attempts < 4 do
+              incr attempts;
+              if Sct.Var.read all_done then quit := true
+              else begin
+                Sct.Mutex.lock fifo_mut;
+                let q = Sct.Var.read queue in
+                if q > 0 then Sct.Var.write queue (q - 1);
+                Sct.Mutex.unlock fifo_mut
+              end
+            done))
+  in
+  let producer =
+    Sct.spawn (fun () ->
+        for _ = 1 to blocks do
+          Sct.Mutex.lock fifo_mut;
+          Sct.Var.write queue (Sct.Var.read queue + 1);
+          Sct.Mutex.unlock fifo_mut
+        done;
+        Sct.Var.write all_done true)
+  in
+  Sct.join producer;
+  (* BUG: consumers are not joined before the queue state is torn down. *)
+  Sct.Mutex.destroy fifo_mut;
+  List.iter Sct.join consumers
+
+(* 2. CB.stringbuffer-jdk1.4 — the classic JDK 1.4 StringBuffer.append
+   atomicity violation: append(sb) reads sb's length, then copies that many
+   characters; a concurrent delete shrinks sb in between and the copy runs
+   out of bounds. The deleting thread appends afterwards, so the bug needs
+   the deleter to be preempted too: two preemptions in total, as in the
+   paper. *)
+let stringbuffer_jdk14 () =
+  let cap = 8 in
+  let sb_chars = Sct.Arr.make ~name:"sb_chars" cap 0 in
+  let sb_count = v ~name:"sb_count" 4 in
+  for i = 0 to 3 do
+    Sct.Arr.set sb_chars i (i + 1)
+  done;
+  let out_chars = Sct.Arr.make ~name:"out_chars" cap 0 in
+  let out_count = v ~name:"out_count" 0 in
+  let appender =
+    Sct.spawn (fun () ->
+        (* StringBuffer.append(sb): length is read without holding sb's
+           lock for the whole copy *)
+        let len = Sct.Var.read sb_count in
+        let base = Sct.Var.read out_count in
+        for i = 0 to len - 1 do
+          let c = Sct.Arr.get sb_chars i in
+          Sct.check (c <> 0) "append copied a deleted character";
+          Sct.Arr.set out_chars (base + i) c
+        done;
+        Sct.Var.write out_count (base + len))
+  in
+  (* delete(0, count) then append one character: the count is cleared
+     before the characters (so a torn length read alone is harmless), and
+     the deleter has trailing work, so the buggy interleaving needs the
+     appender AND the deleter each preempted once. *)
+  let n = Sct.Var.read sb_count in
+  Sct.Var.write sb_count 0;
+  for i = 0 to n - 1 do
+    Sct.Arr.set sb_chars i 0
+  done;
+  Sct.Arr.set sb_chars 0 7;
+  Sct.Var.write sb_count 1;
+  Sct.join appender
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.CB
+
+let entries =
+  [
+    e ~id:0 ~name:"aget-bug2"
+      ~description:
+        "aget downloader: the interrupt handler snapshots the shared \
+         progress counter racily; the saved resume offset loses data \
+         (incorrect-output assertion)."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 aget_bug2;
+    e ~id:1 ~name:"pbzip2-0.9.4"
+      ~description:
+        "pbzip2: main destroys the FIFO mutex while a consumer can still \
+         lock it (use of a destroyed synchronisation object)."
+      ~paper:(row ~threads:4 ~max_enabled:4 ~ipb:0 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:1 pbzip2;
+    e ~id:2 ~name:"stringbuffer-jdk1.4"
+      ~description:
+        "JDK 1.4 StringBuffer append/delete atomicity violation: length \
+         read and copy are separable; needs two preemptions."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:2 ~idb:2 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:2 ~expect_idb:2 stringbuffer_jdk14;
+  ]

@@ -1,0 +1,188 @@
+(* The CHESS benchmarks, ids 32..35 (paper §4.1): four versions of the
+   Cilk-style WorkStealQueue used to evaluate CHESS and preemption bounding
+   in prior work. One parametric THE-protocol deque carries the per-variant
+   seeded defects:
+
+   - WSQ    (35): locked steal; the owner's fast-path pop compares against a
+                  stale head read before the tail decrement — a thief
+                  slipping its whole (locked) steal into that window makes
+                  owner and thief take the same element (two preemptions).
+   - SWSQ   (34): "simple" variant — the owner's pop has no conflict path at
+                  all, so a single delay at the boundary double-takes; the
+                  large workload drowns preemption bounding at bound 1.
+   - IWSQ   (32): interlocked (CAS) steal; the owner's boundary path forgot
+                  the interlock on head — needs the thief parked mid-steal
+                  as well (two delays).
+   - IWSQWS (33): IWSQ under a steal-heavy workload whose final steal is the
+                  thief's last action, lowering the delay bound to one.
+
+   Each taken element is marked in a 'seen' table; taking an element twice
+   (or losing one) fails the assertion, as in the original test harness. *)
+
+open Sct_core
+
+type variant = WSQ | SWSQ | IWSQ | IWSQWS
+
+type queue = {
+  elems : int Sct.Arr.t;
+  head : int Sct.Atomic.t;
+  tail : int Sct.Atomic.t;
+  lock : Sct.Mutex.t;
+  cap : int;
+}
+
+let make_queue name cap =
+  {
+    elems = Sct.Arr.make ~name:(name ^ "_elems") cap 0;
+    head = Sct.Atomic.make ~name:(name ^ "_head") 0;
+    tail = Sct.Atomic.make ~name:(name ^ "_tail") 0;
+    lock = Sct.Mutex.create ();
+    cap;
+  }
+
+let push q x =
+  let t = Sct.Atomic.load q.tail in
+  Sct.Arr.set q.elems (t mod q.cap) x;
+  Sct.Atomic.store q.tail (t + 1)
+
+(* Owner-side pop, per variant.
+
+   WSQ:  the fast path admits the one-element boundary but compares against
+         a head value read BEFORE the tail decrement — a thief completing
+         its whole locked steal inside that window makes owner and thief
+         take the same element (the original CHESS seeded bug, two
+         preemptions). The conflict path itself is sound (takes the lock).
+   SWSQ: the fast path admits the boundary with a fresh head read and there
+         is no conflict path at all — a thief interposed between the head
+         read and the element read double-takes (one delay).
+   IWSQ / IWSQWS: the fast path is sound (strict inequality), but the
+         boundary path reads head without the interlock the CAS-based thief
+         relies on. *)
+let pop ~variant q =
+  let h0 = Sct.Atomic.load q.head in
+  let t = Sct.Atomic.load q.tail - 1 in
+  Sct.Atomic.store q.tail t;
+  let take () = Some (Sct.Arr.get q.elems (t mod q.cap)) in
+  let restore () =
+    Sct.Atomic.store q.tail (t + 1);
+    None
+  in
+  match variant with
+  | WSQ ->
+      if h0 <= t then take () (* BUG: h0 is stale at the boundary *)
+      else begin
+        Sct.Mutex.lock q.lock;
+        let h2 = Sct.Atomic.load q.head in
+        let r = if h2 <= t then take () else restore () in
+        Sct.Mutex.unlock q.lock;
+        r
+      end
+  | SWSQ ->
+      let h = Sct.Atomic.load q.head in
+      if h <= t then take () (* BUG: boundary without any serialisation *)
+      else restore ()
+  | IWSQ | IWSQWS ->
+      let h = Sct.Atomic.load q.head in
+      if h < t then take ()
+      else begin
+        (* BUG: boundary read of head without the interlock *)
+        let h2 = Sct.Atomic.load q.head in
+        if h2 <= t then take () else restore ()
+      end
+
+let steal ~variant q =
+  match variant with
+  | WSQ | SWSQ ->
+      Sct.Mutex.lock q.lock;
+      let h = Sct.Atomic.load q.head in
+      let t = Sct.Atomic.load q.tail in
+      let r =
+        if h < t then begin
+          let x = Sct.Arr.get q.elems (h mod q.cap) in
+          Sct.Atomic.store q.head (h + 1);
+          Some x
+        end
+        else None
+      in
+      Sct.Mutex.unlock q.lock;
+      r
+  | IWSQ | IWSQWS ->
+      let h = Sct.Atomic.load q.head in
+      let t = Sct.Atomic.load q.tail in
+      if h < t then begin
+        let x = Sct.Arr.get q.elems (h mod q.cap) in
+        if Sct.Atomic.compare_and_set q.head h (h + 1) then Some x else None
+      end
+      else None
+
+let wsq_bench ~variant ~name ~items ~steals () =
+  let q = make_queue name (items + 4) in
+  let seen = Sct.Arr.make ~name:(name ^ "_seen") (items + 1) 0 in
+  (* Separate single-writer tallies: the harness bookkeeping must not
+     itself be a concurrency bug. *)
+  let owner_got = Sct.Var.make ~name:(name ^ "_owner_got") 0 in
+  let thief_got = Sct.Var.make ~name:(name ^ "_thief_got") 0 in
+  let consume counter x =
+    Sct.check (Sct.Arr.get seen x = 0) "work item taken twice";
+    Sct.Arr.set seen x 1;
+    Sct.Var.write counter (Sct.Var.read counter + 1)
+  in
+  let owner =
+    Sct.spawn (fun () ->
+        for x = 1 to items do
+          push q x
+        done;
+        for _ = 1 to items do
+          match pop ~variant q with
+          | Some x -> consume owner_got x
+          | None -> ()
+        done)
+  in
+  let thief =
+    Sct.spawn (fun () ->
+        for _ = 1 to steals do
+          match steal ~variant q with
+          | Some x -> consume thief_got x
+          | None -> ()
+        done)
+  in
+  Sct.join owner;
+  Sct.join thief;
+  Sct.check
+    (Sct.Var.read owner_got + Sct.Var.read thief_got = items)
+    "work items lost or duplicated"
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.CHESS
+
+let entries =
+  [
+    e ~id:32 ~name:"IWSQ"
+      ~description:
+        "Interlocked work-stealing queue: owner's boundary pop forgot the \
+         interlock against the CAS-based thief (two delays)."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~idb:2 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_idb:2
+      (wsq_bench ~variant:IWSQ ~name:"iwsq" ~items:8 ~steals:5);
+    e ~id:33 ~name:"IWSQWS"
+      ~description:
+        "IWSQ under a steal-heavy workload: the thief keeps contending \
+         across the whole run."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~idb:1 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_idb:2
+      (wsq_bench ~variant:IWSQWS ~name:"iwsqws" ~items:16 ~steals:10);
+    e ~id:34 ~name:"SWSQ"
+      ~description:
+        "Simple work-stealing queue with no boundary handling in pop; the \
+         large workload pushes both bounding techniques deep into bound 2."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~idb:1 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_idb:2
+      (wsq_bench ~variant:SWSQ ~name:"swsq" ~items:48 ~steals:28);
+    e ~id:35 ~name:"WSQ"
+      ~description:
+        "THE-protocol queue whose fast-path pop uses a stale head: a \
+         locked steal interleaved with the pop window double-takes."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~ipb:2 ~idb:2 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1
+      (wsq_bench ~variant:WSQ ~name:"wsq" ~items:24 ~steals:12);
+  ]

@@ -1,0 +1,720 @@
+(* The CS (Concurrency Software / ESBMC) benchmarks, ids 3..31 (paper §4.1).
+
+   Each program preserves the original benchmark's thread structure and bug
+   mechanism: check-then-act races, lock-order deadlocks, wrong-lock
+   protection, lost signals, producer/consumer index races, and the
+   adversarial reorder family that is the paper's Example 2. Inputs are
+   small concrete values, as the paper chose for the unconstrained-input
+   originals. *)
+
+open Sct_core
+
+let v = Sct.Var.make
+
+(* 3. CS.account_bad — bank account with deposit/withdraw threads. The
+   withdrawal thread asserts sufficient funds, which only holds if the
+   deposit ran first: any non-preemptive schedule that orders the withdrawal
+   before the deposit exposes the bug (paper: IPB finds it at bound 0, IDB
+   needs one delay to skip past the deposit thread). *)
+let account_bad () =
+  let balance = v ~name:"balance" 0 in
+  let m = Sct.Mutex.create () in
+  let deposit =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        Sct.Var.write balance (Sct.Var.read balance + 300);
+        Sct.Mutex.unlock m)
+  in
+  let withdraw =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        let b = Sct.Var.read balance in
+        Sct.check (b >= 100) "withdrawal with insufficient funds";
+        Sct.Var.write balance (b - 100);
+        Sct.Mutex.unlock m)
+  in
+  let audit =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        ignore (Sct.Var.read balance);
+        Sct.Mutex.unlock m)
+  in
+  Sct.join deposit;
+  Sct.join withdraw;
+  Sct.join audit
+
+(* 4. CS.arithmetic_prog_bad — two threads sum an arithmetic progression
+   under a lock; the final assertion uses an off-by-one closed form, so every
+   schedule is buggy (paper: 100% of schedules buggy, found immediately). *)
+let arithmetic_prog_bad () =
+  let sum = v ~name:"sum" 0 in
+  let m = Sct.Mutex.create () in
+  let adder lo hi =
+    Sct.spawn (fun () ->
+        for i = lo to hi do
+          Sct.Mutex.lock m;
+          Sct.Var.write sum (Sct.Var.read sum + i);
+          Sct.Mutex.unlock m
+        done)
+  in
+  let t1 = adder 1 5 in
+  let t2 = adder 6 10 in
+  Sct.join t1;
+  Sct.join t2;
+  (* The correct total is 55; the original asserts the buggy closed form. *)
+  Sct.check (Sct.Var.read sum = 54) "arithmetic progression total"
+
+(* 5. CS.bluetooth_driver_bad — the classic Bluetooth driver model (Qadeer &
+   Wu): the main thread is the request adder, a second thread stops the
+   driver. One preemption between the stop-flag check and the pending-I/O
+   increment lets the stopper complete, and the adder then touches a stopped
+   driver. *)
+let bluetooth_driver_bad () =
+  let stopping_flag = v ~name:"stoppingFlag" false in
+  let pending_io = v ~name:"pendingIo" 0 in
+  let stopped = v ~name:"stoppingEvent" false in
+  let stopper =
+    Sct.spawn (fun () ->
+        Sct.Var.write stopping_flag true;
+        if Sct.Var.read pending_io = 0 then Sct.Var.write stopped true)
+  in
+  (if not (Sct.Var.read stopping_flag) then begin
+     Sct.Var.write pending_io (Sct.Var.read pending_io + 1);
+     (* perform I/O on the driver: it must not have been stopped *)
+     Sct.check (not (Sct.Var.read stopped)) "I/O on stopped driver";
+     Sct.Var.write pending_io (Sct.Var.read pending_io - 1)
+   end);
+  Sct.join stopper
+
+(* 6. CS.carter01_bad — four worker threads over two locks, two of them
+   taking the locks in opposite order: one preemption inside the first
+   thread's lock window deadlocks the system. *)
+let carter01_bad () =
+  let a = Sct.Mutex.create () in
+  let b = Sct.Mutex.create () in
+  let work = v ~name:"carter_work" 0 in
+  let ab () =
+    Sct.Mutex.lock a;
+    Sct.Mutex.lock b;
+    Sct.Var.write work (Sct.Var.read work + 1);
+    Sct.Mutex.unlock b;
+    Sct.Mutex.unlock a
+  in
+  let ba () =
+    Sct.Mutex.lock b;
+    Sct.Mutex.lock a;
+    Sct.Var.write work (Sct.Var.read work + 1);
+    Sct.Mutex.unlock a;
+    Sct.Mutex.unlock b
+  in
+  let noise () =
+    Sct.Mutex.lock a;
+    Sct.Var.write work (Sct.Var.read work + 1);
+    Sct.Mutex.unlock a
+  in
+  let t1 = Sct.spawn ab in
+  let t2 = Sct.spawn ba in
+  let t3 = Sct.spawn noise in
+  let t4 = Sct.spawn noise in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.join t3;
+  Sct.join t4
+
+(* 7. CS.circular_buffer_bad — producer/consumer over a circular buffer with
+   unsynchronised indices. The seeded defect publishes the producer index
+   before the element is written; a preemption in that window makes the
+   consumer read an empty slot. *)
+let circular_buffer_bad () =
+  let size = 8 and items = 4 in
+  let buffer = Sct.Arr.make ~name:"buffer" size 0 in
+  let in_i = v ~name:"in" 0 in
+  let out_i = v ~name:"out" 0 in
+  let producer =
+    Sct.spawn (fun () ->
+        for i = 1 to items do
+          let slot = Sct.Var.read in_i in
+          (* BUG: index published before the data is stored. *)
+          Sct.Var.write in_i (slot + 1);
+          Sct.Arr.set buffer (slot mod size) i
+        done)
+  in
+  let consumer =
+    Sct.spawn (fun () ->
+        let quit = ref false in
+        let expected = ref 1 in
+        while not !quit do
+          let o = Sct.Var.read out_i in
+          if o >= items then quit := true
+          else if Sct.Var.read in_i > o then begin
+            let got = Sct.Arr.get buffer (o mod size) in
+            Sct.check (got = !expected) "receive out of order";
+            incr expected;
+            Sct.Var.write out_i (o + 1)
+          end
+          else quit := true (* buffer drained for now: give up *)
+        done)
+  in
+  Sct.join producer;
+  Sct.join consumer
+
+(* 8. CS.deadlock01_bad — textbook lock-order deadlock between two
+   threads. *)
+let deadlock01_bad () =
+  let a = Sct.Mutex.create () in
+  let b = Sct.Mutex.create () in
+  let counter = v ~name:"dl_counter" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock a;
+        Sct.Mutex.lock b;
+        Sct.Var.write counter (Sct.Var.read counter + 1);
+        Sct.Mutex.unlock b;
+        Sct.Mutex.unlock a)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock b;
+        Sct.Mutex.lock a;
+        Sct.Var.write counter (Sct.Var.read counter + 1);
+        Sct.Mutex.unlock a;
+        Sct.Mutex.unlock b)
+  in
+  Sct.join t1;
+  Sct.join t2
+
+(* 9-14. CS.din_philN_sat — N dining philosophers; the harness asserts that
+   all meals happened without waiting for the philosophers (the "sat"
+   defect), so the initial round-robin schedule is already buggy; interleaved
+   fork acquisition additionally deadlocks. *)
+let din_phil_sat n () =
+  let forks = Array.init n (fun _ -> Sct.Mutex.create ()) in
+  let meals = v ~name:"meals" 0 in
+  for i = 0 to n - 1 do
+    ignore
+      (Sct.spawn (fun () ->
+           Sct.Mutex.lock forks.(i);
+           Sct.Mutex.lock forks.((i + 1) mod n);
+           Sct.Var.write meals (Sct.Var.read meals + 1);
+           Sct.Mutex.unlock forks.((i + 1) mod n);
+           Sct.Mutex.unlock forks.(i)))
+  done;
+  (* BUG: no join before checking that everyone ate. *)
+  Sct.check (Sct.Var.read meals = n) "all philosophers have eaten"
+
+(* 15. CS.fsbench_bad — file-system stress: 27 workers write fixed-size
+   journal records into a shared block array sized one record too small, so
+   the last record overflows on every schedule (the out-of-bounds assertion
+   the paper added by hand). *)
+let fsbench_bad () =
+  let workers = 27 and record = 2 in
+  let blocks = Sct.Arr.make ~name:"blocks" ((workers * record) - 1) 0 in
+  let m = Sct.Mutex.create () in
+  let next = v ~name:"next_block" 0 in
+  let ts =
+    List.init workers (fun w ->
+        Sct.spawn (fun () ->
+            Sct.Mutex.lock m;
+            let base = Sct.Var.read next in
+            Sct.Var.write next (base + record);
+            for j = 0 to record - 1 do
+              Sct.Arr.set blocks (base + j) w
+            done;
+            Sct.Mutex.unlock m))
+  in
+  List.iter Sct.join ts
+
+(* 16. CS.lazy01_bad — three lock-protected updates whose final combination
+   trips the assertion on the initial schedule already. *)
+let lazy01_bad () =
+  let data = v ~name:"lazy_data" 0 in
+  let m = Sct.Mutex.create () in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        Sct.Var.write data (Sct.Var.read data + 1);
+        Sct.Mutex.unlock m)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        Sct.Var.write data (Sct.Var.read data + 2);
+        Sct.Mutex.unlock m)
+  in
+  let t3 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        let d = Sct.Var.read data in
+        Sct.Mutex.unlock m;
+        Sct.check (d < 3) "lazy01 data overflow")
+  in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.join t3
+
+(* 17. CS.phase01_bad — a two-phase handshake whose final assertion encodes
+   the wrong phase count: buggy on every schedule. *)
+let phase01_bad () =
+  let s = Sct.Sem.create 0 in
+  let phase = v ~name:"phase" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Var.write phase (Sct.Var.read phase + 1);
+        Sct.Sem.post s)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        Sct.Sem.wait s;
+        Sct.Var.write phase (Sct.Var.read phase + 1))
+  in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Var.read phase = 3) "phase count"
+
+(* 18. CS.queue_bad — lock-protected queue with a racy occupancy flag that
+   is published before the element is enqueued: the consumer can observe
+   occupancy without data. *)
+let queue_bad () =
+  let cap = 8 and items = 3 in
+  let q = Sct.Arr.make ~name:"queue" cap 0 in
+  let tail = v ~name:"q_tail" 0 in
+  let head = v ~name:"q_head" 0 in
+  let occupied = v ~name:"q_occupied" 0 in
+  let m = Sct.Mutex.create () in
+  let producer =
+    Sct.spawn (fun () ->
+        for i = 1 to items do
+          (* BUG: occupancy published before the element exists. *)
+          Sct.Var.write occupied (Sct.Var.read occupied + 1);
+          Sct.Mutex.lock m;
+          let t = Sct.Var.read tail in
+          Sct.Arr.set q t i;
+          Sct.Var.write tail (t + 1);
+          Sct.Mutex.unlock m
+        done)
+  in
+  let consumer =
+    Sct.spawn (fun () ->
+        let got = ref 0 in
+        let attempts = ref 0 in
+        while !got < items && !attempts < 2 * items do
+          incr attempts;
+          if Sct.Var.read occupied > 0 then begin
+            Sct.Mutex.lock m;
+            let h = Sct.Var.read head in
+            Sct.check
+              (Sct.Var.read tail > h)
+              "dequeue from an empty queue";
+            let x = Sct.Arr.get q h in
+            Sct.check (x = !got + 1) "dequeued wrong element";
+            Sct.Var.write head (h + 1);
+            Sct.Mutex.unlock m;
+            Sct.Var.write occupied (Sct.Var.read occupied - 1);
+            incr got
+          end
+        done)
+  in
+  Sct.join producer;
+  Sct.join consumer
+
+(* 19-23. CS.reorder_X_bad — the adversarial delay-bounding family of the
+   paper's Example 2: X-1 "setter" twins write a then b; one checker asserts
+   it never observes a and b out of sync. The smallest delay bound grows
+   with the twin count while one preemption always suffices. The harness
+   does not join (as in the original), so thread-completion orderings blow
+   up the zero-preemption schedule count for large X. *)
+let reorder_bad x () =
+  let a = v ~name:"reorder_a" 0 in
+  let b = v ~name:"reorder_b" 0 in
+  for _ = 1 to x - 1 do
+    ignore
+      (Sct.spawn (fun () ->
+           Sct.Var.write a 1;
+           Sct.Var.write b 1))
+  done;
+  ignore
+    (Sct.spawn (fun () ->
+         let va = Sct.Var.read a in
+         let vb = Sct.Var.read b in
+         Sct.check (va = vb) "observed a and b out of sync"))
+
+(* 24. CS.stack_bad — push publishes the stack top before storing the
+   element; a pop in that window reads an empty slot. *)
+let stack_bad () =
+  let cap = 8 and items = 3 in
+  let stack = Sct.Arr.make ~name:"stack" cap 0 in
+  let top = v ~name:"stack_top" 0 in
+  let m = Sct.Mutex.create () in
+  let pusher =
+    Sct.spawn (fun () ->
+        for i = 1 to items do
+          Sct.Mutex.lock m;
+          let t = Sct.Var.read top in
+          (* BUG: top published before the element is stored. *)
+          Sct.Var.write top (t + 1);
+          Sct.Mutex.unlock m;
+          Sct.Arr.set stack t i
+        done)
+  in
+  let popper =
+    Sct.spawn (fun () ->
+        let attempts = ref 0 in
+        while !attempts < items do
+          incr attempts;
+          if Sct.Var.read top > 0 then begin
+            Sct.Mutex.lock m;
+            let t = Sct.Var.read top - 1 in
+            Sct.Var.write top t;
+            Sct.Mutex.unlock m;
+            let x = Sct.Arr.get stack t in
+            Sct.check (x <> 0) "popped an unwritten element"
+          end
+        done)
+  in
+  Sct.join pusher;
+  Sct.join popper
+
+(* 25. CS.sync01_bad — condition-variable handshake; the final assertion is
+   wrong on every schedule. *)
+let sync01_bad () =
+  let m = Sct.Mutex.create () in
+  let c = Sct.Cond.create () in
+  let num = v ~name:"sync_num" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        Sct.Var.write num (Sct.Var.read num + 1);
+        Sct.Cond.signal c;
+        Sct.Mutex.unlock m)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        while Sct.Var.read num = 0 do
+          Sct.Cond.wait c m
+        done;
+        Sct.Mutex.unlock m)
+  in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Var.read num = 2) "sync01 final count"
+
+(* 26. CS.sync02_bad — as sync01 with the producer/consumer roles swapped;
+   again buggy on every schedule. *)
+let sync02_bad () =
+  let m = Sct.Mutex.create () in
+  let c = Sct.Cond.create () in
+  let ready = v ~name:"sync_ready" false in
+  let data = v ~name:"sync_data" 0 in
+  let waiter =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock m;
+        while not (Sct.Var.read ready) do
+          Sct.Cond.wait c m
+        done;
+        Sct.Mutex.unlock m;
+        Sct.check (Sct.Var.read data = 2) "sync02 consumed value")
+  in
+  let setter =
+    Sct.spawn (fun () ->
+        Sct.Var.write data 1;
+        Sct.Mutex.lock m;
+        Sct.Var.write ready true;
+        Sct.Cond.broadcast c;
+        Sct.Mutex.unlock m)
+  in
+  Sct.join waiter;
+  Sct.join setter
+
+(* 27. CS.token_ring_bad — four threads forward a token x1->x2->x3->x4 by
+   reading their predecessor's cell; only the creation-order ring produces
+   the expected final token, and non-preemptive reorderings already break
+   it. *)
+let token_ring_bad () =
+  let x = Array.init 5 (fun i -> v ~name:(Printf.sprintf "token_x%d" i) 0) in
+  Sct.Var.write x.(0) 1;
+  let forwarder i =
+    Sct.spawn (fun () ->
+        let t = Sct.Var.read x.(i - 1) in
+        Sct.Var.write x.(i) (t + 1))
+  in
+  let ts = List.init 4 (fun i -> forwarder (i + 1)) in
+  List.iter Sct.join ts;
+  Sct.check (Sct.Var.read x.(4) = 5) "token failed to traverse the ring"
+
+(* 29. CS.twostage_bad — the two-stage locking pattern: stage two of the
+   first thread is observable separately from stage one; a reader between
+   the stages sees half-updated state. *)
+let twostage_bad () =
+  let ma = Sct.Mutex.create () in
+  let mb = Sct.Mutex.create () in
+  let data1 = v ~name:"data1" 0 in
+  let data2 = v ~name:"data2" 0 in
+  let writer =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock ma;
+        Sct.Var.write data1 1;
+        Sct.Mutex.unlock ma;
+        Sct.Mutex.lock mb;
+        Sct.Var.write data2 (Sct.Var.read data1 + 1);
+        Sct.Mutex.unlock mb)
+  in
+  let reader =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock ma;
+        let t = Sct.Var.read data1 in
+        Sct.Mutex.unlock ma;
+        if t <> 0 then begin
+          Sct.Mutex.lock mb;
+          let u = Sct.Var.read data2 in
+          Sct.Mutex.unlock mb;
+          Sct.check (u = t + 1) "second stage lagging behind first"
+        end)
+  in
+  Sct.join writer;
+  Sct.join reader
+
+(* 28. CS.twostage_100_bad — the same defect surrounded by 98 extra worker
+   threads. The reader is created first (so the default schedule reads
+   data1 before any stage ran and exits safely), the writer last with a
+   long set-up prefix: reaching the inconsistency needs the reader parked
+   from its first operation AND the writer parked inside its gap — two
+   delays buried under a six-figure bound-2 level. Under the random
+   scheduler the reader's single early read almost surely precedes the
+   writer's late first stage, so the window is effectively invisible. *)
+let twostage_n_bad extra () =
+  let ma = Sct.Mutex.create () in
+  let mb = Sct.Mutex.create () in
+  let data1 = v ~name:"data1" 0 in
+  let data2 = v ~name:"data2" 0 in
+  let noise = v ~name:"noise" 0 in
+  let reader =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock ma;
+        let t = Sct.Var.read data1 in
+        Sct.Mutex.unlock ma;
+        if t <> 0 then begin
+          Sct.Mutex.lock mb;
+          let u = Sct.Var.read data2 in
+          Sct.Mutex.unlock mb;
+          Sct.check (u = t + 1) "second stage lagging behind first"
+        end)
+  in
+  let ts = ref [] in
+  for _ = 1 to extra do
+    ts :=
+      Sct.spawn (fun () ->
+          Sct.yield ();
+          Sct.Mutex.lock ma;
+          Sct.Var.write noise (Sct.Var.read noise + 1);
+          Sct.Mutex.unlock ma;
+          Sct.yield ())
+      :: !ts
+  done;
+  let writer =
+    Sct.spawn (fun () ->
+        for _ = 1 to 40 do
+          Sct.yield ()
+        done;
+        Sct.Mutex.lock ma;
+        Sct.Var.write data1 1;
+        Sct.Mutex.unlock ma;
+        Sct.Mutex.lock mb;
+        Sct.Var.write data2 (Sct.Var.read data1 + 1);
+        Sct.Mutex.unlock mb)
+  in
+  Sct.join reader;
+  List.iter Sct.join !ts;
+  Sct.join writer
+
+(* 30/31. CS.wronglock(_3)_bad — one thread protects the shared counter
+   with lock A, the other workers with lock B: the read-modify-write windows
+   overlap under one preemption and an update is lost. *)
+let wronglock_bad nworkers () =
+  let counter = v ~name:"wl_counter" 0 in
+  let right = Sct.Mutex.create () in
+  let wrong = Sct.Mutex.create () in
+  let owner =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock right;
+        let c = Sct.Var.read counter in
+        Sct.Var.write counter (c + 1);
+        Sct.Mutex.unlock right)
+  in
+  let ws =
+    List.init nworkers (fun _ ->
+        Sct.spawn (fun () ->
+            Sct.Mutex.lock wrong;
+            let c = Sct.Var.read counter in
+            Sct.Var.write counter (c + 1);
+            Sct.Mutex.unlock wrong))
+  in
+  Sct.join owner;
+  List.iter Sct.join ws;
+  Sct.check
+    (Sct.Var.read counter = nworkers + 1)
+    "update lost under wrong lock"
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.CS
+
+let entries =
+  [
+    e ~id:3 ~name:"account_bad"
+      ~description:
+        "Bank account transfer: a withdrawal ordered before the deposit \
+         finds insufficient funds (order bug, no preemption needed)."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~ipb:0 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:1 account_bad;
+    e ~id:4 ~name:"arithmetic_prog_bad"
+      ~description:
+        "Arithmetic progression summed by two threads; wrong closed-form \
+         assertion: buggy on every schedule."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 arithmetic_prog_bad;
+    e ~id:5 ~name:"bluetooth_driver_bad"
+      ~description:
+        "Qadeer/Wu Bluetooth driver: stop-flag check-then-act race lets the \
+         stopper halt the driver under a pending request."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1 bluetooth_driver_bad;
+    e ~id:6 ~name:"carter01_bad"
+      ~description:
+        "Two of four workers take locks A/B in opposite order: lock-order \
+         deadlock under one preemption."
+      ~paper:(row ~threads:5 ~max_enabled:3 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 carter01_bad;
+    e ~id:7 ~name:"circular_buffer_bad"
+      ~description:
+        "Circular buffer whose producer publishes the index before the \
+         element: consumer reads an empty slot."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:2 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1 circular_buffer_bad;
+    e ~id:8 ~name:"deadlock01_bad"
+      ~description:"Textbook ABBA lock-order deadlock between two threads."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1 deadlock01_bad;
+    e ~id:9 ~name:"din_phil2_sat"
+      ~description:
+        "2 dining philosophers; harness asserts completion without joining \
+         (buggy on the initial schedule) and interleaved forks deadlock."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 2);
+    e ~id:10 ~name:"din_phil3_sat"
+      ~description:"3 dining philosophers (see din_phil2_sat)."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 3);
+    e ~id:11 ~name:"din_phil4_sat"
+      ~description:"4 dining philosophers (see din_phil2_sat)."
+      ~paper:(row ~threads:5 ~max_enabled:4 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 4);
+    e ~id:12 ~name:"din_phil5_sat"
+      ~description:"5 dining philosophers (see din_phil2_sat)."
+      ~paper:(row ~threads:6 ~max_enabled:5 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 5);
+    e ~id:13 ~name:"din_phil6_sat"
+      ~description:"6 dining philosophers (see din_phil2_sat)."
+      ~paper:(row ~threads:7 ~max_enabled:6 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 6);
+    e ~id:14 ~name:"din_phil7_sat"
+      ~description:"7 dining philosophers (see din_phil2_sat)."
+      ~paper:(row ~threads:8 ~max_enabled:7 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 (din_phil_sat 7);
+    e ~id:15 ~name:"fsbench_bad"
+      ~description:
+        "File-system journal stress with 27 writers; the block array is one \
+         record short, so the last record overflows on every schedule (the \
+         manually-added out-of-bounds assertion of §4.2)."
+      ~paper:(row ~threads:28 ~max_enabled:27 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 fsbench_bad;
+    e ~id:16 ~name:"lazy01_bad"
+      ~description:
+        "Three lock-protected updates; the combined effect trips the \
+         assertion already on the creation-order schedule."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 lazy01_bad;
+    e ~id:17 ~name:"phase01_bad"
+      ~description:
+        "Semaphore-phased increments with a wrong final-count assertion: \
+         buggy on every schedule."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 phase01_bad;
+    e ~id:18 ~name:"queue_bad"
+      ~description:
+        "Queue whose occupancy counter is published before the element is \
+         stored: consumer dequeues from an empty queue."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:2 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 queue_bad;
+    e ~id:19 ~name:"reorder_10_bad"
+      ~description:
+        "Adversarial reorder family with 9 setter twins: needs many delays; \
+         zero-preemption completion orders alone exceed the limit."
+      ~paper:(row ~threads:11 ~max_enabled:10 ~dfs:false ~rand:false ~maple:false ())
+      (reorder_bad 10);
+    e ~id:20 ~name:"reorder_20_bad"
+      ~description:"Reorder family with 19 setter twins (see reorder_10)."
+      ~paper:(row ~threads:21 ~max_enabled:20 ~dfs:false ~rand:false ~maple:false ())
+      (reorder_bad 20);
+    e ~id:21 ~name:"reorder_3_bad"
+      ~description:
+        "Paper Example 2: two setter twins and one checker; one preemption \
+         but two delays needed."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~ipb:1 ~idb:2 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:2 (reorder_bad 3);
+    e ~id:22 ~name:"reorder_4_bad"
+      ~description:"Reorder with three setter twins: delay bound 3."
+      ~paper:(row ~threads:5 ~max_enabled:4 ~ipb:1 ~idb:3 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:3 (reorder_bad 4);
+    e ~id:23 ~name:"reorder_5_bad"
+      ~description:"Reorder with four setter twins: delay bound 4."
+      ~paper:(row ~threads:6 ~max_enabled:5 ~ipb:1 ~idb:4 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:4 (reorder_bad 5);
+    e ~id:24 ~name:"stack_bad"
+      ~description:
+        "Stack push publishes the new top before storing the element; a pop \
+         in the window reads an unwritten slot."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1 stack_bad;
+    e ~id:25 ~name:"sync01_bad"
+      ~description:
+        "Condition-variable handshake with a wrong final assertion: buggy \
+         on every schedule."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 sync01_bad;
+    e ~id:26 ~name:"sync02_bad"
+      ~description:
+        "Broadcast handshake; consumed value asserted wrongly: buggy on \
+         every schedule."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 sync02_bad;
+    e ~id:27 ~name:"token_ring_bad"
+      ~description:
+        "Token forwarded through a ring of racy cells; non-creation-order \
+         completion breaks the token count without any preemption."
+      ~paper:(row ~threads:5 ~max_enabled:4 ~ipb:0 ~idb:2 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:1 token_ring_bad;
+    e ~id:28 ~name:"twostage_100_bad"
+      ~description:
+        "twostage_bad surrounded by 98 noise workers: nothing finds the bug \
+         within the schedule limit."
+      ~paper:(row ~threads:101 ~max_enabled:100 ~dfs:false ~rand:false ~maple:false ())
+      (twostage_n_bad 98);
+    e ~id:29 ~name:"twostage_bad"
+      ~description:
+        "Two-stage locking: a reader between the stages observes data2 \
+         lagging behind data1."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 twostage_bad;
+    e ~id:30 ~name:"wronglock_3_bad"
+      ~description:
+        "Three workers guard the counter with the wrong lock: lost update \
+         under one preemption."
+      ~paper:(row ~threads:5 ~max_enabled:4 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 (wronglock_bad 3);
+    e ~id:31 ~name:"wronglock_bad"
+      ~description:
+        "Seven workers guard the counter with the wrong lock; the \
+         zero-preemption completion orders drown IPB."
+      ~paper:(row ~threads:9 ~max_enabled:8 ~idb:1 ~dfs:false ~rand:true ~maple:true ())
+      ~expect_idb:1 (wronglock_bad 7);
+  ]

@@ -1,0 +1,75 @@
+(* The Inspect benchmark, id 36 (paper §4.1): qsort_mt, the only buggy
+   program found among the 29 Inspect benchmarks. *)
+
+open Sct_core
+
+(* 36. inspect.qsort_mt — multithreaded quicksort: the main thread hands a
+   half of the array to each worker and watches a racy completion counter;
+   a worker publishes completion before its final element is in place, so
+   the main thread can observe "done" and read a half-sorted array. *)
+let qsort_mt () =
+  let data = [| 5; 3; 7; 1; 8; 2; 6; 4 |] in
+  let n = Array.length data in
+  let arr = Sct.Arr.make ~name:"qsort_arr" n 0 in
+  Array.iteri (fun i x -> Sct.Arr.set arr i x) data;
+  let completed = Sct.Var.make ~name:"qsort_done" 0 in
+  let half = n / 2 in
+  (* insertion-sort a segment, but publish completion before the last
+     element settles: the seeded racy work-counter protocol of qsort_mt *)
+  let sort_segment lo hi =
+    for i = lo + 1 to hi do
+      let x = Sct.Arr.get arr i in
+      (* BUG: completion is published before the final element is even
+         shifted into place, widening the half-sorted window *)
+      if i = hi then Sct.Var.write completed (Sct.Var.read completed + 1);
+      let j = ref (i - 1) in
+      while !j >= lo && Sct.Arr.get arr !j > x do
+        Sct.Arr.set arr (!j + 1) (Sct.Arr.get arr !j);
+        decr j
+      done;
+      Sct.Arr.set arr (!j + 1) x
+    done
+  in
+  let w1 = Sct.spawn (fun () -> sort_segment 0 (half - 1)) in
+  let w2 = Sct.spawn (fun () -> sort_segment half (n - 1)) in
+  (* main polls the racy counter instead of joining *)
+  let polls = ref 0 in
+  let ready = ref false in
+  while (not !ready) && !polls < 6 do
+    incr polls;
+    if Sct.Var.read completed = 2 then ready := true else Sct.yield ()
+  done;
+  if !ready then begin
+    for i = 1 to half - 1 do
+      Sct.check
+        (Sct.Arr.get arr (i - 1) <= Sct.Arr.get arr i)
+        "left half unsorted at completion"
+    done;
+    for i = half + 1 to n - 1 do
+      Sct.check
+        (Sct.Arr.get arr (i - 1) <= Sct.Arr.get arr i)
+        "right half unsorted at completion"
+    done;
+    (* content check: an element still in flight when completion was
+       published leaves a duplicated (sorted-looking) array *)
+    let expected = Array.fold_left ( + ) 0 data in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + Sct.Arr.get arr i
+    done;
+    Sct.check (!total = expected) "array contents corrupted at completion"
+  end;
+  Sct.join w1;
+  Sct.join w2
+
+let entries =
+  [
+    Bench.entry ~id:36 ~suite:Bench.Inspect ~name:"qsort_mt"
+      ~description:
+        "Multithreaded quicksort: completion counter published before the \
+         final element is placed; main observes a half-sorted array."
+      ~paper:
+        (Bench.paper_row ~threads:3 ~max_enabled:3 ~ipb:1 ~idb:1 ~dfs:false
+           ~rand:true ~maple:false ())
+      ~expect_ipb:2 ~expect_idb:2 qsort_mt;
+  ]

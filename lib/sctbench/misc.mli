@@ -1,0 +1,5 @@
+(** See the implementation for per-benchmark origin and bug-mechanism
+    notes. *)
+
+val entries : Bench.t list
+(** The registry entries this suite contributes. *)

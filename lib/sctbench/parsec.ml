@@ -1,0 +1,303 @@
+(* The PARSEC 2.0 benchmarks, ids 39..42 (paper §4.1): the ferret pipeline
+   and three distinct streamcluster bugs, configured (as in the paper) with
+   the smallest inputs and non-spinning synchronisation. *)
+
+open Sct_core
+
+let v = Sct.Var.make
+
+(* A properly locked bounded queue stage used by the correct pipeline
+   stages of ferret. *)
+module Stage_queue = struct
+  type t = {
+    items : int Sct.Arr.t;
+    count : int Sct.Var.t;
+    head : int Sct.Var.t;
+    tail : int Sct.Var.t;
+    m : Sct.Mutex.t;
+  }
+
+  let create name cap =
+    {
+      items = Sct.Arr.make ~name:(name ^ "_items") cap 0;
+      count = v ~name:(name ^ "_count") 0;
+      head = v ~name:(name ^ "_head") 0;
+      tail = v ~name:(name ^ "_tail") 0;
+      m = Sct.Mutex.create ();
+    }
+
+  let put q x =
+    Sct.Mutex.lock q.m;
+    let t = Sct.Var.read q.tail in
+    Sct.Arr.set q.items (t mod Sct.Arr.length q.items) x;
+    Sct.Var.write q.tail (t + 1);
+    Sct.Var.write q.count (Sct.Var.read q.count + 1);
+    Sct.Mutex.unlock q.m
+
+  (* Locked take: returns 0 when empty. *)
+  let take q =
+    Sct.Mutex.lock q.m;
+    let c = Sct.Var.read q.count in
+    let x =
+      if c = 0 then 0
+      else begin
+        let h = Sct.Var.read q.head in
+        let x = Sct.Arr.get q.items (h mod Sct.Arr.length q.items) in
+        Sct.Var.write q.head (h + 1);
+        Sct.Var.write q.count (c - 1);
+        x
+      end
+    in
+    Sct.Mutex.unlock q.m;
+    x
+end
+
+(* 39. parsec.ferret — four pipeline stages with two workers each, plus the
+   load stage and the main thread (11 threads). The rank stage checks the
+   queue's occupancy outside the lock before dequeueing: if the worker is
+   held in that window while its peer takes the last item, the resumed
+   dequeue underflows. This reproduces the paper's shape: the bug needs a
+   thread preempted at one specific visible operation (one delay; a single
+   buggy schedule for IDB) and is effectively invisible to a uniform random
+   scheduler. *)
+let ferret () =
+  let items = 4 in
+  let q_seg = Stage_queue.create "ferret_seg" 8 in
+  let q_extract = Stage_queue.create "ferret_extract" 8 in
+  let q_vec = Stage_queue.create "ferret_vec" 8 in
+  let q_rank = Stage_queue.create "ferret_rank" 8 in
+  let out = v ~name:"ferret_out" 0 in
+  let out_m = Sct.Mutex.create () in
+  let load_done = v ~name:"ferret_load_done" false in
+  let seg_active = v ~name:"ferret_seg_active" 2 in
+  let extract_active = v ~name:"ferret_extract_active" 2 in
+  let gate = Sct.Mutex.create () in
+  let load =
+    Sct.spawn (fun () ->
+        for i = 1 to items do
+          Stage_queue.put q_seg i
+        done;
+        Sct.Var.write load_done true)
+  in
+  let stage_worker ~in_q ~out_q ~upstream_done ~active () =
+    let quit = ref false in
+    let idle = ref 0 in
+    while (not !quit) && !idle < 16 do
+      let x = Stage_queue.take in_q in
+      if x <> 0 then begin
+        idle := 0;
+        Stage_queue.put out_q (x * 2)
+      end
+      else if Sct.Var.read upstream_done then quit := true
+      else incr idle
+    done;
+    Sct.Mutex.lock gate;
+    Sct.Var.write active (Sct.Var.read active - 1);
+    Sct.Mutex.unlock gate
+  in
+  let seg_done = v ~name:"ferret_seg_done" false in
+  let extract_done = v ~name:"ferret_extract_done" false in
+  let vec_done = v ~name:"ferret_vec_done" false in
+  let vec_active = v ~name:"ferret_vec_active" 2 in
+  let seg_workers =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            stage_worker ~in_q:q_seg ~out_q:q_extract ~upstream_done:load_done
+              ~active:seg_active ();
+            if Sct.Var.read seg_active = 0 then Sct.Var.write seg_done true))
+  in
+  let extract_workers =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            stage_worker ~in_q:q_extract ~out_q:q_vec ~upstream_done:seg_done
+              ~active:extract_active ();
+            if Sct.Var.read extract_active = 0 then
+              Sct.Var.write extract_done true))
+  in
+  let vec_workers =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            stage_worker ~in_q:q_vec ~out_q:q_rank ~upstream_done:extract_done
+              ~active:vec_active ();
+            if Sct.Var.read vec_active = 0 then Sct.Var.write vec_done true))
+  in
+  (* The rank stage writes results into the output aggregate, which the
+     last idle rank worker seals (writes the summary header) once the
+     upstream is done and the queue has stayed empty over a double scan.
+     BUG: a ranked result is written to the output *after* the locked take
+     releases the queue lock — a worker parked in that window while its
+     peer drains the rest and seals the output resumes into a sealed
+     aggregate. Only a long starvation exposes it: a single delay (the
+     round-robin cascade runs every other thread to completion), but a
+     uniform random scheduler has a vanishing chance of keeping the worker
+     parked that long (paper §6: why Rand misses ferret). *)
+  let sealed = v ~name:"ferret_out_sealed" false in
+  let rank_workers =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            let quit = ref false in
+            let idle = ref 0 in
+            while (not !quit) && !idle < 16 do
+              Sct.Mutex.lock q_rank.Stage_queue.m;
+              let c = Sct.Var.read q_rank.Stage_queue.count in
+              if c > 0 then begin
+                let h = Sct.Var.read q_rank.Stage_queue.head in
+                let x =
+                  Sct.Arr.get q_rank.Stage_queue.items
+                    (h mod Sct.Arr.length q_rank.Stage_queue.items)
+                in
+                Sct.Var.write q_rank.Stage_queue.head (h + 1);
+                Sct.Var.write q_rank.Stage_queue.count (c - 1);
+                Sct.Mutex.unlock q_rank.Stage_queue.m;
+                idle := 0;
+                (* the window: the take is published, the result is not *)
+                Sct.check
+                  (not (Sct.Var.read sealed))
+                  "ferret rank: result written into sealed output";
+                Sct.Mutex.lock out_m;
+                Sct.Var.write out (Sct.Var.read out + x);
+                Sct.Mutex.unlock out_m
+              end
+              else begin
+                Sct.Mutex.unlock q_rank.Stage_queue.m;
+                if Sct.Var.read vec_done then begin
+                  (* double empty-scan before sealing the output *)
+                  let still_empty = ref true in
+                  for _ = 1 to 16 do
+                    Sct.yield ();
+                    if Sct.Var.read q_rank.Stage_queue.count > 0 then
+                      still_empty := false
+                  done;
+                  if !still_empty then begin
+                    (* the seal itself is written without a lock: racy
+                       against the peer's unlocked check above *)
+                    Sct.Var.write sealed true;
+                    quit := true
+                  end
+                end
+                else incr idle
+              end
+            done))
+  in
+  Sct.join load;
+  List.iter Sct.join seg_workers;
+  List.iter Sct.join extract_workers;
+  List.iter Sct.join vec_workers;
+  List.iter Sct.join rank_workers
+
+(* The buggy hand-rolled condition synchronisation of streamcluster's
+   pspeedy: the flag is written and the wake-up sent without regard for the
+   waiter being between its check and its wait — the signal is lost and the
+   waiter sleeps forever (with non-spinning synchronisation, a deadlock). *)
+let lost_signal_handshake ~signals ~waiters ~noise () =
+  let m = Sct.Mutex.create () in
+  let c = Sct.Cond.create () in
+  let flag = v ~name:"sc_continue" false in
+  let work = v ~name:"sc_work" 0 in
+  let busy n =
+    for _ = 1 to n do
+      Sct.yield ()
+    done
+  in
+  let waiter_threads =
+    List.init waiters (fun _ ->
+        Sct.spawn (fun () ->
+            (* the kmedian phase work before the synchronisation point *)
+            busy 150;
+            Sct.Mutex.lock m;
+            (* BUG: 'if', not 'while', and the producer signals without
+               holding the mutex. *)
+            if not (Sct.Var.read flag) then Sct.Cond.wait c m;
+            Sct.Mutex.unlock m;
+            Sct.Var.write work (Sct.Var.read work + 1);
+            (* the phase work after the synchronisation point *)
+            busy 400))
+  in
+  let noise_threads =
+    List.init noise (fun i ->
+        Sct.spawn (fun () ->
+            for _ = 1 to 3 do
+              Sct.Var.write work (Sct.Var.read work + i)
+            done;
+            busy 500))
+  in
+  let setter =
+    Sct.spawn (fun () ->
+        busy 150;
+        Sct.Var.write flag true;
+        for _ = 1 to signals do
+          Sct.Cond.signal c
+        done;
+        busy 400)
+  in
+  List.iter Sct.join waiter_threads;
+  List.iter Sct.join noise_threads;
+  Sct.join setter
+
+(* 40. parsec.streamcluster — two waiter workers + the setter + one noise
+   worker (5 threads): a waiter caught between its flag check and its wait
+   misses the broadcastless wake-up and the program deadlocks. *)
+let streamcluster () = lost_signal_handshake ~signals:2 ~waiters:2 ~noise:1 ()
+
+(* 41. parsec.streamcluster2 — the same lost-signal defect with more
+   workers (7 threads), the variant whose bug needs three threads
+   cooperating. *)
+let streamcluster2 () = lost_signal_handshake ~signals:3 ~waiters:3 ~noise:2 ()
+
+(* 42. parsec.streamcluster3 — the previously unknown out-of-bounds bug the
+   paper found with its memory-safety checker: the center table is resized
+   by the first worker; if the second worker's write is ordered first it
+   indexes the stale, larger count. Two sequential setup phases keep at most
+   two threads enabled, as in the paper's row. *)
+let streamcluster3 () =
+  let centers = Sct.Arr.make ~name:"sc3_centers" 4 0 in
+  let ncenters = v ~name:"sc3_ncenters" 8 in
+  let points_read = v ~name:"sc3_points_read" 0 in
+  let setup1 = Sct.spawn (fun () -> Sct.Var.write points_read 1) in
+  Sct.join setup1;
+  let setup2 = Sct.spawn (fun () -> Sct.Arr.set centers 0 1) in
+  Sct.join setup2;
+  let shrinker =
+    Sct.spawn (fun () ->
+        (* pkmedian trims the candidate centers to fit the table *)
+        Sct.Var.write ncenters (Sct.Arr.length centers))
+  in
+  let writer =
+    Sct.spawn (fun () ->
+        let n = Sct.Var.read ncenters in
+        Sct.Arr.set centers (n - 1) 42)
+  in
+  Sct.join shrinker;
+  Sct.join writer
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.Parsec
+
+let entries =
+  [
+    e ~id:39 ~name:"ferret"
+      ~description:
+        "ferret pipeline (4 stages x 2 workers): rank stage checks queue \
+         occupancy outside the lock; a worker held in that window \
+         underflows the queue when it resumes."
+      ~paper:(row ~threads:11 ~max_enabled:11 ~idb:1 ~dfs:false ~rand:false ~maple:true ())
+      ~expect_idb:1 ferret;
+    e ~id:40 ~name:"streamcluster"
+      ~description:
+        "pspeedy's hand-rolled continue-flag: signal sent while a waiter \
+         sits between check and wait; lost wake-up deadlock."
+      ~paper:(row ~threads:5 ~max_enabled:2 ~idb:1 ~dfs:false ~rand:true ~maple:true ())
+      ~expect_idb:1 streamcluster;
+    e ~id:41 ~name:"streamcluster2"
+      ~description:
+        "The lost-wake-up defect in the three-thread configuration (an \
+         older version of the benchmark)."
+      ~paper:(row ~threads:7 ~max_enabled:3 ~idb:1 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_idb:1 streamcluster2;
+    e ~id:42 ~name:"streamcluster3"
+      ~description:
+        "Previously unknown out-of-bounds write: a worker indexes the \
+         center table with a stale (pre-shrink) count when ordered first."
+      ~paper:(row ~threads:5 ~max_enabled:2 ~ipb:0 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:1 streamcluster3;
+  ]

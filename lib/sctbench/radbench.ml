@@ -1,0 +1,262 @@
+(* The RADBench benchmarks, ids 43..48 (paper §4.1): bugs in Mozilla
+   SpiderMonkey and the Netscape Portable Runtime (NSPR) thread package.
+   Each model preserves the documented bug mechanism and, crucially, the
+   *reachability profile* of the paper's Table 3 row: which techniques
+   expose it within the schedule limit. *)
+
+open Sct_core
+
+let v = Sct.Var.make
+
+(* Busy visible work used to give the SpiderMonkey models their large
+   scheduling-point counts: racy shared-cell updates when the cell is
+   shared, pure scheduling points (yields) otherwise. *)
+let churn cell rounds =
+  for i = 1 to rounds do
+    Sct.Var.write cell (Sct.Var.read cell + i)
+  done
+
+let busy rounds =
+  for _ = 1 to rounds do
+    Sct.yield ()
+  done
+
+(* 43. radbench.bug1 — SpiderMonkey: a thread destroys the runtime's hash
+   table while another thread is between its liveness check and its access.
+   The destroyer is created before the user thread, so the bug needs two
+   delays (park the destroyer, then park the user inside its window), and
+   the enormous number of scheduling points from the JS workload pushes the
+   buggy combination beyond any technique's 10,000-schedule horizon. *)
+let bug1 () =
+  let table_alive = v ~name:"bug1_alive" true in
+  let entries = Sct.Arr.make ~name:"bug1_entries" 4 1 in
+  let destroyer =
+    Sct.spawn (fun () ->
+        (* runtime shutdown work, then clear and free the table; the prefix
+           means the destruction happens early in the default schedule, so
+           the user's liveness check only ever sees a live table if the
+           destroyer was parked — and the crash additionally needs the user
+           parked inside its check-to-access window: two delays. *)
+        busy 10;
+        Sct.Var.write table_alive false;
+        for i = 0 to 3 do
+          Sct.Arr.set entries i 0
+        done)
+  in
+  let user =
+    Sct.spawn (fun () ->
+        (* request-processing prefix: under uncontrolled scheduling the
+           destroyer has long finished by the time the table is touched *)
+        busy 80;
+        if Sct.Var.read table_alive then begin
+          let x = Sct.Arr.get entries 0 in
+          Sct.check (x <> 0) "bug1: access to a destroyed hash table"
+        end;
+        (* the rest of the JS workload: a long tail of visible operations *)
+        busy 320)
+  in
+  let gc = Sct.spawn (fun () -> busy 400) in
+  Sct.join destroyer;
+  Sct.join user;
+  Sct.join gc
+
+(* 44. radbench.bug2 — NSPR monitor bug needing exactly three preemptions
+   with two threads (the paper's deepest systematically-found bug; with two
+   threads IPB and IDB coincide). The main thread must observe the worker's
+   state variable at 1 and then at 2, which requires entering and leaving
+   the worker's update sequence twice while both threads stay enabled. *)
+let bug2 () =
+  let state = v ~name:"bug2_state" 0 in
+  let noise = v ~name:"bug2_noise" 0 in
+  let worker =
+    Sct.spawn (fun () ->
+        (* monitor-internal work precedes the state transitions, so the
+           observer must (1) let the worker run, (2) stop it between the
+           writes, and (3) pause itself between its reads: three
+           preemptions, none of them free. *)
+        churn noise 4;
+        Sct.Var.write state 1;
+        Sct.Var.write state 2)
+  in
+  let a = Sct.Var.read state in
+  let b = Sct.Var.read state in
+  Sct.check
+    (not (a = 1 && b = 2))
+    "bug2: monitor observed both intermediate states";
+  churn noise 4;
+  Sct.join worker
+
+(* 45. radbench.bug3 — an NSPR test whose assertion is wrong on every
+   schedule (found on the first schedule by everything). *)
+let bug3 () =
+  let m = Sct.Mutex.create () in
+  let counter = v ~name:"bug3_counter" 0 in
+  let ts =
+    List.init 2 (fun _ ->
+        Sct.spawn (fun () ->
+            for _ = 1 to 20 do
+              Sct.Mutex.lock m;
+              Sct.Var.write counter (Sct.Var.read counter + 1);
+              Sct.Mutex.unlock m
+            done))
+  in
+  List.iter Sct.join ts;
+  Sct.check (Sct.Var.read counter = 41) "bug3: wrong expected count"
+
+(* 46. radbench.bug4 — a shared NSPR lock is lazily initialised by two
+   threads at once without synchronisation; both enter the critical section
+   and the second release finds the lock already unlocked (the paper's
+   "double-unlock or similar error"). Needs two delays — one to hold the
+   first thread in its init window, one to hold the second before its
+   release — and has enough scheduling points that bound 2 exceeds the
+   schedule limit, leaving the bug to the random scheduler. *)
+let bug4 () =
+  let initialized = v ~name:"bug4_inited" false in
+  let locked = v ~name:"bug4_locked" 0 in
+  let work = v ~name:"bug4_work" 0 in
+  let use_lazy_lock () =
+    busy 20;
+    (* PR_CallOnce without synchronisation: *)
+    if not (Sct.Var.read initialized) then Sct.Var.write initialized true
+    else ();
+    (* acquire the (supposedly) initialised lock: a racy hand-over-hand
+       spin that both initialisers can pass simultaneously *)
+    let got = ref false in
+    let tries = ref 0 in
+    while (not !got) && !tries < 2 do
+      incr tries;
+      if Sct.Var.read locked = 0 then begin
+        Sct.Var.write locked 1;
+        got := true
+      end
+      else Sct.yield ()
+    done;
+    if !got then begin
+      Sct.Var.write work (Sct.Var.read work + 1);
+      (* release *)
+      Sct.check (Sct.Var.read locked = 1) "bug4: double unlock";
+      Sct.Var.write locked 0
+    end;
+    busy 110
+  in
+  let t1 = Sct.spawn (fun () -> use_lazy_lock ()) in
+  let t2 = Sct.spawn (fun () -> use_lazy_lock ()) in
+  Sct.join t1;
+  Sct.join t2
+
+(* 47. radbench.bug5 — SpiderMonkey: a worker uses a context field before
+   the early-created initialiser publishes it. Reaching the read-before-
+   write reversal means starving the initialiser's very first operation
+   past five other threads' long runs — a high delay/preemption count and a
+   tiny random probability, but exactly the single inter-thread-order
+   reversal that Maple's idiom forcing constructs directly (the paper:
+   MapleAlg alone finds it, after 14 schedules). *)
+let bug5 () =
+  (* The shared JS context is published in two parts very early in the
+     initialiser's run; a gated request thread later asserts it is not
+     torn. A pure completion ordering cannot tear it (it sees (0,0) or
+     (1,1)), so the bug needs the initialiser parked between the two writes
+     — buried under six threads' worth of scheduling points for IPB/IDB,
+     invisible to Rand, but exactly the inter-thread reversal that Maple's
+     idiom forcing constructs. *)
+  let ctx_a = v ~name:"bug5_ctx_a" 0 in
+  let ctx_b = v ~name:"bug5_ctx_b" 0 in
+  let gate = Sct.Sem.create 0 in
+  (* creation order: noise, writer, gated reader, more noise, poster *)
+  let n0 = Sct.spawn (fun () -> busy 100) in
+  let writer =
+    Sct.spawn (fun () ->
+        busy 6;
+        Sct.Var.write ctx_a 1;
+        busy 2;
+        Sct.Var.write ctx_b 1;
+        busy 100)
+  in
+  let reader =
+    Sct.spawn (fun () ->
+        (* woken by the request dispatcher, then uses the context *)
+        Sct.Sem.wait gate;
+        let a = Sct.Var.read ctx_a in
+        let b = Sct.Var.read ctx_b in
+        Sct.check (a = b) "bug5: torn context observed")
+  in
+  let n1 = Sct.spawn (fun () -> busy 100) in
+  let n2 = Sct.spawn (fun () -> busy 100) in
+  let poster =
+    Sct.spawn (fun () ->
+        busy 100;
+        Sct.Sem.post gate)
+  in
+  Sct.join n0;
+  Sct.join writer;
+  Sct.join reader;
+  Sct.join n1;
+  Sct.join n2;
+  Sct.join poster
+
+(* 48. radbench.bug6 — NSPR: a monitor's notification counter is read twice
+   without the lock; a burst of updates between the two reads breaks the
+   monotonicity the caller relies on. One preemption suffices, but the long
+   tails of visible operations keep depth-first search away from the early
+   window. *)
+let bug6 () =
+  let counter = v ~name:"bug6_counter" 0 in
+  (* a second NSPR worker whose long run gives depth-first search a deep
+     lattice of late context switches to drown in *)
+  let other = Sct.spawn (fun () -> busy 25) in
+  let updater =
+    Sct.spawn (fun () ->
+        for _ = 1 to 3 do
+          Sct.Var.write counter (Sct.Var.read counter + 1)
+        done)
+  in
+  let c1 = Sct.Var.read counter in
+  let c2 = Sct.Var.read counter in
+  Sct.check (c2 - c1 <= 1) "bug6: notification counter jumped";
+  busy 25;
+  Sct.join updater;
+  Sct.join other
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.Radbench
+
+let entries =
+  [
+    e ~id:43 ~name:"bug1"
+      ~description:
+        "SpiderMonkey hash table destroyed under a concurrent user; two \
+         delays hidden behind thousands of scheduling points: no technique \
+         finds it."
+      ~paper:(row ~threads:4 ~max_enabled:3 ~dfs:false ~rand:false ~maple:false ())
+      bug1;
+    e ~id:44 ~name:"bug2"
+      ~description:
+        "NSPR monitor bug needing three preemptions with two threads; \
+         IPB and IDB explore identical schedules."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:3 ~idb:3 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_ipb:3 ~expect_idb:3 bug2;
+    e ~id:45 ~name:"bug3"
+      ~description:"NSPR test with an always-wrong assertion."
+      ~paper:(row ~threads:3 ~max_enabled:2 ~ipb:0 ~idb:0 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:0 ~expect_idb:0 bug3;
+    e ~id:46 ~name:"bug4"
+      ~description:
+        "Lazily double-initialised NSPR lock: both threads enter the \
+         critical section; double unlock. Two delays, drowned by \
+         scheduling points: only the random scheduler finds it."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~dfs:false ~rand:true ~maple:true ())
+      bug4;
+    e ~id:47 ~name:"bug5"
+      ~description:
+        "Context used before initialisation; the reversal requires \
+         starving the early initialiser: found only by idiom forcing \
+         (MapleAlg)."
+      ~paper:(row ~threads:7 ~max_enabled:3 ~dfs:false ~rand:false ~maple:true ())
+      bug5;
+    e ~id:48 ~name:"bug6"
+      ~description:
+        "Monitor notification counter read twice without the lock; a \
+         burst between the reads breaks monotonicity (one preemption)."
+      ~paper:(row ~threads:3 ~max_enabled:3 ~ipb:1 ~idb:1 ~dfs:false ~rand:true ~maple:false ())
+      ~expect_ipb:1 ~expect_idb:1 bug6;
+  ]

@@ -1,0 +1,26 @@
+let all : Bench.t list =
+  List.sort
+    (fun (a : Bench.t) b -> compare a.Bench.id b.Bench.id)
+    (List.concat
+       [
+         Cb.entries;
+         Cs.entries;
+         Chess.entries;
+         Inspect_suite.entries;
+         Misc.entries;
+         Parsec.entries;
+         Radbench.entries;
+         Splash2.entries;
+       ])
+
+let by_id id = List.find_opt (fun (b : Bench.t) -> b.Bench.id = id) all
+
+let by_name name =
+  List.find_opt
+    (fun (b : Bench.t) -> String.equal b.Bench.name name)
+    all
+
+let of_suite suite =
+  List.filter (fun (b : Bench.t) -> b.Bench.suite = suite) all
+
+let names () = List.map (fun (b : Bench.t) -> b.Bench.name) all

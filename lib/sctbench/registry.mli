@@ -1,0 +1,8 @@
+(** The assembled SCTBench registry: all 52 benchmarks, sorted by the
+    paper's benchmark id. *)
+
+val all : Bench.t list
+val by_id : int -> Bench.t option
+val by_name : string -> Bench.t option
+val of_suite : Bench.suite -> Bench.t list
+val names : unit -> string list

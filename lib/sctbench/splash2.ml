@@ -1,0 +1,71 @@
+(* The SPLASH-2 benchmarks, ids 49..51 (paper §4.1).
+
+   The bugs all stem from a macro set that omits the WAIT-for-termination
+   macro: the initial thread finishes the last phase and reads the results
+   without waiting for the worker. The paper added assertions that all
+   threads have terminated as expected, and reduced input parameters so the
+   kernels complete quickly — we model exactly that: a two-thread kernel
+   alternating barrier-separated phases over a shared grid, with the
+   worker's termination flag checked (without a join) by the main thread.
+
+   With an odd number of barriers the deterministic round-robin schedule is
+   safe, and one delay at the final barrier release exposes the bug — all
+   systematic techniques find these bugs on the second schedule, as in
+   Table 3. *)
+
+open Sct_core
+
+let kernel ~name ~phases ~cells () =
+  let grid = Sct.Arr.make ~name:(name ^ "_grid") (2 * cells) 0 in
+  let done_flag = Sct.Var.make ~name:(name ^ "_done") false in
+  let b = Sct.Barrier.create 2 in
+  let work me phase =
+    for i = 0 to cells - 1 do
+      let mine = (me * cells) + i in
+      let theirs = (((me + 1) mod 2) * cells) + i in
+      (* read the neighbour's previous-phase cell, update our own: the
+         cross-thread reads are the (benign) data races of the original *)
+      let x = if phase = 0 then 0 else Sct.Arr.get grid theirs in
+      Sct.Arr.set grid mine (x + phase + i)
+    done
+  in
+  let worker =
+    Sct.spawn (fun () ->
+        for p = 0 to phases - 1 do
+          work 1 p;
+          Sct.Barrier.wait b
+        done;
+        Sct.Var.write done_flag true)
+  in
+  ignore worker;
+  for p = 0 to phases - 1 do
+    work 0 p;
+    Sct.Barrier.wait b
+  done;
+  (* BUG: the WAIT macro is missing — no join before using the results. *)
+  Sct.check (Sct.Var.read done_flag) "worker had not terminated at output time"
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.Splash2
+
+let entries =
+  [
+    e ~id:49 ~name:"barnes"
+      ~description:
+        "Barnes-Hut with reduced particle count; missing WAIT macro: main \
+         reads results before the worker terminates."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1
+      (kernel ~name:"barnes" ~phases:3 ~cells:6);
+    e ~id:50 ~name:"fft"
+      ~description:
+        "FFT kernel with reduced matrix; missing WAIT macro (see barnes)."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 (kernel ~name:"fft" ~phases:1 ~cells:4);
+    e ~id:51 ~name:"lu"
+      ~description:
+        "LU decomposition with reduced matrix; missing WAIT macro (see \
+         barnes)."
+      ~paper:(row ~threads:2 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 (kernel ~name:"lu" ~phases:1 ~cells:3);
+  ]

@@ -1,0 +1,94 @@
+open Sct_core
+
+type cell = int Sct.Var.t
+
+type entry =
+  | Store of cell * int
+  | Fence_marker of Sct.Sem.t
+  | End
+
+type tbuf = { queue : entry Queue.t; items : Sct.Sem.t }
+
+type ctx = {
+  mutable buffers : (Tid.t * tbuf) list;
+  mutable owners : Tid.t list;
+  mutable flushers : Tid.t list;
+}
+
+let create () = { buffers = []; owners = []; flushers = [] }
+
+let buffer_of ctx tid = List.assoc_opt tid ctx.buffers
+
+(* The flusher drains its owner's buffer one entry per wake-up; each queued
+   entry is matched by one post on [items], and the terminal [End] entry
+   (queued when the owner's body returns) shuts the flusher down. The
+   memory write is an ordinary (racy, promotable) [Sct.Var] write, so the
+   drain point is a first-class scheduling decision. *)
+let flusher_loop buf =
+  let running = ref true in
+  while !running do
+    Sct.Sem.wait buf.items;
+    match Queue.pop buf.queue with
+    | Store (cell, v) -> Sct.Var.write cell v
+    | Fence_marker waiting -> Sct.Sem.post waiting
+    | End -> running := false
+  done
+
+let thread ctx body =
+  let buf = { queue = Queue.create (); items = Sct.Sem.create 0 } in
+  let owner =
+    Sct.spawn (fun () ->
+        ctx.buffers <- (Sct.self (), buf) :: ctx.buffers;
+        body ();
+        Queue.add End buf.queue;
+        Sct.Sem.post buf.items)
+  in
+  let flusher = Sct.spawn (fun () -> flusher_loop buf) in
+  ctx.owners <- owner :: ctx.owners;
+  ctx.flushers <- flusher :: ctx.flushers;
+  owner
+
+let finish ctx =
+  List.iter Sct.join (List.rev ctx.owners);
+  List.iter Sct.join (List.rev ctx.flushers)
+
+module Var = struct
+  type t = { cell : cell; ctx : ctx }
+
+  let make ctx ?name v = { cell = Sct.Var.make ?name v; ctx }
+
+  let store v x =
+    match buffer_of v.ctx (Sct.self ()) with
+    | Some buf ->
+        Queue.add (Store (v.cell, x)) buf.queue;
+        Sct.Sem.post buf.items
+    | None -> Sct.Var.write v.cell x
+
+  (* Store-to-load forwarding: the newest buffered store to this location
+     wins; a forwarded load touches no memory (and is thus invisible, as on
+     real TSO hardware). *)
+  let load v =
+    match buffer_of v.ctx (Sct.self ()) with
+    | None -> Sct.Var.read v.cell
+    | Some buf ->
+        let forwarded =
+          Queue.fold
+            (fun acc entry ->
+              match entry with
+              | Store (cell, x) when cell == v.cell -> Some x
+              | Store _ | Fence_marker _ | End -> acc)
+            None buf.queue
+        in
+        (match forwarded with
+        | Some x -> x
+        | None -> Sct.Var.read v.cell)
+end
+
+let fence ctx =
+  match buffer_of ctx (Sct.self ()) with
+  | None -> ()
+  | Some buf ->
+      let drained = Sct.Sem.create 0 in
+      Queue.add (Fence_marker drained) buf.queue;
+      Sct.Sem.post buf.items;
+      Sct.Sem.wait drained

@@ -1,0 +1,59 @@
+(** Total-store-order (TSO) simulation on top of the SCT engine.
+
+    The paper's threat-to-validity discussion (§5) notes that its method
+    explores "sequentially consistent outcomes of racy memory accesses", so
+    "bugs that depend on relaxed memory effects ... will be missed" — and
+    its hardest benchmark, Vyukov's safestack, comes from the weak-memory
+    world (reproduced by the authors with Relacy, §6). This module closes
+    that gap for the x86-TSO fragment: each thread's plain stores go through
+    a FIFO store buffer drained asynchronously by a companion flusher
+    thread, and loads forward from the own buffer before reading memory.
+    Buffer-drain points are ordinary scheduling decisions, so every
+    systematic and random technique in [Sct_explore] explores TSO
+    reorderings with no changes.
+
+    The classic store-buffering litmus (SB):
+    {v
+        T1: store x 1; r1 := load y      T2: store y 1; r2 := load x
+    v}
+    can end with [r1 = r2 = 0] under this module (both stores parked in
+    buffers) — an outcome no sequentially consistent interleaving of
+    [Sct.Var] operations produces. [fence] drains the calling thread's
+    buffer (x86 [mfence]).
+
+    Values are integers, as in litmus tests. Memory cells are named
+    [Sct.Var]s underneath, so the data-race detection phase sees the
+    flusher/reader races and promotes them as usual. *)
+
+type ctx
+(** Per-test TSO context: owns the store buffers and flusher threads. *)
+
+val create : unit -> ctx
+
+val thread : ctx -> (unit -> unit) -> Sct_core.Tid.t
+(** [thread ctx body] spawns a TSO thread (plus its flusher). The thread's
+    buffered stores keep draining after [body] returns; {!finish} waits for
+    everything. Threads created with plain [Sct.spawn] do not buffer. *)
+
+val finish : ctx -> unit
+(** Join every TSO thread and flusher; afterwards all stores are in
+    memory. *)
+
+(** Shared integer locations with store-buffer semantics. *)
+module Var : sig
+  type t
+
+  val make : ctx -> ?name:string -> int -> t
+
+  val store : t -> int -> unit
+  (** Enqueue into the calling TSO thread's buffer (a plain write to memory
+      when called from a non-TSO thread, e.g. the initial thread). *)
+
+  val load : t -> int
+  (** Forward from the calling thread's buffer when it holds a store to
+      this location (newest wins); otherwise read memory. *)
+end
+
+val fence : ctx -> unit
+(** Drain the calling TSO thread's store buffer ([mfence]): returns only
+    after every earlier store by this thread reached memory. *)

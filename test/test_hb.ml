@@ -1,0 +1,122 @@
+(* Happens-before signatures: equivalence classes of schedules. *)
+
+open Sct_core
+
+let promote_all _ = true
+
+let run_decisions ~scheduler program =
+  (Runtime.exec ~promote:promote_all ~record_decisions:true ~scheduler program)
+    .Runtime.r_decisions
+
+let guided order program =
+  let remaining = ref order in
+  let scheduler (ctx : Runtime.ctx) =
+    match !remaining with
+    | t :: rest when List.exists (Tid.equal t) ctx.c_enabled ->
+        remaining := rest;
+        t
+    | _ -> (
+        match
+          Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+            ~enabled:ctx.c_enabled
+        with
+        | Some t -> t
+        | None -> assert false)
+  in
+  run_decisions ~scheduler program
+
+(* t1 writes a, t2 writes b (disjoint): the two orders of the independent
+   writes yield the same signature. *)
+let disjoint_writes () =
+  let a = Sct.Var.make ~name:"hb_a" 0 in
+  let b = Sct.Var.make ~name:"hb_b" 0 in
+  let t1 = Sct.spawn (fun () -> Sct.Var.write a 1) in
+  let t2 = Sct.spawn (fun () -> Sct.Var.write b 1) in
+  Sct.join t1;
+  Sct.join t2
+
+let test_independent_orders_equal () =
+  let s1 =
+    Sct_explore.Hb_signature.of_decisions
+      (guided [ 0; 0; 1; 2 ] disjoint_writes)
+  in
+  let s2 =
+    Sct_explore.Hb_signature.of_decisions
+      (guided [ 0; 0; 2; 1 ] disjoint_writes)
+  in
+  Alcotest.(check bool) "same signature" true
+    (Sct_explore.Hb_signature.equal s1 s2)
+
+(* Same-variable writers: the two orders conflict and must differ. *)
+let conflicting_writes () =
+  let a = Sct.Var.make ~name:"hb_c" 0 in
+  let t1 = Sct.spawn (fun () -> Sct.Var.write a 1) in
+  let t2 = Sct.spawn (fun () -> Sct.Var.write a 2) in
+  Sct.join t1;
+  Sct.join t2
+
+let test_dependent_orders_differ () =
+  let s1 =
+    Sct_explore.Hb_signature.of_decisions
+      (guided [ 0; 0; 1; 2 ] conflicting_writes)
+  in
+  let s2 =
+    Sct_explore.Hb_signature.of_decisions
+      (guided [ 0; 0; 2; 1 ] conflicting_writes)
+  in
+  Alcotest.(check bool) "different signatures" false
+    (Sct_explore.Hb_signature.equal s1 s2)
+
+let test_distinct_count () =
+  (* fully independent threads: many schedules, one class *)
+  let independent () =
+    let t =
+      Sct.spawn (fun () ->
+          for _ = 1 to 3 do
+            Sct.yield ()
+          done)
+    in
+    for _ = 1 to 3 do
+      Sct.yield ()
+    done;
+    Sct.join t
+  in
+  let schedules, classes =
+    Sct_explore.Hb_signature.distinct_under_dfs ~promote:promote_all
+      ~limit:10_000 independent
+  in
+  Alcotest.(check int) "C(6,3) schedules" 20 schedules;
+  Alcotest.(check int) "one hb class" 1 classes;
+  (* conflicting writers: both orders are distinct classes *)
+  let schedules, classes =
+    Sct_explore.Hb_signature.distinct_under_dfs ~promote:promote_all
+      ~limit:10_000 conflicting_writes
+  in
+  Alcotest.(check bool) "more than one schedule" true (schedules >= 2);
+  Alcotest.(check int) "two hb classes" 2 classes
+
+(* Signatures are a quotient of schedules: never more classes than
+   schedules, and the quotient is stable across the random family. *)
+let prop_classes_bounded =
+  QCheck2.Test.make ~name:"hb classes <= schedules" ~count:25
+    ~print:Test_programs_qcheck.print_program
+    Test_programs_qcheck.gen_program_gen (fun gp ->
+      let program = Test_programs_qcheck.build gp in
+      let schedules, classes =
+        Sct_explore.Hb_signature.distinct_under_dfs ~promote:promote_all
+          ~limit:5_000 program
+      in
+      classes >= 1 && classes <= schedules)
+
+let suites =
+  [
+    ( "hb-signature",
+      [
+        Alcotest.test_case "independent orders share a signature" `Quick
+          test_independent_orders_equal;
+        Alcotest.test_case "dependent orders differ" `Quick
+          test_dependent_orders_differ;
+        Alcotest.test_case "class counting" `Quick test_distinct_count;
+        QCheck_alcotest.to_alcotest prop_classes_bounded;
+      ] );
+  ]

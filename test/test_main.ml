@@ -1,0 +1,20 @@
+(* Aggregates every suite; each Test_* module exposes [suites]. *)
+let () =
+  Alcotest.run "sctbench_repro"
+    (List.concat
+       [
+         Test_schedule_algebra.suites;
+         Test_runtime.suites;
+         Test_runtime_edge.suites;
+         Test_race.suites;
+         Test_explore.suites;
+         Test_programs_qcheck.suites;
+         Test_por.suites;
+         Test_tools.suites;
+         Test_hb.suites;
+         Test_tso.suites;
+         Test_paper_examples.suites;
+         Test_sctbench.suites;
+         Test_report.suites;
+         Test_robustness.suites;
+       ])

@@ -1,0 +1,163 @@
+(* The worked examples of paper §2 (Figure 1, Examples 1 and 2), checked
+   end-to-end through the engine and the explorers. *)
+
+open Sct_core
+
+let promote_all _ = true
+
+(* Figure 1: T0 creates T1 (x=1; y=1), T2 (z=1), T3 (assert x==y); all
+   variables initially zero; all accesses promoted to visible operations. *)
+let figure1 () =
+  let x = Sct.Var.make ~name:"x" 0
+  and y = Sct.Var.make ~name:"y" 0
+  and z = Sct.Var.make ~name:"z" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Var.write x 1;
+        Sct.Var.write y 1)
+  in
+  let t2 = Sct.spawn (fun () -> Sct.Var.write z 1) in
+  let t3 =
+    Sct.spawn (fun () ->
+        let vx = Sct.Var.read x in
+        let vy = Sct.Var.read y in
+        Sct.check (vx = vy) "x=y")
+  in
+  ignore t1;
+  ignore t2;
+  ignore t3
+
+(* Example 2 variant: T2 runs the same statements as T1 (x=1; y=1). The bug
+   then needs two delays but still only one preemption. *)
+let figure1_twin () =
+  let x = Sct.Var.make ~name:"x" 0 and y = Sct.Var.make ~name:"y" 0 in
+  let body () =
+    Sct.Var.write x 1;
+    Sct.Var.write y 1
+  in
+  let t1 = Sct.spawn body in
+  let t2 = Sct.spawn body in
+  let t3 =
+    Sct.spawn (fun () ->
+        let vx = Sct.Var.read x in
+        let vy = Sct.Var.read y in
+        Sct.check (vx = vy) "x=y")
+  in
+  ignore (t1, t2, t3)
+
+let explore_bounded kind c program =
+  Sct_explore.Dfs.explore ~promote:promote_all ~bound:(kind c) ~limit:100_000
+    program
+
+let run_rr program =
+  let scheduler (ctx : Runtime.ctx) =
+    match
+      Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+  in
+  Runtime.exec ~promote:promote_all ~scheduler program
+
+let test_rr_schedule_is_zero_cost () =
+  let r = run_rr figure1 in
+  Alcotest.(check int) "pc of RR schedule" 0 r.Runtime.r_pc;
+  Alcotest.(check int) "dc of RR schedule" 0 r.Runtime.r_dc;
+  Alcotest.(check bool) "RR schedule not buggy" false
+    (Outcome.is_buggy r.Runtime.r_outcome);
+  Alcotest.(check int) "four threads" 4 r.Runtime.r_n_threads
+
+let test_pb0_misses_bug () =
+  let r = explore_bounded (fun c -> Sct_explore.Dfs.Preemption c) 0 figure1 in
+  Alcotest.(check bool) "level complete" true r.Sct_explore.Dfs.complete;
+  Alcotest.(check int) "no buggy schedule with 0 preemptions" 0
+    r.Sct_explore.Dfs.buggy
+
+let test_pb1_finds_bug () =
+  let r = explore_bounded (fun c -> Sct_explore.Dfs.Preemption c) 1 figure1 in
+  Alcotest.(check bool) "bug found" true
+    (r.Sct_explore.Dfs.to_first_bug <> None)
+
+let test_db1_finds_bug () =
+  let r = explore_bounded (fun c -> Sct_explore.Dfs.Delay c) 1 figure1 in
+  Alcotest.(check bool) "bug found" true
+    (r.Sct_explore.Dfs.to_first_bug <> None)
+
+(* Delay bounding explores no more schedules than preemption bounding at the
+   same bound (schedules with <= c delays are a subset of those with <= c
+   preemptions). *)
+let test_db_subset_pb () =
+  List.iter
+    (fun c ->
+      let pb =
+        explore_bounded (fun c -> Sct_explore.Dfs.Preemption c) c figure1
+      in
+      let db = explore_bounded (fun c -> Sct_explore.Dfs.Delay c) c figure1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "DB(%d) schedules <= PB(%d) schedules" c c)
+        true
+        (db.Sct_explore.Dfs.counted <= pb.Sct_explore.Dfs.counted))
+    [ 0; 1; 2 ]
+
+(* Example 2: with T2 a twin of T1, one delay no longer suffices while one
+   preemption still does. *)
+let test_twin_db1_misses () =
+  let r = explore_bounded (fun c -> Sct_explore.Dfs.Delay c) 1 figure1_twin in
+  Alcotest.(check bool) "level complete" true r.Sct_explore.Dfs.complete;
+  Alcotest.(check int) "no bug within 1 delay" 0 r.Sct_explore.Dfs.buggy
+
+let test_twin_pb1_finds () =
+  let r =
+    explore_bounded (fun c -> Sct_explore.Dfs.Preemption c) 1 figure1_twin
+  in
+  Alcotest.(check bool) "bug found with 1 preemption" true
+    (r.Sct_explore.Dfs.to_first_bug <> None)
+
+let test_twin_db2_finds () =
+  let r = explore_bounded (fun c -> Sct_explore.Dfs.Delay c) 2 figure1_twin in
+  Alcotest.(check bool) "bug found with 2 delays" true
+    (r.Sct_explore.Dfs.to_first_bug <> None)
+
+(* Iterative techniques on Figure 1: IPB and IDB both report the bug at
+   bound exactly 1. *)
+let test_iterative_bounds () =
+  let o =
+    { Sct_explore.Techniques.default_options with Sct_explore.Techniques.limit = 100_000 }
+  in
+  let ipb =
+    Sct_explore.Techniques.run ~promote:promote_all o Sct_explore.Techniques.IPB
+      figure1
+  in
+  let idb =
+    Sct_explore.Techniques.run ~promote:promote_all o Sct_explore.Techniques.IDB
+      figure1
+  in
+  Alcotest.(check (option int)) "IPB bound" (Some 1) ipb.Sct_explore.Stats.bound;
+  Alcotest.(check (option int)) "IDB bound" (Some 1) idb.Sct_explore.Stats.bound;
+  Alcotest.(check bool) "IDB explores fewer or equal schedules" true
+    (idb.Sct_explore.Stats.total <= ipb.Sct_explore.Stats.total)
+
+let suites =
+  [
+    ( "paper-examples",
+      [
+        Alcotest.test_case "figure1: RR initial schedule" `Quick
+          test_rr_schedule_is_zero_cost;
+        Alcotest.test_case "figure1: PB=0 misses the bug" `Quick
+          test_pb0_misses_bug;
+        Alcotest.test_case "figure1: PB=1 finds the bug" `Quick
+          test_pb1_finds_bug;
+        Alcotest.test_case "figure1: DB=1 finds the bug" `Quick
+          test_db1_finds_bug;
+        Alcotest.test_case "DB(c) subset of PB(c)" `Quick test_db_subset_pb;
+        Alcotest.test_case "example2 twin: DB=1 misses" `Quick
+          test_twin_db1_misses;
+        Alcotest.test_case "example2 twin: PB=1 finds" `Quick
+          test_twin_pb1_finds;
+        Alcotest.test_case "example2 twin: DB=2 finds" `Quick
+          test_twin_db2_finds;
+        Alcotest.test_case "iterative IPB/IDB bounds on figure1" `Quick
+          test_iterative_bounds;
+      ] );
+  ]

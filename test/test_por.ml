@@ -1,0 +1,256 @@
+(* Partial-order reduction: soundness (same bug verdicts as plain DFS) and
+   effectiveness (fewer schedules) on hand-built and random programs. *)
+
+open Sct_core
+
+let promote_all _ = true
+let cap = 30_000
+
+let dfs program =
+  Sct_explore.Dfs.explore ~promote:promote_all ~bound:Sct_explore.Dfs.Unbounded
+    ~limit:cap program
+
+let por mode program =
+  Sct_explore.Por.explore ~promote:promote_all ~mode ~limit:cap program
+
+(* Two fully independent threads: n yields each. Plain DFS explores
+   C(2n, n) interleavings; sleep sets collapse them to a single one. *)
+let independent n () =
+  let t =
+    Sct.spawn (fun () ->
+        for _ = 1 to n do
+          Sct.yield ()
+        done)
+  in
+  for _ = 1 to n do
+    Sct.yield ()
+  done;
+  Sct.join t
+
+let test_sleep_collapses_independence () =
+  let d = dfs (independent 4) in
+  Alcotest.(check int) "plain DFS: C(8,4)" 70 d.Sct_explore.Dfs.counted;
+  let s = por Sct_explore.Por.Sleep (independent 4) in
+  Alcotest.(check bool) "complete" true s.Sct_explore.Por.complete;
+  Alcotest.(check int) "sleep sets: one schedule" 1 s.Sct_explore.Por.counted
+
+let test_dpor_collapses_independence () =
+  let s = por Sct_explore.Por.Dpor_sleep (independent 4) in
+  Alcotest.(check int) "dpor+sleep: one schedule" 1 s.Sct_explore.Por.counted
+
+(* Dependent operations must still be permuted: two racing writers and an
+   asserting reader — every POR mode must find the bug. *)
+let racy_program () =
+  let x = Sct.Var.make ~name:"por_x" 0 in
+  let t1 = Sct.spawn (fun () -> Sct.Var.write x 1) in
+  let t2 = Sct.spawn (fun () -> Sct.Var.write x 2) in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Var.read x = 2) "last write must win"
+
+let test_por_finds_bugs () =
+  List.iter
+    (fun mode ->
+      let r = por mode racy_program in
+      Alcotest.(check bool) "bug found" true
+        (r.Sct_explore.Por.to_first_bug <> None))
+    Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ]
+
+let test_por_on_figure1 () =
+  let figure1 () =
+    let x = Sct.Var.make ~name:"x" 0 and y = Sct.Var.make ~name:"y" 0 in
+    let t1 =
+      Sct.spawn (fun () ->
+          Sct.Var.write x 1;
+          Sct.Var.write y 1)
+    in
+    let t2 =
+      Sct.spawn (fun () ->
+          let vx = Sct.Var.read x in
+          let vy = Sct.Var.read y in
+          Sct.check (vx = vy) "x=y")
+    in
+    ignore (t1, t2)
+  in
+  let d = dfs figure1 in
+  List.iter
+    (fun mode ->
+      let r = por mode figure1 in
+      Alcotest.(check bool) "bug found" true
+        (r.Sct_explore.Por.to_first_bug <> None);
+      Alcotest.(check bool) "no more schedules than DFS" true
+        (r.Sct_explore.Por.counted <= d.Sct_explore.Dfs.counted))
+    Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ]
+
+(* Locked increments: the final state is schedule-independent, so POR may
+   reduce heavily, but completeness (no bug) must be preserved. *)
+let locked_counters () =
+  let m = Sct.Mutex.create () in
+  let c = Sct.Var.make ~name:"por_c" 0 in
+  let body () =
+    Sct.Mutex.lock m;
+    Sct.Var.write c (Sct.Var.read c + 1);
+    Sct.Mutex.unlock m
+  in
+  let t1 = Sct.spawn body in
+  let t2 = Sct.spawn body in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Var.read c = 2) "no lost update"
+
+(* Lock-handover reordering: the twostage defect, whose only reachable
+   backtrack points sit at lock acquisitions (the racing thread is blocked
+   at the inner frames). A regression test for the access-history form of
+   the DPOR race analysis. *)
+let twostage () =
+  let ma = Sct.Mutex.create () in
+  let mb = Sct.Mutex.create () in
+  let data1 = Sct.Var.make ~name:"ts_data1" 0 in
+  let data2 = Sct.Var.make ~name:"ts_data2" 0 in
+  let writer =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock ma;
+        Sct.Var.write data1 1;
+        Sct.Mutex.unlock ma;
+        Sct.Mutex.lock mb;
+        Sct.Var.write data2 (Sct.Var.read data1 + 1);
+        Sct.Mutex.unlock mb)
+  in
+  let reader =
+    Sct.spawn (fun () ->
+        Sct.Mutex.lock ma;
+        let t = Sct.Var.read data1 in
+        Sct.Mutex.unlock ma;
+        if t <> 0 then begin
+          Sct.Mutex.lock mb;
+          let u = Sct.Var.read data2 in
+          Sct.Mutex.unlock mb;
+          Sct.check (u = t + 1) "second stage lagging"
+        end)
+  in
+  Sct.join writer;
+  Sct.join reader
+
+let test_por_lock_handover () =
+  let d = dfs twostage in
+  Alcotest.(check bool) "DFS finds it" true
+    (d.Sct_explore.Dfs.to_first_bug <> None);
+  List.iter
+    (fun mode ->
+      let r = por mode twostage in
+      Alcotest.(check bool) "POR finds the handover bug" true
+        (r.Sct_explore.Por.to_first_bug <> None);
+      Alcotest.(check bool) "with fewer schedules" true
+        (r.Sct_explore.Por.counted <= d.Sct_explore.Dfs.counted))
+    Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ]
+
+let test_por_deadlock_found () =
+  (* the ABBA deadlock must survive the reduction in every mode *)
+  let program () =
+    let a = Sct.Mutex.create () in
+    let b = Sct.Mutex.create () in
+    let t1 =
+      Sct.spawn (fun () ->
+          Sct.Mutex.lock a;
+          Sct.Mutex.lock b;
+          Sct.Mutex.unlock b;
+          Sct.Mutex.unlock a)
+    in
+    let t2 =
+      Sct.spawn (fun () ->
+          Sct.Mutex.lock b;
+          Sct.Mutex.lock a;
+          Sct.Mutex.unlock a;
+          Sct.Mutex.unlock b)
+    in
+    Sct.join t1;
+    Sct.join t2
+  in
+  List.iter
+    (fun mode ->
+      let r = por mode program in
+      match r.Sct_explore.Por.first_bug with
+      | Some { Sct_explore.Stats.w_bug = Outcome.Deadlock _; _ } -> ()
+      | _ -> Alcotest.failf "deadlock missed by POR")
+    Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ]
+
+let test_por_correct_program () =
+  List.iter
+    (fun mode ->
+      let r = por mode locked_counters in
+      Alcotest.(check bool) "complete" true r.Sct_explore.Por.complete;
+      Alcotest.(check int) "no bug" 0 r.Sct_explore.Por.buggy)
+    Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ]
+
+(* Soundness over the random program family: POR agrees with plain DFS on
+   bug existence, and never explores more terminal schedules. *)
+let prop_por_sound =
+  QCheck2.Test.make ~name:"POR preserves bug verdicts, reduces schedules"
+    ~count:30 ~print:Test_programs_qcheck.print_program
+    Test_programs_qcheck.gen_program_gen (fun gp ->
+      let program = Test_programs_qcheck.build gp in
+      let d = dfs program in
+      QCheck2.assume d.Sct_explore.Dfs.complete;
+      List.for_all
+        (fun mode ->
+          let r = por mode program in
+          r.Sct_explore.Por.complete
+          && r.Sct_explore.Por.counted <= d.Sct_explore.Dfs.counted
+          && r.Sct_explore.Por.buggy = 0 (* family is bug-free *)
+          && d.Sct_explore.Dfs.buggy = 0)
+        Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
+
+(* A buggy random-family variant: append an assertion-carrying reader
+   thread; POR must find the bug whenever DFS does. *)
+let prop_por_finds_what_dfs_finds =
+  QCheck2.Test.make ~name:"POR finds every bug DFS finds" ~count:30
+    ~print:Test_programs_qcheck.print_program
+    Test_programs_qcheck.gen_program_gen (fun gp ->
+      let program () =
+        let flag = Sct.Var.make ~name:"pb_flag" 0 in
+        let checker =
+          Sct.spawn (fun () ->
+              let a = Sct.Var.read flag in
+              let b = Sct.Var.read flag in
+              Sct.check (a = b) "torn flag")
+        in
+        let writer =
+          Sct.spawn (fun () ->
+              Sct.Var.write flag 1;
+              Sct.Var.write flag 2)
+        in
+        Test_programs_qcheck.build gp ();
+        Sct.join checker;
+        Sct.join writer
+      in
+      let d = dfs program in
+      QCheck2.assume d.Sct_explore.Dfs.complete;
+      List.for_all
+        (fun mode ->
+          let r = por mode program in
+          (r.Sct_explore.Por.to_first_bug <> None)
+          = (d.Sct_explore.Dfs.to_first_bug <> None))
+        Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
+
+let suites =
+  [
+    ( "partial-order-reduction",
+      [
+        Alcotest.test_case "sleep sets collapse independent threads" `Quick
+          test_sleep_collapses_independence;
+        Alcotest.test_case "dpor collapses independent threads" `Quick
+          test_dpor_collapses_independence;
+        Alcotest.test_case "all modes find racing-writer bug" `Quick
+          test_por_finds_bugs;
+        Alcotest.test_case "all modes find the figure1 bug" `Quick
+          test_por_on_figure1;
+        Alcotest.test_case "lock-handover reordering found" `Quick
+          test_por_lock_handover;
+        Alcotest.test_case "deadlock survives the reduction" `Quick
+          test_por_deadlock_found;
+        Alcotest.test_case "correct program verified" `Quick
+          test_por_correct_program;
+        QCheck_alcotest.to_alcotest prop_por_sound;
+        QCheck_alcotest.to_alcotest prop_por_finds_what_dfs_finds;
+      ] );
+  ]

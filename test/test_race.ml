@@ -1,0 +1,184 @@
+(* Vector clocks, the race detector, and the iterative promotion phase. *)
+
+open Sct_core
+
+(* --- vector clocks --- *)
+
+let gen_clock =
+  QCheck2.Gen.(
+    map
+      (fun l -> List.fold_left (fun c (t, v) -> Sct_race.Vclock.set c t v) Sct_race.Vclock.zero l)
+      (list_size (int_range 0 6)
+         (pair (int_range 0 5) (int_range 0 20))))
+
+let prop_join_upper_bound =
+  QCheck2.Test.make ~name:"join is an upper bound" ~count:300
+    QCheck2.Gen.(pair gen_clock gen_clock)
+    (fun (a, b) ->
+      let j = Sct_race.Vclock.join a b in
+      Sct_race.Vclock.leq a j && Sct_race.Vclock.leq b j)
+
+let prop_join_commutative =
+  QCheck2.Test.make ~name:"join commutes" ~count:300
+    QCheck2.Gen.(pair gen_clock gen_clock)
+    (fun (a, b) ->
+      Sct_race.Vclock.equal (Sct_race.Vclock.join a b) (Sct_race.Vclock.join b a))
+
+let prop_join_idempotent =
+  QCheck2.Test.make ~name:"join idempotent" ~count:300 gen_clock (fun a ->
+      Sct_race.Vclock.equal (Sct_race.Vclock.join a a) a)
+
+let prop_tick_increases =
+  QCheck2.Test.make ~name:"tick strictly increases own component" ~count:300
+    QCheck2.Gen.(pair gen_clock (int_range 0 5))
+    (fun (a, t) ->
+      let b = Sct_race.Vclock.tick a t in
+      Sct_race.Vclock.get b t = Sct_race.Vclock.get a t + 1
+      && Sct_race.Vclock.leq a b)
+
+(* --- detector on whole executions --- *)
+
+let detect ?(runs = 6) program =
+  Sct_race.Promotion.detect ~runs ~seed:0 program
+
+let test_plain_race_detected () =
+  let program () =
+    let x = Sct.Var.make ~name:"shared_x" 0 in
+    let t = Sct.spawn (fun () -> Sct.Var.write x 1) in
+    ignore (Sct.Var.read x);
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "x is racy" [ "shared_x" ] r.Sct_race.Promotion.racy
+
+let test_locked_no_race () =
+  let program () =
+    let x = Sct.Var.make ~name:"locked_x" 0 in
+    let m = Sct.Mutex.create () in
+    let t =
+      Sct.spawn (fun () ->
+          Sct.Mutex.lock m;
+          Sct.Var.write x 1;
+          Sct.Mutex.unlock m)
+    in
+    Sct.Mutex.lock m;
+    ignore (Sct.Var.read x);
+    Sct.Mutex.unlock m;
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "no races" [] r.Sct_race.Promotion.racy
+
+let test_fork_join_ordered () =
+  (* accesses ordered by fork or join are not races *)
+  let program () =
+    let x = Sct.Var.make ~name:"fj_x" 0 in
+    Sct.Var.write x 1;
+    let t = Sct.spawn (fun () -> Sct.Var.write x 2) in
+    Sct.join t;
+    ignore (Sct.Var.read x)
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "no races" [] r.Sct_race.Promotion.racy
+
+let test_atomics_never_race () =
+  let program () =
+    let x = Sct.Atomic.make ~name:"atomic_x" 0 in
+    let t = Sct.spawn (fun () -> Sct.Atomic.store x 1) in
+    ignore (Sct.Atomic.load x);
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "no races" [] r.Sct_race.Promotion.racy
+
+let test_semaphore_orders () =
+  let program () =
+    let x = Sct.Var.make ~name:"sem_x" 0 in
+    let s = Sct.Sem.create 0 in
+    let t =
+      Sct.spawn (fun () ->
+          Sct.Var.write x 1;
+          Sct.Sem.post s)
+    in
+    Sct.Sem.wait s;
+    ignore (Sct.Var.read x);
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "no races" [] r.Sct_race.Promotion.racy
+
+let test_read_read_not_race () =
+  let program () =
+    let x = Sct.Var.make ~name:"rr_x" 7 in
+    let t = Sct.spawn (fun () -> ignore (Sct.Var.read x)) in
+    ignore (Sct.Var.read x);
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check (list string)) "no races" [] r.Sct_race.Promotion.racy
+
+(* Iterative promotion: the second round, with the first round's racy
+   location visible, exposes interleavings (and hence races) invisible to
+   the first — the Bluetooth-driver shape. *)
+let test_iterative_promotion () =
+  let program () =
+    let flag = Sct.Var.make ~name:"it_flag" false in
+    let inner = Sct.Var.make ~name:"it_inner" 0 in
+    let t =
+      Sct.spawn (fun () ->
+          Sct.Var.write flag true;
+          Sct.Var.write inner 1)
+    in
+    if not (Sct.Var.read flag) then ignore (Sct.Var.read inner);
+    Sct.join t
+  in
+  (* one round: the child body runs atomically during spawn, so main sees
+     flag = true and never touches [inner] *)
+  let one = Sct_race.Promotion.detect ~runs:6 ~seed:0 ~max_rounds:1 program in
+  Alcotest.(check (list string)) "round 1: only the flag" [ "it_flag" ]
+    one.Sct_race.Promotion.racy;
+  (* at the fixpoint, the race on [inner] is exposed too *)
+  let fix = Sct_race.Promotion.detect ~runs:6 ~seed:0 program in
+  Alcotest.(check (list string)) "fixpoint: both" [ "it_flag"; "it_inner" ]
+    fix.Sct_race.Promotion.racy
+
+let test_race_report_details () =
+  let program () =
+    let x = Sct.Var.make ~name:"det_x" 0 in
+    let t = Sct.spawn (fun () -> Sct.Var.write x 1) in
+    Sct.Var.write x 2;
+    Sct.join t
+  in
+  let r = detect program in
+  Alcotest.(check bool) "at least one race report" true
+    (List.length r.Sct_race.Promotion.races > 0);
+  List.iter
+    (fun (race : Sct_race.Detector.race) ->
+      Alcotest.(check string) "location" "det_x" race.Sct_race.Detector.location)
+    r.Sct_race.Promotion.races
+
+let suites =
+  [
+    ( "race-detection",
+      [
+        QCheck_alcotest.to_alcotest prop_join_upper_bound;
+        QCheck_alcotest.to_alcotest prop_join_commutative;
+        QCheck_alcotest.to_alcotest prop_join_idempotent;
+        QCheck_alcotest.to_alcotest prop_tick_increases;
+        Alcotest.test_case "plain race detected" `Quick
+          test_plain_race_detected;
+        Alcotest.test_case "lock discipline: no race" `Quick
+          test_locked_no_race;
+        Alcotest.test_case "fork/join order: no race" `Quick
+          test_fork_join_ordered;
+        Alcotest.test_case "atomics never race" `Quick test_atomics_never_race;
+        Alcotest.test_case "semaphore orders accesses" `Quick
+          test_semaphore_orders;
+        Alcotest.test_case "read/read is not a race" `Quick
+          test_read_read_not_race;
+        Alcotest.test_case "iterative promotion reaches a fixpoint" `Quick
+          test_iterative_promotion;
+        Alcotest.test_case "race report details" `Quick
+          test_race_report_details;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* The reporting layer: Venn region computation, Table 2 derivation and the
+   printers (smoke-tested against a real mini-run). *)
+
+open Sct_explore
+
+let mini_rows () =
+  (* run the full pipeline on three small benchmarks *)
+  let o = { Techniques.default_options with Techniques.limit = 800 } in
+  let pick name =
+    match Sctbench.Registry.by_name name with
+    | Some b -> b
+    | None -> Alcotest.fail ("missing " ^ name)
+  in
+  Sct_report.Run_data.run_all o
+    [ pick "CS.lazy01_bad"; pick "CS.deadlock01_bad"; pick "splash2.fft" ]
+
+let rows = lazy (mini_rows ())
+
+let test_found_by () =
+  let rows = Lazy.force rows in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Sct_report.Run_data.bench.Sctbench.Bench.name ^ " found by IDB")
+        true
+        (Sct_report.Run_data.found_by row Techniques.IDB))
+    rows
+
+let test_venn_regions_sum () =
+  let rows = Lazy.force rows in
+  let v = Sct_report.Venn.compute rows Techniques.IPB Techniques.IDB Techniques.DFS in
+  let total =
+    v.Sct_report.Venn.only_a + v.Sct_report.Venn.only_b
+    + v.Sct_report.Venn.only_c + v.Sct_report.Venn.ab + v.Sct_report.Venn.ac
+    + v.Sct_report.Venn.bc + v.Sct_report.Venn.abc + v.Sct_report.Venn.none
+  in
+  Alcotest.(check int) "regions partition the benchmarks" (List.length rows)
+    total
+
+let test_idb_superset_ipb () =
+  (* the paper's headline: IDB finds everything IPB finds *)
+  let rows = Lazy.force rows in
+  let v = Sct_report.Venn.compute rows Techniques.IPB Techniques.IDB Techniques.DFS in
+  Alcotest.(check int) "nothing found by IPB only" 0 v.Sct_report.Venn.only_a;
+  Alcotest.(check int) "nothing found by IPB+DFS without IDB" 0
+    v.Sct_report.Venn.ac
+
+let test_table2 () =
+  let rows = Lazy.force rows in
+  let t = Sct_report.Table2.compute ~limit:800 rows in
+  (* lazy01 is buggy on the initial (zero-delay) schedule *)
+  Alcotest.(check bool) "at least one DB=0 benchmark" true
+    (t.Sct_report.Table2.db0 >= 1);
+  Alcotest.(check bool) "counts bounded by row count" true
+    (t.Sct_report.Table2.rand_all <= List.length rows)
+
+let capture f =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_printers_produce_output () =
+  let rows = Lazy.force rows in
+  let t1 = capture (fun out -> Sct_report.Table1.print ~out Sctbench.Registry.all) in
+  Alcotest.(check bool) "table1 mentions CHESS" true
+    (String.length t1 > 0
+    && Astring_contains.contains t1 "work stealing queue");
+  let t3 = capture (fun out -> Sct_report.Table3.print ~out ~limit:800 rows) in
+  Alcotest.(check bool) "table3 has a row per benchmark" true
+    (List.for_all
+       (fun r ->
+         Astring_contains.contains t3
+           r.Sct_report.Run_data.bench.Sctbench.Bench.name)
+       rows);
+  let f2 = capture (fun out -> Sct_report.Venn.print_figure2 ~out rows) in
+  Alcotest.(check bool) "figure2 labels both diagrams" true
+    (Astring_contains.contains f2 "Figure 2a"
+    && Astring_contains.contains f2 "Figure 2b");
+  let f3 =
+    capture (fun out -> Sct_report.Figures.print_figure3 ~out ~limit:800 rows)
+  in
+  Alcotest.(check bool) "figure3 is CSV" true
+    (Astring_contains.contains f3 "idb_x,ipb_y");
+  let f4 =
+    capture (fun out -> Sct_report.Figures.print_figure4 ~out ~limit:800 rows)
+  in
+  Alcotest.(check bool) "figure4 mentions worst case" true
+    (Astring_contains.contains f4 "worst case")
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "pipeline rows find bugs" `Slow test_found_by;
+        Alcotest.test_case "venn regions partition" `Slow
+          test_venn_regions_sum;
+        Alcotest.test_case "IDB supersedes IPB" `Slow test_idb_superset_ipb;
+        Alcotest.test_case "table 2 derivation" `Slow test_table2;
+        Alcotest.test_case "printers produce output" `Slow
+          test_printers_produce_output;
+      ] );
+  ]

@@ -1,0 +1,46 @@
+(* Robustness of the study pipeline: the systematic techniques' verdicts
+   must not depend on the seed (which only drives the race-detection phase
+   and the non-systematic techniques). *)
+
+let verdicts seed name =
+  match Sctbench.Registry.by_name name with
+  | None -> Alcotest.fail ("unknown benchmark " ^ name)
+  | Some b ->
+      let o =
+        {
+          Sct_explore.Techniques.default_options with
+          Sct_explore.Techniques.limit = 1_500;
+          seed;
+        }
+      in
+      let _, results =
+        Sct_explore.Techniques.run_all
+          ~techniques:Sct_explore.Techniques.[ IPB; IDB ]
+          o b.Sctbench.Bench.program
+      in
+      List.map
+        (fun (t, s) ->
+          ( Sct_explore.Techniques.name t,
+            Sct_explore.Stats.found s,
+            s.Sct_explore.Stats.bound ))
+        results
+
+let stable name () =
+  let a = verdicts 0 name and b = verdicts 17 name and c = verdicts 99 name in
+  Alcotest.(check bool) "seed 0 = seed 17" true (a = b);
+  Alcotest.(check bool) "seed 0 = seed 99" true (a = c)
+
+let suites =
+  [
+    ( "robustness",
+      List.map
+        (fun name ->
+          Alcotest.test_case ("seed-stable: " ^ name) `Slow (stable name))
+        [
+          "CS.twostage_bad";
+          "CS.account_bad";
+          "misc.ctrace-test";
+          "splash2.lu";
+          "radbench.bug3";
+        ] );
+  ]

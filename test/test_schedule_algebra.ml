@@ -1,0 +1,158 @@
+(* Unit and property tests for the schedule algebra: round-robin distance,
+   preemption counting and delay counting (paper §2 definitions). *)
+
+open Sct_core
+
+let test_distance () =
+  (* the paper's example: given four threads, distance(1,0) = 3 *)
+  Alcotest.(check int) "distance(1,0) n=4" 3 (Tid.distance ~n:4 1 0);
+  Alcotest.(check int) "distance(0,0)" 0 (Tid.distance ~n:4 0 0);
+  Alcotest.(check int) "distance(2,3)" 1 (Tid.distance ~n:4 2 3);
+  Alcotest.(check int) "distance(3,2) n=5" 4 (Tid.distance ~n:5 3 2)
+
+let test_delays_paper_example () =
+  (* paper §2: last = 3, enabled = {0,2,3,4}, N = 5: delays(α,2) = 3
+     because threads 3, 4 and 0 are skipped (1 is not enabled) *)
+  let enabled = [ 0; 2; 3; 4 ] in
+  Alcotest.(check int) "delays to 2" 3
+    (Delay.delays ~n:5 ~last:(Some 3) ~enabled 2);
+  Alcotest.(check int) "delays to 3 (continue)" 0
+    (Delay.delays ~n:5 ~last:(Some 3) ~enabled 3);
+  Alcotest.(check int) "delays to 4" 1
+    (Delay.delays ~n:5 ~last:(Some 3) ~enabled 4);
+  Alcotest.(check int) "delays to 0" 2
+    (Delay.delays ~n:5 ~last:(Some 3) ~enabled 0)
+
+let test_delays_skips_disabled () =
+  (* skipping a disabled thread costs nothing *)
+  Alcotest.(check int) "last disabled" 0
+    (Delay.delays ~n:3 ~last:(Some 0) ~enabled:[ 1; 2 ] 1);
+  Alcotest.(check int) "one enabled skipped" 1
+    (Delay.delays ~n:3 ~last:(Some 0) ~enabled:[ 1; 2 ] 2)
+
+let test_first_step_free () =
+  Alcotest.(check int) "first step: no delay" 0
+    (Delay.delays ~n:3 ~last:None ~enabled:[ 0; 1; 2 ] 2);
+  Alcotest.(check int) "first step: no preemption" 0
+    (Preemption.delta ~last:None ~enabled:[ 0; 1; 2 ] 2)
+
+let test_preemption_delta () =
+  (* switching away from an enabled thread is a preemption *)
+  Alcotest.(check int) "preemptive" 1
+    (Preemption.delta ~last:(Some 0) ~enabled:[ 0; 1 ] 1);
+  (* switching away from a disabled (blocked/finished) thread is not *)
+  Alcotest.(check int) "non-preemptive" 0
+    (Preemption.delta ~last:(Some 0) ~enabled:[ 1 ] 1);
+  (* continuing the same thread is never a preemption *)
+  Alcotest.(check int) "continuation" 0
+    (Preemption.delta ~last:(Some 0) ~enabled:[ 0; 1 ] 0)
+
+let test_rr_order () =
+  Alcotest.(check (list int)) "rr from 3 of {0,2,3,4} n=5" [ 3; 4; 0; 2 ]
+    (Delay.rr_order ~n:5 ~last:(Some 3) ~enabled:[ 0; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "rr from None" [ 0; 1; 2 ]
+    (Delay.rr_order ~n:3 ~last:None ~enabled:[ 2; 0; 1 ])
+
+let test_deterministic_choice () =
+  Alcotest.(check (option int)) "continue last" (Some 1)
+    (Delay.deterministic_choice ~n:3 ~last:(Some 1) ~enabled:[ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "next after blocked" (Some 2)
+    (Delay.deterministic_choice ~n:3 ~last:(Some 1) ~enabled:[ 0; 2 ]);
+  Alcotest.(check (option int)) "wrap around" (Some 0)
+    (Delay.deterministic_choice ~n:3 ~last:(Some 2) ~enabled:[ 0 ]);
+  Alcotest.(check (option int)) "none enabled" None
+    (Delay.deterministic_choice ~n:3 ~last:(Some 2) ~enabled:[])
+
+let test_counts_fold () =
+  (* a full decision sequence: 3 threads, main spawns then blocks *)
+  let steps =
+    [ ([ 0 ], 0); ([ 0; 1 ], 0); ([ 0; 1; 2 ], 1); ([ 0; 1; 2 ], 2) ]
+  in
+  (* step 3 switches 0->1 while 0 is enabled (preemption), step 4 switches
+     1->2 while 1 is enabled (preemption) *)
+  Alcotest.(check int) "PC" 2 (Preemption.count ~steps);
+  Alcotest.(check int) "DC" 2 (Delay.count ~n_at:(fun _ -> 3) ~steps)
+
+(* Generators for decision sequences: a plausible random sequence of
+   (enabled, chosen) with n threads. *)
+let gen_steps n =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (let* enabled =
+         map
+           (fun picks ->
+             List.sort_uniq compare (List.map (fun i -> abs i mod n) picks))
+           (list_size (int_range 1 n) (int_range 0 (n - 1)))
+       in
+       let enabled = if enabled = [] then [ 0 ] else enabled in
+       let* idx = int_range 0 (List.length enabled - 1) in
+       return (enabled, List.nth enabled idx)))
+
+(* DC >= PC: the set of schedules with at most c delays is a subset of the
+   set with at most c preemptions (paper §2). *)
+let prop_dc_ge_pc =
+  QCheck2.Test.make ~name:"delay count >= preemption count" ~count:500
+    (gen_steps 4) (fun steps ->
+      Delay.count ~n_at:(fun _ -> 4) ~steps >= Preemption.count ~steps)
+
+(* The deterministic choice is the unique zero-delay extension. *)
+let prop_det_choice_zero_delay =
+  QCheck2.Test.make ~name:"deterministic choice costs zero delays" ~count:500
+    (gen_steps 4) (fun steps ->
+      List.for_all
+        (fun (enabled, _) ->
+          List.for_all
+            (fun last ->
+              match Delay.deterministic_choice ~n:4 ~last ~enabled with
+              | Some t -> Delay.delays ~n:4 ~last ~enabled t = 0
+              | None -> false)
+            [ None; Some 0; Some 1; Some 2; Some 3 ])
+        steps)
+
+(* rr_order sorts by per-choice delay cost, and the costs are exactly
+   0, 1, 2, ... for successive elements. *)
+let prop_rr_order_costs =
+  QCheck2.Test.make ~name:"rr_order is sorted by delay cost" ~count:500
+    (gen_steps 5) (fun steps ->
+      List.for_all
+        (fun (enabled, _) ->
+          let order = Delay.rr_order ~n:5 ~last:(Some 2) ~enabled in
+          let costs =
+            List.map (fun t -> Delay.delays ~n:5 ~last:(Some 2) ~enabled t) order
+          in
+          costs = List.init (List.length order) (fun i -> i))
+        steps)
+
+let prop_distance_roundtrip =
+  QCheck2.Test.make ~name:"distance: (x + d) mod n = y" ~count:500
+    QCheck2.Gen.(
+      let* n = int_range 1 16 in
+      let* x = int_range 0 (n - 1) in
+      let* y = int_range 0 (n - 1) in
+      return (n, x, y))
+    (fun (n, x, y) ->
+      let d = Tid.distance ~n x y in
+      0 <= d && d < n && (x + d) mod n = y)
+
+let suites =
+  [
+    ( "schedule-algebra",
+      [
+        Alcotest.test_case "round-robin distance" `Quick test_distance;
+        Alcotest.test_case "delays: paper example" `Quick
+          test_delays_paper_example;
+        Alcotest.test_case "delays: disabled threads are free" `Quick
+          test_delays_skips_disabled;
+        Alcotest.test_case "first step costs nothing" `Quick
+          test_first_step_free;
+        Alcotest.test_case "preemption delta" `Quick test_preemption_delta;
+        Alcotest.test_case "rr_order" `Quick test_rr_order;
+        Alcotest.test_case "deterministic choice" `Quick
+          test_deterministic_choice;
+        Alcotest.test_case "count folds" `Quick test_counts_fold;
+        QCheck_alcotest.to_alcotest prop_dc_ge_pc;
+        QCheck_alcotest.to_alcotest prop_det_choice_zero_delay;
+        QCheck_alcotest.to_alcotest prop_rr_order_costs;
+        QCheck_alcotest.to_alcotest prop_distance_roundtrip;
+      ] );
+  ]

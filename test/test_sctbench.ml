@@ -1,0 +1,206 @@
+(* The benchmark registry: structural consistency, and smoke tests that
+   each benchmark's bug is found by the expected techniques at the expected
+   bound. The smoke tests cover benchmarks whose bugs are reachable within
+   a small schedule budget; the full-limit study is exercised by the bench
+   harness. *)
+
+open Sctbench
+
+let test_registry_complete () =
+  Alcotest.(check int) "52 benchmarks" 52 (List.length Registry.all);
+  let ids = List.map (fun (b : Bench.t) -> b.Bench.id) Registry.all in
+  Alcotest.(check (list int)) "ids are 0..51" (List.init 52 Fun.id) ids;
+  let names = List.map (fun (b : Bench.t) -> b.Bench.name) Registry.all in
+  Alcotest.(check int) "names unique" 52
+    (List.length (List.sort_uniq compare names))
+
+let test_suite_sizes () =
+  let count suite = List.length (Registry.of_suite suite) in
+  Alcotest.(check int) "CB" 3 (count Bench.CB);
+  Alcotest.(check int) "CHESS" 4 (count Bench.CHESS);
+  Alcotest.(check int) "CS" 29 (count Bench.CS);
+  Alcotest.(check int) "inspect" 1 (count Bench.Inspect);
+  Alcotest.(check int) "misc" 2 (count Bench.Misc);
+  Alcotest.(check int) "parsec" 4 (count Bench.Parsec);
+  Alcotest.(check int) "radbench" 6 (count Bench.Radbench);
+  Alcotest.(check int) "splash2" 3 (count Bench.Splash2)
+
+let test_lookup () =
+  (match Registry.by_name "misc.safestack" with
+  | Some b -> Alcotest.(check int) "id of safestack" 38 b.Bench.id
+  | None -> Alcotest.fail "misc.safestack not found");
+  match Registry.by_id 0 with
+  | Some b -> Alcotest.(check string) "id 0" "CB.aget-bug2" b.Bench.name
+  | None -> Alcotest.fail "id 0 not found"
+
+let test_paper_rows_sane () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let p = b.Bench.paper in
+      Alcotest.(check bool)
+        (b.Bench.name ^ ": threads positive")
+        true (p.Bench.p_threads >= 2);
+      Alcotest.(check bool)
+        (b.Bench.name ^ ": max enabled <= threads")
+        true
+        (p.Bench.p_max_enabled <= p.Bench.p_threads);
+      (* DB(c) subset of PB(c): a bug found by IDB at bound c has at most c
+         preemptions, so the paper's IPB bound never exceeds the IDB one
+         when both found the bug *)
+      match (p.Bench.p_ipb_bound, p.Bench.p_idb_bound) with
+      | Some ipb, Some idb ->
+          Alcotest.(check bool)
+            (b.Bench.name ^ ": ipb bound <= idb bound")
+            true (ipb <= idb)
+      | _ -> ())
+    Registry.all
+
+let test_programs_deterministic () =
+  (* every benchmark creates its state inside the program closure: two
+     round-robin executions produce identical schedules *)
+  let rr (ctx : Sct_core.Runtime.ctx) =
+    match
+      Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+  in
+  List.iter
+    (fun (b : Bench.t) ->
+      let run () =
+        Sct_core.Runtime.exec ~max_steps:100_000 ~scheduler:rr
+          b.Bench.program
+      in
+      let a = run () and c = run () in
+      Alcotest.(check bool)
+        (b.Bench.name ^ ": deterministic")
+        true
+        (Sct_core.Schedule.equal a.Sct_core.Runtime.r_schedule
+           c.Sct_core.Runtime.r_schedule))
+    Registry.all
+
+let test_rr_execution_terminates () =
+  (* no benchmark live-locks on the deterministic schedule *)
+  let rr (ctx : Sct_core.Runtime.ctx) =
+    match
+      Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+  in
+  List.iter
+    (fun (b : Bench.t) ->
+      let r =
+        Sct_core.Runtime.exec ~max_steps:100_000 ~scheduler:rr b.Bench.program
+      in
+      Alcotest.(check bool)
+        (b.Bench.name ^ ": terminates")
+        true
+        (r.Sct_core.Runtime.r_outcome <> Sct_core.Outcome.Step_limit))
+    Registry.all
+
+(* Benchmarks whose expected IDB bound is recorded and whose first bug lies
+   within a small budget: check the iterative delay bounding finds the bug
+   at exactly the expected bound. *)
+let quick_idb_benchmarks =
+  [
+    "CB.aget-bug2";
+    "CB.pbzip2-0.9.4";
+    "CS.account_bad";
+    "CS.arithmetic_prog_bad";
+    "CS.bluetooth_driver_bad";
+    "CS.carter01_bad";
+    "CS.circular_buffer_bad";
+    "CS.deadlock01_bad";
+    "CS.din_phil2_sat";
+    "CS.din_phil5_sat";
+    "CS.lazy01_bad";
+    "CS.phase01_bad";
+    "CS.queue_bad";
+    "CS.reorder_3_bad";
+    "CS.stack_bad";
+    "CS.sync01_bad";
+    "CS.sync02_bad";
+    "CS.token_ring_bad";
+    "CS.twostage_bad";
+    "CS.wronglock_3_bad";
+    "misc.ctrace-test";
+    "parsec.streamcluster3";
+    "radbench.bug3";
+    "radbench.bug6";
+    "splash2.barnes";
+    "splash2.fft";
+    "splash2.lu";
+    "inspect.qsort_mt";
+  ]
+
+let idb_smoke name () =
+  match Registry.by_name name with
+  | None -> Alcotest.fail ("unknown benchmark " ^ name)
+  | Some b -> (
+      let o =
+        {
+          Sct_explore.Techniques.default_options with
+          Sct_explore.Techniques.limit = 3_000;
+        }
+      in
+      let detection =
+        Sct_explore.Techniques.detect_races o b.Bench.program
+      in
+      let promote = Sct_race.Promotion.promote detection in
+      let s =
+        Sct_explore.Techniques.run ~promote o Sct_explore.Techniques.IDB
+          b.Bench.program
+      in
+      Alcotest.(check bool) "IDB finds the bug" true (Sct_explore.Stats.found s);
+      match b.Bench.expect_idb with
+      | Some expected ->
+          Alcotest.(check (option int)) "at the expected delay bound"
+            (Some expected) s.Sct_explore.Stats.bound
+      | None -> ())
+
+let negative_smoke name () =
+  (* safestack must NOT be found within a small budget (the paper's
+     negative target) *)
+  match Registry.by_name name with
+  | None -> Alcotest.fail ("unknown benchmark " ^ name)
+  | Some b ->
+      let o =
+        {
+          Sct_explore.Techniques.default_options with
+          Sct_explore.Techniques.limit = 1_000;
+        }
+      in
+      let s =
+        Sct_explore.Techniques.run o Sct_explore.Techniques.IDB
+          b.Bench.program
+      in
+      Alcotest.(check bool) "not found in a small budget" false
+        (Sct_explore.Stats.found s)
+
+let suites =
+  [
+    ( "sctbench-registry",
+      [
+        Alcotest.test_case "52 entries with ids 0..51" `Quick
+          test_registry_complete;
+        Alcotest.test_case "suite sizes match Table 1" `Quick test_suite_sizes;
+        Alcotest.test_case "lookup by name and id" `Quick test_lookup;
+        Alcotest.test_case "paper rows are coherent" `Quick
+          test_paper_rows_sane;
+        Alcotest.test_case "programs are deterministic" `Quick
+          test_programs_deterministic;
+        Alcotest.test_case "round-robin execution terminates" `Quick
+          test_rr_execution_terminates;
+      ] );
+    ( "sctbench-bugs",
+      List.map
+        (fun name -> Alcotest.test_case name `Slow (idb_smoke name))
+        quick_idb_benchmarks
+      @ [
+          Alcotest.test_case "misc.safestack stays hidden" `Slow
+            (negative_smoke "misc.safestack");
+        ] );
+  ]

@@ -1,0 +1,189 @@
+(* The auxiliary tooling: schedule replay, counterexample simplification and
+   coverage guarantees. *)
+
+open Sct_core
+
+let promote_all _ = true
+
+let figure1 () =
+  let x = Sct.Var.make ~name:"x" 0 and y = Sct.Var.make ~name:"y" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Var.write x 1;
+        Sct.Var.write y 1)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        let vx = Sct.Var.read x in
+        let vy = Sct.Var.read y in
+        Sct.check (vx = vy) "x=y")
+  in
+  ignore (t1, t2)
+
+(* --- replay --- *)
+
+let test_replay_reproduces_bug () =
+  (* find a witness with IDB, then replay it byte-for-byte *)
+  let idb =
+    Sct_explore.Bounded.explore ~promote:promote_all
+      ~kind:Sct_explore.Bounded.Delay_bounding ~limit:10_000 figure1
+  in
+  match idb.Sct_explore.Stats.first_bug with
+  | None -> Alcotest.fail "no witness"
+  | Some w -> (
+      match
+        Sct_explore.Replay.replay ~promote:promote_all
+          ~schedule:w.Sct_explore.Stats.w_schedule figure1
+      with
+      | None -> Alcotest.fail "witness schedule infeasible"
+      | Some r ->
+          Alcotest.(check bool) "still buggy" true
+            (Outcome.is_buggy r.Runtime.r_outcome);
+          Alcotest.(check bool) "same schedule" true
+            (Schedule.equal r.Runtime.r_schedule w.Sct_explore.Stats.w_schedule))
+
+let test_replay_detects_infeasible () =
+  (* thread 7 never exists *)
+  let sched = Schedule.of_list [ 0; 7; 0 ] in
+  Alcotest.(check bool) "infeasible" true
+    (Sct_explore.Replay.replay ~promote:promote_all ~schedule:sched figure1
+    = None)
+
+let test_replay_fallback () =
+  (* non-strict replay completes with round-robin fallback *)
+  let sched = Schedule.of_list [ 0 ] in
+  match
+    Sct_explore.Replay.replay ~promote:promote_all ~strict:false
+      ~schedule:sched figure1
+  with
+  | Some r ->
+      Alcotest.(check bool) "terminated" true
+        (r.Runtime.r_outcome <> Outcome.Step_limit)
+  | None -> Alcotest.fail "fallback replay failed"
+
+let test_parse () =
+  Alcotest.(check (list int)) "parse" [ 0; 0; 1; 2 ]
+    (Schedule.to_list (Sct_explore.Replay.parse "0, 0,1,2"));
+  Alcotest.check_raises "bad id" (Failure "Replay.parse: bad thread id x")
+    (fun () -> ignore (Sct_explore.Replay.parse "0,x"))
+
+(* --- simplification --- *)
+
+let test_simplify_reduces_preemptions () =
+  (* take a (likely messy) random witness and minimize it *)
+  let rand =
+    Sct_explore.Random_walk.explore ~promote:promote_all ~stop_on_bug:true
+      ~seed:5 ~runs:10_000 figure1
+  in
+  match rand.Sct_explore.Stats.first_bug with
+  | None -> Alcotest.fail "random scheduler found nothing"
+  | Some w -> (
+      match
+        Sct_explore.Simplify.minimize ~promote:promote_all ~program:figure1
+          w.Sct_explore.Stats.w_schedule
+      with
+      | None -> Alcotest.fail "witness did not replay"
+      | Some m ->
+          Alcotest.(check bool) "still buggy" true
+            (Outcome.is_buggy
+               m.Sct_explore.Simplify.result.Runtime.r_outcome);
+          Alcotest.(check bool) "pc did not increase" true
+            (m.Sct_explore.Simplify.result.Runtime.r_pc
+            <= w.Sct_explore.Stats.w_pc);
+          (* figure1's bug needs exactly one preemption: the minimizer must
+             reach the optimum from any witness of this tiny program *)
+          Alcotest.(check int) "minimal witness has one preemption" 1
+            m.Sct_explore.Simplify.result.Runtime.r_pc)
+
+let test_simplify_rejects_non_buggy () =
+  let rr =
+    Sct_explore.Replay.replay ~promote:promote_all ~strict:false
+      ~schedule:(Schedule.of_list []) figure1
+  in
+  match rr with
+  | None -> Alcotest.fail "round-robin replay failed"
+  | Some r ->
+      Alcotest.(check bool) "round-robin is safe" false
+        (Outcome.is_buggy r.Runtime.r_outcome);
+      Alcotest.(check bool) "minimize refuses non-buggy input" true
+        (Sct_explore.Simplify.minimize ~promote:promote_all ~program:figure1
+           r.Runtime.r_schedule
+        = None)
+
+(* --- guarantees --- *)
+
+let test_guarantee_bounded () =
+  (* a correct program explored to a complete level yields a bound *)
+  let program () =
+    let m = Sct.Mutex.create () in
+    let c = Sct.Var.make ~name:"g_c" 0 in
+    let body () =
+      Sct.Mutex.lock m;
+      Sct.Var.write c (Sct.Var.read c + 1);
+      Sct.Mutex.unlock m
+    in
+    let t1 = Sct.spawn body in
+    let t2 = Sct.spawn body in
+    Sct.join t1;
+    Sct.join t2
+  in
+  let s =
+    Sct_explore.Bounded.explore ~promote:promote_all
+      ~kind:Sct_explore.Bounded.Delay_bounding ~limit:1_000_000 program
+  in
+  (match Sct_explore.Guarantee.of_stats s with
+  | Sct_explore.Guarantee.Verified -> ()
+  | g -> Alcotest.failf "expected Verified, got %s" (Sct_explore.Guarantee.to_string g));
+  (* with a tiny limit the guarantee weakens to a bound or nothing *)
+  let s' =
+    Sct_explore.Bounded.explore ~promote:promote_all
+      ~kind:Sct_explore.Bounded.Preemption_bounding ~limit:2 program
+  in
+  match Sct_explore.Guarantee.of_stats s' with
+  | Sct_explore.Guarantee.Bounded { kind = `Preemptions; bound } ->
+      Alcotest.(check bool) "bound >= 0" true (bound >= 0)
+  | Sct_explore.Guarantee.None_ | Sct_explore.Guarantee.Verified -> ()
+  | g -> Alcotest.failf "unexpected guarantee %s" (Sct_explore.Guarantee.to_string g)
+
+let test_guarantee_falsified () =
+  let s =
+    Sct_explore.Bounded.explore ~promote:promote_all
+      ~kind:Sct_explore.Bounded.Delay_bounding ~limit:10_000 figure1
+  in
+  match Sct_explore.Guarantee.of_stats s with
+  | Sct_explore.Guarantee.Falsified { bound = Some 1 } -> ()
+  | g -> Alcotest.failf "expected Falsified(1), got %s" (Sct_explore.Guarantee.to_string g)
+
+let test_random_distinct_tracking () =
+  let s =
+    Sct_explore.Random_walk.explore ~promote:promote_all ~seed:0 ~runs:500
+      figure1
+  in
+  match s.Sct_explore.Stats.distinct with
+  | None -> Alcotest.fail "distinct not tracked"
+  | Some d ->
+      Alcotest.(check bool) "some duplicates on a tiny program" true (d < 500);
+      Alcotest.(check bool) "at least one distinct" true (d >= 1)
+
+let suites =
+  [
+    ( "tools",
+      [
+        Alcotest.test_case "replay reproduces a witness" `Quick
+          test_replay_reproduces_bug;
+        Alcotest.test_case "replay detects infeasible schedules" `Quick
+          test_replay_detects_infeasible;
+        Alcotest.test_case "replay fallback" `Quick test_replay_fallback;
+        Alcotest.test_case "schedule parsing" `Quick test_parse;
+        Alcotest.test_case "simplification reaches the minimal witness"
+          `Quick test_simplify_reduces_preemptions;
+        Alcotest.test_case "simplification rejects non-buggy input" `Quick
+          test_simplify_rejects_non_buggy;
+        Alcotest.test_case "bounded coverage guarantees" `Quick
+          test_guarantee_bounded;
+        Alcotest.test_case "falsification guarantee" `Quick
+          test_guarantee_falsified;
+        Alcotest.test_case "random walk tracks distinct schedules" `Quick
+          test_random_distinct_tracking;
+      ] );
+  ]
