@@ -5,17 +5,20 @@
      dune exec bench/main.exe                      (full study, limit 10000)
      dune exec bench/main.exe -- --limit 2000      (quicker study)
      dune exec bench/main.exe -- table3 fig2       (selected sections)
+     dune exec bench/main.exe -- --jobs 4 table3   (parallel study run)
      dune exec bench/main.exe -- perf              (Bechamel timings only)
 
-   Sections: table1 table2 table3 fig2 fig3 fig4 perf (default: all). *)
+   Sections: table1 table2 table3 fig2 fig3 fig4 por pct jobs perf
+   (default: all). *)
 
 open Bechamel
 open Toolkit
 
-let sections, limit, seed =
+let sections, limit, seed, jobs =
   let sections = ref [] in
   let limit = ref 10_000 in
   let seed = ref 0 in
+  let jobs = ref 0 in
   let rec parse = function
     | [] -> ()
     | "--limit" :: v :: rest ->
@@ -24,31 +27,41 @@ let sections, limit, seed =
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
         parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
     | s :: rest ->
         sections := s :: !sections;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
   let all =
-    [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "por"; "pct"; "perf" ]
+    [
+      "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "por"; "pct";
+      "jobs"; "perf";
+    ]
   in
   let sections = if !sections = [] then all else List.rev !sections in
-  (sections, !limit, !seed)
+  let jobs = if !jobs <= 0 then Sct_parallel.Pool.default_jobs () else !jobs in
+  (sections, !limit, !seed, jobs)
 
 let wants s = List.mem s sections
 
 let options =
   { Sct_explore.Techniques.default_options with
-    Sct_explore.Techniques.limit; seed }
+    Sct_explore.Techniques.limit; seed; jobs }
 
-(* The full study run is shared by table2/table3/fig2/fig3/fig4. *)
+(* The full study run is shared by table2/table3/fig2/fig3/fig4. The rows
+   are identical for every [jobs] value (see lib/parallel). *)
 let study_rows =
   lazy
     (let progress (b : Sctbench.Bench.t) =
        Printf.eprintf "[%2d/52] %s...\n%!" b.Sctbench.Bench.id
          b.Sctbench.Bench.name
      in
-     Sct_report.Run_data.run_all ~progress options Sctbench.Registry.all)
+     Sct_parallel.Pool.with_pool ~jobs (fun pool ->
+         Sct_parallel.Suite.run_all ~pool ~progress options
+           Sctbench.Registry.all))
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -133,6 +146,29 @@ let perf_tests () =
                Sys.opaque_identity (Sct_race.Promotion.detect ~runs:2 small)));
       ]
   in
+  let parallel =
+    (* the domain-pool engine on a 3-benchmark slice: jobs=1 falls back to
+       the sequential code, jobs=4 exercises pool + merging (the measured
+       time includes pool setup/teardown, as a real run would) *)
+    let o =
+      { Sct_explore.Techniques.default_options with
+        Sct_explore.Techniques.limit = 200 }
+    in
+    let pick n = Option.get (Sctbench.Registry.by_name n) in
+    let slice () =
+      [ pick "CS.lazy01_bad"; pick "CS.twostage_bad"; pick "CS.reorder_3_bad" ]
+    in
+    let suite_with jobs () =
+      Sys.opaque_identity
+        (Sct_parallel.Pool.with_pool ~jobs (fun pool ->
+             Sct_parallel.Suite.run_all ~pool o (slice ())))
+    in
+    Test.make_grouped ~name:"parallel"
+      [
+        Test.make ~name:"suite-slice/jobs-1" (Staged.stage (suite_with 1));
+        Test.make ~name:"suite-slice/jobs-4" (Staged.stage (suite_with 4));
+      ]
+  in
   (* one Bechamel test per table/figure generator (on a 3-benchmark slice) *)
   let mini_rows =
     lazy
@@ -173,7 +209,8 @@ let perf_tests () =
                  (Lazy.force mini_rows)));
       ]
   in
-  Test.make_grouped ~name:"sctbench" [ engine; techniques; race; tables ]
+  Test.make_grouped ~name:"sctbench"
+    [ engine; techniques; race; parallel; tables ]
 
 (* Extension ablation 1 (paper §8 future work): partial-order reduction.
    POR needs complete dependence information, so every location is promoted
@@ -272,6 +309,52 @@ let run_pct () =
       "misc.safestack";
     ]
 
+(* Wall-clock scaling of the parallel engine: the same suite slice at
+   jobs in {1, 2, 4, 8}, checking along the way that every row is identical
+   to the sequential run (the engine's determinism guarantee). *)
+let run_jobs () =
+  hr "Parallel engine: jobs sweep (wall-clock, CS suite)";
+  let benches =
+    List.filter
+      (fun (b : Sctbench.Bench.t) ->
+        b.Sctbench.Bench.suite = Sctbench.Bench.CS)
+      Sctbench.Registry.all
+  in
+  let o =
+    { options with Sct_explore.Techniques.limit = min limit 1_000 }
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      Sct_parallel.Pool.with_pool ~jobs (fun pool ->
+          Sct_parallel.Suite.run_all ~pool o benches)
+    in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let rows_equal a b =
+    List.for_all2
+      (fun (a : Sct_report.Run_data.row) (b : Sct_report.Run_data.row) ->
+        a.Sct_report.Run_data.racy_locations
+        = b.Sct_report.Run_data.racy_locations
+        && List.for_all2
+             (fun (t, s) (t', s') ->
+               t = t' && Sct_explore.Stats.equal s s')
+             a.Sct_report.Run_data.results b.Sct_report.Run_data.results)
+      a b
+  in
+  Printf.printf "limit %d, %d benchmarks\n" o.Sct_explore.Techniques.limit
+    (List.length benches);
+  Printf.printf "%6s %10s %9s  %s\n" "jobs" "seconds" "speedup" "rows";
+  let base_rows, base_dt = time 1 in
+  Printf.printf "%6d %10.2f %8.2fx  %s\n%!" 1 base_dt 1.0 "baseline";
+  List.iter
+    (fun jobs ->
+      let rows, dt = time jobs in
+      Printf.printf "%6d %10.2f %8.2fx  %s\n%!" jobs dt (base_dt /. dt)
+        (if rows_equal base_rows rows then "identical"
+         else "DIFFERENT (bug!)"))
+    [ 2; 4; 8 ]
+
 let run_perf () =
   hr "Bechamel timings";
   let ols =
@@ -337,4 +420,5 @@ let () =
   end;
   if wants "por" then run_por ();
   if wants "pct" then run_pct ();
+  if wants "jobs" then run_jobs ();
   if wants "perf" then run_perf ()

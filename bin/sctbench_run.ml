@@ -26,9 +26,26 @@ let techniques_t =
   in
   Arg.(value & opt_all string [] & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
 
-let options_of limit seed =
+let jobs_t =
+  let doc =
+    "Worker domains for the parallel engine (0 = one per recommended \
+     domain). Results are identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let split_depth_t =
+  let doc =
+    "Decision depth at which the parallel engine splits the DFS/IPB/IDB \
+     schedule tree."
+  in
+  Arg.(value & opt int 3 & info [ "split-depth" ] ~docv:"D" ~doc)
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
+
+let options_of ?(jobs = 1) ?(split_depth = 3) limit seed =
   { Sct_explore.Techniques.default_options with
-    Sct_explore.Techniques.limit; seed }
+    Sct_explore.Techniques.limit; seed; jobs = resolve_jobs jobs; split_depth }
 
 let parse_techniques names =
   match names with
@@ -88,13 +105,17 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed techs name =
+  let run limit seed jobs split_depth techs name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
-        let o = options_of limit seed in
+        let o = options_of ~jobs ~split_depth limit seed in
         let techniques = parse_techniques techs in
-        let row = Sct_report.Run_data.run_benchmark ~techniques o b in
+        let row =
+          Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
+            (fun pool ->
+              Sct_parallel.Suite.run_benchmark ~pool ~techniques o b)
+        in
         Printf.printf "%s (%d racy locations)\n" b.Sctbench.Bench.name
           row.Sct_report.Run_data.racy_locations;
         List.iter
@@ -102,7 +123,7 @@ let run_cmd =
             Format.printf "  %-8s %a@."
               (Sct_explore.Techniques.name t)
               Sct_explore.Stats.pp s;
-            (match s.Sct_explore.Stats.distinct with
+            (match Sct_explore.Stats.distinct s with
             | Some d ->
                 Format.printf "           distinct schedules: %d of %d@." d
                   s.Sct_explore.Stats.total
@@ -124,7 +145,9 @@ let run_cmd =
   let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
-    Term.(const run $ limit_t $ seed_t $ techniques_t $ name_t)
+    Term.(
+      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ techniques_t
+      $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -276,14 +299,18 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed suite ids techs =
+let study what limit seed jobs split_depth suite ids techs =
   let benches = select suite ids in
-  let o = options_of limit seed in
+  let o = options_of ~jobs ~split_depth limit seed in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
   | (`Table2 | `Table3 | `Fig2 | `Fig3 | `Fig4 | `Agreement | `Csv) as what ->
       let techniques = parse_techniques techs in
-      let rows = Sct_report.Run_data.run_all ~techniques ~progress o benches in
+      let rows =
+        Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
+          (fun pool ->
+            Sct_parallel.Suite.run_all ~pool ~techniques ~progress o benches)
+      in
       (match what with
       | `Table2 -> Sct_report.Table2.print ~limit rows
       | `Table3 ->
@@ -298,7 +325,8 @@ let study what limit seed suite ids techs =
 let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (study what) $ limit_t $ seed_t $ suite_t $ ids_t $ techniques_t)
+      const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t $ suite_t
+      $ ids_t $ techniques_t)
 
 let () =
   let cmds =

@@ -88,12 +88,14 @@ type result = {
   r_steps : int;
 }
 
-(* Ambient runtime: execution is fully serialised, so a single slot works;
-   [exec] saves and restores it, allowing (non-concurrent) nesting. *)
-let ambient_rt : t option ref = ref None
+(* Ambient runtime: execution is fully serialised within a domain, so one
+   slot per domain works; [exec] saves and restores it, allowing
+   (non-concurrent) nesting. Domain-local storage keeps concurrent [exec]
+   calls on distinct domains (lib/parallel) from clobbering each other. *)
+let ambient_rt : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let ambient () =
-  match !ambient_rt with
+  match Domain.DLS.get ambient_rt with
   | Some rt -> rt
   | None -> invalid_arg "Sct_core.Runtime: no execution in progress"
 
@@ -503,9 +505,9 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
       try_lock_result = false;
     }
   in
-  let saved = !ambient_rt in
-  ambient_rt := Some rt;
-  let restore () = ambient_rt := saved in
+  let saved = Domain.DLS.get ambient_rt in
+  Domain.DLS.set ambient_rt (Some rt);
+  let restore () = Domain.DLS.set ambient_rt saved in
   let finish outcome =
     teardown rt;
     restore ();

@@ -36,9 +36,14 @@ let push st fr =
   st.frames.(st.len) <- fr;
   st.len <- st.len + 1
 
+type frontier_info = {
+  fi_prefix : (Tid.t * Tid.t list) array;
+  fi_branched_below : bool;
+}
+
 let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
-    ?(on_schedule = fun _ -> ()) ?(record_decisions = false) ~bound ~limit
-    program =
+    ?(on_schedule = fun _ -> ()) ?(record_decisions = false) ?prefix
+    ?(max_branch_depth = max_int) ?on_exec ~bound ~limit program =
   let bound_c =
     match bound with Unbounded -> max_int | Preemption c | Delay c -> c
   in
@@ -51,9 +56,21 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
   in
   let st = { frames = Array.make 1024 dummy_frame; len = 0 } in
   let replay_len = ref 0 in
+  (* A pinned prefix is seeded as exhausted frames: it is replayed (with the
+     enabled-set determinism check and bound accounting) on every execution
+     and never advanced by backtracking, so the walk covers exactly the
+     subtree below the prefix. *)
+  (match prefix with
+  | None -> ()
+  | Some p ->
+      Array.iter
+        (fun (chosen, f_enabled) -> push st { chosen; rest = []; f_enabled })
+        p;
+      replay_len := st.len);
   let depth = ref 0 in
   let cur_count = ref 0 in
   let pruned = ref false in
+  let branched_below = ref false in
   let scheduler (ctx : Runtime.ctx) =
     let i = !depth in
     depth := i + 1;
@@ -84,7 +101,12 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
              so the filtered list cannot be empty. *)
           assert false
       | t :: rest ->
-          push st { chosen = t; rest; f_enabled = ctx.c_enabled };
+          if i >= max_branch_depth then begin
+            (* frontier-enumeration mode: below the split depth, follow the
+               first in-bound child without recording a backtrack point *)
+            if rest <> [] then branched_below := true
+          end
+          else push st { chosen = t; rest; f_enabled = ctx.c_enabled };
           cur_count := !cur_count + delta ctx t;
           t
     end
@@ -123,10 +145,20 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
   while !continue_ do
     depth := 0;
     cur_count := 0;
+    branched_below := false;
     let res =
       Runtime.exec ~promote ~max_steps ~record_decisions ~scheduler program
     in
     incr executions;
+    (match on_exec with
+    | None -> ()
+    | Some f ->
+        let fi_prefix =
+          Array.init st.len (fun j ->
+              let fr = st.frames.(j) in
+              (fr.chosen, fr.f_enabled))
+        in
+        f res { fi_prefix; fi_branched_below = !branched_below });
     n_threads := max !n_threads res.r_n_threads;
     max_enabled := max !max_enabled res.r_max_enabled;
     max_points := max !max_points res.r_multi_points;

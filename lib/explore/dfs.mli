@@ -27,12 +27,27 @@ type level_result = {
   max_sched_points : int;
 }
 
+type frontier_info = {
+  fi_prefix : (Sct_core.Tid.t * Sct_core.Tid.t list) array;
+      (** the (chosen, enabled) decisions of this execution above
+          [max_branch_depth] — a replayable subtree prefix *)
+  fi_branched_below : bool;
+      (** some decision at depth ≥ [max_branch_depth] had more than one
+          in-bound child, i.e. the prefix denotes a subtree with more than
+          one terminal schedule *)
+}
+(** Per-execution frontier information reported to [on_exec]; used by the
+    parallel engine (lib/parallel) to partition the schedule tree. *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?count_exact:int ->
   ?on_schedule:(Sct_core.Runtime.result -> unit) ->
   ?record_decisions:bool ->
+  ?prefix:(Sct_core.Tid.t * Sct_core.Tid.t list) array ->
+  ?max_branch_depth:int ->
+  ?on_exec:(Sct_core.Runtime.result -> frontier_info -> unit) ->
   bound:bound ->
   limit:int ->
   (unit -> unit) ->
@@ -47,6 +62,16 @@ val explore :
     [on_schedule] is called on every counted terminal schedule's execution
     result; pass [record_decisions:true] if the callback needs the decision
     trace (off by default for speed).
+
+    [prefix] pins the first decisions: they are replayed (with the
+    determinism check and bound accounting) on every execution and never
+    backtracked, so the walk explores exactly the subtree below the prefix
+    in standard DFS order. [max_branch_depth = d] restricts backtracking to
+    decisions at depth < [d]; deeper decisions deterministically follow the
+    first in-bound child, so each execution reaches the first terminal
+    schedule of its depth-[d] subtree — the frontier-enumeration mode of the
+    parallel engine. [on_exec] is called on {e every} execution (counted or
+    not) with its frontier information.
 
     @raise Failure if the program is nondeterministic (the enabled set at a
     replayed decision differs from the recorded one). *)

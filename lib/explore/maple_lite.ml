@@ -108,56 +108,57 @@ let bug_stats s (res : Runtime.result) =
       else s
   | Outcome.Ok | Outcome.Step_limit -> s
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(profile_runs = 10) ~seed program =
-  let stats = ref (Stats.base ~technique:"MapleAlg") in
-  let count res =
-    let s = Stats.observe_run !stats res in
-    let s =
-      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
-    in
-    stats := bug_stats s res
+let count_run s res =
+  let s = Stats.observe_run s res in
+  let s =
+    { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
   in
-  (* Phase 1: profiling — Maple profiles under native, uncontrolled
-     execution, which is mostly run-to-block scheduling with occasional OS
-     preemptions; we model that as round-robin with sparse random
-     deviations. *)
+  bug_stats s res
+
+(* One profiling run. Maple profiles under native, uncontrolled execution,
+   which is mostly run-to-block scheduling with occasional OS preemptions;
+   we model that as round-robin with sparse random deviations. The RNG is
+   re-seeded from [(seed, i)] and the access history is per-run, so run [i]
+   is independent of every other run — profiling shards merge by unioning
+   the returned iRoot sets. *)
+let profile_one ?(promote = fun _ -> false) ?(max_steps = 100_000) ~seed i
+    program =
   let profile = new_profile () in
-  let i = ref 0 in
-  while !i < profile_runs && not (Stats.found !stats) do
-    Hashtbl.reset profile.last_access;
-    let rng = Random.State.make [| seed; !i; 0x3aF |] in
-    let scheduler (ctx : Runtime.ctx) =
-      if Random.State.int rng 16 = 0 then
-        List.nth ctx.c_enabled
-          (Random.State.int rng (List.length ctx.c_enabled))
-      else
-        match
-          Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads
-            ~last:ctx.c_last ~enabled:ctx.c_enabled
-        with
-        | Some t -> t
-        | None -> assert false
-    in
-    let res =
-      Runtime.exec ~promote ~max_steps ~record_decisions:false
-        ~listener:(observe_run_pairs profile) ~scheduler program
-    in
-    count res;
-    incr i
-  done;
-  (* Phase 2: candidates = unobserved reversals on promoted locations. *)
-  let candidates =
-    Iroot_set.fold
-      (fun r acc ->
-        let rev = { r with first = r.second; second = r.first } in
-        if promote r.loc && not (Iroot_set.mem rev profile.adjacent) then
-          Iroot_set.add rev acc
-        else acc)
-      profile.observed Iroot_set.empty
+  let rng = Random.State.make [| seed; i; 0x3aF |] in
+  let scheduler (ctx : Runtime.ctx) =
+    if Random.State.int rng 16 = 0 then
+      let enabled = Array.of_list ctx.c_enabled in
+      enabled.(Random.State.int rng (Array.length enabled))
+    else
+      match
+        Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads
+          ~last:ctx.c_last ~enabled:ctx.c_enabled
+      with
+      | Some t -> t
+      | None -> assert false
   in
-  let kind_matches k op_kind = akind_of op_kind = k in
-  let active_run target =
+  let res =
+    Runtime.exec ~promote ~max_steps ~record_decisions:false
+      ~listener:(observe_run_pairs profile) ~scheduler program
+  in
+  (res, profile.observed, profile.adjacent)
+
+(* Candidates = unobserved reversals on promoted locations, in the
+   (deterministic) set order. *)
+let candidates ~promote ~observed ~adjacent =
+  Iroot_set.elements
+    (Iroot_set.fold
+       (fun r acc ->
+         let rev = { r with first = r.second; second = r.first } in
+         if promote r.loc && not (Iroot_set.mem rev adjacent) then
+           Iroot_set.add rev acc
+         else acc)
+       observed Iroot_set.empty)
+
+let kind_matches k op_kind = akind_of op_kind = k
+
+let active_run ?(promote = fun _ -> false) ?(max_steps = 100_000) target
+    program =
     (* Round-robin, but a thread about to perform the [second] access of the
        target is withheld until some other thread performs the [first]
        access — then scheduling returns to plain round-robin. Maple's own
@@ -199,8 +200,25 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     in
     Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
       program
-  in
-  Iroot_set.iter
-    (fun c -> if not (Stats.found !stats) then count (active_run c))
-    candidates;
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(profile_runs = 10) ~seed program =
+  let stats = ref (Stats.base ~technique:"MapleAlg") in
+  (* Phase 1: profiling. *)
+  let observed = ref Iroot_set.empty in
+  let adjacent = ref Iroot_set.empty in
+  let i = ref 0 in
+  while !i < profile_runs && not (Stats.found !stats) do
+    let res, obs, adj = profile_one ~promote ~max_steps ~seed !i program in
+    observed := Iroot_set.union !observed obs;
+    adjacent := Iroot_set.union !adjacent adj;
+    stats := count_run !stats res;
+    incr i
+  done;
+  (* Phase 2: one active run per candidate reversal, until the first bug. *)
+  List.iter
+    (fun c ->
+      if not (Stats.found !stats) then
+        stats := count_run !stats (active_run ~promote ~max_steps c program))
+    (candidates ~promote ~observed:!observed ~adjacent:!adjacent);
   { !stats with Stats.complete = true }

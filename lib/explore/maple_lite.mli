@@ -28,3 +28,46 @@ val explore :
     defaults to 10 random executions) followed by one active run per
     candidate reversal. Stops at the first bug. [total] counts profiling and
     active runs, matching how the paper reports MapleAlg schedule counts. *)
+
+(** {1 Phases}
+
+    The pieces of {!explore}, exposed so the parallel drivers
+    (lib/parallel) can shard profiling runs and active runs across domains
+    while merging results in the sequential order. *)
+
+type iroot
+(** An idiom-1 iRoot: an ordered pair of access kinds on one location. *)
+
+module Iroot_set : Set.S with type elt = iroot
+
+val profile_one :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  seed:int ->
+  int ->
+  (unit -> unit) ->
+  Sct_core.Runtime.result * Iroot_set.t * Iroot_set.t
+(** [profile_one ~seed i program] performs profiling run [i] (a pure
+    function of [(seed, i)]) and returns its execution result together with
+    the observed and adjacent iRoot sets of that run. Unioning the sets of
+    runs [0..n-1] reproduces a sequential profiling phase of [n] runs. *)
+
+val candidates :
+  promote:(string -> bool) ->
+  observed:Iroot_set.t ->
+  adjacent:Iroot_set.t ->
+  iroot list
+(** The candidate reversals, in the deterministic order {!explore} attempts
+    them. *)
+
+val active_run :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  iroot ->
+  (unit -> unit) ->
+  Sct_core.Runtime.result
+(** One deterministic active run forcing the given candidate. *)
+
+val count_run : Stats.t -> Sct_core.Runtime.result -> Stats.t
+(** Fold one profiling/active execution into the statistics exactly as
+    {!explore} does (total, executions, buggy, first bug). *)

@@ -1,9 +1,11 @@
 open Sct_core
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(change_points = 2) ~seed ~runs program =
-  (* Estimate the execution length with one deterministic round-robin run
-     (the same initial schedule the systematic techniques start from). *)
+(* Estimate the execution length with one deterministic round-robin run
+   (the same initial schedule the systematic techniques start from). PCT's
+   [k] is an a-priori estimate fixed for the whole campaign — keeping it
+   independent of the sampled runs is what makes run [i] a pure function of
+   [(seed, i, k)] and therefore shardable across domains. *)
+let probe ?(promote = fun _ -> false) ?(max_steps = 100_000) program =
   let rr (ctx : Runtime.ctx) =
     match
       Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
@@ -12,52 +14,53 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     | Some t -> t
     | None -> assert false
   in
-  let probe =
+  let res =
     Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler:rr
       program
   in
-  let k_est = ref (max 1 probe.Runtime.r_steps) in
+  max 1 res.Runtime.r_steps
+
+let run_one ~promote ~max_steps ~change_points ~seed ~k i program =
+  let rng = Random.State.make [| seed; i; 0x9c7 |] in
+  (* Distinct-with-high-probability initial priorities above the change
+     values; change value j is j itself (all below initial priorities). *)
+  let priorities : (Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let priority t =
+    match Hashtbl.find_opt priorities t with
+    | Some p -> p
+    | None ->
+        let p = change_points + 1 + Random.State.int rng 1_000_000 in
+        Hashtbl.replace priorities t p;
+        p
+  in
+  let depths =
+    List.init change_points (fun j -> (1 + Random.State.int rng k, j))
+  in
+  let scheduler (ctx : Runtime.ctx) =
+    let best () =
+      List.fold_left
+        (fun acc t ->
+          match acc with
+          | None -> Some t
+          | Some u -> if priority t > priority u then Some t else acc)
+        None ctx.c_enabled
+    in
+    (match best () with
+    | Some t ->
+        List.iter
+          (fun (d, j) ->
+            if d = ctx.c_step + 1 then Hashtbl.replace priorities t j)
+          depths
+    | None -> ());
+    match best () with Some t -> t | None -> assert false
+  in
+  Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler program
+
+let explore_shard ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(change_points = 2) ~seed ~k ~lo ~hi program =
   let stats = ref (Stats.base ~technique:"PCT") in
-  for i = 0 to runs - 1 do
-    let rng = Random.State.make [| seed; i; 0x9c7 |] in
-    (* Distinct-with-high-probability initial priorities above the change
-       values; change value j is j itself (all below initial priorities). *)
-    let priorities : (Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
-    let priority t =
-      match Hashtbl.find_opt priorities t with
-      | Some p -> p
-      | None ->
-          let p = change_points + 1 + Random.State.int rng 1_000_000 in
-          Hashtbl.replace priorities t p;
-          p
-    in
-    let depths =
-      List.init change_points (fun j ->
-          (1 + Random.State.int rng !k_est, j))
-    in
-    let scheduler (ctx : Runtime.ctx) =
-      let best () =
-        List.fold_left
-          (fun acc t ->
-            match acc with
-            | None -> Some t
-            | Some u -> if priority t > priority u then Some t else acc)
-          None ctx.c_enabled
-      in
-      (match best () with
-      | Some t ->
-          List.iter
-            (fun (d, j) ->
-              if d = ctx.c_step + 1 then Hashtbl.replace priorities t j)
-            depths
-      | None -> ());
-      match best () with Some t -> t | None -> assert false
-    in
-    let res =
-      Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
-        program
-    in
-    k_est := max !k_est res.Runtime.r_steps;
+  for i = lo to hi - 1 do
+    let res = run_one ~promote ~max_steps ~change_points ~seed ~k i program in
     let s = Stats.observe_run !stats res in
     let s =
       { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
@@ -69,7 +72,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
           if s.Stats.to_first_bug = None then
             {
               s with
-              Stats.to_first_bug = Some s.Stats.total;
+              Stats.to_first_bug = Some (i + 1);
               first_bug =
                 Some
                   {
@@ -86,3 +89,8 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     stats := s
   done;
   { !stats with Stats.hit_limit = true }
+
+let explore ?promote ?max_steps ?change_points ~seed ~runs program =
+  let k = probe ?promote ?max_steps program in
+  explore_shard ?promote ?max_steps ?change_points ~seed ~k ~lo:0 ~hi:runs
+    program

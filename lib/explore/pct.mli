@@ -22,5 +22,25 @@ val explore :
   Stats.t
 (** [explore ~seed ~runs program] performs [runs] PCT executions
     ([change_points] defaults to 2). The execution-length estimate [k] is
-    taken from the longest execution observed so far (initialised by one
-    uncounted round-robin run). *)
+    fixed for the whole campaign by {!probe} — PCT's a-priori [k] — which
+    makes each run a pure function of [(seed, i, k)] and the campaign
+    shardable. *)
+
+val probe : ?promote:(string -> bool) -> ?max_steps:int -> (unit -> unit) -> int
+(** One uncounted deterministic round-robin execution; returns the step
+    count (at least 1) used as the campaign's depth-sampling range [k]. *)
+
+val explore_shard :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?change_points:int ->
+  seed:int ->
+  k:int ->
+  lo:int ->
+  hi:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore_shard ~seed ~k ~lo ~hi program] performs runs [lo, hi) of the
+    campaign with the fixed length estimate [k]. [to_first_bug] is an
+    absolute 1-based run index; folding {!Stats.merge} over a partition of
+    [0, runs) equals the sequential {!explore} result. *)

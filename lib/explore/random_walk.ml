@@ -1,31 +1,30 @@
 open Sct_core
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(stop_on_bug = false) ~seed ~runs program =
+(* Run [i] of a campaign depends only on [seed] and [i]: the RNG is
+   re-seeded per run, so any contiguous sharding of the run range replays
+   the sequential campaign exactly (lib/parallel relies on this). *)
+let run_one ~promote ~max_steps ~seed i program =
+  let rng = Random.State.make [| seed; i |] in
+  let scheduler (ctx : Runtime.ctx) =
+    (* one O(n) conversion, then O(1) indexing — [List.nth] here cost a
+       second traversal of the enabled list at every decision *)
+    let enabled = Array.of_list ctx.c_enabled in
+    enabled.(Random.State.int rng (Array.length enabled))
+  in
+  Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler program
+
+let explore_shard ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(stop_on_bug = false) ~seed ~lo ~hi program =
   let stats = ref (Stats.base ~technique:"Rand") in
-  (* keyed by the schedule itself: the default hash only inspects a prefix,
-     but full structural equality resolves collisions correctly *)
-  let seen : (Tid.t list, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let seen = ref Stats.Sched_set.empty in
   let continue_ = ref true in
-  let i = ref 0 in
-  while !continue_ && !i < runs do
-    let rng = Random.State.make [| seed; !i |] in
-    let scheduler (ctx : Runtime.ctx) =
-      List.nth ctx.c_enabled (Random.State.int rng (List.length ctx.c_enabled))
-    in
-    let res =
-      Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
-        program
-    in
-    Hashtbl.replace seen (Schedule.to_list res.Runtime.r_schedule) ();
+  let i = ref lo in
+  while !continue_ && !i < hi do
+    let res = run_one ~promote ~max_steps ~seed !i program in
+    seen := Stats.Sched_set.add (Schedule.to_list res.Runtime.r_schedule) !seen;
     let s = Stats.observe_run !stats res in
     let s =
-      {
-        s with
-        Stats.total = s.Stats.total + 1;
-        executions = s.executions + 1;
-        distinct = Some (Hashtbl.length seen);
-      }
+      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
     in
     let s =
       match res.Runtime.r_outcome with
@@ -35,7 +34,9 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
             if stop_on_bug then continue_ := false;
             {
               s with
-              Stats.to_first_bug = Some s.Stats.total;
+              (* 1-based absolute run index, so shard results merge into
+                 the same index space as a sequential campaign *)
+              Stats.to_first_bug = Some (!i + 1);
               first_bug =
                 Some
                   {
@@ -53,4 +54,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     stats := s;
     incr i
   done;
-  { !stats with Stats.hit_limit = true }
+  { !stats with Stats.hit_limit = true; distinct_schedules = Some !seen }
+
+let explore ?promote ?max_steps ?stop_on_bug ~seed ~runs program =
+  explore_shard ?promote ?max_steps ?stop_on_bug ~seed ~lo:0 ~hi:runs program

@@ -3,7 +3,11 @@
     At every scheduling point one enabled thread is chosen uniformly at
     random. No information is saved between executions, so the same schedule
     may be explored multiple times and the search never "completes" — as in
-    Maple's random mode. *)
+    Maple's random mode.
+
+    Run [i] of a campaign is a pure function of [(seed, i)], so the run
+    range can be partitioned into shards whose statistics merge (with
+    {!Stats.merge}) into exactly the sequential campaign's statistics. *)
 
 val explore :
   ?promote:(string -> bool) ->
@@ -16,3 +20,18 @@ val explore :
 (** [explore ~seed ~runs program] performs [runs] independent executions.
     With [stop_on_bug] (default [false], as in the paper) the walk stops at
     the first buggy schedule. *)
+
+val explore_shard :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?stop_on_bug:bool ->
+  seed:int ->
+  lo:int ->
+  hi:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore_shard ~seed ~lo ~hi program] performs runs [lo, hi) of the
+    campaign [explore ~seed ~runs]. [to_first_bug] is reported as a 1-based
+    {e absolute} run index and distinct schedules are carried as a set, so
+    folding {!Stats.merge} over any partition of [0, runs) into shards
+    equals the sequential result ({!Stats.equal}). *)

@@ -1,6 +1,10 @@
 (** Per-technique exploration statistics: the columns of the paper's
     Table 3. *)
 
+module Sched_set : Set.S with type elt = Sct_core.Tid.t list
+(** Sets of terminal schedules, used to count distinct schedules exactly
+    even when shards of a campaign are merged. *)
+
 type bug_witness = {
   w_bug : Sct_core.Outcome.bug;
   w_by : Sct_core.Tid.t;
@@ -34,16 +38,38 @@ type t = {
       (** max number of decisions with >1 enabled thread in one run *)
   executions : int;
       (** real program executions, including bounded-level replays *)
-  distinct : int option;
-      (** distinct schedules among [total], when the technique tracks it
-          (the random scheduler re-explores duplicates, paper §3) *)
+  distinct_schedules : Sched_set.t option;
+      (** the distinct schedules among [total], when the technique tracks
+          them (the random scheduler re-explores duplicates, paper §3);
+          kept as a set so shard merges union rather than double-count *)
 }
 
 val found : t -> bool
+
+val distinct : t -> int option
+(** Number of distinct schedules, when tracked. *)
+
 val base : technique:string -> t
 (** All-zero statistics to be folded over. *)
 
 val observe_run : t -> Sct_core.Runtime.result -> t
 (** Fold a run's structural aggregates (threads / enabled / points). *)
+
+val merge : t -> t -> t
+(** Combine the statistics of two disjoint shards of one campaign (seed
+    ranges of a random technique, partitions of a schedule space, repeated
+    multi-seed campaigns). Counters are summed, structural maxima taken,
+    distinct-schedule sets unioned, and the first bug is the one with the
+    smaller [to_first_bug] — provided shards report [to_first_bug] in a
+    common (absolute) index space. Equal indices are resolved by a stable
+    total order on witnesses, making [merge] associative and commutative,
+    with [base ~technique] as identity:
+    {ul
+    {- [merge a (merge b c) = merge (merge a b) c]}
+    {- [merge a b = merge b a]}
+    {- [merge (base ~technique:a.technique) a = a]}} *)
+
+val equal : t -> t -> bool
+(** Structural equality; distinct-schedule sets are compared as sets. *)
 
 val pp : Format.formatter -> t -> unit

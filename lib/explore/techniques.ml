@@ -27,6 +27,8 @@ type options = {
   race_runs : int;
   pct_change_points : int;
   maple_profile_runs : int;
+  jobs : int;
+  split_depth : int;
 }
 
 let default_options =
@@ -37,6 +39,23 @@ let default_options =
     race_runs = 10;
     pct_change_points = 2;
     maple_profile_runs = 10;
+    jobs = 1;
+    split_depth = 3;
+  }
+
+let dfs_stats ~technique (r : Dfs.level_result) =
+  {
+    (Stats.base ~technique) with
+    Stats.to_first_bug = r.Dfs.to_first_bug;
+    total = r.Dfs.counted;
+    buggy = r.Dfs.buggy;
+    complete = r.Dfs.complete;
+    hit_limit = r.Dfs.hit_limit;
+    first_bug = r.Dfs.first_bug;
+    n_threads = r.Dfs.n_threads;
+    max_enabled = r.Dfs.max_enabled;
+    max_sched_points = r.Dfs.max_sched_points;
+    executions = r.Dfs.executions;
   }
 
 let run ?(promote = fun _ -> false) o technique program =
@@ -48,23 +67,9 @@ let run ?(promote = fun _ -> false) o technique program =
       Bounded.explore ~promote ~max_steps:o.max_steps
         ~kind:Bounded.Delay_bounding ~limit:o.limit program
   | DFS ->
-      let r =
-        Dfs.explore ~promote ~max_steps:o.max_steps ~bound:Dfs.Unbounded
-          ~limit:o.limit program
-      in
-      {
-        (Stats.base ~technique:"DFS") with
-        Stats.to_first_bug = r.Dfs.to_first_bug;
-        total = r.Dfs.counted;
-        buggy = r.Dfs.buggy;
-        complete = r.Dfs.complete;
-        hit_limit = r.Dfs.hit_limit;
-        first_bug = r.Dfs.first_bug;
-        n_threads = r.Dfs.n_threads;
-        max_enabled = r.Dfs.max_enabled;
-        max_sched_points = r.Dfs.max_sched_points;
-        executions = r.Dfs.executions;
-      }
+      dfs_stats ~technique:"DFS"
+        (Dfs.explore ~promote ~max_steps:o.max_steps ~bound:Dfs.Unbounded
+           ~limit:o.limit program)
   | Rand ->
       Random_walk.explore ~promote ~max_steps:o.max_steps ~seed:o.seed
         ~runs:o.limit program

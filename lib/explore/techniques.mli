@@ -17,11 +17,23 @@ type options = {
   race_runs : int;  (** data-race detection executions (paper: 10) *)
   pct_change_points : int;
   maple_profile_runs : int;
+  jobs : int;
+      (** worker domains for the parallel engine (lib/parallel); [run] and
+          [run_all] below are always sequential — a value > 1 takes effect
+          through [Sct_parallel.Drivers] / [Sct_parallel.Suite], which
+          produce identical statistics for every [jobs] value *)
+  split_depth : int;
+      (** decision depth at which the parallel engine splits the DFS/IPB/IDB
+          schedule tree into subtree partitions *)
 }
 
 val default_options : options
 (** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
-    pct_change_points = 2; maple_profile_runs = 10]. *)
+    pct_change_points = 2; maple_profile_runs = 10; jobs = 1;
+    split_depth = 3]. *)
+
+val dfs_stats : technique:string -> Dfs.level_result -> Stats.t
+(** Lift a DFS level result into the Table 3 statistics record. *)
 
 val run :
   ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Stats.t

@@ -1,0 +1,34 @@
+(** Parallel drivers for the study's techniques, one strategy per technique
+    family, all producing statistics equal ([Sct_explore.Stats.equal]) to
+    the sequential {!Sct_explore.Techniques.run} for every pool size:
+
+    - Rand and PCT sample independent runs: the run range is sharded into
+      contiguous per-worker slices (run [i] depends only on [(seed, i)]),
+      and shard statistics are folded with [Sct_explore.Stats.merge] —
+      first-bug indices are absolute, so the merge recovers the sequential
+      first bug.
+    - MapleAlg's profiling runs are independent and run in parallel, merged
+      in run order and truncated at the first buggy run (the point where the
+      sequential algorithm stops profiling); active runs are deterministic
+      per candidate and merged in candidate order up to the first bug.
+    - DFS, IPB and IDB use frontier partitioning ({!Frontier}).
+
+    With a pool of size 1 every driver simply calls the sequential code. *)
+
+val run :
+  pool:Pool.t ->
+  ?promote:(string -> bool) ->
+  Sct_explore.Techniques.options ->
+  Sct_explore.Techniques.t ->
+  (unit -> unit) ->
+  Sct_explore.Stats.t
+(** Parallel equivalent of [Sct_explore.Techniques.run]. *)
+
+val run_all :
+  pool:Pool.t ->
+  ?techniques:Sct_explore.Techniques.t list ->
+  Sct_explore.Techniques.options ->
+  (unit -> unit) ->
+  Sct_race.Promotion.result * (Sct_explore.Techniques.t * Sct_explore.Stats.t) list
+(** Parallel equivalent of [Sct_explore.Techniques.run_all]: sequential race
+    detection, then each technique through {!run}. *)

@@ -1,0 +1,55 @@
+(** Frontier-partitioned parallel DFS and iterative bounding.
+
+    The schedule tree is split at a fixed decision depth: a sequential
+    enumeration pass walks the tree with backtracking restricted to depths
+    below [split_depth] ({!Sct_explore.Dfs.explore}'s [max_branch_depth]),
+    discovering one depth-[split_depth] subtree per execution, in DFS order.
+    Subtrees with internal branching are explored on pool workers (each
+    worker replays the pinned prefix and runs an ordinary DFS below it);
+    single-schedule subtrees reuse the enumeration's own execution.
+
+    Partition results are merged {e in DFS order}, so the merged
+    {!Sct_explore.Dfs.level_result} is identical to a sequential walk:
+    schedule counts and executions add up, first-bug indices are offset by
+    the schedules counted before the partition, and when the cumulative
+    count crosses the schedule limit the crossing subtree is re-walked with
+    the exact remaining budget so the truncated statistics (executions,
+    observation maxima, first bug) match the sequential stop point.
+
+    The only field that can differ from a sequential walk is [pruned], and
+    only when [hit_limit] is set: the enumeration looks one execution into
+    subtrees beyond the stop point and may observe pruning there. The
+    iterative-bounding loop only consumes [pruned] when a level completes,
+    where the flag is exact — so {!explore_bounded} is exactly
+    sequential-equivalent. *)
+
+val explore :
+  pool:Pool.t ->
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?count_exact:int ->
+  ?split_depth:int ->
+  bound:Sct_explore.Dfs.bound ->
+  limit:int ->
+  (unit -> unit) ->
+  Sct_explore.Dfs.level_result
+(** Parallel equivalent of [Sct_explore.Dfs.explore] (without the callback
+    arguments). [split_depth] defaults to 3. The program closure is invoked
+    concurrently on several domains, one execution per domain at a time; it
+    must create all of its state inside the call (every SCTBench benchmark
+    does). *)
+
+val explore_bounded :
+  pool:Pool.t ->
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?max_levels:int ->
+  ?split_depth:int ->
+  kind:Sct_explore.Bounded.kind ->
+  limit:int ->
+  (unit -> unit) ->
+  Sct_explore.Stats.t
+(** Parallel equivalent of [Sct_explore.Bounded.explore]: the iterative
+    bounding level loop with each level's bounded walk parallelised by
+    {!explore}. Produces statistics equal ([Sct_explore.Stats.equal]) to the
+    sequential function for every pool size. *)

@@ -1,0 +1,57 @@
+open Sct_explore
+
+let row_of ~bench ~detection results =
+  {
+    Sct_report.Run_data.bench;
+    racy_locations = List.length detection.Sct_race.Promotion.racy;
+    results;
+  }
+
+let run_benchmark ~pool ?techniques o (bench : Sctbench.Bench.t) =
+  if Pool.size pool <= 1 then
+    Sct_report.Run_data.run_benchmark ?techniques o bench
+  else
+    let detection, results =
+      Drivers.run_all ~pool ?techniques o bench.Sctbench.Bench.program
+    in
+    row_of ~bench ~detection results
+
+let run_all ~pool ?(techniques = Techniques.all_paper)
+    ?(progress = fun _ -> ()) o benches =
+  if Pool.size pool <= 1 then
+    Sct_report.Run_data.run_all ~techniques ~progress o benches
+  else begin
+    (* Whole-suite runs use coarse sharding: one job per benchmark for race
+       detection, then one job per benchmark x technique, each running the
+       ordinary sequential code — so every row is computed by exactly the
+       same function as [Run_data.run_all], merely on another domain. *)
+    let detections =
+      benches
+      |> List.map (fun (b : Sctbench.Bench.t) ->
+             ( b,
+               Pool.submit pool (fun () ->
+                   Techniques.detect_races o b.Sctbench.Bench.program) ))
+      |> List.map (fun (b, fut) -> (b, Pool.await fut))
+    in
+    let pending =
+      List.map
+        (fun ((b : Sctbench.Bench.t), detection) ->
+          let promote = Sct_race.Promotion.promote detection in
+          let futs =
+            List.map
+              (fun t ->
+                ( t,
+                  Pool.submit pool (fun () ->
+                      Techniques.run ~promote o t b.Sctbench.Bench.program) ))
+              techniques
+          in
+          (b, detection, futs))
+        detections
+    in
+    List.map
+      (fun (bench, detection, futs) ->
+        progress bench;
+        let results = List.map (fun (t, fut) -> (t, Pool.await fut)) futs in
+        row_of ~bench ~detection results)
+      pending
+  end

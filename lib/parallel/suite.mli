@@ -1,0 +1,28 @@
+(** Whole-suite parallel execution.
+
+    {!run_benchmark} parallelises {e within} one benchmark (fine-grained:
+    the techniques' own parallel drivers); {!run_all} parallelises {e
+    across} the suite (coarse: one pool job per benchmark for race
+    detection, then one per benchmark x technique, each job running the
+    ordinary sequential code). Both produce rows identical to the
+    sequential {!Sct_report.Run_data} functions for every pool size, and
+    both fall back to the sequential code when the pool has one worker. *)
+
+val run_benchmark :
+  pool:Pool.t ->
+  ?techniques:Sct_explore.Techniques.t list ->
+  Sct_explore.Techniques.options ->
+  Sctbench.Bench.t ->
+  Sct_report.Run_data.row
+(** Parallel equivalent of [Sct_report.Run_data.run_benchmark]. *)
+
+val run_all :
+  pool:Pool.t ->
+  ?techniques:Sct_explore.Techniques.t list ->
+  ?progress:(Sctbench.Bench.t -> unit) ->
+  Sct_explore.Techniques.options ->
+  Sctbench.Bench.t list ->
+  Sct_report.Run_data.row list
+(** Parallel equivalent of [Sct_report.Run_data.run_all]. [progress] is
+    called once per benchmark, in suite order, when the row's jobs are about
+    to be collected. *)

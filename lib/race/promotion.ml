@@ -8,8 +8,9 @@ let detect_batch ~runs ~seed ~max_steps ~promote d program =
     Detector.reset_execution d;
     let rng = Random.State.make [| seed; i |] in
     let scheduler (ctx : Runtime.ctx) =
-      let n = List.length ctx.c_enabled in
-      List.nth ctx.c_enabled (Random.State.int rng n)
+      (* one O(n) conversion, then O(1) indexing (same RNG draw sequence) *)
+      let enabled = Array.of_list ctx.c_enabled in
+      enabled.(Random.State.int rng (Array.length enabled))
     in
     let result =
       Runtime.exec ~promote ~listener:(Detector.listener d) ~max_steps

@@ -41,7 +41,7 @@ let table3 ?(out = Format.std_formatter) ~limit rows =
         | None -> ",,"
         | Some s ->
             Printf.sprintf "%s,%d,%s" (opt s.Stats.to_first_bug) s.Stats.buggy
-              (opt s.Stats.distinct)
+              (opt (Stats.distinct s))
       in
       let maple =
         match get Techniques.Maple with

@@ -250,6 +250,93 @@ let test_run_all_pipeline () =
       | Sct_explore.Techniques.PCT | Sct_explore.Techniques.Maple -> ())
     results
 
+(* --- Stats.merge laws ---
+   The parallel engine (lib/parallel) folds per-shard statistics with
+   [Stats.merge] in arbitrary grouping; these laws are what make any
+   worker-completion order yield the same table. *)
+
+let gen_stats =
+  QCheck2.Gen.(
+    let gen_witness =
+      let* w_pc = int_bound 3 in
+      let* w_dc = int_bound 4 in
+      let* w_by = int_bound 2 in
+      let* sched = list_size (int_bound 4) (int_bound 2) in
+      let* msg = oneofl [ "a"; "b" ] in
+      return
+        {
+          Sct_explore.Stats.w_bug = Outcome.Assertion_failure msg;
+          w_by;
+          w_schedule = Schedule.of_list sched;
+          w_pc;
+          w_dc;
+        }
+    in
+    let* technique = oneofl [ "Rand"; "DFS" ] in
+    let* bound = option (int_bound 3) in
+    let* bound_complete = bool in
+    let* to_first_bug = option (map (fun i -> i + 1) (int_bound 30)) in
+    let* first_bug = option gen_witness in
+    let* total = int_bound 100 in
+    let* new_at_bound = int_bound 50 in
+    let* buggy = int_bound 20 in
+    let* complete = bool in
+    let* hit_limit = bool in
+    let* n_threads = int_bound 5 in
+    let* max_enabled = int_bound 5 in
+    let* max_sched_points = int_bound 50 in
+    let* executions = int_bound 100 in
+    let* distinct =
+      option (list_size (int_bound 5) (list_size (int_bound 4) (int_bound 2)))
+    in
+    return
+      {
+        (Sct_explore.Stats.base ~technique) with
+        Sct_explore.Stats.bound;
+        bound_complete;
+        to_first_bug;
+        first_bug;
+        total;
+        new_at_bound;
+        buggy;
+        complete;
+        hit_limit;
+        n_threads;
+        max_enabled;
+        max_sched_points;
+        executions;
+        distinct_schedules =
+          Option.map
+            (fun ss ->
+              List.fold_left
+                (fun acc s -> Sct_explore.Stats.Sched_set.add s acc)
+                Sct_explore.Stats.Sched_set.empty ss)
+            distinct;
+      })
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"Stats.merge is associative" ~count:300
+    QCheck2.Gen.(triple gen_stats gen_stats gen_stats)
+    (fun (a, b, c) ->
+      Sct_explore.Stats.equal
+        (Sct_explore.Stats.merge a (Sct_explore.Stats.merge b c))
+        (Sct_explore.Stats.merge (Sct_explore.Stats.merge a b) c))
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"Stats.merge is commutative" ~count:300
+    QCheck2.Gen.(pair gen_stats gen_stats)
+    (fun (a, b) ->
+      Sct_explore.Stats.equal
+        (Sct_explore.Stats.merge a b)
+        (Sct_explore.Stats.merge b a))
+
+let prop_merge_identity =
+  QCheck2.Test.make ~name:"Stats.base is the identity of Stats.merge"
+    ~count:300 gen_stats (fun a ->
+      let id = Sct_explore.Stats.base ~technique:a.Sct_explore.Stats.technique in
+      Sct_explore.Stats.equal (Sct_explore.Stats.merge a id) a
+      && Sct_explore.Stats.equal (Sct_explore.Stats.merge id a) a)
+
 let suites =
   [
     ( "dfs",
@@ -287,5 +374,11 @@ let suites =
         Alcotest.test_case "maple explores few schedules" `Quick
           test_maple_few_schedules;
         Alcotest.test_case "run_all pipeline" `Quick test_run_all_pipeline;
+      ] );
+    ( "stats-merge",
+      [
+        QCheck_alcotest.to_alcotest prop_merge_associative;
+        QCheck_alcotest.to_alcotest prop_merge_commutative;
+        QCheck_alcotest.to_alcotest prop_merge_identity;
       ] );
   ]

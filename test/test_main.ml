@@ -16,5 +16,6 @@ let () =
          Test_paper_examples.suites;
          Test_sctbench.suites;
          Test_report.suites;
+         Test_parallel.suites;
          Test_robustness.suites;
        ])

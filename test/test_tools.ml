@@ -159,7 +159,7 @@ let test_random_distinct_tracking () =
     Sct_explore.Random_walk.explore ~promote:promote_all ~seed:0 ~runs:500
       figure1
   in
-  match s.Sct_explore.Stats.distinct with
+  match Sct_explore.Stats.distinct s with
   | None -> Alcotest.fail "distinct not tracked"
   | Some d ->
       Alcotest.(check bool) "some duplicates on a tiny program" true (d < 500);
