@@ -40,6 +40,43 @@ let split_depth_t =
   in
   Arg.(value & opt int 3 & info [ "split-depth" ] ~docv:"D" ~doc)
 
+let store_t =
+  let doc =
+    "Persist per-cell results and bug-witness artifacts to $(docv) \
+     (journal + artifacts); see also $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resume_t =
+  let doc =
+    "Reuse the completed cells journalled in the $(b,--store) directory and \
+     re-execute only the incomplete ones. Without this flag a non-empty \
+     store directory is refused."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* Open the study store, enforcing the --store/--resume contract. *)
+let open_store ~resume store =
+  match store with
+  | None ->
+      if resume then begin
+        prerr_endline "--resume requires --store DIR";
+        exit 1
+      end;
+      None
+  | Some dir ->
+      let db = Sct_store.Db.open_ ~dir in
+      if (not resume) && not (Sct_store.Db.is_empty db) then begin
+        Printf.eprintf
+          "store %s already holds %d completed cells; pass --resume to \
+           continue it, or point --store at a fresh directory\n"
+          dir (Sct_store.Db.size db);
+        exit 1
+      end;
+      Some db
+
+let close_store = Option.iter Sct_store.Db.close
+
 let resolve_jobs jobs =
   if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
 
@@ -105,17 +142,19 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed jobs split_depth techs name =
+  let run limit seed jobs split_depth techs store resume name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
         let o = options_of ~jobs ~split_depth limit seed in
         let techniques = parse_techniques techs in
+        let store = open_store ~resume store in
         let row =
           Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
             (fun pool ->
-              Sct_parallel.Suite.run_benchmark ~pool ~techniques o b)
+              Sct_parallel.Suite.run_benchmark ~pool ?store ~techniques o b)
         in
+        close_store store;
         Printf.printf "%s (%d racy locations)\n" b.Sctbench.Bench.name
           row.Sct_report.Run_data.racy_locations;
         List.iter
@@ -147,7 +186,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ techniques_t
-      $ name_t)
+      $ store_t $ resume_t $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -192,11 +231,30 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Describe a benchmark and its paper row.")
     Term.(const run $ name_t)
 
+let schedule_file_t =
+  let doc =
+    "Read the schedule from $(docv) instead of the command line: lines \
+     starting with # and blank lines are ignored, the remaining line uses \
+     the inline syntax. Accepts recorded $(b,.sched) witness artifacts."
+  in
+  Arg.(value & opt (some string) None & info [ "file" ] ~docv:"PATH" ~doc)
+
+let schedule_of_spec ~what trace file =
+  match (trace, file) with
+  | Some t, None -> Sct_explore.Replay.parse t
+  | None, Some p -> Sct_store.Artifact.schedule_of_file p
+  | Some _, Some _ ->
+      prerr_endline ("give either an inline " ^ what ^ " or --file, not both");
+      exit 1
+  | None, None ->
+      prerr_endline ("a " ^ what ^ " is required: inline or via --file");
+      exit 1
+
 (* replay a schedule *)
 let replay_cmd =
-  let run seed name trace =
+  let run seed name trace file =
     with_bench name (fun b ->
-        let schedule = Sct_explore.Replay.parse trace in
+        let schedule = schedule_of_spec ~what:"schedule" trace file in
         let promote = detection_promote seed b in
         match
           Sct_explore.Replay.replay ~promote ~schedule b.Sctbench.Bench.program
@@ -212,52 +270,62 @@ let replay_cmd =
   let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
   let trace_t =
     Arg.(
-      required
+      value
       & pos 1 (some string) None
       & info [] ~docv:"SCHEDULE" ~doc:"Comma-separated thread ids, e.g. 0,0,1,2.")
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a schedule against a benchmark.")
-    Term.(const run $ seed_t $ name_t $ trace_t)
+    Term.(const run $ seed_t $ name_t $ trace_t $ schedule_file_t)
 
-(* find a bug with the random scheduler, then simplify its trace *)
+(* find a bug with the random scheduler (or take a recorded witness), then
+   simplify its trace *)
 let minimize_cmd =
-  let run limit seed name =
+  let simplify b promote schedule =
+    match
+      Sct_explore.Simplify.minimize ~promote ~program:b.Sctbench.Bench.program
+        schedule
+    with
+    | None -> print_endline "witness did not replay as buggy"
+    | Some m ->
+        Format.printf "simplified witness: pc=%d dc=%d, %d steps (%d rounds)@."
+          m.Sct_explore.Simplify.result.Sct_core.Runtime.r_pc
+          m.Sct_explore.Simplify.result.Sct_core.Runtime.r_dc
+          (Sct_core.Schedule.length m.Sct_explore.Simplify.schedule)
+          m.Sct_explore.Simplify.rounds;
+        Format.printf "schedule: %a@." Sct_core.Schedule.pp
+          m.Sct_explore.Simplify.schedule
+  in
+  let run limit seed name file =
     with_bench name (fun b ->
         let promote = detection_promote seed b in
-        let s =
-          Sct_explore.Random_walk.explore ~promote ~stop_on_bug:true ~seed
-            ~runs:limit b.Sctbench.Bench.program
-        in
-        match s.Sct_explore.Stats.first_bug with
-        | None -> print_endline "no bug found by the random scheduler"
-        | Some w -> (
-            Format.printf "random witness: pc=%d dc=%d, %d steps@."
-              w.Sct_explore.Stats.w_pc w.Sct_explore.Stats.w_dc
-              (Sct_core.Schedule.length w.Sct_explore.Stats.w_schedule);
-            match
-              Sct_explore.Simplify.minimize ~promote
-                ~program:b.Sctbench.Bench.program
-                w.Sct_explore.Stats.w_schedule
-            with
-            | None -> print_endline "witness did not replay as buggy"
-            | Some m ->
-                Format.printf
-                  "simplified witness: pc=%d dc=%d, %d steps (%d rounds)@."
-                  m.Sct_explore.Simplify.result.Sct_core.Runtime.r_pc
-                  m.Sct_explore.Simplify.result.Sct_core.Runtime.r_dc
-                  (Sct_core.Schedule.length m.Sct_explore.Simplify.schedule)
-                  m.Sct_explore.Simplify.rounds;
-                Format.printf "schedule: %a@." Sct_core.Schedule.pp
-                  m.Sct_explore.Simplify.schedule))
+        match file with
+        | Some path ->
+            (* a recorded witness: skip the random search *)
+            let schedule = Sct_store.Artifact.schedule_of_file path in
+            Format.printf "witness from %s: %d steps@." path
+              (Sct_core.Schedule.length schedule);
+            simplify b promote schedule
+        | None -> (
+            let s =
+              Sct_explore.Random_walk.explore ~promote ~stop_on_bug:true ~seed
+                ~runs:limit b.Sctbench.Bench.program
+            in
+            match s.Sct_explore.Stats.first_bug with
+            | None -> print_endline "no bug found by the random scheduler"
+            | Some w ->
+                Format.printf "random witness: pc=%d dc=%d, %d steps@."
+                  w.Sct_explore.Stats.w_pc w.Sct_explore.Stats.w_dc
+                  (Sct_core.Schedule.length w.Sct_explore.Stats.w_schedule);
+                simplify b promote w.Sct_explore.Stats.w_schedule))
   in
   let name_t = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
   Cmd.v
     (Cmd.info "minimize"
        ~doc:
-         "Find a bug with the random scheduler and simplify the witness \
-          trace to few preemptions.")
-    Term.(const run $ limit_t $ seed_t $ name_t)
+         "Find a bug with the random scheduler (or start from a recorded \
+          witness via --file) and simplify the trace to few preemptions.")
+    Term.(const run $ limit_t $ seed_t $ name_t $ schedule_file_t)
 
 (* partial-order reduction *)
 let por_cmd =
@@ -299,18 +367,21 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed jobs split_depth suite ids techs =
+let study what limit seed jobs split_depth suite ids techs store resume =
   let benches = select suite ids in
   let o = options_of ~jobs ~split_depth limit seed in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
   | (`Table2 | `Table3 | `Fig2 | `Fig3 | `Fig4 | `Agreement | `Csv) as what ->
       let techniques = parse_techniques techs in
+      let store = open_store ~resume store in
       let rows =
         Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
           (fun pool ->
-            Sct_parallel.Suite.run_all ~pool ~techniques ~progress o benches)
+            Sct_parallel.Suite.run_all ~pool ?store ~techniques ~progress o
+              benches)
       in
+      close_store store;
       (match what with
       | `Table2 -> Sct_report.Table2.print ~limit rows
       | `Table3 ->
@@ -326,7 +397,108 @@ let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t $ suite_t
-      $ ids_t $ techniques_t)
+      $ ids_t $ techniques_t $ store_t $ resume_t)
+
+(* recorded bug-witness artifacts *)
+let artifacts_cmd =
+  let store_req_t =
+    let doc = "The study store directory (as given to $(b,--store))." in
+    Arg.(
+      required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let artifacts_dir store = Filename.concat store "artifacts" in
+  let pp_bound = function None -> "-" | Some b -> string_of_int b in
+  let list_cmd =
+    let run store =
+      List.iter
+        (fun (a : Sct_store.Artifact.t) ->
+          let m = a.Sct_store.Artifact.meta in
+          Format.printf "%s  %-28s %-8s bound=%s pc=%d dc=%d  %a@."
+            a.Sct_store.Artifact.digest m.Sct_store.Artifact.a_bench
+            m.Sct_store.Artifact.a_technique
+            (pp_bound m.Sct_store.Artifact.a_bound)
+            m.Sct_store.Artifact.a_pc m.Sct_store.Artifact.a_dc
+            Sct_core.Outcome.pp_bug m.Sct_store.Artifact.a_bug)
+        (Sct_store.Artifact.list ~dir:(artifacts_dir store))
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the recorded bug-witness artifacts.")
+      Term.(const run $ store_req_t)
+  in
+  let digest_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIGEST" ~doc:"Artifact digest (from artifacts list).")
+  in
+  let load_artifact store digest =
+    let path = Filename.concat (artifacts_dir store) (digest ^ ".sched") in
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "no artifact %s in %s\n" digest store;
+      exit 1
+    end;
+    Sct_store.Artifact.load path
+  in
+  let show_cmd =
+    let run store digest =
+      let a = load_artifact store digest in
+      let m = a.Sct_store.Artifact.meta in
+      Format.printf "digest:    %s@." a.Sct_store.Artifact.digest;
+      Format.printf "benchmark: %s@." m.Sct_store.Artifact.a_bench;
+      Format.printf "technique: %s@." m.Sct_store.Artifact.a_technique;
+      Format.printf "bound:     %s@." (pp_bound m.Sct_store.Artifact.a_bound);
+      Format.printf "bug:       %a (by thread %d)@." Sct_core.Outcome.pp_bug
+        m.Sct_store.Artifact.a_bug m.Sct_store.Artifact.a_by;
+      Format.printf "pc=%d dc=%d, %d steps@." m.Sct_store.Artifact.a_pc
+        m.Sct_store.Artifact.a_dc
+        (Sct_core.Schedule.length a.Sct_store.Artifact.schedule);
+      Format.printf "schedule:  %a@." Sct_core.Schedule.pp
+        a.Sct_store.Artifact.schedule
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Describe one recorded witness.")
+      Term.(const run $ store_req_t $ digest_t)
+  in
+  let replay_cmd =
+    let run store digest =
+      let a = load_artifact store digest in
+      let m = a.Sct_store.Artifact.meta in
+      with_bench m.Sct_store.Artifact.a_bench (fun b ->
+          (* re-derive the promoted-location set with the options of the run
+             that recorded the witness: schedule feasibility depends on it *)
+          let o = m.Sct_store.Artifact.a_options in
+          let promote =
+            Sct_race.Promotion.promote
+              (Sct_explore.Techniques.detect_races o b.Sctbench.Bench.program)
+          in
+          match
+            Sct_explore.Replay.replay ~promote
+              ~max_steps:o.Sct_explore.Techniques.max_steps
+              ~schedule:a.Sct_store.Artifact.schedule b.Sctbench.Bench.program
+          with
+          | None ->
+              print_endline "witness schedule is infeasible for this program";
+              exit 1
+          | Some r ->
+              Format.printf "outcome: %a@." Sct_core.Outcome.pp
+                r.Sct_core.Runtime.r_outcome;
+              if not (Sct_core.Outcome.is_buggy r.Sct_core.Runtime.r_outcome)
+              then begin
+                print_endline "witness did NOT reproduce the bug";
+                exit 1
+              end)
+    in
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "Replay a recorded witness against its benchmark; exits non-zero \
+            unless the bug reproduces.")
+      Term.(const run $ store_req_t $ digest_t)
+  in
+  Cmd.group
+    (Cmd.info "artifacts"
+       ~doc:"Inspect and replay the bug witnesses recorded in a study store.")
+    [ list_cmd; show_cmd; replay_cmd ]
 
 let () =
   let cmds =
@@ -338,6 +510,7 @@ let () =
       replay_cmd;
       minimize_cmd;
       por_cmd;
+      artifacts_cmd;
       study_cmd "table1" `Table1 "Regenerate Table 1 (suite overview).";
       study_cmd "table2" `Table2 "Regenerate Table 2 (trivial benchmarks).";
       study_cmd "table3" `Table3 "Regenerate Table 3 (full results).";

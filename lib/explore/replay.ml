@@ -35,10 +35,41 @@ let replay ?(promote = fun _ -> false) ?(max_steps = 100_000)
   | exception Infeasible -> None
 
 let parse s =
-  String.split_on_char ',' s
-  |> List.filter (fun x -> String.trim x <> "")
-  |> List.map (fun x ->
-         match int_of_string_opt (String.trim x) with
-         | Some t when t >= 0 -> t
-         | _ -> failwith ("Replay.parse: bad thread id " ^ x))
-  |> Schedule.of_list
+  let n = String.length s in
+  (* split on commas, remembering where each token starts so errors can
+     point into the input *)
+  let rec split i acc =
+    match String.index_from_opt s i ',' with
+    | Some j -> split (j + 1) ((i, String.sub s i (j - i)) :: acc)
+    | None -> List.rev ((i, String.sub s i (n - i)) :: acc)
+  in
+  let tokens = split 0 [] in
+  if List.for_all (fun (_, raw) -> String.trim raw = "") tokens then
+    (* a blank input (or the empty string) is the empty schedule *)
+    Schedule.empty
+  else
+    tokens
+    |> List.map (fun (start, raw) ->
+           (* report the position of the token itself, not of the
+              surrounding whitespace *)
+           let lead = ref 0 in
+           while
+             !lead < String.length raw
+             && (raw.[!lead] = ' ' || raw.[!lead] = '\t')
+           do
+             incr lead
+           done;
+           let tok = String.trim raw in
+           let pos = start + !lead in
+           if tok = "" then
+             failwith
+               (Printf.sprintf "Replay.parse: empty thread id at offset %d"
+                  pos)
+           else
+             match int_of_string_opt tok with
+             | Some t when t >= 0 -> t
+             | _ ->
+                 failwith
+                   (Printf.sprintf
+                      "Replay.parse: bad thread id %S at offset %d" tok pos))
+    |> Schedule.of_list

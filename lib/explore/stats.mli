@@ -69,6 +69,11 @@ val merge : t -> t -> t
     {- [merge a b = merge b a]}
     {- [merge (base ~technique:a.technique) a = a]}} *)
 
+val compare_witness : bug_witness -> bug_witness -> int
+(** The stable total order on witnesses used to break [merge] ties. *)
+
+val equal_witness : bug_witness -> bug_witness -> bool
+
 val equal : t -> t -> bool
 (** Structural equality; distinct-schedule sets are compared as sets. *)
 

@@ -7,51 +7,168 @@ let row_of ~bench ~detection results =
     results;
   }
 
-let run_benchmark ~pool ?techniques o (bench : Sctbench.Bench.t) =
-  if Pool.size pool <= 1 then
-    Sct_report.Run_data.run_benchmark ?techniques o bench
-  else
-    let detection, results =
-      Drivers.run_all ~pool ?techniques o bench.Sctbench.Bench.program
-    in
-    row_of ~bench ~detection results
+let keyed_cells o (bench : Sctbench.Bench.t) techniques =
+  List.map
+    (fun t ->
+      ( t,
+        Sct_store.Db.fingerprint ~bench:bench.Sctbench.Bench.name
+          ~technique:(Techniques.name t) o ))
+    techniques
 
-let run_all ~pool ?(techniques = Techniques.all_paper)
+let cached_stats db key = (Option.get (Sct_store.Db.find db key)).Sct_store.Db.e_stats
+
+(* Await the futures of one benchmark's missing cells and journal each
+   result as it lands; cached cells are filled in from the store. The store
+   is only ever touched from the calling (collector) domain. *)
+let collect_stored db ~bench ~racy ~options keyed futs =
+  let computed =
+    List.map
+      (fun (t, key, fut) ->
+        let s = Pool.await fut in
+        Sct_store.Db.record db ~key ~bench ~technique:(Techniques.name t)
+          ~racy ~options s;
+        (t, s))
+      futs
+  in
+  List.map
+    (fun (t, key) ->
+      match List.assq_opt t computed with
+      | Some s -> (t, s)
+      | None -> (t, cached_stats db key))
+    keyed
+
+let run_benchmark ~pool ?store ?(techniques = Techniques.all_paper) o
+    (bench : Sctbench.Bench.t) =
+  if Pool.size pool <= 1 then
+    Sct_report.Run_data.run_benchmark ?store ~techniques o bench
+  else
+    match store with
+    | None ->
+        let detection, results =
+          Drivers.run_all ~pool ~techniques o bench.Sctbench.Bench.program
+        in
+        row_of ~bench ~detection results
+    | Some db ->
+        let keyed = keyed_cells o bench techniques in
+        if List.for_all (fun (_, key) -> Sct_store.Db.mem db key) keyed then
+          {
+            Sct_report.Run_data.bench;
+            racy_locations =
+              (match keyed with
+              | (_, key) :: _ ->
+                  (Option.get (Sct_store.Db.find db key)).Sct_store.Db.e_racy
+              | [] -> 0);
+            results = List.map (fun (t, key) -> (t, cached_stats db key)) keyed;
+          }
+        else begin
+          let detection =
+            Techniques.detect_races o bench.Sctbench.Bench.program
+          in
+          let promote = Sct_race.Promotion.promote detection in
+          let racy = List.length detection.Sct_race.Promotion.racy in
+          (* [Drivers.run] parallelises within each technique; missing cells
+             run one after another, each journalled as soon as it finishes. *)
+          let results =
+            List.map
+              (fun (t, key) ->
+                match Sct_store.Db.find db key with
+                | Some e -> (t, e.Sct_store.Db.e_stats)
+                | None ->
+                    let s =
+                      Drivers.run ~pool ~promote o t
+                        bench.Sctbench.Bench.program
+                    in
+                    Sct_store.Db.record db ~key
+                      ~bench:bench.Sctbench.Bench.name
+                      ~technique:(Techniques.name t) ~racy ~options:o s;
+                    (t, s))
+              keyed
+          in
+          { Sct_report.Run_data.bench; racy_locations = racy; results }
+        end
+
+let run_all ~pool ?store ?(techniques = Techniques.all_paper)
     ?(progress = fun _ -> ()) o benches =
   if Pool.size pool <= 1 then
-    Sct_report.Run_data.run_all ~techniques ~progress o benches
+    Sct_report.Run_data.run_all ?store ~techniques ~progress o benches
   else begin
     (* Whole-suite runs use coarse sharding: one job per benchmark for race
        detection, then one job per benchmark x technique, each running the
        ordinary sequential code — so every row is computed by exactly the
-       same function as [Run_data.run_all], merely on another domain. *)
+       same function as [Run_data.run_all], merely on another domain. With a
+       store, fully journalled cells never become jobs, and benchmarks whose
+       cells are all journalled skip race detection too. *)
+    let cells b = keyed_cells o b techniques in
+    let needs_detection (b : Sctbench.Bench.t) =
+      match store with
+      | None -> true
+      | Some db ->
+          List.exists (fun (_, key) -> not (Sct_store.Db.mem db key)) (cells b)
+    in
     let detections =
       benches
       |> List.map (fun (b : Sctbench.Bench.t) ->
              ( b,
-               Pool.submit pool (fun () ->
-                   Techniques.detect_races o b.Sctbench.Bench.program) ))
-      |> List.map (fun (b, fut) -> (b, Pool.await fut))
+               if needs_detection b then
+                 Some
+                   (Pool.submit pool (fun () ->
+                        Techniques.detect_races o b.Sctbench.Bench.program))
+               else None ))
+      |> List.map (fun (b, fut) -> (b, Option.map Pool.await fut))
     in
     let pending =
       List.map
         (fun ((b : Sctbench.Bench.t), detection) ->
-          let promote = Sct_race.Promotion.promote detection in
+          let keyed = cells b in
           let futs =
-            List.map
-              (fun t ->
-                ( t,
-                  Pool.submit pool (fun () ->
-                      Techniques.run ~promote o t b.Sctbench.Bench.program) ))
-              techniques
+            match detection with
+            | None -> []
+            | Some detection ->
+                let promote = Sct_race.Promotion.promote detection in
+                List.filter_map
+                  (fun (t, key) ->
+                    let cached =
+                      match store with
+                      | Some db -> Sct_store.Db.mem db key
+                      | None -> false
+                    in
+                    if cached then None
+                    else
+                      Some
+                        ( t,
+                          key,
+                          Pool.submit pool (fun () ->
+                              Techniques.run ~promote o t
+                                b.Sctbench.Bench.program) ))
+                  keyed
           in
-          (b, detection, futs))
+          (b, keyed, detection, futs))
         detections
     in
     List.map
-      (fun (bench, detection, futs) ->
-        progress bench;
-        let results = List.map (fun (t, fut) -> (t, Pool.await fut)) futs in
-        row_of ~bench ~detection results)
+      (fun ((b : Sctbench.Bench.t), keyed, detection, futs) ->
+        progress b;
+        match store with
+        | None ->
+            let detection = Option.get detection in
+            let results =
+              List.map (fun (t, _, fut) -> (t, Pool.await fut)) futs
+            in
+            row_of ~bench:b ~detection results
+        | Some db ->
+            let racy =
+              match detection with
+              | Some d -> List.length d.Sct_race.Promotion.racy
+              | None -> (
+                  match keyed with
+                  | (_, key) :: _ ->
+                      (Option.get (Sct_store.Db.find db key)).Sct_store.Db.e_racy
+                  | [] -> 0)
+            in
+            let results =
+              collect_stored db ~bench:b.Sctbench.Bench.name ~racy ~options:o
+                keyed futs
+            in
+            { Sct_report.Run_data.bench = b; racy_locations = racy; results })
       pending
   end

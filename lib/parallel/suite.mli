@@ -6,10 +6,19 @@
     detection, then one per benchmark x technique, each job running the
     ordinary sequential code). Both produce rows identical to the
     sequential {!Sct_report.Run_data} functions for every pool size, and
-    both fall back to the sequential code when the pool has one worker. *)
+    both fall back to the sequential code when the pool has one worker.
+
+    With a [store], both honour the journal exactly like the sequential
+    functions: journalled cells are reused (never resubmitted as jobs), and
+    each freshly computed cell is persisted — from the collector domain
+    only — the moment its future is awaited. Since the journal key ignores
+    [jobs]/[split_depth] and the engine is deterministic for every pool
+    size, a store written sequentially resumes under any [--jobs] value and
+    vice versa. *)
 
 val run_benchmark :
   pool:Pool.t ->
+  ?store:Sct_store.Db.t ->
   ?techniques:Sct_explore.Techniques.t list ->
   Sct_explore.Techniques.options ->
   Sctbench.Bench.t ->
@@ -18,6 +27,7 @@ val run_benchmark :
 
 val run_all :
   pool:Pool.t ->
+  ?store:Sct_store.Db.t ->
   ?techniques:Sct_explore.Techniques.t list ->
   ?progress:(Sctbench.Bench.t -> unit) ->
   Sct_explore.Techniques.options ->

@@ -11,19 +11,81 @@ let found_by row t =
   | Some s -> Sct_explore.Stats.found s
   | None -> false
 
-let run_benchmark ?techniques o (bench : Sctbench.Bench.t) =
-  let detection, results =
-    Sct_explore.Techniques.run_all ?techniques o bench.Sctbench.Bench.program
-  in
-  {
-    bench;
-    racy_locations = List.length detection.Sct_race.Promotion.racy;
-    results;
-  }
+(* The (technique, journal key) pairs of one benchmark's cells. *)
+let keyed_cells o (bench : Sctbench.Bench.t) techniques =
+  List.map
+    (fun t ->
+      ( t,
+        Sct_store.Db.fingerprint ~bench:bench.Sctbench.Bench.name
+          ~technique:(Sct_explore.Techniques.name t) o ))
+    techniques
 
-let run_all ?techniques ?(progress = fun _ -> ()) o benches =
+let cached_racy db = function
+  | (_, key) :: _ -> (
+      match Sct_store.Db.find db key with
+      | Some e -> Some e.Sct_store.Db.e_racy
+      | None -> None)
+  | [] -> None
+
+let run_benchmark ?store ?(techniques = Sct_explore.Techniques.all_paper) o
+    (bench : Sctbench.Bench.t) =
+  match store with
+  | None ->
+      let detection, results =
+        Sct_explore.Techniques.run_all ~techniques o
+          bench.Sctbench.Bench.program
+      in
+      {
+        bench;
+        racy_locations = List.length detection.Sct_race.Promotion.racy;
+        results;
+      }
+  | Some db ->
+      let keyed = keyed_cells o bench techniques in
+      let missing =
+        List.exists (fun (_, key) -> not (Sct_store.Db.mem db key)) keyed
+      in
+      if not missing then
+        (* every cell journalled: rebuild the row without touching the
+           program (the detection phase ran when the cells were written,
+           and its racy count rode along in each record) *)
+        {
+          bench;
+          racy_locations = Option.value ~default:0 (cached_racy db keyed);
+          results =
+            List.map
+              (fun (t, key) ->
+                (t, (Option.get (Sct_store.Db.find db key)).Sct_store.Db.e_stats))
+              keyed;
+        }
+      else begin
+        let detection =
+          Sct_explore.Techniques.detect_races o bench.Sctbench.Bench.program
+        in
+        let promote = Sct_race.Promotion.promote detection in
+        let racy = List.length detection.Sct_race.Promotion.racy in
+        let results =
+          List.map
+            (fun (t, key) ->
+              match Sct_store.Db.find db key with
+              | Some e -> (t, e.Sct_store.Db.e_stats)
+              | None ->
+                  let s =
+                    Sct_explore.Techniques.run ~promote o t
+                      bench.Sctbench.Bench.program
+                  in
+                  Sct_store.Db.record db ~key ~bench:bench.Sctbench.Bench.name
+                    ~technique:(Sct_explore.Techniques.name t) ~racy
+                    ~options:o s;
+                  (t, s))
+            keyed
+        in
+        { bench; racy_locations = racy; results }
+      end
+
+let run_all ?store ?techniques ?(progress = fun _ -> ()) o benches =
   List.map
     (fun b ->
       progress b;
-      run_benchmark ?techniques o b)
+      run_benchmark ?store ?techniques o b)
     benches

@@ -1,5 +1,12 @@
 (** The result of running the full study pipeline on one benchmark: the
-    inputs to every table and figure. *)
+    inputs to every table and figure.
+
+    With a [store], runs become incremental and crash-safe: cells
+    (benchmark×technique pairs) already journalled are reused without
+    re-execution, and every freshly computed cell is persisted the moment
+    it finishes — so a killed campaign relaunched on the same store
+    re-executes only the incomplete cells and produces rows identical to
+    an uninterrupted run. *)
 
 type row = {
   bench : Sctbench.Bench.t;
@@ -11,12 +18,17 @@ val stats_of : row -> Sct_explore.Techniques.t -> Sct_explore.Stats.t option
 val found_by : row -> Sct_explore.Techniques.t -> bool
 
 val run_benchmark :
+  ?store:Sct_store.Db.t ->
   ?techniques:Sct_explore.Techniques.t list ->
   Sct_explore.Techniques.options ->
   Sctbench.Bench.t ->
   row
+(** Run (or, with [store], complete) one benchmark's cells. When every cell
+    is already journalled the program is not executed at all — not even the
+    race-detection phase. *)
 
 val run_all :
+  ?store:Sct_store.Db.t ->
   ?techniques:Sct_explore.Techniques.t list ->
   ?progress:(Sctbench.Bench.t -> unit) ->
   Sct_explore.Techniques.options ->

@@ -1,0 +1,183 @@
+open Sct_core
+module Stats = Sct_explore.Stats
+
+exception Error of string
+
+let error fmt =
+  Printf.ksprintf (fun s -> raise (Error ("Sct_store.Artifact: " ^ s))) fmt
+
+type meta = {
+  a_bench : string;
+  a_technique : string;
+  a_options : Sct_explore.Techniques.options;
+  a_bound : int option;
+  a_bug : Outcome.bug;
+  a_by : Tid.t;
+  a_pc : int;
+  a_dc : int;
+}
+
+type t = { meta : meta; schedule : Schedule.t; digest : string }
+
+let magic = "# sct-witness v1"
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("v", Json.Int Codec.version);
+      ("bench", Json.Str m.a_bench);
+      ("technique", Json.Str m.a_technique);
+      ("options", Codec.options_to_json m.a_options);
+      ("bound", (match m.a_bound with None -> Json.Null | Some b -> Json.Int b));
+      ("bug", Codec.bug_to_json m.a_bug);
+      ("by", Json.Int m.a_by);
+      ("pc", Json.Int m.a_pc);
+      ("dc", Json.Int m.a_dc);
+    ]
+
+let meta_of_json j =
+  Codec.check_version j;
+  {
+    a_bench = Codec.get_string (Codec.field j "bench");
+    a_technique = Codec.get_string (Codec.field j "technique");
+    a_options = Codec.options_of_json (Codec.field j "options");
+    a_bound = Codec.opt_field j "bound" Codec.get_int;
+    a_bug = Codec.bug_of_json (Codec.field j "bug");
+    a_by = Codec.get_int (Codec.field j "by");
+    a_pc = Codec.get_int (Codec.field j "pc");
+    a_dc = Codec.get_int (Codec.field j "dc");
+  }
+
+(* The digest covers exactly the two semantic lines; the magic line and the
+   "# meta: " prefix are framing. *)
+let digest_of ~meta_line ~sched_line =
+  Digest.to_hex (Digest.string (meta_line ^ "\n" ^ sched_line))
+
+let lines_of t =
+  let meta_line = Json.to_string (meta_to_json t.meta) in
+  let sched_line = Codec.schedule_line t.schedule in
+  (meta_line, sched_line)
+
+let make ~bench ~technique ~options ~bound (w : Stats.bug_witness) =
+  let meta =
+    {
+      a_bench = bench;
+      a_technique = technique;
+      a_options = options;
+      a_bound = bound;
+      a_bug = w.Stats.w_bug;
+      a_by = w.Stats.w_by;
+      a_pc = w.Stats.w_pc;
+      a_dc = w.Stats.w_dc;
+    }
+  in
+  let t = { meta; schedule = w.Stats.w_schedule; digest = "" } in
+  let meta_line, sched_line = lines_of t in
+  { t with digest = digest_of ~meta_line ~sched_line }
+
+let filename t = t.digest ^ ".sched"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let save ~dir t =
+  mkdir_p dir;
+  let final = Filename.concat dir (filename t) in
+  if not (Sys.file_exists final) then begin
+    let meta_line, sched_line = lines_of t in
+    let tmp = Filename.concat dir ("." ^ filename t ^ ".tmp") in
+    let oc = open_out_bin tmp in
+    output_string oc
+      (magic ^ "\n# meta: " ^ meta_line ^ "\n" ^ sched_line ^ "\n");
+    close_out oc;
+    Sys.rename tmp final
+  end;
+  final
+
+let read_file path =
+  let ic =
+    try open_in_bin path with Sys_error m -> error "cannot read %s: %s" path m
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let content = read_file path in
+  let lines = String.split_on_char '\n' content in
+  (match lines with
+  | first :: _ when String.trim first = magic -> ()
+  | first :: _ when String.length first >= 13 && String.sub first 0 13 = "# sct-witness" ->
+      error "%s: unsupported witness format %S" path (String.trim first)
+  | _ -> error "%s: not a witness artifact (missing %S header)" path magic);
+  let meta_prefix = "# meta: " in
+  let meta_line =
+    match
+      List.find_opt
+        (fun l ->
+          String.length l >= String.length meta_prefix
+          && String.sub l 0 (String.length meta_prefix) = meta_prefix)
+        lines
+    with
+    | Some l ->
+        String.sub l (String.length meta_prefix)
+          (String.length l - String.length meta_prefix)
+    | None -> error "%s: missing \"# meta:\" header" path
+  in
+  let sched_line =
+    match
+      List.filter
+        (fun l ->
+          let l = String.trim l in
+          l <> "" && l.[0] <> '#')
+        lines
+    with
+    | [ l ] -> String.trim l
+    | [] -> error "%s: missing schedule line" path
+    | _ -> error "%s: more than one schedule line" path
+  in
+  let meta =
+    try meta_of_json (Json.of_string meta_line) with
+    | Json.Parse_error { pos; msg } ->
+        error "%s: malformed metadata at offset %d: %s" path pos msg
+    | Codec.Error m -> error "%s: %s" path m
+  in
+  let schedule =
+    try Sct_explore.Replay.parse sched_line
+    with Failure m -> error "%s: %s" path m
+  in
+  let digest = digest_of ~meta_line ~sched_line in
+  (let base = Filename.basename path in
+   if Filename.check_suffix base ".sched" then begin
+     let stem = Filename.chop_suffix base ".sched" in
+     if String.length stem = String.length digest && stem <> digest then
+       error "%s: content digest %s does not match the file name" path digest
+   end);
+  { meta; schedule; digest }
+
+let list ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".sched" && f.[0] <> '.')
+    |> List.sort String.compare
+    |> List.map (fun f -> load (Filename.concat dir f))
+
+let schedule_of_file path =
+  let content = read_file path in
+  match
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  with
+  | [ line ] -> (
+      try Sct_explore.Replay.parse line
+      with Failure m -> error "%s: %s" path m)
+  | [] -> error "%s: no schedule line found" path
+  | _ -> error "%s: expected exactly one schedule line" path

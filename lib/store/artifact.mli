@@ -1,0 +1,68 @@
+(** Content-addressed bug-witness artifacts.
+
+    A witness found during a stored study is written out as
+    [<digest>.sched]: a small text file whose header records where the bug
+    was found (benchmark, technique, bound, the exploration options) and
+    what it was (bug, culprit thread, preemption/delay counts), followed by
+    the witness schedule as one plain comma-separated line — the same
+    syntax [Sct_explore.Replay.parse] accepts, so the file can also be fed
+    straight back through [sctbench_run replay --file].
+
+    The file name is the MD5 digest of the file's semantic content
+    (metadata line + schedule line), so identical witnesses dedupe to one
+    file and any corruption is detected on load. Files are written
+    atomically (temp file in the same directory, then rename): a reader or
+    a crash never observes a half-written artifact. *)
+
+exception Error of string
+
+type meta = {
+  a_bench : string;  (** qualified benchmark name, e.g. ["CS.account_bad"] *)
+  a_technique : string;  (** technique display name, e.g. ["IPB"] *)
+  a_options : Sct_explore.Techniques.options;
+      (** the options of the run that found the witness; replaying with the
+          same options re-derives the same promoted-location set, which the
+          schedule's feasibility depends on *)
+  a_bound : int option;  (** bound at which the bug surfaced, if bounded *)
+  a_bug : Sct_core.Outcome.bug;
+  a_by : Sct_core.Tid.t;
+  a_pc : int;
+  a_dc : int;
+}
+
+type t = {
+  meta : meta;
+  schedule : Sct_core.Schedule.t;
+  digest : string;  (** MD5 hex of the semantic content *)
+}
+
+val make :
+  bench:string ->
+  technique:string ->
+  options:Sct_explore.Techniques.options ->
+  bound:int option ->
+  Sct_explore.Stats.bug_witness ->
+  t
+
+val filename : t -> string
+(** ["<digest>.sched"]. *)
+
+val save : dir:string -> t -> string
+(** Atomically write the artifact under [dir] (created if missing) and
+    return its path. Content addressing makes this idempotent: an existing
+    file with the same digest is left untouched. *)
+
+val load : string -> t
+(** Read an artifact back and verify its digest against the content.
+    @raise Error on malformed files or digest mismatch. *)
+
+val list : dir:string -> t list
+(** All artifacts under [dir], sorted by digest; an absent directory is
+    empty. Unreadable files raise {!Error}. *)
+
+val schedule_of_file : string -> Sct_core.Schedule.t
+(** Read a schedule from [path]: lines starting with [#] and blank lines
+    are ignored, and the single remaining line is parsed with
+    [Sct_explore.Replay.parse]. Accepts both bare one-line schedule files
+    and [.sched] artifacts. @raise Error if the file does not contain
+    exactly one schedule line. *)

@@ -1,0 +1,215 @@
+open Sct_core
+module Stats = Sct_explore.Stats
+module Techniques = Sct_explore.Techniques
+
+exception Error of string
+
+let error fmt =
+  Printf.ksprintf (fun s -> raise (Error ("Sct_store.Codec: " ^ s))) fmt
+
+let version = 1
+
+(* --- generic helpers --- *)
+
+let get_int = function
+  | Json.Int i -> i
+  | j -> error "expected an integer, got %s" (Json.to_string j)
+
+let get_bool = function
+  | Json.Bool b -> b
+  | j -> error "expected a boolean, got %s" (Json.to_string j)
+
+let get_string = function
+  | Json.Str s -> s
+  | j -> error "expected a string, got %s" (Json.to_string j)
+
+let get_list f = function
+  | Json.Arr l -> List.map f l
+  | j -> error "expected an array, got %s" (Json.to_string j)
+
+let field obj name =
+  match Json.member name obj with
+  | Some v -> v
+  | None -> error "missing field %S in %s" name (Json.to_string obj)
+
+let opt_field obj name f =
+  match Json.member name obj with
+  | None | Some Json.Null -> None
+  | Some v -> Some (f v)
+
+let opt_to_json f = function None -> Json.Null | Some x -> f x
+
+(* --- schedules --- *)
+
+let schedule_to_json s =
+  Json.Arr (List.map (fun t -> Json.Int t) (Schedule.to_list s))
+
+let schedule_of_json j =
+  Schedule.of_list
+    (get_list
+       (fun v ->
+         let t = get_int v in
+         if t < 0 then error "negative thread id %d in schedule" t;
+         t)
+       j)
+
+let schedule_line s =
+  String.concat "," (List.map string_of_int (Schedule.to_list s))
+
+(* --- bugs --- *)
+
+let bug_to_json (b : Outcome.bug) =
+  let tagged kind msg = Json.Obj [ ("kind", Json.Str kind); ("msg", Json.Str msg) ] in
+  match b with
+  | Outcome.Assertion_failure m -> tagged "assert" m
+  | Outcome.Lock_error m -> tagged "lock" m
+  | Outcome.Memory_error m -> tagged "memory" m
+  | Outcome.Uncaught_exn m -> tagged "exn" m
+  | Outcome.Deadlock tids ->
+      Json.Obj
+        [
+          ("kind", Json.Str "deadlock");
+          ("tids", Json.Arr (List.map (fun t -> Json.Int t) tids));
+        ]
+
+let bug_of_json j =
+  match get_string (field j "kind") with
+  | "assert" -> Outcome.Assertion_failure (get_string (field j "msg"))
+  | "lock" -> Outcome.Lock_error (get_string (field j "msg"))
+  | "memory" -> Outcome.Memory_error (get_string (field j "msg"))
+  | "exn" -> Outcome.Uncaught_exn (get_string (field j "msg"))
+  | "deadlock" -> Outcome.Deadlock (get_list get_int (field j "tids"))
+  | k -> error "unknown bug kind %S" k
+
+(* --- bug witnesses --- *)
+
+let witness_to_json (w : Stats.bug_witness) =
+  Json.Obj
+    [
+      ("bug", bug_to_json w.Stats.w_bug);
+      ("by", Json.Int w.Stats.w_by);
+      ("schedule", schedule_to_json w.Stats.w_schedule);
+      ("pc", Json.Int w.Stats.w_pc);
+      ("dc", Json.Int w.Stats.w_dc);
+    ]
+
+let witness_of_json j =
+  {
+    Stats.w_bug = bug_of_json (field j "bug");
+    w_by = get_int (field j "by");
+    w_schedule = schedule_of_json (field j "schedule");
+    w_pc = get_int (field j "pc");
+    w_dc = get_int (field j "dc");
+  }
+
+(* --- technique options --- *)
+
+let options_to_json (o : Techniques.options) =
+  Json.Obj
+    [
+      ("limit", Json.Int o.Techniques.limit);
+      ("seed", Json.Int o.Techniques.seed);
+      ("max_steps", Json.Int o.Techniques.max_steps);
+      ("race_runs", Json.Int o.Techniques.race_runs);
+      ("pct_change_points", Json.Int o.Techniques.pct_change_points);
+      ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
+      ("jobs", Json.Int o.Techniques.jobs);
+      ("split_depth", Json.Int o.Techniques.split_depth);
+    ]
+
+let options_of_json j =
+  {
+    Techniques.limit = get_int (field j "limit");
+    seed = get_int (field j "seed");
+    max_steps = get_int (field j "max_steps");
+    race_runs = get_int (field j "race_runs");
+    pct_change_points = get_int (field j "pct_change_points");
+    maple_profile_runs = get_int (field j "maple_profile_runs");
+    jobs = get_int (field j "jobs");
+    split_depth = get_int (field j "split_depth");
+  }
+
+(* --- statistics --- *)
+
+let stats_to_json (s : Stats.t) =
+  Json.Obj
+    [
+      ("technique", Json.Str s.Stats.technique);
+      ("bound", opt_to_json (fun i -> Json.Int i) s.Stats.bound);
+      ("bound_complete", Json.Bool s.Stats.bound_complete);
+      ("to_first_bug", opt_to_json (fun i -> Json.Int i) s.Stats.to_first_bug);
+      ("total", Json.Int s.Stats.total);
+      ("new_at_bound", Json.Int s.Stats.new_at_bound);
+      ("buggy", Json.Int s.Stats.buggy);
+      ("complete", Json.Bool s.Stats.complete);
+      ("hit_limit", Json.Bool s.Stats.hit_limit);
+      ("first_bug", opt_to_json witness_to_json s.Stats.first_bug);
+      ("n_threads", Json.Int s.Stats.n_threads);
+      ("max_enabled", Json.Int s.Stats.max_enabled);
+      ("max_sched_points", Json.Int s.Stats.max_sched_points);
+      ("executions", Json.Int s.Stats.executions);
+      ( "distinct",
+        opt_to_json
+          (fun set ->
+            (* [elements] is sorted, so the encoding is canonical *)
+            Json.Arr
+              (List.map
+                 (fun sched -> schedule_to_json (Schedule.of_list sched))
+                 (Stats.Sched_set.elements set)))
+          s.Stats.distinct_schedules );
+    ]
+
+let stats_of_json j =
+  {
+    Stats.technique = get_string (field j "technique");
+    bound = opt_field j "bound" get_int;
+    bound_complete = get_bool (field j "bound_complete");
+    to_first_bug = opt_field j "to_first_bug" get_int;
+    total = get_int (field j "total");
+    new_at_bound = get_int (field j "new_at_bound");
+    buggy = get_int (field j "buggy");
+    complete = get_bool (field j "complete");
+    hit_limit = get_bool (field j "hit_limit");
+    first_bug = opt_field j "first_bug" witness_of_json;
+    n_threads = get_int (field j "n_threads");
+    max_enabled = get_int (field j "max_enabled");
+    max_sched_points = get_int (field j "max_sched_points");
+    executions = get_int (field j "executions");
+    distinct_schedules =
+      opt_field j "distinct" (fun v ->
+          Stats.Sched_set.of_list
+            (get_list (fun s -> Schedule.to_list (schedule_of_json s)) v));
+  }
+
+(* --- version-tagged string forms --- *)
+
+let check_version j =
+  match Json.member "v" j with
+  | Some (Json.Int v) when v >= 1 && v <= version -> ()
+  | Some (Json.Int v) ->
+      error "format version %d is not supported (this build reads up to %d)"
+        v version
+  | Some _ | None -> error "missing or malformed format-version tag"
+
+let tag kind payload =
+  Json.to_string (Json.Obj [ ("v", Json.Int version); (kind, payload) ])
+
+let untag kind s =
+  let j =
+    try Json.of_string s
+    with Json.Parse_error { pos; msg } ->
+      error "parse error at offset %d: %s" pos msg
+  in
+  check_version j;
+  field j kind
+
+let encode_schedule s = tag "schedule" (schedule_to_json s)
+let decode_schedule s = schedule_of_json (untag "schedule" s)
+let encode_bug b = tag "bug" (bug_to_json b)
+let decode_bug s = bug_of_json (untag "bug" s)
+let encode_witness w = tag "witness" (witness_to_json w)
+let decode_witness s = witness_of_json (untag "witness" s)
+let encode_options o = tag "options" (options_to_json o)
+let decode_options s = options_of_json (untag "options" s)
+let encode_stats s = tag "stats" (stats_to_json s)
+let decode_stats s = stats_of_json (untag "stats" s)

@@ -1,0 +1,57 @@
+(** Versioned JSON codecs for the study's persisted values.
+
+    Every string form produced by the [encode_*] functions is a single JSON
+    object carrying a format-version tag, [{"v":1,...}]; the [decode_*]
+    functions refuse tags newer than {!version}, so an old build fails
+    loudly on a store written by a newer one instead of misreading it.
+    Decoding an encoding is the identity (up to [Stats.equal] /
+    [Schedule.equal] / [Outcome.bug_equal]); the qcheck suite in
+    [test/test_store.ml] checks these laws, and fixture tests pin the
+    version-1 wire format. *)
+
+exception Error of string
+(** Raised by every decoder on malformed or version-incompatible input. *)
+
+val version : int
+(** The current format version: 1. *)
+
+(** {1 Tree-level codecs} *)
+
+val schedule_to_json : Sct_core.Schedule.t -> Json.t
+val schedule_of_json : Json.t -> Sct_core.Schedule.t
+val bug_to_json : Sct_core.Outcome.bug -> Json.t
+val bug_of_json : Json.t -> Sct_core.Outcome.bug
+val witness_to_json : Sct_explore.Stats.bug_witness -> Json.t
+val witness_of_json : Json.t -> Sct_explore.Stats.bug_witness
+val options_to_json : Sct_explore.Techniques.options -> Json.t
+val options_of_json : Json.t -> Sct_explore.Techniques.options
+val stats_to_json : Sct_explore.Stats.t -> Json.t
+val stats_of_json : Json.t -> Sct_explore.Stats.t
+
+(** {1 Version-tagged string forms} *)
+
+val encode_schedule : Sct_core.Schedule.t -> string
+val decode_schedule : string -> Sct_core.Schedule.t
+val encode_bug : Sct_core.Outcome.bug -> string
+val decode_bug : string -> Sct_core.Outcome.bug
+val encode_witness : Sct_explore.Stats.bug_witness -> string
+val decode_witness : string -> Sct_explore.Stats.bug_witness
+val encode_options : Sct_explore.Techniques.options -> string
+val decode_options : string -> Sct_explore.Techniques.options
+val encode_stats : Sct_explore.Stats.t -> string
+val decode_stats : string -> Sct_explore.Stats.t
+
+(** {1 Helpers shared with the journal} *)
+
+val check_version : Json.t -> unit
+(** Validate the ["v"] tag of a decoded record. @raise Error otherwise. *)
+
+val field : Json.t -> string -> Json.t
+val opt_field : Json.t -> string -> (Json.t -> 'a) -> 'a option
+val get_int : Json.t -> int
+val get_bool : Json.t -> bool
+val get_string : Json.t -> string
+val schedule_line : Sct_core.Schedule.t -> string
+(** The plain comma-separated rendering accepted by
+    [Sct_explore.Replay.parse] (unlike [Schedule.to_string], which uses
+    display brackets). *)

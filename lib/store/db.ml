@@ -1,0 +1,168 @@
+module Stats = Sct_explore.Stats
+module Techniques = Sct_explore.Techniques
+
+type entry = {
+  e_bench : string;
+  e_technique : string;
+  e_racy : int;
+  e_stats : Stats.t;
+  e_witness : string option;
+}
+
+type t = {
+  t_dir : string;
+  journal : string;
+  mutable chan : out_channel option;
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : string list;  (** reverse insertion order of distinct keys *)
+  mutable needs_newline : bool;
+      (** recovery left a torn final record with no trailing newline *)
+}
+
+let dir t = t.t_dir
+let artifacts_dir t = Filename.concat t.t_dir "artifacts"
+let journal_file dir = Filename.concat dir "journal.jsonl"
+
+let fingerprint ~bench ~technique (o : Techniques.options) =
+  (* jobs / split_depth excluded: results are identical for every value *)
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int Codec.version);
+         ("bench", Json.Str bench);
+         ("technique", Json.Str technique);
+         ("limit", Json.Int o.Techniques.limit);
+         ("seed", Json.Int o.Techniques.seed);
+         ("max_steps", Json.Int o.Techniques.max_steps);
+         ("race_runs", Json.Int o.Techniques.race_runs);
+         ("pct_change_points", Json.Int o.Techniques.pct_change_points);
+         ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
+       ])
+  |> Digest.string |> Digest.to_hex
+
+let entry_to_line key e =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int Codec.version);
+         ("key", Json.Str key);
+         ("bench", Json.Str e.e_bench);
+         ("technique", Json.Str e.e_technique);
+         ("racy", Json.Int e.e_racy);
+         ("stats", Codec.stats_to_json e.e_stats);
+         ( "witness",
+           match e.e_witness with None -> Json.Null | Some d -> Json.Str d );
+       ])
+
+(* [None] on any malformed line: the only way a record can be malformed is a
+   write torn by a crash (or a foreign line), and resuming past it merely
+   re-executes that cell. *)
+let entry_of_line line =
+  match Json.of_string line with
+  | exception Json.Parse_error _ -> None
+  | j -> (
+      try
+        Codec.check_version j;
+        Some
+          ( Codec.get_string (Codec.field j "key"),
+            {
+              e_bench = Codec.get_string (Codec.field j "bench");
+              e_technique = Codec.get_string (Codec.field j "technique");
+              e_racy = Codec.get_int (Codec.field j "racy");
+              e_stats = Codec.stats_of_json (Codec.field j "stats");
+              e_witness = Codec.opt_field j "witness" Codec.get_string;
+            } )
+      with Codec.Error _ -> None)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let open_ ~dir =
+  mkdir_p dir;
+  let journal = journal_file dir in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let needs_newline = ref false in
+  if Sys.file_exists journal then begin
+    let ic = open_in_bin journal in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length content in
+    needs_newline := len > 0 && content.[len - 1] <> '\n';
+    String.split_on_char '\n' content
+    |> List.iter (fun line ->
+           if String.trim line <> "" then
+             match entry_of_line line with
+             | Some (key, e) ->
+                 if not (Hashtbl.mem tbl key) then order := key :: !order;
+                 Hashtbl.replace tbl key e
+             | None -> ())
+  end;
+  {
+    t_dir = dir;
+    journal;
+    chan = None;
+    tbl;
+    order = !order;
+    needs_newline = !needs_newline;
+  }
+
+let channel t =
+  match t.chan with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen
+          [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 t.journal
+      in
+      if t.needs_newline then begin
+        output_char oc '\n';
+        t.needs_newline <- false
+      end;
+      t.chan <- Some oc;
+      oc
+
+let add t ~key entry =
+  let oc = channel t in
+  output_string oc (entry_to_line key entry);
+  output_char oc '\n';
+  flush oc;
+  if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tbl key entry
+
+let record t ~key ~bench ~technique ~racy ~options (stats : Stats.t) =
+  let e_witness =
+    match stats.Stats.first_bug with
+    | None -> None
+    | Some w ->
+        let a =
+          Artifact.make ~bench ~technique ~options ~bound:stats.Stats.bound w
+        in
+        let (_ : string) = Artifact.save ~dir:(artifacts_dir t) a in
+        Some a.Artifact.digest
+  in
+  add t ~key
+    { e_bench = bench; e_technique = technique; e_racy = racy;
+      e_stats = stats; e_witness }
+
+let find t key = Hashtbl.find_opt t.tbl key
+let mem t key = Hashtbl.mem t.tbl key
+let is_empty t = Hashtbl.length t.tbl = 0
+let size t = Hashtbl.length t.tbl
+let entries t = List.rev_map (fun k -> (k, Hashtbl.find t.tbl k)) t.order
+
+let close t =
+  match t.chan with
+  | Some oc ->
+      close_out oc;
+      t.chan <- None
+  | None -> ()

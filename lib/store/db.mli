@@ -1,0 +1,72 @@
+(** The persistent study store: an append-only journal of completed
+    benchmark×technique cells plus a directory of bug-witness artifacts.
+
+    On-disk layout under the store directory:
+    {v
+    DIR/journal.jsonl          one JSON record per completed cell
+    DIR/artifacts/<md5>.sched  content-addressed bug witnesses
+    v}
+
+    Each journal record is a single line,
+    [{"v":1,"key":K,"bench":B,"technique":T,"racy":N,"stats":S,"witness":W}],
+    appended and flushed the moment the cell finishes, so a crash loses at
+    most the record being written. Recovery is line-oriented: any line that
+    does not decode — in particular a final record truncated by a crash —
+    is skipped, and the next append re-establishes framing by inserting a
+    newline first if the file does not end with one. Nothing already
+    journalled is ever rewritten.
+
+    Cells are keyed by {!fingerprint}, a digest of the benchmark name, the
+    technique and the semantically relevant exploration options. [jobs] and
+    [split_depth] are deliberately excluded: the parallel engine produces
+    identical statistics for every value, so a store written with
+    [--jobs 1] resumes cleanly under [--jobs 8] and vice versa.
+
+    A store handle must only be used from one domain (the driver's
+    collector domain); worker domains compute cells, the collector
+    journals them. *)
+
+type entry = {
+  e_bench : string;
+  e_technique : string;
+  e_racy : int;  (** racy locations reported by the detection phase *)
+  e_stats : Sct_explore.Stats.t;
+  e_witness : string option;  (** digest of the witness artifact, if any *)
+}
+
+type t
+
+val fingerprint :
+  bench:string ->
+  technique:string ->
+  Sct_explore.Techniques.options ->
+  string
+(** The journal key of one cell. *)
+
+val open_ : dir:string -> t
+(** Open (creating if needed) the store at [dir] and recover the journal. *)
+
+val dir : t -> string
+val artifacts_dir : t -> string
+val is_empty : t -> bool
+val size : t -> int
+val mem : t -> string -> bool
+val find : t -> string -> entry option
+
+val entries : t -> (string * entry) list
+(** Journal order; a re-recorded key keeps its first position with the
+    latest entry. *)
+
+val record :
+  t ->
+  key:string ->
+  bench:string ->
+  technique:string ->
+  racy:int ->
+  options:Sct_explore.Techniques.options ->
+  Sct_explore.Stats.t ->
+  unit
+(** Persist one finished cell: write its bug-witness artifact (if the
+    statistics carry one), then append and flush the journal record. *)
+
+val close : t -> unit

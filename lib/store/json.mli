@@ -1,0 +1,32 @@
+(** A minimal, dependency-free JSON tree.
+
+    The store's on-disk formats (journal records, artifact headers, encoded
+    statistics) only need objects, arrays, strings, integers, booleans and
+    null — floats are deliberately rejected so every value round-trips
+    exactly, which the byte-identical resume guarantee depends on. Strings
+    are treated as byte sequences: bytes outside ASCII pass through
+    untouched on both sides, and control characters are escaped as
+    [\uNNNN]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; msg : string }
+(** Raised by {!of_string}; [pos] is a byte offset into the input. *)
+
+val to_string : t -> string
+(** Compact (whitespace-free) rendering; object fields keep their order, so
+    encoding is deterministic. *)
+
+val of_string : string -> t
+(** Parse one JSON value; trailing garbage is an error.
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k], if any; [None] on
+    non-objects. *)

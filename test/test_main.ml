@@ -16,6 +16,7 @@ let () =
          Test_paper_examples.suites;
          Test_sctbench.suites;
          Test_report.suites;
+         Test_store.suites;
          Test_parallel.suites;
          Test_robustness.suites;
        ])

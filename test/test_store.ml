@@ -1,0 +1,561 @@
+(* The persistent study store (lib/store): codec round-trip laws, version-1
+   wire-format stability, artifact content addressing, journal crash
+   recovery, and the kill-and-resume guarantee — an interrupted campaign
+   resumed on the same store yields exactly the rows of an uninterrupted
+   run, re-executing only the missing cells. *)
+
+open Sct_core
+module Stats = Sct_explore.Stats
+module Techniques = Sct_explore.Techniques
+module Json = Sct_store.Json
+module Codec = Sct_store.Codec
+module Artifact = Sct_store.Artifact
+module Db = Sct_store.Db
+
+let stats_t = Alcotest.testable Sct_explore.Stats.pp Sct_explore.Stats.equal
+
+(* --- fresh temporary directories --- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    (* temp_file both picks a unique name and reserves it *)
+    let f = Filename.temp_file "sct_store_test" (string_of_int !counter) in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- generators --- *)
+
+(* full-range bytes, to exercise JSON string escaping *)
+let gen_raw_string =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 12))
+
+let gen_schedule = QCheck2.Gen.(list_size (int_bound 12) (int_bound 6))
+
+let gen_bug =
+  QCheck2.Gen.(
+    let* msg = gen_raw_string in
+    oneofl
+      [
+        Outcome.Assertion_failure msg;
+        Outcome.Lock_error msg;
+        Outcome.Memory_error msg;
+        Outcome.Uncaught_exn msg;
+        Outcome.Deadlock [ 1; 2; 3 ];
+        Outcome.Deadlock [];
+      ])
+
+let gen_witness =
+  QCheck2.Gen.(
+    let* w_bug = gen_bug in
+    let* w_by = int_bound 6 in
+    let* sched = gen_schedule in
+    let* w_pc = int_bound 5 in
+    let* w_dc = int_bound 8 in
+    return
+      { Stats.w_bug; w_by; w_schedule = Schedule.of_list sched; w_pc; w_dc })
+
+let gen_options =
+  QCheck2.Gen.(
+    let* limit = int_range 1 20_000 in
+    let* seed = int_bound 1000 in
+    let* max_steps = int_range 1 200_000 in
+    let* race_runs = int_range 1 20 in
+    let* pct_change_points = int_bound 5 in
+    let* maple_profile_runs = int_range 1 20 in
+    let* jobs = int_range 1 8 in
+    let* split_depth = int_range 1 6 in
+    return
+      {
+        Techniques.limit;
+        seed;
+        max_steps;
+        race_runs;
+        pct_change_points;
+        maple_profile_runs;
+        jobs;
+        split_depth;
+      })
+
+let gen_stats =
+  QCheck2.Gen.(
+    let* technique = oneofl [ "IPB"; "IDB"; "DFS"; "Rand"; "MapleAlg" ] in
+    let* bound = option (int_bound 4) in
+    let* bound_complete = bool in
+    let* to_first_bug = option (int_bound 100) in
+    let* first_bug = option gen_witness in
+    let* total = int_bound 10_000 in
+    let* new_at_bound = int_bound 500 in
+    let* buggy = int_bound 50 in
+    let* complete = bool in
+    let* hit_limit = bool in
+    let* n_threads = int_bound 8 in
+    let* max_enabled = int_bound 8 in
+    let* max_sched_points = int_bound 100 in
+    let* executions = int_bound 10_000 in
+    let* distinct = option (list_size (int_bound 6) gen_schedule) in
+    return
+      {
+        (Stats.base ~technique) with
+        Stats.bound;
+        bound_complete;
+        to_first_bug;
+        first_bug;
+        total;
+        new_at_bound;
+        buggy;
+        complete;
+        hit_limit;
+        n_threads;
+        max_enabled;
+        max_sched_points;
+        executions;
+        distinct_schedules = Option.map Stats.Sched_set.of_list distinct;
+      })
+
+(* --- codec round-trip laws: decode ∘ encode = id --- *)
+
+let prop_roundtrip_schedule =
+  QCheck2.Test.make ~name:"Codec: schedule round-trips" ~count:300
+    gen_schedule (fun s ->
+      let s = Schedule.of_list s in
+      Schedule.equal s (Codec.decode_schedule (Codec.encode_schedule s)))
+
+let prop_roundtrip_bug =
+  QCheck2.Test.make ~name:"Codec: bug round-trips" ~count:300 gen_bug
+    (fun b -> Outcome.bug_equal b (Codec.decode_bug (Codec.encode_bug b)))
+
+let prop_roundtrip_witness =
+  QCheck2.Test.make ~name:"Codec: witness round-trips" ~count:300 gen_witness
+    (fun w ->
+      Stats.equal_witness w (Codec.decode_witness (Codec.encode_witness w)))
+
+let prop_roundtrip_options =
+  QCheck2.Test.make ~name:"Codec: options round-trip" ~count:300 gen_options
+    (fun o -> Codec.decode_options (Codec.encode_options o) = o)
+
+let prop_roundtrip_stats =
+  QCheck2.Test.make ~name:"Codec: stats round-trip" ~count:300 gen_stats
+    (fun s -> Stats.equal s (Codec.decode_stats (Codec.encode_stats s)))
+
+(* --- version-1 wire format stability ---
+   These strings are the on-disk format; if one of these tests fails, the
+   format changed and [Codec.version] must be bumped with a migration. *)
+
+let fixture_schedule = {|{"v":1,"schedule":[0,0,1,2]}|}
+
+let fixture_witness =
+  {|{"v":1,"witness":{"bug":{"kind":"assert","msg":"x=y"},"by":2,"schedule":[0,1,2],"pc":1,"dc":3}}|}
+
+let fixture_options =
+  {|{"v":1,"options":{"limit":10000,"seed":0,"max_steps":100000,"race_runs":10,"pct_change_points":2,"maple_profile_runs":10,"jobs":1,"split_depth":3}}|}
+
+let fixture_stats =
+  {|{"v":1,"stats":{"technique":"IPB","bound":1,"bound_complete":true,"to_first_bug":5,"total":10,"new_at_bound":4,"buggy":2,"complete":false,"hit_limit":true,"first_bug":null,"n_threads":3,"max_enabled":2,"max_sched_points":7,"executions":12,"distinct":[[0,1],[1,0]]}}|}
+
+let fixture_stats_value =
+  {
+    (Stats.base ~technique:"IPB") with
+    Stats.bound = Some 1;
+    bound_complete = true;
+    to_first_bug = Some 5;
+    total = 10;
+    new_at_bound = 4;
+    buggy = 2;
+    complete = false;
+    hit_limit = true;
+    n_threads = 3;
+    max_enabled = 2;
+    max_sched_points = 7;
+    executions = 12;
+    distinct_schedules = Some (Stats.Sched_set.of_list [ [ 0; 1 ]; [ 1; 0 ] ]);
+  }
+
+let test_fixture_stability () =
+  Alcotest.(check (list int))
+    "schedule fixture decodes" [ 0; 0; 1; 2 ]
+    (Schedule.to_list (Codec.decode_schedule fixture_schedule));
+  Alcotest.(check string)
+    "schedule fixture re-encodes byte-identically" fixture_schedule
+    (Codec.encode_schedule (Schedule.of_list [ 0; 0; 1; 2 ]));
+  let w = Codec.decode_witness fixture_witness in
+  Alcotest.(check bool)
+    "witness fixture decodes" true
+    (Stats.equal_witness w
+       {
+         Stats.w_bug = Outcome.Assertion_failure "x=y";
+         w_by = 2;
+         w_schedule = Schedule.of_list [ 0; 1; 2 ];
+         w_pc = 1;
+         w_dc = 3;
+       });
+  Alcotest.(check string)
+    "witness fixture re-encodes byte-identically" fixture_witness
+    (Codec.encode_witness w);
+  Alcotest.(check bool)
+    "options fixture decodes to the defaults" true
+    (Codec.decode_options fixture_options = Techniques.default_options);
+  Alcotest.(check string)
+    "options fixture re-encodes byte-identically" fixture_options
+    (Codec.encode_options Techniques.default_options);
+  Alcotest.(check stats_t)
+    "stats fixture decodes" fixture_stats_value
+    (Codec.decode_stats fixture_stats);
+  Alcotest.(check string)
+    "stats fixture re-encodes byte-identically" fixture_stats
+    (Codec.encode_stats fixture_stats_value)
+
+let expect_codec_error name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Codec.Error")
+  | exception Codec.Error _ -> ()
+
+let test_version_gate () =
+  expect_codec_error "newer version" (fun () ->
+      Codec.decode_schedule {|{"v":2,"schedule":[0]}|});
+  expect_codec_error "missing tag" (fun () ->
+      Codec.decode_schedule {|{"schedule":[0]}|});
+  expect_codec_error "malformed json" (fun () ->
+      Codec.decode_stats {|{"v":1,"stats":|});
+  expect_codec_error "negative tid" (fun () ->
+      Codec.decode_schedule {|{"v":1,"schedule":[-1]}|})
+
+(* --- artifacts --- *)
+
+let sample_witness =
+  {
+    Stats.w_bug = Outcome.Assertion_failure "x=y";
+    w_by = 2;
+    w_schedule = Schedule.of_list [ 0; 0; 1; 2; 1 ];
+    w_pc = 2;
+    w_dc = 3;
+  }
+
+let test_artifact_roundtrip () =
+  with_dir (fun dir ->
+      let a =
+        Artifact.make ~bench:"CS.account_bad" ~technique:"IPB"
+          ~options:Techniques.default_options ~bound:(Some 1) sample_witness
+      in
+      let path = Artifact.save ~dir a in
+      let path' = Artifact.save ~dir a in
+      Alcotest.(check string) "idempotent save" path path';
+      let b = Artifact.load path in
+      Alcotest.(check string) "digest" a.Artifact.digest b.Artifact.digest;
+      Alcotest.(check string)
+        "bench" "CS.account_bad" b.Artifact.meta.Artifact.a_bench;
+      Alcotest.(check string) "technique" "IPB" b.Artifact.meta.Artifact.a_technique;
+      Alcotest.(check bool)
+        "options survive" true
+        (b.Artifact.meta.Artifact.a_options = Techniques.default_options);
+      Alcotest.(check (list int))
+        "schedule" [ 0; 0; 1; 2; 1 ]
+        (Schedule.to_list b.Artifact.schedule);
+      Alcotest.(check int)
+        "listed" 1
+        (List.length (Artifact.list ~dir)))
+
+let test_artifact_tamper_detected () =
+  with_dir (fun dir ->
+      let a =
+        Artifact.make ~bench:"CS.account_bad" ~technique:"IPB"
+          ~options:Techniques.default_options ~bound:None sample_witness
+      in
+      let path = Artifact.save ~dir a in
+      (* flip the schedule line: content no longer matches the file name *)
+      let ic = open_in_bin path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc content;
+      output_string oc "0,0\n";
+      close_out oc;
+      match Artifact.load path with
+      | _ -> Alcotest.fail "tampered artifact loaded"
+      | exception Artifact.Error _ -> ())
+
+let test_schedule_of_file () =
+  with_dir (fun dir ->
+      let raw = Filename.concat dir "raw.txt" in
+      let oc = open_out raw in
+      output_string oc "# a comment\n\n  0, 0 ,1,2 \n";
+      close_out oc;
+      Alcotest.(check (list int))
+        "raw file" [ 0; 0; 1; 2 ]
+        (Schedule.to_list (Artifact.schedule_of_file raw));
+      let a =
+        Artifact.make ~bench:"b" ~technique:"Rand"
+          ~options:Techniques.default_options ~bound:None sample_witness
+      in
+      let path = Artifact.save ~dir a in
+      Alcotest.(check (list int))
+        ".sched artifact" [ 0; 0; 1; 2; 1 ]
+        (Schedule.to_list (Artifact.schedule_of_file path)))
+
+(* --- journal --- *)
+
+let entry_stats technique first_bug =
+  {
+    (Stats.base ~technique) with
+    Stats.total = 7;
+    executions = 7;
+    buggy = (match first_bug with Some _ -> 1 | None -> 0);
+    to_first_bug = Option.map (fun _ -> 3) first_bug;
+    first_bug;
+  }
+
+let test_db_roundtrip () =
+  with_dir (fun dir ->
+      let db = Db.open_ ~dir in
+      Alcotest.(check bool) "fresh store is empty" true (Db.is_empty db);
+      let o = Techniques.default_options in
+      let k1 = Db.fingerprint ~bench:"B1" ~technique:"IPB" o in
+      let k2 = Db.fingerprint ~bench:"B1" ~technique:"Rand" o in
+      Db.record db ~key:k1 ~bench:"B1" ~technique:"IPB" ~racy:2 ~options:o
+        (entry_stats "IPB" (Some sample_witness));
+      Db.record db ~key:k2 ~bench:"B1" ~technique:"Rand" ~racy:2 ~options:o
+        (entry_stats "Rand" None);
+      Db.close db;
+      let db = Db.open_ ~dir in
+      Alcotest.(check int) "two cells" 2 (Db.size db);
+      let e1 = Option.get (Db.find db k1) in
+      Alcotest.(check stats_t)
+        "stats survive" (entry_stats "IPB" (Some sample_witness))
+        e1.Db.e_stats;
+      Alcotest.(check int) "racy survives" 2 e1.Db.e_racy;
+      (match e1.Db.e_witness with
+      | None -> Alcotest.fail "witness digest not journalled"
+      | Some d ->
+          Alcotest.(check bool)
+            "witness artifact exists" true
+            (Sys.file_exists
+               (Filename.concat (Db.artifacts_dir db) (d ^ ".sched"))));
+      Alcotest.(check bool)
+        "bug-free cell has no artifact" true
+        ((Option.get (Db.find db k2)).Db.e_witness = None);
+      Db.close db)
+
+let append_torn_record dir =
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_append; Open_binary ]
+      0o644
+      (Filename.concat dir "journal.jsonl")
+  in
+  output_string oc {|{"v":1,"key":"torn|};
+  (* no closing quote, no newline: a record cut short by a crash *)
+  close_out oc
+
+let test_db_truncated_tail () =
+  with_dir (fun dir ->
+      let o = Techniques.default_options in
+      let k1 = Db.fingerprint ~bench:"B1" ~technique:"IPB" o in
+      let db = Db.open_ ~dir in
+      Db.record db ~key:k1 ~bench:"B1" ~technique:"IPB" ~racy:0 ~options:o
+        (entry_stats "IPB" None);
+      Db.close db;
+      append_torn_record dir;
+      (* the torn record is ignored ... *)
+      let db = Db.open_ ~dir in
+      Alcotest.(check int) "torn tail skipped" 1 (Db.size db);
+      (* ... and appending after recovery re-establishes line framing *)
+      let k2 = Db.fingerprint ~bench:"B2" ~technique:"IPB" o in
+      Db.record db ~key:k2 ~bench:"B2" ~technique:"IPB" ~racy:1 ~options:o
+        (entry_stats "IPB" None);
+      Db.close db;
+      let db = Db.open_ ~dir in
+      Alcotest.(check int) "record after torn tail survives" 2 (Db.size db);
+      Alcotest.(check int)
+        "recovered racy" 1
+        (Option.get (Db.find db k2)).Db.e_racy;
+      Db.close db)
+
+let test_fingerprint_ignores_parallelism () =
+  let o = Techniques.default_options in
+  let fp j s =
+    Db.fingerprint ~bench:"B" ~technique:"IPB"
+      { o with Techniques.jobs = j; split_depth = s }
+  in
+  Alcotest.(check string) "jobs/split_depth excluded" (fp 1 3) (fp 8 5);
+  Alcotest.(check bool)
+    "limit included" true
+    (Db.fingerprint ~bench:"B" ~technique:"IPB" o
+    <> Db.fingerprint ~bench:"B" ~technique:"IPB"
+         { o with Techniques.limit = o.Techniques.limit + 1 });
+  Alcotest.(check bool)
+    "technique included" true
+    (Db.fingerprint ~bench:"B" ~technique:"IPB" o
+    <> Db.fingerprint ~bench:"B" ~technique:"IDB" o)
+
+(* --- kill-and-resume: the tentpole guarantee --- *)
+
+let pick name =
+  match Sctbench.Registry.by_name name with
+  | Some b -> b
+  | None -> Alcotest.fail ("missing " ^ name)
+
+let resume_options = { Techniques.default_options with Techniques.limit = 40 }
+
+let resume_benches () =
+  [ pick "CS.lazy01_bad"; pick "CS.deadlock01_bad"; pick "CS.account_bad" ]
+
+let check_rows_equal clean resumed =
+  List.iter2
+    (fun (c : Sct_report.Run_data.row) (r : Sct_report.Run_data.row) ->
+      let name = c.Sct_report.Run_data.bench.Sctbench.Bench.name in
+      Alcotest.(check string)
+        "bench" name r.Sct_report.Run_data.bench.Sctbench.Bench.name;
+      Alcotest.(check int)
+        (name ^ " racy") c.Sct_report.Run_data.racy_locations
+        r.Sct_report.Run_data.racy_locations;
+      List.iter2
+        (fun (t1, s1) (t2, s2) ->
+          Alcotest.(check bool) "technique order" true (t1 = t2);
+          Alcotest.check stats_t
+            (name ^ " " ^ Techniques.name t1)
+            s1 s2)
+        c.Sct_report.Run_data.results r.Sct_report.Run_data.results)
+    clean resumed
+
+exception Interrupted
+
+let test_kill_and_resume () =
+  with_dir (fun dir ->
+      let o = resume_options in
+      let benches = resume_benches () in
+      let n_cells = List.length benches * List.length Techniques.all_paper in
+      let clean = Sct_report.Run_data.run_all o benches in
+      (* run with a store and "crash" before the third benchmark *)
+      let db = Db.open_ ~dir in
+      let seen = ref 0 in
+      (try
+         ignore
+           (Sct_report.Run_data.run_all ~store:db
+              ~progress:(fun _ ->
+                incr seen;
+                if !seen = 3 then raise Interrupted)
+              o benches
+             : Sct_report.Run_data.row list)
+       with Interrupted -> ());
+      Db.close db;
+      append_torn_record dir;
+      (* resume: only the missing cells may run *)
+      let db = Db.open_ ~dir in
+      let before = Db.size db in
+      Alcotest.(check bool)
+        "interrupted partway" true
+        (before > 0 && before < n_cells);
+      let resumed = Sct_report.Run_data.run_all ~store:db o benches in
+      Alcotest.(check int) "all cells journalled" n_cells (Db.size db);
+      Db.close db;
+      check_rows_equal clean resumed;
+      (* nothing journalled twice: every line in the journal is either one
+         of the cells or the torn record *)
+      let ic = open_in_bin (Filename.concat dir "journal.jsonl") in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int)
+        "no cell re-executed" (n_cells + 1) (List.length lines);
+      (* a fully journalled store reproduces the rows without running
+         anything — and still matches *)
+      let db = Db.open_ ~dir in
+      let cached = Sct_report.Run_data.run_all ~store:db o benches in
+      Alcotest.(check int) "pure read" n_cells (Db.size db);
+      Db.close db;
+      check_rows_equal clean cached)
+
+let test_witnesses_replay_as_buggy () =
+  with_dir (fun dir ->
+      let o = resume_options in
+      let benches = resume_benches () in
+      let db = Db.open_ ~dir in
+      let (_ : Sct_report.Run_data.row list) =
+        Sct_report.Run_data.run_all ~store:db o benches
+      in
+      let witnesses =
+        List.filter_map (fun (_, e) -> e.Db.e_witness) (Db.entries db)
+      in
+      Alcotest.(check bool) "some witnesses recorded" true (witnesses <> []);
+      List.iter
+        (fun digest ->
+          let a =
+            Artifact.load
+              (Filename.concat (Db.artifacts_dir db) (digest ^ ".sched"))
+          in
+          let b = pick a.Artifact.meta.Artifact.a_bench in
+          let ao = a.Artifact.meta.Artifact.a_options in
+          let promote =
+            Sct_race.Promotion.promote
+              (Techniques.detect_races ao b.Sctbench.Bench.program)
+          in
+          match
+            Sct_explore.Replay.replay ~promote
+              ~max_steps:ao.Techniques.max_steps ~schedule:a.Artifact.schedule
+              b.Sctbench.Bench.program
+          with
+          | None -> Alcotest.fail (digest ^ ": witness schedule infeasible")
+          | Some r ->
+              Alcotest.(check bool)
+                (digest ^ " reproduces its bug")
+                true
+                (Outcome.is_buggy r.Sct_core.Runtime.r_outcome))
+        witnesses;
+      Db.close db)
+
+let suites =
+  [
+    ( "store.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_roundtrip_schedule;
+        QCheck_alcotest.to_alcotest prop_roundtrip_bug;
+        QCheck_alcotest.to_alcotest prop_roundtrip_witness;
+        QCheck_alcotest.to_alcotest prop_roundtrip_options;
+        QCheck_alcotest.to_alcotest prop_roundtrip_stats;
+        Alcotest.test_case "version-1 wire format is stable" `Quick
+          test_fixture_stability;
+        Alcotest.test_case "version gate and malformed input" `Quick
+          test_version_gate;
+      ] );
+    ( "store.artifact",
+      [
+        Alcotest.test_case "save/load round-trip, content-addressed" `Quick
+          test_artifact_roundtrip;
+        Alcotest.test_case "tampering is detected" `Quick
+          test_artifact_tamper_detected;
+        Alcotest.test_case "schedule_of_file reads raw and .sched files"
+          `Quick test_schedule_of_file;
+      ] );
+    ( "store.db",
+      [
+        Alcotest.test_case "journal round-trip with witness artifacts" `Quick
+          test_db_roundtrip;
+        Alcotest.test_case "truncated final record is recovered" `Quick
+          test_db_truncated_tail;
+        Alcotest.test_case "fingerprint ignores jobs/split-depth" `Quick
+          test_fingerprint_ignores_parallelism;
+      ] );
+    ( "store.resume",
+      [
+        Alcotest.test_case "kill-and-resume equals an uninterrupted run"
+          `Slow test_kill_and_resume;
+        Alcotest.test_case "recorded witnesses replay as buggy" `Slow
+          test_witnesses_replay_as_buggy;
+      ] );
+  ]

@@ -64,8 +64,19 @@ let test_replay_fallback () =
 let test_parse () =
   Alcotest.(check (list int)) "parse" [ 0; 0; 1; 2 ]
     (Schedule.to_list (Sct_explore.Replay.parse "0, 0,1,2"));
-  Alcotest.check_raises "bad id" (Failure "Replay.parse: bad thread id x")
-    (fun () -> ignore (Sct_explore.Replay.parse "0,x"))
+  Alcotest.(check (list int)) "surrounding whitespace" [ 3; 1 ]
+    (Schedule.to_list (Sct_explore.Replay.parse "  3 ,\t1 "));
+  Alcotest.(check (list int)) "blank input is the empty schedule" []
+    (Schedule.to_list (Sct_explore.Replay.parse "   "));
+  Alcotest.check_raises "bad id names token and offset"
+    (Failure {|Replay.parse: bad thread id "x" at offset 2|}) (fun () ->
+      ignore (Sct_explore.Replay.parse "0,x"));
+  Alcotest.check_raises "whitespace skipped when locating the token"
+    (Failure {|Replay.parse: bad thread id "-1" at offset 3|}) (fun () ->
+      ignore (Sct_explore.Replay.parse "0, -1"));
+  Alcotest.check_raises "empty token"
+    (Failure "Replay.parse: empty thread id at offset 2") (fun () ->
+      ignore (Sct_explore.Replay.parse "0,,1"))
 
 (* --- simplification --- *)
 
