@@ -7,18 +7,26 @@
      dune exec bench/main.exe -- table3 fig2       (selected sections)
      dune exec bench/main.exe -- --jobs 4 table3   (parallel study run)
      dune exec bench/main.exe -- perf              (Bechamel timings only)
+     dune exec bench/main.exe -- perf --out BENCH_engine.json
+                                                   (machine-readable timings)
+     dune exec bench/main.exe -- perf --out BENCH_engine.json \
+       --baseline bench/BASELINE_engine.json
+                             (also fail on a >2x rr-execution regression)
 
    Sections: table1 table2 table3 fig2 fig3 fig4 por pct jobs perf
-   (default: all). *)
+   (default: all). [--out]/[--baseline] imply the perf section; see
+   BENCHMARKS.md for the JSON schema. *)
 
 open Bechamel
 open Toolkit
 
-let sections, limit, seed, jobs =
+let sections, limit, seed, jobs, out_file, baseline_file =
   let sections = ref [] in
   let limit = ref 10_000 in
   let seed = ref 0 in
   let jobs = ref 0 in
+  let out_file = ref None in
+  let baseline_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--limit" :: v :: rest ->
@@ -29,6 +37,12 @@ let sections, limit, seed, jobs =
         parse rest
     | "--jobs" :: v :: rest ->
         jobs := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_file := Some v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline_file := Some v;
         parse rest
     | s :: rest ->
         sections := s :: !sections;
@@ -42,8 +56,17 @@ let sections, limit, seed, jobs =
     ]
   in
   let sections = if !sections = [] then all else List.rev !sections in
+  let sections =
+    (* the JSON artifact and the regression check are built from the perf
+       measurements, so those flags imply the section *)
+    if
+      (!out_file <> None || !baseline_file <> None)
+      && not (List.mem "perf" sections)
+    then sections @ [ "perf" ]
+    else sections
+  in
   let jobs = if !jobs <= 0 then Sct_parallel.Pool.default_jobs () else !jobs in
-  (sections, !limit, !seed, jobs)
+  (sections, !limit, !seed, jobs, !out_file, !baseline_file)
 
 let wants s = List.mem s sections
 
@@ -66,15 +89,28 @@ let study_rows =
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Wall-clock per executed section, in execution order; part of the
+   BENCH_engine.json artifact. *)
+let section_timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  section_timings := !section_timings @ [ (name, Unix.gettimeofday () -. t0) ];
+  r
+
 (* --- Bechamel micro-benchmarks --- *)
 
 let rr_scheduler (ctx : Sct_core.Runtime.ctx) =
-  match
-    Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
-      ~enabled:ctx.c_enabled
-  with
-  | Some t -> t
-  | None -> assert false
+  match ctx.c_enabled with
+  | [ t ] -> t
+  | enabled -> (
+      match
+        Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads
+          ~last:ctx.c_last ~enabled
+      with
+      | Some t -> t
+      | None -> assert false)
 
 let bench_program name =
   match Sctbench.Registry.by_name name with
@@ -347,13 +383,15 @@ let run_jobs () =
   Printf.printf "%6s %10s %9s  %s\n" "jobs" "seconds" "speedup" "rows";
   let base_rows, base_dt = time 1 in
   Printf.printf "%6d %10.2f %8.2fx  %s\n%!" 1 base_dt 1.0 "baseline";
-  List.iter
-    (fun jobs ->
-      let rows, dt = time jobs in
-      Printf.printf "%6d %10.2f %8.2fx  %s\n%!" jobs dt (base_dt /. dt)
-        (if rows_equal base_rows rows then "identical"
-         else "DIFFERENT (bug!)"))
-    [ 2; 4; 8 ]
+  (1, base_dt, 1.0, true)
+  :: List.map
+       (fun jobs ->
+         let rows, dt = time jobs in
+         let identical = rows_equal base_rows rows in
+         Printf.printf "%6d %10.2f %8.2fx  %s\n%!" jobs dt (base_dt /. dt)
+           (if identical then "identical" else "DIFFERENT (bug!)");
+         (jobs, dt, base_dt /. dt, identical))
+       [ 2; 4; 8 ]
 
 let run_perf () =
   hr "Bechamel timings";
@@ -374,51 +412,175 @@ let run_perf () =
         | _ -> (name, nan) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, est) ->
       if est >= 1e6 then Printf.printf "%-55s %10.2f ms/run\n" name (est /. 1e6)
       else if est >= 1e3 then
         Printf.printf "%-55s %10.2f us/run\n" name (est /. 1e3)
       else Printf.printf "%-55s %10.1f ns/run\n" name est)
-    (List.sort compare rows)
+    rows;
+  rows
+
+(* --- machine-readable perf trajectory (BENCH_engine.json) --- *)
+
+(* Steps per execution under the deterministic scheduler: converts Bechamel
+   ns/run estimates into the headline steps/sec numbers. *)
+let steps_per_exec program =
+  (Sct_core.Runtime.exec ~promote:promote_all ~record_decisions:false
+     ~scheduler:rr_scheduler program)
+    .Sct_core.Runtime.r_steps
+
+let engine_benchmarks =
+  [ ("rr-execution/twostage", "CS.twostage_bad"); ("rr-execution/wsq", "chess.WSQ") ]
+
+let find_perf perf_rows suffix =
+  List.find_opt (fun (n, _) -> String.ends_with ~suffix n) perf_rows
+  |> Option.map snd
+
+let bench_json ~perf_rows ~jobs_sweep =
+  let open Sct_store.Json in
+  let ns_int f = max 1 (int_of_float (Float.round f)) in
+  let engine =
+    List.filter_map
+      (fun (key, bench) ->
+        match find_perf perf_rows key with
+        | None -> None
+        | Some ns ->
+            let steps = steps_per_exec (bench_program bench) in
+            Some
+              ( key,
+                Obj
+                  [
+                    ("ns_per_run", Int (ns_int ns));
+                    ("steps_per_exec", Int steps);
+                    ( "steps_per_sec",
+                      Int (int_of_float (float_of_int steps *. 1e9 /. ns)) );
+                    ("execs_per_sec", Int (int_of_float (1e9 /. ns)));
+                  ] ))
+      engine_benchmarks
+  in
+  let perf =
+    List.map (fun (name, ns) -> (name, Int (ns_int ns))) perf_rows
+  in
+  let sections =
+    List.map
+      (fun (name, dt) -> (name, Int (int_of_float (Float.round (dt *. 1e3)))))
+      !section_timings
+  in
+  let sweep =
+    List.map
+      (fun (jobs, dt, speedup, identical) ->
+        Obj
+          [
+            ("jobs", Int jobs);
+            ("ms", Int (int_of_float (Float.round (dt *. 1e3))));
+            ("speedup_x100", Int (int_of_float (Float.round (speedup *. 100.))));
+            ("identical", Bool identical);
+          ])
+      jobs_sweep
+  in
+  Obj
+    [
+      ("schema", Str "sctbench-bench-engine/v1");
+      ("limit", Int limit);
+      ("seed", Int seed);
+      ("jobs", Int jobs);
+      ("engine", Obj engine);
+      ("perf_ns", Obj perf);
+      ("sections_ms", Obj sections);
+      ("jobs_sweep", Arr sweep);
+    ]
+
+let write_out path json =
+  let oc = open_out path in
+  output_string oc (Sct_store.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* Fail (exit 1) if any engine benchmark regressed more than 2x against the
+   committed baseline's ns_per_run. *)
+let check_baseline ~perf_rows path =
+  let doc =
+    In_channel.with_open_bin path In_channel.input_all
+    |> Sct_store.Json.of_string
+  in
+  let entries =
+    match Sct_store.Json.member "engine" doc with
+    | Some (Sct_store.Json.Obj fields) -> fields
+    | _ -> failwith (path ^ ": no \"engine\" object")
+  in
+  let failed = ref false in
+  List.iter
+    (fun (key, entry) ->
+      match Sct_store.Json.member "ns_per_run" entry with
+      | Some (Sct_store.Json.Int base_ns) -> (
+          match find_perf perf_rows key with
+          | None ->
+              Printf.printf "baseline check: %s not measured\n" key;
+              failed := true
+          | Some ns ->
+              let ratio = ns /. float_of_int base_ns in
+              Printf.printf "baseline check: %-30s %10.0f ns vs %8d ns (%.2fx)\n"
+                key ns base_ns ratio;
+              if ratio > 2.0 then begin
+                Printf.printf "  REGRESSION: more than 2x slower than baseline\n";
+                failed := true
+              end)
+      | _ -> ())
+    entries;
+  if !failed then begin
+    Printf.printf "baseline check FAILED\n";
+    exit 1
+  end
+  else Printf.printf "baseline check passed\n"
 
 let () =
   Printf.printf
     "SCTBench schedule-bounding study — limit %d terminal schedules per \
      technique, seed %d\n"
     limit seed;
-  if wants "table1" then begin
-    hr "Table 1";
-    Sct_report.Table1.print Sctbench.Registry.all
-  end;
+  if wants "table1" then
+    timed "table1" (fun () ->
+        hr "Table 1";
+        Sct_report.Table1.print Sctbench.Registry.all);
   let rows_needed =
     List.exists wants [ "table2"; "table3"; "fig2"; "fig3"; "fig4" ]
   in
   if rows_needed then begin
-    let rows = Lazy.force study_rows in
-    if wants "table3" then begin
-      hr "Table 3";
-      Sct_report.Table3.print ~limit rows;
-      Sct_report.Table3.print_agreement rows
-    end;
-    if wants "table2" then begin
-      hr "Table 2";
-      Sct_report.Table2.print ~limit rows
-    end;
-    if wants "fig2" then begin
-      hr "Figure 2";
-      Sct_report.Venn.print_figure2 rows
-    end;
-    if wants "fig3" then begin
-      hr "Figure 3";
-      Sct_report.Figures.print_figure3 ~limit rows
-    end;
-    if wants "fig4" then begin
-      hr "Figure 4";
-      Sct_report.Figures.print_figure4 ~limit rows
-    end
+    let rows = timed "study-rows" (fun () -> Lazy.force study_rows) in
+    if wants "table3" then
+      timed "table3" (fun () ->
+          hr "Table 3";
+          Sct_report.Table3.print ~limit rows;
+          Sct_report.Table3.print_agreement rows);
+    if wants "table2" then
+      timed "table2" (fun () ->
+          hr "Table 2";
+          Sct_report.Table2.print ~limit rows);
+    if wants "fig2" then
+      timed "fig2" (fun () ->
+          hr "Figure 2";
+          Sct_report.Venn.print_figure2 rows);
+    if wants "fig3" then
+      timed "fig3" (fun () ->
+          hr "Figure 3";
+          Sct_report.Figures.print_figure3 ~limit rows);
+    if wants "fig4" then
+      timed "fig4" (fun () ->
+          hr "Figure 4";
+          Sct_report.Figures.print_figure4 ~limit rows)
   end;
-  if wants "por" then run_por ();
-  if wants "pct" then run_pct ();
-  if wants "jobs" then run_jobs ();
-  if wants "perf" then run_perf ()
+  if wants "por" then timed "por" run_por;
+  if wants "pct" then timed "pct" run_pct;
+  let jobs_sweep =
+    if wants "jobs" then timed "jobs" run_jobs else []
+  in
+  let perf_rows = if wants "perf" then timed "perf" run_perf else [] in
+  (match out_file with
+  | None -> ()
+  | Some path -> write_out path (bench_json ~perf_rows ~jobs_sweep));
+  match baseline_file with
+  | None -> ()
+  | Some path -> check_baseline ~perf_rows path

@@ -1,9 +1,13 @@
 let mem t l = List.exists (Tid.equal t) l
 
 let delays ~n ~last ~enabled t =
-  match last with
-  | None -> 0
-  | Some l ->
+  match (last, enabled) with
+  | None, _ -> 0
+  | Some _, [ only ] when Tid.equal only t ->
+      (* t = last is forced here whenever last is still enabled, so the
+         circular gap from last to t contains no enabled thread *)
+      0
+  | Some l, _ ->
       let d = Tid.distance ~n l t in
       let count = ref 0 in
       for x = 0 to d - 1 do
@@ -22,9 +26,12 @@ let count ~n_at ~steps =
   dc
 
 let rr_order ~n ~last ~enabled =
-  let start = match last with None -> 0 | Some l -> l in
-  let key t = Tid.distance ~n start t in
-  List.sort (fun a b -> compare (key a) (key b)) enabled
+  match enabled with
+  | [] | [ _ ] -> enabled
+  | _ ->
+      let start = match last with None -> 0 | Some l -> l in
+      let key t = Tid.distance ~n start t in
+      List.sort (fun a b -> Int.compare (key a) (key b)) enabled
 
 let deterministic_choice ~n ~last ~enabled =
   match rr_order ~n ~last ~enabled with [] -> None | t :: _ -> Some t

@@ -1,7 +1,12 @@
 let delta ~last ~enabled t =
-  match last with
-  | None -> 0
-  | Some l -> if (not (Tid.equal l t)) && List.exists (Tid.equal l) enabled then 1 else 0
+  match (last, enabled) with
+  | None, _ -> 0
+  | Some _, [ only ] when Tid.equal only t ->
+      (* if last were still enabled it would be the singleton, i.e. t *)
+      0
+  | Some l, _ ->
+      if (not (Tid.equal l t)) && List.exists (Tid.equal l) enabled then 1
+      else 0
 
 let count ~steps =
   let pc, _ =

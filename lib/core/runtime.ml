@@ -1,7 +1,12 @@
 type mutex_state = { mutable holder : Tid.t option; mutable destroyed : bool }
-type cond_state = { mutable waiters : (Tid.t * int) list }
+type cond_state = { waiters : (Tid.t * int) Queue.t }
 type sem_state = { mutable count : int }
-type barrier_state = { size : int; mutable waiting : Tid.t list }
+
+type barrier_state = {
+  size : int;
+  mutable waiting : Tid.t list;
+  mutable n_waiting : int;
+}
 
 type rw_state = {
   mutable readers : Tid.t list;
@@ -24,17 +29,28 @@ type _ Effect.t +=
    unwind (running their exception handlers) without being recorded. *)
 exception Aborted
 
-type pending =
-  | P_op of Op.t * (unit, unit) Effect.Deep.continuation
-  | P_spawn of (unit -> unit) * (Tid.t, unit) Effect.Deep.continuation
-
 type status =
-  | Runnable of pending
+  | Run_op of Op.t * (unit, unit) Effect.Deep.continuation
+  | Run_spawn of (unit -> unit) * (Tid.t, unit) Effect.Deep.continuation
   | Blocked_cond of { k : (unit, unit) Effect.Deep.continuation; mutex : int }
   | Blocked_barrier of (unit, unit) Effect.Deep.continuation
   | Finished
 
-type thread = { tid : Tid.t; mutable status : status }
+(* Per-thread cached scheduling state. [t_enabled]/[t_live] mirror what a
+   from-scratch evaluation of the thread would say; they are re-derived only
+   when the thread is marked dirty (its own status changed, or an object its
+   pending operation blocks on changed state). [t_singleton] is the
+   preallocated one-element enabled list used on the |enabled| = 1 fast
+   path, so common run-to-block stretches allocate nothing per step. *)
+type thread = {
+  tid : Tid.t;
+  mutable status : status;
+  t_singleton : Tid.t list;
+  mutable t_enabled : bool;
+  mutable t_dirty : bool;
+  mutable t_live : bool;
+  mutable t_joiners : Tid.t list;
+}
 
 type decision = {
   d_enabled : Tid.t list;
@@ -46,13 +62,16 @@ type decision = {
 type t = {
   mutable threads : thread option array;
   mutable count : int;  (* threads created *)
-  objects : (int, obj) Hashtbl.t;
-  mutable next_obj : int;
+  mutable objects : obj array;  (* first [n_objects] slots are live *)
+  mutable obj_deps : Tid.t list array;
+      (* threads whose pending op's enabledness depends on the object;
+         cleared (and the threads marked dirty) whenever it changes state *)
+  mutable n_objects : int;
   promote : string -> bool;
   listener : (Event.t -> unit) option;
   max_steps : int;
   record_decisions : bool;
-  mutable schedule_rev : Tid.t list;
+  mutable sched_buf : int array;  (* schedule so far; [steps] entries *)
   mutable decisions_rev : decision list;
   mutable steps : int;
   mutable outcome : Outcome.t option;
@@ -64,13 +83,26 @@ type t = {
   mutable running : Tid.t;
   mutable teardown : bool;
   mutable try_lock_result : bool;
+  mutable n_live : int;  (* unfinished threads *)
+  mutable n_enabled : int;  (* threads with [t_enabled] *)
+  mutable enabled_fp : int;  (* xor fingerprint of the enabled set *)
+  mutable dirty : int array;  (* stack of tids awaiting re-evaluation *)
+  mutable n_dirty : int;
+  (* One effect handler is shared by every fibre of the execution (the
+     suspending thread is always [running], execution being serialised);
+     the two [eff_*] cells carry the effect payload into the preallocated
+     handler closures so that suspending allocates no closure. *)
+  mutable handler : (unit, unit) Effect.Deep.handler option;
+  mutable eff_op : Op.t;
+  mutable eff_spawn : unit -> unit;
 }
 
 type ctx = {
-  c_step : int;
-  c_last : Tid.t option;
-  c_enabled : Tid.t list;
-  c_n_threads : int;
+  mutable c_step : int;
+  mutable c_last : Tid.t option;
+  mutable c_enabled : Tid.t list;
+  mutable c_enabled_fp : int;
+  mutable c_n_threads : int;
   c_rt : t;
 }
 
@@ -110,16 +142,28 @@ let thread rt tid =
 let thread_finished rt tid =
   match (thread rt tid).status with Finished -> true | _ -> false
 
+let dummy_obj = O_location { name = "" }
+
 let new_object rt obj =
-  let id = rt.next_obj in
-  rt.next_obj <- id + 1;
-  Hashtbl.replace rt.objects id obj;
+  let id = rt.n_objects in
+  let cap = Array.length rt.objects in
+  if id = cap then begin
+    let objects = Array.make (2 * cap) dummy_obj in
+    Array.blit rt.objects 0 objects 0 cap;
+    rt.objects <- objects;
+    let deps = Array.make (2 * cap) [] in
+    Array.blit rt.obj_deps 0 deps 0 cap;
+    rt.obj_deps <- deps
+  end;
+  rt.objects.(id) <- obj;
+  rt.obj_deps.(id) <- [];
+  rt.n_objects <- id + 1;
   id
 
 let find_object rt id =
-  match Hashtbl.find_opt rt.objects id with
-  | Some o -> o
-  | None -> invalid_arg "Sct_core.Runtime: unknown object"
+  if id < 0 || id >= rt.n_objects then
+    invalid_arg "Sct_core.Runtime: unknown object"
+  else rt.objects.(id)
 
 let promoted rt name = rt.promote name
 let try_lock_result rt = rt.try_lock_result
@@ -127,19 +171,25 @@ let try_lock_result rt = rt.try_lock_result
 let emit rt ev =
   match rt.listener with None -> () | Some f -> f ev
 
-let bug rt b =
-  ignore rt;
-  raise (Outcome.Bug_exn b)
+let listening rt = rt.listener <> None
 
 let set_bug rt ~by b =
   if (not rt.teardown) && rt.outcome = None then
     rt.outcome <- Some (Outcome.Bug { bug = b; by })
 
-let pending_of = function P_op (op, _) -> op | P_spawn _ -> Op.Spawn
+let bug rt b =
+  set_bug rt ~by:rt.running b;
+  raise (Outcome.Bug_exn b)
+
+let op_of_status = function
+  | Run_op (op, _) -> op
+  | Run_spawn _ -> Op.Spawn
+  | Blocked_cond _ | Blocked_barrier _ | Finished ->
+      invalid_arg "Sct_core.Runtime: thread has no pending operation"
 
 let pending_op rt tid =
   match (thread rt tid).status with
-  | Runnable p -> Some (pending_of p)
+  | (Run_op _ | Run_spawn _) as st -> Some (op_of_status st)
   | Blocked_cond _ | Blocked_barrier _ | Finished -> None
 
 let mutex_st rt id ~ctx =
@@ -190,26 +240,188 @@ let op_enabled rt op =
 
 let thread_enabled rt th =
   match th.status with
-  | Runnable p -> op_enabled rt (pending_of p)
+  | Run_op (op, _) -> op_enabled rt op
+  | Run_spawn _ -> true
   | Blocked_cond _ | Blocked_barrier _ | Finished -> false
 
 let is_finished th = match th.status with Finished -> true | _ -> false
 
-let unfinished rt =
+(* Testing hook: the enabled set recomputed from scratch, bypassing the
+   incremental caches. The scheduling loop must always agree with this. *)
+let recomputed_enabled rt =
   let acc = ref [] in
   for i = rt.count - 1 downto 0 do
     match rt.threads.(i) with
-    | Some th when not (is_finished th) -> acc := th :: !acc
+    | Some th when thread_enabled rt th -> acc := th.tid :: !acc
     | _ -> ()
   done;
   !acc
 
-let handler rt tid : (unit, unit) Effect.Deep.handler =
+(* Order-independent fingerprint of an enabled set: xor of mixed per-tid
+   hashes, maintained incrementally as threads flip enabledness. Explorers
+   compare it against recorded values instead of re-walking the lists. *)
+let fp_tid (t : Tid.t) =
+  let h = (t + 1) * 0x9E3779B1 in
+  h lxor (h lsr 16)
+
+let fingerprint tids = List.fold_left (fun acc t -> acc lxor fp_tid t) 0 tids
+
+(* --- dirty tracking ----------------------------------------------------
+   A thread's cached enabledness is refreshed only when something that can
+   affect it happened: it executed (new pending op), it was woken, an object
+   its op blocks on changed state, or its join target finished. *)
+
+let mark_dirty rt tid =
+  let th = thread rt tid in
+  if not th.t_dirty then begin
+    th.t_dirty <- true;
+    if rt.n_dirty = Array.length rt.dirty then begin
+      let bigger = Array.make (2 * rt.n_dirty) 0 in
+      Array.blit rt.dirty 0 bigger 0 rt.n_dirty;
+      rt.dirty <- bigger
+    end;
+    rt.dirty.(rt.n_dirty) <- tid;
+    rt.n_dirty <- rt.n_dirty + 1
+  end
+
+(* The object changed state: every thread whose pending op was evaluated
+   against its old state must be re-evaluated. *)
+let touch_obj rt id =
+  match rt.obj_deps.(id) with
+  | [] -> ()
+  | deps ->
+      rt.obj_deps.(id) <- [];
+      List.iter (mark_dirty rt) deps
+
+let touch_joiners rt th =
+  match th.t_joiners with
+  | [] -> ()
+  | joiners ->
+      th.t_joiners <- [];
+      List.iter (mark_dirty rt) joiners
+
+(* Evaluate [th]'s enabledness and register it as a dependent of whatever
+   its pending op blocks on, so the next relevant state change re-evaluates
+   it. Registration is cleared exactly when the object is touched, so a
+   thread is registered at most once per object. *)
+let eval_enabled rt th =
+  match th.status with
+  | Finished | Blocked_cond _ | Blocked_barrier _ -> false
+  | Run_spawn _ -> true
+  | Run_op (op, _) -> (
+      match op with
+      | Op.Lock id | Op.Reacquire id ->
+          rt.obj_deps.(id) <- th.tid :: rt.obj_deps.(id);
+          let m = mutex_st rt id ~ctx:"lock" in
+          m.destroyed || m.holder = None
+      | Op.Join target ->
+          let tth = thread rt target in
+          if is_finished tth then true
+          else begin
+            tth.t_joiners <- th.tid :: tth.t_joiners;
+            false
+          end
+      | Op.Sem_wait id ->
+          rt.obj_deps.(id) <- th.tid :: rt.obj_deps.(id);
+          (sem_st rt id).count > 0
+      | Op.Rd_lock id ->
+          rt.obj_deps.(id) <- th.tid :: rt.obj_deps.(id);
+          (rw_st rt id).writer = None
+      | Op.Wr_lock id ->
+          rt.obj_deps.(id) <- th.tid :: rt.obj_deps.(id);
+          let r = rw_st rt id in
+          r.writer = None && r.readers = []
+      | Op.Spawn | Op.Try_lock _ | Op.Unlock _ | Op.Mutex_destroy _
+      | Op.Cond_wait _ | Op.Signal _ | Op.Broadcast _ | Op.Sem_post _
+      | Op.Barrier_wait _ | Op.Barrier_resume _ | Op.Rw_unlock _
+      | Op.Access _ | Op.Yield ->
+          true)
+
+(* Drain the dirty stack, updating the cached liveness/enabledness counters
+   and the enabled-set fingerprint. Finishing threads wake their joiners,
+   which may push further work — the loop runs until the stack is empty. *)
+let flush_dirty rt =
+  while rt.n_dirty > 0 do
+    rt.n_dirty <- rt.n_dirty - 1;
+    let tid = rt.dirty.(rt.n_dirty) in
+    let th = thread rt tid in
+    th.t_dirty <- false;
+    if th.t_live && is_finished th then begin
+      th.t_live <- false;
+      rt.n_live <- rt.n_live - 1;
+      touch_joiners rt th
+    end;
+    let now = eval_enabled rt th in
+    if now <> th.t_enabled then begin
+      th.t_enabled <- now;
+      rt.n_enabled <- rt.n_enabled + (if now then 1 else -1);
+      rt.enabled_fp <- rt.enabled_fp lxor fp_tid tid
+    end
+  done
+
+let live_tids rt =
+  let acc = ref [] in
+  for i = rt.count - 1 downto 0 do
+    match rt.threads.(i) with
+    | Some th when not (is_finished th) -> acc := th.tid :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* Collect the enabled set, in ascending tid order, from the cached bits. *)
+let enabled_list rt =
+  let acc = ref [] in
+  for i = rt.count - 1 downto 0 do
+    match rt.threads.(i) with
+    | Some th when th.t_enabled -> acc := th.tid :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+(* The unique enabled thread when [n_enabled = 1]. Run-to-block stretches
+   keep scheduling the same thread, so check [last] before scanning. *)
+let single_enabled rt =
+  let last_is_it =
+    match rt.last with
+    | Some l -> (
+        match rt.threads.(l) with Some th -> th.t_enabled | None -> false)
+    | None -> false
+  in
+  if last_is_it then thread rt (Option.get rt.last)
+  else begin
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None do
+      (match rt.threads.(!i) with
+      | Some th when th.t_enabled -> found := Some th
+      | _ -> ());
+      incr i
+    done;
+    Option.get !found
+  end
+
+(* The shared effect handler. The fibre that returns, raises or suspends is
+   always the one [execute]/[add_thread] just resumed, i.e. [rt.running] —
+   so one handler serves every fibre, and its closures (plus the two
+   [Some _] cells below) are allocated once per execution rather than once
+   per scheduling step. *)
+let make_handler rt : (unit, unit) Effect.Deep.handler =
   let open Effect.Deep in
+  let on_visible (k : (unit, unit) continuation) =
+    if rt.teardown then discontinue k Aborted
+    else (thread rt rt.running).status <- Run_op (rt.eff_op, k)
+  in
+  let some_on_visible = Some on_visible in
+  let on_spawn (k : (Tid.t, unit) continuation) =
+    if rt.teardown then discontinue k Aborted
+    else (thread rt rt.running).status <- Run_spawn (rt.eff_spawn, k)
+  in
+  let some_on_spawn = Some on_spawn in
   {
-    retc = (fun () -> (thread rt tid).status <- Finished);
+    retc = (fun () -> (thread rt rt.running).status <- Finished);
     exnc =
       (fun e ->
+        let tid = rt.running in
         (thread rt tid).status <- Finished;
         match e with
         | Aborted -> ()
@@ -220,23 +432,21 @@ let handler rt tid : (unit, unit) Effect.Deep.handler =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
         | Visible op ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                if rt.teardown then discontinue k Aborted
-                else (thread rt tid).status <- Runnable (P_op (op, k)))
+            rt.eff_op <- op;
+            (some_on_visible
+              : ((a, unit) continuation -> unit) option)
         | Spawn_eff f ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                if rt.teardown then discontinue k Aborted
-                else (thread rt tid).status <- Runnable (P_spawn (f, k)))
+            rt.eff_spawn <- f;
+            (some_on_spawn
+              : ((a, unit) continuation -> unit) option)
         | _ -> None);
   }
 
 (* Run or resume a fibre. Control returns here when the fibre suspends at
    its next visible operation, finishes, or raises. *)
-let start_fibre rt tid f = Effect.Deep.match_with f () (handler rt tid)
-let continue_unit _rt _tid k = Effect.Deep.continue k ()
-let continue_tid _rt _tid k v = Effect.Deep.continue k v
+let start_fibre rt f =
+  Effect.Deep.match_with f ()
+    (match rt.handler with Some h -> h | None -> assert false)
 
 (* Create a thread and eagerly run its invisible prefix: a step is "a
    visible operation followed by invisible operations" (paper §2), so a
@@ -249,12 +459,34 @@ let add_thread rt f =
     Array.blit rt.threads 0 bigger 0 (Array.length rt.threads);
     rt.threads <- bigger
   end;
-  rt.threads.(tid) <- Some { tid; status = Finished };
+  let th =
+    {
+      tid;
+      status = Finished;
+      t_singleton = [ tid ];
+      t_enabled = false;
+      t_dirty = false;
+      t_live = false;
+      t_joiners = [];
+    }
+  in
+  rt.threads.(tid) <- Some th;
   rt.count <- tid + 1;
   let caller = rt.running in
   rt.running <- tid;
-  start_fibre rt tid f;
+  start_fibre rt f;
   rt.running <- caller;
+  (* initial accounting: no thread can depend on [tid] yet *)
+  if not (is_finished th) then begin
+    th.t_live <- true;
+    rt.n_live <- rt.n_live + 1
+  end;
+  let en = eval_enabled rt th in
+  if en then begin
+    th.t_enabled <- true;
+    rt.n_enabled <- rt.n_enabled + 1;
+    rt.enabled_fp <- rt.enabled_fp lxor fp_tid tid
+  end;
   tid
 
 let wake_cond_waiter rt cid w mid =
@@ -262,195 +494,226 @@ let wake_cond_waiter rt cid w mid =
   match wth.status with
   | Blocked_cond { k; mutex } ->
       assert (mutex = mid);
-      emit rt (Event.Acquire { tid = w; obj = cid });
-      wth.status <- Runnable (P_op (Op.Reacquire mid, k))
+      if rt.listener <> None then emit rt (Event.Acquire { tid = w; obj = cid });
+      wth.status <- Run_op (Op.Reacquire mid, k);
+      mark_dirty rt w
   | _ -> invalid_arg "Sct_core.Runtime: condition waiter in wrong state"
 
+let continue_unit k = Effect.Deep.continue k ()
+
 (* Execute the pending visible operation of thread [tid]; the caller
-   guarantees the operation is enabled. *)
+   guarantees the operation is enabled. Every mutation of object state that
+   can flip another thread's enabledness is followed by a [touch]; the
+   executed thread itself is marked dirty by the scheduling loop. *)
 let execute rt th =
   let tid = th.tid in
   rt.running <- tid;
   match th.status with
   | Finished | Blocked_cond _ | Blocked_barrier _ ->
       invalid_arg "Sct_core.Runtime: scheduled a non-runnable thread"
-  | Runnable pending -> (
+  | Run_spawn (f, k) ->
       (* The handler (or retc/exnc) will overwrite the status as soon as the
          fibre suspends or terminates. *)
       th.status <- Finished;
-      match pending with
-      | P_spawn (f, k) ->
-          let child = rt.count in
-          emit rt (Event.Fork { parent = tid; child });
-          let child' = add_thread rt f in
-          assert (child = child');
-          continue_tid rt tid k child
-      | P_op (op, k) -> (
-          match op with
-          | Op.Spawn -> invalid_arg "Sct_core.Runtime: impossible pending op"
-          | Op.Yield | Op.Access _ ->
-              (* Access semantics (the load/store itself and its race event)
-                 run in the fibre, immediately after resumption. *)
-              continue_unit rt tid k
-          | Op.Lock id ->
-              let m = mutex_st rt id ~ctx:"lock" in
-              if m.destroyed then (
-                set_bug rt ~by:tid (Outcome.Lock_error "lock of destroyed mutex");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                m.holder <- Some tid;
-                emit rt (Event.Acquire { tid; obj = id });
-                continue_unit rt tid k
-              end
-          | Op.Try_lock id ->
-              let m = mutex_st rt id ~ctx:"try_lock" in
-              if m.destroyed then (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "try_lock of destroyed mutex");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                if m.holder = None then begin
-                  m.holder <- Some tid;
-                  emit rt (Event.Acquire { tid; obj = id });
-                  rt.try_lock_result <- true
-                end
-                else rt.try_lock_result <- false;
-                continue_unit rt tid k
-              end
-          | Op.Unlock id ->
-              let m = mutex_st rt id ~ctx:"unlock" in
-              if m.destroyed then (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "unlock of destroyed mutex");
-                Effect.Deep.discontinue k Aborted)
-              else if m.holder <> Some tid then (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "unlock of mutex not held by the thread");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                m.holder <- None;
-                emit rt (Event.Release { tid; obj = id });
-                continue_unit rt tid k
-              end
-          | Op.Mutex_destroy id ->
-              let m = mutex_st rt id ~ctx:"destroy" in
-              if m.destroyed then (
-                set_bug rt ~by:tid (Outcome.Lock_error "double mutex destroy");
-                Effect.Deep.discontinue k Aborted)
-              else if m.holder <> None then (
-                set_bug rt ~by:tid (Outcome.Lock_error "destroy of locked mutex");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                m.destroyed <- true;
-                continue_unit rt tid k
-              end
-          | Op.Cond_wait (cid, mid) ->
-              let m = mutex_st rt mid ~ctx:"cond_wait" in
-              if m.holder <> Some tid then (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "cond_wait without holding the mutex");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                let c = cond_st rt cid in
-                m.holder <- None;
-                emit rt (Event.Release { tid; obj = mid });
-                c.waiters <- c.waiters @ [ (tid, mid) ];
-                th.status <- Blocked_cond { k; mutex = mid }
-              end
-          | Op.Reacquire id ->
-              let m = mutex_st rt id ~ctx:"reacquire" in
-              if m.destroyed then (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "wait wake-up on destroyed mutex");
-                Effect.Deep.discontinue k Aborted)
-              else begin
-                m.holder <- Some tid;
-                emit rt (Event.Acquire { tid; obj = id });
-                continue_unit rt tid k
-              end
-          | Op.Signal cid ->
-              let c = cond_st rt cid in
-              emit rt (Event.Release { tid; obj = cid });
-              (match c.waiters with
-              | [] -> ()
-              | (w, mid) :: rest ->
-                  c.waiters <- rest;
-                  wake_cond_waiter rt cid w mid);
-              continue_unit rt tid k
-          | Op.Broadcast cid ->
-              let c = cond_st rt cid in
-              emit rt (Event.Release { tid; obj = cid });
-              let ws = c.waiters in
-              c.waiters <- [];
-              List.iter (fun (w, mid) -> wake_cond_waiter rt cid w mid) ws;
-              continue_unit rt tid k
-          | Op.Sem_wait id ->
-              let s = sem_st rt id in
-              assert (s.count > 0);
-              s.count <- s.count - 1;
+      let child = rt.count in
+      if rt.listener <> None then emit rt (Event.Fork { parent = tid; child });
+      let child' = add_thread rt f in
+      assert (child = child');
+      Effect.Deep.continue k child
+  | Run_op (op, k) -> (
+      th.status <- Finished;
+      match op with
+      | Op.Spawn -> invalid_arg "Sct_core.Runtime: impossible pending op"
+      | Op.Yield | Op.Access _ ->
+          (* Access semantics (the load/store itself and its race event)
+             run in the fibre, immediately after resumption. *)
+          continue_unit k
+      | Op.Lock id ->
+          let m = mutex_st rt id ~ctx:"lock" in
+          if m.destroyed then (
+            set_bug rt ~by:tid (Outcome.Lock_error "lock of destroyed mutex");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            m.holder <- Some tid;
+            touch_obj rt id;
+            if rt.listener <> None then
               emit rt (Event.Acquire { tid; obj = id });
-              continue_unit rt tid k
-          | Op.Sem_post id ->
-              let s = sem_st rt id in
-              s.count <- s.count + 1;
+            continue_unit k
+          end
+      | Op.Try_lock id ->
+          let m = mutex_st rt id ~ctx:"try_lock" in
+          if m.destroyed then (
+            set_bug rt ~by:tid
+              (Outcome.Lock_error "try_lock of destroyed mutex");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            if m.holder = None then begin
+              m.holder <- Some tid;
+              touch_obj rt id;
+              if rt.listener <> None then
+                emit rt (Event.Acquire { tid; obj = id });
+              rt.try_lock_result <- true
+            end
+            else rt.try_lock_result <- false;
+            continue_unit k
+          end
+      | Op.Unlock id ->
+          let m = mutex_st rt id ~ctx:"unlock" in
+          if m.destroyed then (
+            set_bug rt ~by:tid (Outcome.Lock_error "unlock of destroyed mutex");
+            Effect.Deep.discontinue k Aborted)
+          else if m.holder <> Some tid then (
+            set_bug rt ~by:tid
+              (Outcome.Lock_error "unlock of mutex not held by the thread");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            m.holder <- None;
+            touch_obj rt id;
+            if rt.listener <> None then
               emit rt (Event.Release { tid; obj = id });
-              continue_unit rt tid k
-          | Op.Barrier_wait id ->
-              let b = barrier_st rt id in
+            continue_unit k
+          end
+      | Op.Mutex_destroy id ->
+          let m = mutex_st rt id ~ctx:"destroy" in
+          if m.destroyed then (
+            set_bug rt ~by:tid (Outcome.Lock_error "double mutex destroy");
+            Effect.Deep.discontinue k Aborted)
+          else if m.holder <> None then (
+            set_bug rt ~by:tid (Outcome.Lock_error "destroy of locked mutex");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            m.destroyed <- true;
+            touch_obj rt id;
+            continue_unit k
+          end
+      | Op.Cond_wait (cid, mid) ->
+          let m = mutex_st rt mid ~ctx:"cond_wait" in
+          if m.holder <> Some tid then (
+            set_bug rt ~by:tid
+              (Outcome.Lock_error "cond_wait without holding the mutex");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            let c = cond_st rt cid in
+            m.holder <- None;
+            touch_obj rt mid;
+            if rt.listener <> None then
+              emit rt (Event.Release { tid; obj = mid });
+            Queue.add (tid, mid) c.waiters;
+            th.status <- Blocked_cond { k; mutex = mid }
+          end
+      | Op.Reacquire id ->
+          let m = mutex_st rt id ~ctx:"reacquire" in
+          if m.destroyed then (
+            set_bug rt ~by:tid
+              (Outcome.Lock_error "wait wake-up on destroyed mutex");
+            Effect.Deep.discontinue k Aborted)
+          else begin
+            m.holder <- Some tid;
+            touch_obj rt id;
+            if rt.listener <> None then
+              emit rt (Event.Acquire { tid; obj = id });
+            continue_unit k
+          end
+      | Op.Signal cid ->
+          let c = cond_st rt cid in
+          if rt.listener <> None then
+            emit rt (Event.Release { tid; obj = cid });
+          (match Queue.take_opt c.waiters with
+          | None -> ()
+          | Some (w, mid) -> wake_cond_waiter rt cid w mid);
+          continue_unit k
+      | Op.Broadcast cid ->
+          let c = cond_st rt cid in
+          if rt.listener <> None then
+            emit rt (Event.Release { tid; obj = cid });
+          while not (Queue.is_empty c.waiters) do
+            let w, mid = Queue.take c.waiters in
+            wake_cond_waiter rt cid w mid
+          done;
+          continue_unit k
+      | Op.Sem_wait id ->
+          let s = sem_st rt id in
+          assert (s.count > 0);
+          s.count <- s.count - 1;
+          touch_obj rt id;
+          if rt.listener <> None then emit rt (Event.Acquire { tid; obj = id });
+          continue_unit k
+      | Op.Sem_post id ->
+          let s = sem_st rt id in
+          s.count <- s.count + 1;
+          touch_obj rt id;
+          if rt.listener <> None then emit rt (Event.Release { tid; obj = id });
+          continue_unit k
+      | Op.Barrier_wait id ->
+          let b = barrier_st rt id in
+          if rt.listener <> None then emit rt (Event.Release { tid; obj = id });
+          if b.n_waiting + 1 < b.size then begin
+            b.waiting <- tid :: b.waiting;
+            b.n_waiting <- b.n_waiting + 1;
+            th.status <- Blocked_barrier k
+          end
+          else begin
+            let woken = b.waiting in
+            b.waiting <- [];
+            b.n_waiting <- 0;
+            List.iter
+              (fun w ->
+                let wth = thread rt w in
+                match wth.status with
+                | Blocked_barrier wk ->
+                    wth.status <- Run_op (Op.Barrier_resume id, wk);
+                    mark_dirty rt w
+                | _ ->
+                    invalid_arg
+                      "Sct_core.Runtime: barrier waiter in wrong state")
+              woken;
+            if rt.listener <> None then
+              emit rt (Event.Acquire { tid; obj = id });
+            continue_unit k
+          end
+      | Op.Barrier_resume id ->
+          if rt.listener <> None then emit rt (Event.Acquire { tid; obj = id });
+          continue_unit k
+      | Op.Rd_lock id ->
+          let r = rw_st rt id in
+          r.readers <- tid :: r.readers;
+          touch_obj rt id;
+          if rt.listener <> None then emit rt (Event.Acquire { tid; obj = id });
+          continue_unit k
+      | Op.Wr_lock id ->
+          let r = rw_st rt id in
+          r.writer <- Some tid;
+          touch_obj rt id;
+          if rt.listener <> None then emit rt (Event.Acquire { tid; obj = id });
+          continue_unit k
+      | Op.Rw_unlock id ->
+          let r = rw_st rt id in
+          if r.writer = Some tid then begin
+            r.writer <- None;
+            touch_obj rt id;
+            if rt.listener <> None then
               emit rt (Event.Release { tid; obj = id });
-              if List.length b.waiting + 1 < b.size then begin
-                b.waiting <- tid :: b.waiting;
-                th.status <- Blocked_barrier k
-              end
-              else begin
-                let woken = b.waiting in
-                b.waiting <- [];
-                List.iter
-                  (fun w ->
-                    let wth = thread rt w in
-                    match wth.status with
-                    | Blocked_barrier wk ->
-                        wth.status <- Runnable (P_op (Op.Barrier_resume id, wk))
-                    | _ ->
-                        invalid_arg
-                          "Sct_core.Runtime: barrier waiter in wrong state")
-                  woken;
-                emit rt (Event.Acquire { tid; obj = id });
-                continue_unit rt tid k
-              end
-          | Op.Barrier_resume id ->
-              emit rt (Event.Acquire { tid; obj = id });
-              continue_unit rt tid k
-          | Op.Rd_lock id ->
-              let r = rw_st rt id in
-              r.readers <- tid :: r.readers;
-              emit rt (Event.Acquire { tid; obj = id });
-              continue_unit rt tid k
-          | Op.Wr_lock id ->
-              let r = rw_st rt id in
-              r.writer <- Some tid;
-              emit rt (Event.Acquire { tid; obj = id });
-              continue_unit rt tid k
-          | Op.Rw_unlock id ->
-              let r = rw_st rt id in
-              if r.writer = Some tid then begin
-                r.writer <- None;
-                emit rt (Event.Release { tid; obj = id });
-                continue_unit rt tid k
-              end
-              else if List.exists (Tid.equal tid) r.readers then begin
-                r.readers <-
-                  List.filter (fun x -> not (Tid.equal tid x)) r.readers;
-                emit rt (Event.Release { tid; obj = id });
-                continue_unit rt tid k
-              end
-              else (
-                set_bug rt ~by:tid
-                  (Outcome.Lock_error "rwlock unlock without holding it");
-                Effect.Deep.discontinue k Aborted)
-          | Op.Join target ->
-              emit rt (Event.Joined { parent = tid; child = target });
-              continue_unit rt tid k))
+            continue_unit k
+          end
+          else if List.exists (Tid.equal tid) r.readers then begin
+            r.readers <- List.filter (fun x -> not (Tid.equal tid x)) r.readers;
+            touch_obj rt id;
+            if rt.listener <> None then
+              emit rt (Event.Release { tid; obj = id });
+            continue_unit k
+          end
+          else (
+            set_bug rt ~by:tid
+              (Outcome.Lock_error "rwlock unlock without holding it");
+            Effect.Deep.discontinue k Aborted)
+      | Op.Join target ->
+          if rt.listener <> None then
+            emit rt (Event.Joined { parent = tid; child = target });
+          continue_unit k)
+
+let discontinue_aborted (type a) (k : (a, unit) Effect.Deep.continuation) =
+  try Effect.Deep.discontinue k Aborted
+  with Aborted | Outcome.Bug_exn _ -> ()
 
 let teardown rt =
   rt.teardown <- true;
@@ -458,26 +721,31 @@ let teardown rt =
     match rt.threads.(i) with
     | None -> ()
     | Some th -> (
-        let disc k =
-          try Effect.Deep.discontinue k Aborted
-          with Aborted | Outcome.Bug_exn _ -> ()
+        let fin (type a) (k : (a, unit) Effect.Deep.continuation) =
+          th.status <- Finished;
+          discontinue_aborted k
         in
         match th.status with
         | Finished -> ()
-        | Runnable (P_op (_, k)) ->
-            th.status <- Finished;
-            disc k
-        | Runnable (P_spawn (_, k)) ->
-            th.status <- Finished;
-            (try Effect.Deep.discontinue k Aborted
-             with Aborted | Outcome.Bug_exn _ -> ())
-        | Blocked_cond { k; _ } ->
-            th.status <- Finished;
-            disc k
-        | Blocked_barrier k ->
-            th.status <- Finished;
-            disc k)
+        | Run_op (_, k) -> fin k
+        | Run_spawn (_, k) -> fin k
+        | Blocked_cond { k; _ } -> fin k
+        | Blocked_barrier k -> fin k)
   done
+
+let push_sched rt tid =
+  if rt.steps = Array.length rt.sched_buf then begin
+    let bigger = Array.make (2 * rt.steps) 0 in
+    Array.blit rt.sched_buf 0 bigger 0 rt.steps;
+    rt.sched_buf <- bigger
+  end;
+  rt.sched_buf.(rt.steps) <- tid
+
+let schedule_of rt =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (rt.sched_buf.(i) :: acc)
+  in
+  build (rt.steps - 1) []
 
 let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
     ?(record_decisions = true) ~scheduler program =
@@ -485,13 +753,14 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
     {
       threads = Array.make 8 None;
       count = 0;
-      objects = Hashtbl.create 64;
-      next_obj = 0;
+      objects = Array.make 16 dummy_obj;
+      obj_deps = Array.make 16 [];
+      n_objects = 0;
       promote;
       listener;
       max_steps;
       record_decisions;
-      schedule_rev = [];
+      sched_buf = Array.make 64 0;
       decisions_rev = [];
       steps = 0;
       outcome = None;
@@ -503,8 +772,17 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
       running = Tid.main;
       teardown = false;
       try_lock_result = false;
+      n_live = 0;
+      n_enabled = 0;
+      enabled_fp = 0;
+      dirty = Array.make 8 0;
+      n_dirty = 0;
+      handler = None;
+      eff_op = Op.Yield;
+      eff_spawn = ignore;
     }
   in
+  rt.handler <- Some (make_handler rt);
   let saved = Domain.DLS.get ambient_rt in
   Domain.DLS.set ambient_rt (Some rt);
   let restore () = Domain.DLS.set ambient_rt saved in
@@ -513,7 +791,7 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
     restore ();
     {
       r_outcome = outcome;
-      r_schedule = List.rev rt.schedule_rev;
+      r_schedule = schedule_of rt;
       r_decisions = List.rev rt.decisions_rev;
       r_pc = rt.pc;
       r_dc = rt.dc;
@@ -525,73 +803,79 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
   in
   try
     ignore (add_thread rt program);
+    let ctx =
+      {
+        c_step = 0;
+        c_last = None;
+        c_enabled = [];
+        c_enabled_fp = 0;
+        c_n_threads = 0;
+        c_rt = rt;
+      }
+    in
     let rec loop () =
       match rt.outcome with
       | Some o -> o
-      | None -> (
-          match unfinished rt with
-          | [] -> Outcome.Ok
-          | stuck -> (
-              let enabled =
-                List.filter_map
-                  (fun th ->
-                    if thread_enabled rt th then Some th.tid else None)
-                  stuck
-              in
-              match enabled with
-              | [] ->
-                  Outcome.Bug
-                    {
-                      bug = Outcome.Deadlock (List.map (fun th -> th.tid) stuck);
-                      by = Tid.main;
-                    }
-              | enabled ->
-                  if rt.steps >= rt.max_steps then Outcome.Step_limit
-                  else begin
-                    let n_enabled = List.length enabled in
-                    if n_enabled > rt.max_enabled then
-                      rt.max_enabled <- n_enabled;
-                    if n_enabled > 1 then
-                      rt.multi_points <- rt.multi_points + 1;
-                    let ctx =
-                      {
-                        c_step = rt.steps;
-                        c_last = rt.last;
-                        c_enabled = enabled;
-                        c_n_threads = rt.count;
-                        c_rt = rt;
-                      }
-                    in
-                    let chosen = scheduler ctx in
-                    if not (List.exists (Tid.equal chosen) enabled) then
-                      invalid_arg
-                        "Sct_core.Runtime: scheduler chose a disabled thread";
-                    let th = thread rt chosen in
-                    let op =
-                      match th.status with
-                      | Runnable p -> pending_of p
-                      | _ -> assert false
-                    in
-                    if record_decisions then
-                      rt.decisions_rev <-
-                        {
-                          d_enabled = enabled;
-                          d_chosen = chosen;
-                          d_op = op;
-                          d_n_threads = rt.count;
-                        }
-                        :: rt.decisions_rev;
-                    rt.schedule_rev <- chosen :: rt.schedule_rev;
-                    rt.pc <-
-                      rt.pc + Preemption.delta ~last:rt.last ~enabled chosen;
-                    rt.dc <-
-                      rt.dc
-                      + Delay.delays ~n:rt.count ~last:rt.last ~enabled chosen;
-                    rt.last <- Some chosen;
-                    rt.steps <- rt.steps + 1;
-                    execute rt th;
-                    loop ()
-                  end))
+      | None ->
+          if rt.n_live = 0 then Outcome.Ok
+          else if rt.n_enabled = 0 then
+            Outcome.Bug { bug = Outcome.Deadlock (live_tids rt); by = Tid.main }
+          else if rt.steps >= rt.max_steps then Outcome.Step_limit
+          else begin
+            let n_enabled = rt.n_enabled in
+            if n_enabled > rt.max_enabled then rt.max_enabled <- n_enabled;
+            if n_enabled > 1 then rt.multi_points <- rt.multi_points + 1;
+            let th, enabled =
+              if n_enabled = 1 then
+                let th = single_enabled rt in
+                (th, th.t_singleton)
+              else (thread rt 0, enabled_list rt)
+            in
+            ctx.c_step <- rt.steps;
+            ctx.c_last <- rt.last;
+            ctx.c_enabled <- enabled;
+            ctx.c_enabled_fp <- rt.enabled_fp;
+            ctx.c_n_threads <- rt.count;
+            let chosen = scheduler ctx in
+            let th =
+              if n_enabled = 1 then begin
+                if not (Tid.equal chosen th.tid) then
+                  invalid_arg
+                    "Sct_core.Runtime: scheduler chose a disabled thread";
+                th
+              end
+              else begin
+                if not (List.exists (Tid.equal chosen) enabled) then
+                  invalid_arg
+                    "Sct_core.Runtime: scheduler chose a disabled thread";
+                thread rt chosen
+              end
+            in
+            if record_decisions then
+              rt.decisions_rev <-
+                {
+                  d_enabled = enabled;
+                  d_chosen = chosen;
+                  d_op = op_of_status th.status;
+                  d_n_threads = rt.count;
+                }
+                :: rt.decisions_rev;
+            push_sched rt chosen;
+            if n_enabled > 1 then begin
+              (* with a single enabled thread both deltas are 0 *)
+              rt.pc <- rt.pc + Preemption.delta ~last:rt.last ~enabled chosen;
+              rt.dc <-
+                rt.dc + Delay.delays ~n:rt.count ~last:rt.last ~enabled chosen
+            end;
+            (match rt.last with
+            | Some l when Tid.equal l chosen -> ()
+            | _ -> rt.last <- Some chosen);
+            rt.steps <- rt.steps + 1;
+            execute rt th;
+            mark_dirty rt chosen;
+            flush_dirty rt;
+            loop ()
+          end
     in
     let outcome = loop () in
     finish outcome

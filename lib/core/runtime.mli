@@ -9,7 +9,13 @@
     scheduling (paper §2).
 
     Programs are written against the {!Sct} DSL, which performs the effects
-    declared here; explorers drive {!exec} with different schedulers. *)
+    declared here; explorers drive {!exec} with different schedulers.
+
+    The per-step loop is the hot path of every technique in the study, so it
+    maintains the enabled set incrementally (see DESIGN.md, "hot-path
+    architecture"): only threads whose pending operation could have been
+    affected by the previous step are re-evaluated, and single-enabled-thread
+    stretches schedule without allocating. *)
 
 (** {1 Object state} *)
 
@@ -19,11 +25,16 @@
 
 type mutex_state = { mutable holder : Tid.t option; mutable destroyed : bool }
 
-type cond_state = { mutable waiters : (Tid.t * int) list }
-(** Waiter thread paired with the mutex it must re-acquire. *)
+type cond_state = { waiters : (Tid.t * int) Queue.t }
+(** FIFO of waiter threads paired with the mutex each must re-acquire. *)
 
 type sem_state = { mutable count : int }
-type barrier_state = { size : int; mutable waiting : Tid.t list }
+
+type barrier_state = {
+  size : int;
+  mutable waiting : Tid.t list;
+  mutable n_waiting : int;  (** [List.length waiting], cached *)
+}
 
 type rw_state = {
   mutable readers : Tid.t list;
@@ -63,12 +74,18 @@ type decision = {
 }
 
 type ctx = {
-  c_step : int;  (** 0-based decision index *)
-  c_last : Tid.t option;  (** previously scheduled thread *)
-  c_enabled : Tid.t list;  (** sorted by thread id; never empty *)
-  c_n_threads : int;
+  mutable c_step : int;  (** 0-based decision index *)
+  mutable c_last : Tid.t option;  (** previously scheduled thread *)
+  mutable c_enabled : Tid.t list;  (** sorted by thread id; never empty *)
+  mutable c_enabled_fp : int;
+      (** {!fingerprint} of [c_enabled], maintained incrementally *)
+  mutable c_n_threads : int;
   c_rt : t;
 }
+(** One [ctx] record is reused (mutated in place) across all steps of an
+    execution; schedulers must not retain it beyond the call. Retaining the
+    [c_enabled] list itself is fine — lists are immutable and never patched
+    in place. *)
 
 type scheduler = ctx -> Tid.t
 (** Must return a member of [c_enabled]. *)
@@ -104,6 +121,15 @@ val exec :
     visible or not — and synchronisation events). [record_decisions]
     (default [true]) keeps the per-step decision trace in the result. *)
 
+(** {1 Enabled-set fingerprints} *)
+
+val fingerprint : Tid.t list -> int
+(** Order-independent fingerprint of an enabled set (xor of mixed per-tid
+    hashes). Equal sets always have equal fingerprints; explorers use it to
+    cheaply check that a replayed prefix sees the enabled sets it recorded.
+    The engine maintains the fingerprint of the current enabled set
+    incrementally and exposes it as [ctx.c_enabled_fp]. *)
+
 (** {1 Introspection used by the DSL and by schedulers} *)
 
 val ambient : unit -> t
@@ -116,7 +142,14 @@ val self : t -> Tid.t
 val new_object : t -> obj -> int
 val find_object : t -> int -> obj
 val promoted : t -> string -> bool
+
 val emit : t -> Event.t -> unit
+
+val listening : t -> bool
+(** Whether a listener is attached. Callers on hot paths check this before
+    building an {!Event.t}, so the record is never allocated when nobody is
+    listening. *)
+
 val pending_op : t -> Tid.t -> Op.t option
 (** The visible operation [tid] is suspended before, if it is runnable. *)
 
@@ -129,4 +162,12 @@ val try_lock_result : t -> bool
     cannot be clobbered in between). *)
 
 val bug : t -> Outcome.bug -> 'a
-(** Abort the current execution with a bug attributed to {!self}. Raises. *)
+(** Abort the current execution with a bug attributed to {!self}. Records
+    the bug on [t] (so it is attributed even when raised from a scheduler or
+    listener callback) and raises {!Outcome.Bug_exn}. *)
+
+val recomputed_enabled : t -> Tid.t list
+(** Testing hook: the enabled set recomputed from scratch (sorted by thread
+    id), bypassing the incremental caches. The scheduling loop must agree
+    with this at every decision; the qcheck law in [test_engine_hot]
+    enforces it. *)

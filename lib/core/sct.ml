@@ -31,7 +31,8 @@ end
 module Cond = struct
   type t = { id : int }
 
-  let create () = { id = Runtime.new_object (rt ()) (O_cond { waiters = [] }) }
+  let create () =
+    { id = Runtime.new_object (rt ()) (O_cond { waiters = Queue.create () }) }
   let wait c m = perform_visible (Op.Cond_wait (c.id, Mutex.id m))
   let signal c = perform_visible (Op.Signal c.id)
   let broadcast c = perform_visible (Op.Broadcast c.id)
@@ -55,7 +56,11 @@ module Barrier = struct
 
   let create size =
     if size <= 0 then invalid_arg "Sct.Barrier.create: non-positive size";
-    { id = Runtime.new_object (rt ()) (O_barrier { size; waiting = [] }) }
+    {
+      id =
+        Runtime.new_object (rt ())
+          (O_barrier { size; waiting = []; n_waiting = 0 });
+    }
 
   let wait b = perform_visible (Op.Barrier_wait b.id)
   let id b = b.id
@@ -75,13 +80,22 @@ end
 
 (* Shared locations register an [O_location] with the runtime so they get an
    id in the single object-id namespace; their typed contents stay here.
-   Unnamed locations get a stable creation-order-derived name. *)
+   Unnamed locations get a stable creation-order-derived name.
+
+   The creating runtime is cached in the record: [make] can only run inside
+   {!Runtime.exec} (the ambient lookup raises otherwise), so the cached
+   runtime is always the ambient one and per-access DLS lookups go away. *)
 module Var = struct
   type 'a t = {
     id : int;
     name : string;
     mutable v : 'a;
     promoted : bool;
+    lrt : Runtime.t;
+    (* preallocated visible ops: an access performs one of these two
+       records instead of building a fresh one per read/write *)
+    op_read : Op.t;
+    op_write : Op.t;
   }
 
   let make ?name v =
@@ -91,16 +105,29 @@ module Var = struct
       | Some n -> (Runtime.new_object r (O_location { name = n }), n)
       | None ->
           let id = Runtime.new_object r (O_location { name = "" }) in
-          (id, Printf.sprintf "loc%d" id)
+          (id, "loc" ^ string_of_int id)
     in
-    { id; name; v; promoted = Runtime.promoted r name }
+    {
+      id;
+      name;
+      v;
+      promoted = Runtime.promoted r name;
+      lrt = r;
+      op_read = Op.Access { id; name; kind = Op.Plain_read };
+      op_write = Op.Access { id; name; kind = Op.Plain_write };
+    }
 
   let access x kind =
     if x.promoted then
-      perform_visible (Op.Access { id = x.id; name = x.name; kind });
-    let r = rt () in
-    Runtime.emit r
-      (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
+      perform_visible
+        (match kind with
+        | Op.Plain_read -> x.op_read
+        | Op.Plain_write -> x.op_write
+        | Op.Atomic_op _ -> Op.Access { id = x.id; name = x.name; kind });
+    let r = x.lrt in
+    if Runtime.listening r then
+      Runtime.emit r
+        (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
 
   let read x =
     access x Op.Plain_read;
@@ -115,7 +142,7 @@ module Var = struct
 end
 
 module Atomic = struct
-  type 'a t = { id : int; name : string; mutable v : 'a }
+  type 'a t = { id : int; name : string; mutable v : 'a; lrt : Runtime.t }
 
   let make ?name v =
     let r = rt () in
@@ -124,21 +151,23 @@ module Atomic = struct
       | Some n -> (Runtime.new_object r (O_location { name = n }), n)
       | None ->
           let id = Runtime.new_object r (O_location { name = "" }) in
-          (id, Printf.sprintf "atomic%d" id)
+          (id, "atomic" ^ string_of_int id)
     in
-    { id; name; v }
+    { id; name; v; lrt = r }
 
   (* Every atomic op is a visible operation and a full synchronisation
      (acquire + release) on the location, so the race detector orders all
      atomic accesses to the same location. *)
   let sync x opname =
     perform_visible (Op.Access { id = x.id; name = x.name; kind = Op.Atomic_op opname });
-    let r = rt () in
-    let tid = Runtime.self r in
-    Runtime.emit r
-      (Event.Access { tid; id = x.id; name = x.name; kind = Op.Atomic_op opname });
-    Runtime.emit r (Event.Acquire { tid; obj = x.id });
-    Runtime.emit r (Event.Release { tid; obj = x.id })
+    let r = x.lrt in
+    if Runtime.listening r then begin
+      let tid = Runtime.self r in
+      Runtime.emit r
+        (Event.Access { tid; id = x.id; name = x.name; kind = Op.Atomic_op opname });
+      Runtime.emit r (Event.Acquire { tid; obj = x.id });
+      Runtime.emit r (Event.Release { tid; obj = x.id })
+    end
 
   let load x =
     sync x "load";
@@ -180,6 +209,9 @@ module Arr = struct
     name : string;
     data : 'a array;
     promoted : bool;
+    lrt : Runtime.t;
+    op_read : Op.t;
+    op_write : Op.t;
   }
 
   let make ?name n v =
@@ -189,17 +221,30 @@ module Arr = struct
       | Some nm -> (Runtime.new_object r (O_location { name = nm }), nm)
       | None ->
           let id = Runtime.new_object r (O_location { name = "" }) in
-          (id, Printf.sprintf "arr%d" id)
+          (id, "arr" ^ string_of_int id)
     in
     if n < 0 then memory_error (Printf.sprintf "%s: negative length %d" name n);
-    { id; name; data = Array.make n v; promoted = Runtime.promoted r name }
+    {
+      id;
+      name;
+      data = Array.make n v;
+      promoted = Runtime.promoted r name;
+      lrt = r;
+      op_read = Op.Access { id; name; kind = Op.Plain_read };
+      op_write = Op.Access { id; name; kind = Op.Plain_write };
+    }
 
   let access x kind =
     if x.promoted then
-      perform_visible (Op.Access { id = x.id; name = x.name; kind });
-    let r = rt () in
-    Runtime.emit r
-      (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
+      perform_visible
+        (match kind with
+        | Op.Plain_read -> x.op_read
+        | Op.Plain_write -> x.op_write
+        | Op.Atomic_op _ -> Op.Access { id = x.id; name = x.name; kind });
+    let r = x.lrt in
+    if Runtime.listening r then
+      Runtime.emit r
+        (Event.Access { tid = Runtime.self r; id = x.id; name = x.name; kind })
 
   let bounds_check x i =
     if i < 0 || i >= Array.length x.data then

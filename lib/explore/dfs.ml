@@ -19,21 +19,30 @@ type level_result = {
 type frame = {
   mutable chosen : Tid.t;
   mutable rest : Tid.t list;
-  f_enabled : Tid.t list;
+  mutable f_enabled : Tid.t list;
+  mutable f_fp : int;  (** [Runtime.fingerprint f_enabled] *)
 }
 
-let dummy_frame = { chosen = 0; rest = []; f_enabled = [] }
+let fresh_frame () = { chosen = 0; rest = []; f_enabled = []; f_fp = 0 }
 
-(* Growable stack of decision frames. *)
+(* Growable stack of decision frames. The frame records are preallocated
+   (each slot holds a distinct record) and mutated in place, so pushing a
+   decision during the millions of executions of an exploration does not
+   allocate. *)
 type stack = { mutable frames : frame array; mutable len : int }
 
-let push st fr =
+let push st ~chosen ~rest ~enabled ~fp =
   if st.len = Array.length st.frames then begin
-    let bigger = Array.make (2 * st.len) dummy_frame in
-    Array.blit st.frames 0 bigger 0 st.len;
-    st.frames <- bigger
+    let old = st.frames in
+    let n = Array.length old in
+    st.frames <-
+      Array.init (2 * n) (fun i -> if i < n then old.(i) else fresh_frame ())
   end;
-  st.frames.(st.len) <- fr;
+  let fr = st.frames.(st.len) in
+  fr.chosen <- chosen;
+  fr.rest <- rest;
+  fr.f_enabled <- enabled;
+  fr.f_fp <- fp;
   st.len <- st.len + 1
 
 type frontier_info = {
@@ -54,7 +63,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
     | Delay _ ->
         Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled t
   in
-  let st = { frames = Array.make 1024 dummy_frame; len = 0 } in
+  let st = { frames = Array.init 1024 (fun _ -> fresh_frame ()); len = 0 } in
   let replay_len = ref 0 in
   (* A pinned prefix is seeded as exhausted frames: it is replayed (with the
      enabled-set determinism check and bound accounting) on every execution
@@ -64,7 +73,9 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
   | None -> ()
   | Some p ->
       Array.iter
-        (fun (chosen, f_enabled) -> push st { chosen; rest = []; f_enabled })
+        (fun (chosen, f_enabled) ->
+          push st ~chosen ~rest:[] ~enabled:f_enabled
+            ~fp:(Runtime.fingerprint f_enabled))
         p;
       replay_len := st.len);
   let depth = ref 0 in
@@ -76,7 +87,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
     depth := i + 1;
     if i < !replay_len then begin
       let fr = st.frames.(i) in
-      if not (List.equal Tid.equal fr.f_enabled ctx.c_enabled) then
+      if fr.f_fp <> ctx.c_enabled_fp then
         failwith
           (Printf.sprintf
              "Sct_explore.Dfs: nondeterministic program: enabled set \
@@ -87,28 +98,37 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
       fr.chosen
     end
     else begin
-      let order =
-        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
-          ~enabled:ctx.c_enabled
-      in
-      let allowed =
-        List.filter (fun t -> !cur_count + delta ctx t <= bound_c) order
-      in
-      if List.compare_lengths allowed order < 0 then pruned := true;
-      match allowed with
-      | [] ->
-          (* A zero-cost child always exists within any bound (see DESIGN),
-             so the filtered list cannot be empty. *)
-          assert false
-      | t :: rest ->
-          if i >= max_branch_depth then begin
-            (* frontier-enumeration mode: below the split depth, follow the
-               first in-bound child without recording a backtrack point *)
-            if rest <> [] then branched_below := true
-          end
-          else push st { chosen = t; rest; f_enabled = ctx.c_enabled };
-          cur_count := !cur_count + delta ctx t;
+      match ctx.c_enabled with
+      | [ t ] ->
+          (* the only child; its delta is 0, so it is always in bound *)
+          if i < max_branch_depth then
+            push st ~chosen:t ~rest:[] ~enabled:ctx.c_enabled
+              ~fp:ctx.c_enabled_fp;
           t
+      | enabled -> (
+          let order =
+            Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled
+          in
+          let allowed =
+            List.filter (fun t -> !cur_count + delta ctx t <= bound_c) order
+          in
+          if List.compare_lengths allowed order < 0 then pruned := true;
+          match allowed with
+          | [] ->
+              (* A zero-cost child always exists within any bound (see
+                 DESIGN), so the filtered list cannot be empty. *)
+              assert false
+          | t :: rest ->
+              if i >= max_branch_depth then begin
+                (* frontier-enumeration mode: below the split depth, follow
+                   the first in-bound child without recording a backtrack
+                   point *)
+                if rest <> [] then branched_below := true
+              end
+              else
+                push st ~chosen:t ~rest ~enabled ~fp:ctx.c_enabled_fp;
+              cur_count := !cur_count + delta ctx t;
+              t)
     end
   in
   (* Drop exhausted frames; advance the deepest frame with an untried

@@ -127,8 +127,14 @@ let profile_one ?(promote = fun _ -> false) ?(max_steps = 100_000) ~seed i
   let rng = Random.State.make [| seed; i; 0x3aF |] in
   let scheduler (ctx : Runtime.ctx) =
     if Random.State.int rng 16 = 0 then
-      let enabled = Array.of_list ctx.c_enabled in
-      enabled.(Random.State.int rng (Array.length enabled))
+      match ctx.c_enabled with
+      | [ t ] ->
+          (* still draw, keeping the RNG stream identical *)
+          ignore (Random.State.int rng 1 : int);
+          t
+      | enabled ->
+          let enabled = Array.of_list enabled in
+          enabled.(Random.State.int rng (Array.length enabled))
     else
       match
         Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads

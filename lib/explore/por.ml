@@ -22,11 +22,12 @@ type frame = {
   mutable todo : Tid.t list;  (** children still to explore *)
   mutable done_ : (Tid.t * Op.t) list;  (** explored children, with ops *)
   f_enabled : (Tid.t * Op.t) list;  (** enabled threads at the node *)
+  f_fp : int;  (** [Runtime.fingerprint] of the enabled tids *)
   f_sleep : (Tid.t * Op.t) list;  (** sleep set on entry to the node *)
 }
 
 let dummy_frame =
-  { chosen = 0; todo = []; done_ = []; f_enabled = []; f_sleep = [] }
+  { chosen = 0; todo = []; done_ = []; f_enabled = []; f_fp = 0; f_sleep = [] }
 
 type stack = { mutable frames : frame array; mutable len : int }
 
@@ -159,12 +160,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
     let chosen, fr =
       if i < !replay_len then begin
         let fr = st.frames.(i) in
-        if
-          not
-            (List.equal Tid.equal
-               (List.map fst fr.f_enabled)
-               ctx.c_enabled)
-        then
+        if fr.f_fp <> ctx.c_enabled_fp then
           failwith
             "Sct_explore.Por: nondeterministic program: enabled set mismatch"
         else (fr.chosen, fr)
@@ -190,6 +186,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
                 todo;
                 done_ = [];
                 f_enabled = enabled;
+                f_fp = ctx.c_enabled_fp;
                 f_sleep = !cur_sleep;
               }
             in

@@ -6,10 +6,16 @@ open Sct_core
 let run_one ~promote ~max_steps ~seed i program =
   let rng = Random.State.make [| seed; i |] in
   let scheduler (ctx : Runtime.ctx) =
-    (* one O(n) conversion, then O(1) indexing — [List.nth] here cost a
-       second traversal of the enabled list at every decision *)
-    let enabled = Array.of_list ctx.c_enabled in
-    enabled.(Random.State.int rng (Array.length enabled))
+    match ctx.c_enabled with
+    | [ t ] ->
+        (* still draw, so the RNG stream matches the general case exactly *)
+        ignore (Random.State.int rng 1 : int);
+        t
+    | enabled ->
+        (* one O(n) conversion, then O(1) indexing — [List.nth] here cost a
+           second traversal of the enabled list at every decision *)
+        let enabled = Array.of_list enabled in
+        enabled.(Random.State.int rng (Array.length enabled))
   in
   Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler program
 

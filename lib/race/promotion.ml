@@ -8,9 +8,16 @@ let detect_batch ~runs ~seed ~max_steps ~promote d program =
     Detector.reset_execution d;
     let rng = Random.State.make [| seed; i |] in
     let scheduler (ctx : Runtime.ctx) =
-      (* one O(n) conversion, then O(1) indexing (same RNG draw sequence) *)
-      let enabled = Array.of_list ctx.c_enabled in
-      enabled.(Random.State.int rng (Array.length enabled))
+      match ctx.c_enabled with
+      | [ t ] ->
+          (* still draw, keeping the RNG stream identical *)
+          ignore (Random.State.int rng 1 : int);
+          t
+      | enabled ->
+          (* one O(n) conversion, then O(1) indexing (same RNG draw
+             sequence) *)
+          let enabled = Array.of_list enabled in
+          enabled.(Random.State.int rng (Array.length enabled))
     in
     let result =
       Runtime.exec ~promote ~listener:(Detector.listener d) ~max_steps

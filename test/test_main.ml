@@ -9,6 +9,7 @@ let () =
          Test_race.suites;
          Test_explore.suites;
          Test_programs_qcheck.suites;
+         Test_engine_hot.suites;
          Test_por.suites;
          Test_tools.suites;
          Test_hb.suites;
