@@ -10,8 +10,8 @@
      dune exec bench/main.exe -- perf --out BENCH_engine.json
                                                    (machine-readable timings)
      dune exec bench/main.exe -- perf --out BENCH_engine.json \
-       --baseline bench/BASELINE_engine.json
-                             (also fail on a >2x rr-execution regression)
+       --baseline bench/BASELINE_engine.json [--baseline-factor 2.0]
+                             (also fail on a regression beyond the factor)
 
    Sections: table1 table2 table3 fig2 fig3 fig4 por pct jobs perf
    (default: all). [--out]/[--baseline] imply the perf section; see
@@ -20,13 +20,14 @@
 open Bechamel
 open Toolkit
 
-let sections, limit, seed, jobs, out_file, baseline_file =
+let sections, limit, seed, jobs, out_file, baseline_file, baseline_factor =
   let sections = ref [] in
   let limit = ref 10_000 in
   let seed = ref 0 in
   let jobs = ref 0 in
   let out_file = ref None in
   let baseline_file = ref None in
+  let baseline_factor = ref 2.0 in
   let rec parse = function
     | [] -> ()
     | "--limit" :: v :: rest ->
@@ -43,6 +44,9 @@ let sections, limit, seed, jobs, out_file, baseline_file =
         parse rest
     | "--baseline" :: v :: rest ->
         baseline_file := Some v;
+        parse rest
+    | "--baseline-factor" :: v :: rest ->
+        baseline_factor := float_of_string v;
         parse rest
     | s :: rest ->
         sections := s :: !sections;
@@ -66,7 +70,7 @@ let sections, limit, seed, jobs, out_file, baseline_file =
     else sections
   in
   let jobs = if !jobs <= 0 then Sct_parallel.Pool.default_jobs () else !jobs in
-  (sections, !limit, !seed, jobs, !out_file, !baseline_file)
+  (sections, !limit, !seed, jobs, !out_file, !baseline_file, !baseline_factor)
 
 let wants s = List.mem s sections
 
@@ -499,8 +503,9 @@ let write_out path json =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
-(* Fail (exit 1) if any engine benchmark regressed more than 2x against the
-   committed baseline's ns_per_run. *)
+(* Fail (exit 1) if any engine benchmark regressed more than
+   [--baseline-factor] (default 2x) against the committed baseline's
+   ns_per_run. *)
 let check_baseline ~perf_rows path =
   let doc =
     In_channel.with_open_bin path In_channel.input_all
@@ -524,8 +529,10 @@ let check_baseline ~perf_rows path =
               let ratio = ns /. float_of_int base_ns in
               Printf.printf "baseline check: %-30s %10.0f ns vs %8d ns (%.2fx)\n"
                 key ns base_ns ratio;
-              if ratio > 2.0 then begin
-                Printf.printf "  REGRESSION: more than 2x slower than baseline\n";
+              if ratio > baseline_factor then begin
+                Printf.printf
+                  "  REGRESSION: more than %gx slower than baseline\n"
+                  baseline_factor;
                 failed := true
               end)
       | _ -> ())

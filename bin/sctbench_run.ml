@@ -21,10 +21,23 @@ let ids_t =
 
 let techniques_t =
   let doc =
-    "Techniques to run (ipb, idb, dfs, rand, pct, maple); default: the \
-     paper's five."
+    "Techniques to run (ipb, idb, dfs, rand, pct, maple, surw); repeatable \
+     and/or comma-separated, e.g. $(b,-t ipb,rand); default: the paper's \
+     five."
   in
   Arg.(value & opt_all string [] & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
+
+let time_limit_t =
+  let doc =
+    "Wall-clock budget in seconds per technique campaign; the campaign \
+     stops at the first terminal schedule past the deadline (recorded as \
+     hit_deadline, distinct from the schedule-limit stop). Unset: no \
+     deadline, fully deterministic runs."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
 
 let jobs_t =
   let doc =
@@ -80,11 +93,23 @@ let close_store = Option.iter Sct_store.Db.close
 let resolve_jobs jobs =
   if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
 
-let options_of ?(jobs = 1) ?(split_depth = 3) limit seed =
-  { Sct_explore.Techniques.default_options with
-    Sct_explore.Techniques.limit; seed; jobs = resolve_jobs jobs; split_depth }
+let options_of ?(jobs = 1) ?(split_depth = 3) ?time_limit limit seed =
+  {
+    Sct_explore.Techniques.default_options with
+    Sct_explore.Techniques.limit;
+    seed;
+    jobs = resolve_jobs jobs;
+    split_depth;
+    time_limit;
+  }
 
 let parse_techniques names =
+  let names =
+    List.concat_map
+      (fun n ->
+        List.filter (fun s -> s <> "") (String.split_on_char ',' n))
+      names
+  in
   match names with
   | [] -> Sct_explore.Techniques.all_paper
   | names ->
@@ -92,7 +117,10 @@ let parse_techniques names =
         (fun n ->
           match Sct_explore.Techniques.of_name n with
           | Some t -> t
-          | None -> failwith ("unknown technique: " ^ n))
+          | None ->
+              Printf.eprintf "unknown technique: %s (valid: %s)\n" n
+                (String.concat ", " Sct_explore.Techniques.valid_names);
+              exit 1)
         names
 
 let select suite ids =
@@ -142,11 +170,11 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed jobs split_depth techs store resume name =
+  let run limit seed jobs split_depth time_limit techs store resume name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
-        let o = options_of ~jobs ~split_depth limit seed in
+        let o = options_of ~jobs ~split_depth ?time_limit limit seed in
         let techniques = parse_techniques techs in
         let store = open_store ~resume store in
         let row =
@@ -185,8 +213,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
     Term.(
-      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ techniques_t
-      $ store_t $ resume_t $ name_t)
+      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ time_limit_t
+      $ techniques_t $ store_t $ resume_t $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -367,9 +395,10 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed jobs split_depth suite ids techs store resume =
+let study what limit seed jobs split_depth time_limit suite ids techs store
+    resume =
   let benches = select suite ids in
-  let o = options_of ~jobs ~split_depth limit seed in
+  let o = options_of ~jobs ~split_depth ?time_limit limit seed in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
   | (`Table2 | `Table3 | `Fig2 | `Fig3 | `Fig4 | `Agreement | `Csv) as what ->
@@ -396,8 +425,8 @@ let study what limit seed jobs split_depth suite ids techs store resume =
 let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t $ suite_t
-      $ ids_t $ techniques_t $ store_t $ resume_t)
+      const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
+      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ store_t $ resume_t)
 
 (* recorded bug-witness artifacts *)
 let artifacts_cmd =

@@ -1,70 +1,181 @@
+open Sct_core
+
 type kind = Preemption_bounding | Delay_bounding
 
 let technique_name = function
   | Preemption_bounding -> "IPB"
   | Delay_bounding -> "IDB"
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(max_levels = 64) ~kind ~limit program =
-  let wrap c =
-    match kind with
-    | Preemption_bounding -> Dfs.Preemption c
-    | Delay_bounding -> Dfs.Delay c
-  in
+let bound_of kind c =
+  match kind with
+  | Preemption_bounding -> Dfs.Preemption c
+  | Delay_bounding -> Dfs.Delay c
+
+(* The iterative-bounding campaign as a STRATEGY: one phase per bound
+   level, each phase a fresh count-exact walk of the whole tree. The level
+   progression of the paper (§2, §5):
+
+   - a bug among the level's counted schedules finishes the campaign once
+     the level is exhausted (the paper completes the level for worst-case
+     analysis; [bound_complete] is true in that case);
+   - a level that exhausts without pruning anything has explored the whole
+     schedule space ([complete]);
+   - otherwise the next level starts, up to [max_levels]. *)
+let strategy ?(max_levels = 64) ~kind () : Strategy.t =
+  (module struct
+    let technique = technique_name kind
+    let tracks_distinct = false
+    let respects_limit = true
+
+    type state = {
+      mutable c : int;
+      mutable walk : Dfs.Walk.t;
+      mutable found : bool;  (** bug among this level's counted schedules *)
+      mutable started : bool;
+    }
+
+    let walk_at c = Dfs.Walk.make ~count_exact:c ~bound:(bound_of kind c) ()
+
+    let init () = { c = 0; walk = walk_at 0; found = false; started = false }
+
+    let phase c =
+      Strategy.Phase { ph_bound = Some c; ph_new_at_bound = true }
+
+    let next_phase st =
+      if not st.started then begin
+        st.started <- true;
+        phase 0
+      end
+      else if st.found then
+        (* the level is exhausted here (the driver consults us only on a
+           phase-over verdict), hence bound_complete *)
+        Strategy.Finished
+          {
+            f_complete = false;
+            f_bound = Some st.c;
+            f_bound_complete = true;
+            f_new_at_bound = true;
+          }
+      else if not (Dfs.Walk.pruned st.walk) then
+        (* nothing was cut off by the bound: the whole schedule space has
+           been explored; no bug exists for this benchmark model *)
+        Strategy.Finished
+          {
+            f_complete = true;
+            f_bound = Some st.c;
+            f_bound_complete = true;
+            f_new_at_bound = true;
+          }
+      else begin
+        let c = st.c + 1 in
+        if c > max_levels then
+          Strategy.Finished
+            {
+              f_complete = false;
+              f_bound = Some c;
+              f_bound_complete = false;
+              f_new_at_bound = false;
+            }
+        else begin
+          st.c <- c;
+          st.walk <- walk_at c;
+          st.found <- false;
+          phase c
+        end
+      end
+
+    let begin_run st = Dfs.Walk.begin_run st.walk
+    let listener _ = None
+    let choose st ctx = Dfs.Walk.choose st.walk ctx
+
+    let on_terminal st res =
+      let v = Dfs.Walk.on_terminal st.walk res in
+      (if v.Strategy.v_counts then
+         match res.Runtime.r_outcome with
+         | Outcome.Bug _ -> st.found <- true
+         | Outcome.Ok | Outcome.Step_limit -> ());
+      v
+  end)
+
+let explore ?promote ?max_steps ?max_levels ?deadline ~kind ~limit program =
+  Driver.explore ?promote ?max_steps ?deadline ~limit
+    (strategy ?max_levels ~kind ())
+    program
+
+(* The same level progression over an abstract walk runner — the shape the
+   frontier-partitioned parallel engine instantiates ([Shard_tree]). The
+   sequential path above goes through the driver instead; the two agree by
+   the level-by-level correspondence checked in test/test_parallel.ml. *)
+let level_loop ?(max_levels = 64) ~technique
+    ~(walk : c:int -> limit:int -> Strategy.walk_result) ~limit () =
   let rec level c (acc : Stats.t) =
     if acc.Stats.total >= limit then
       { acc with Stats.bound = Some c; hit_limit = true }
     else if c > max_levels then { acc with Stats.bound = Some c }
     else begin
-      let r =
-        Dfs.explore ~promote ~max_steps ~count_exact:c ~bound:(wrap c)
-          ~limit:(limit - acc.Stats.total) program
-      in
+      let r = walk ~c ~limit:(limit - acc.Stats.total) in
       let acc =
         {
           acc with
-          Stats.total = acc.Stats.total + r.Dfs.counted;
-          buggy = acc.Stats.buggy + r.Dfs.buggy;
-          executions = acc.Stats.executions + r.Dfs.executions;
-          n_threads = max acc.Stats.n_threads r.Dfs.n_threads;
-          max_enabled = max acc.Stats.max_enabled r.Dfs.max_enabled;
+          Stats.total = acc.Stats.total + r.Strategy.counted;
+          buggy = acc.Stats.buggy + r.Strategy.buggy;
+          executions = acc.Stats.executions + r.Strategy.executions;
+          hit_deadline = acc.Stats.hit_deadline || r.Strategy.hit_deadline;
+          n_threads = max acc.Stats.n_threads r.Strategy.n_threads;
+          max_enabled = max acc.Stats.max_enabled r.Strategy.max_enabled;
           max_sched_points =
-            max acc.Stats.max_sched_points r.Dfs.max_sched_points;
+            max acc.Stats.max_sched_points r.Strategy.max_sched_points;
         }
       in
-      match r.Dfs.to_first_bug with
+      match r.Strategy.to_first_bug with
       | Some i ->
           (* Bug found at this level; the level has been fully explored
-             (unless the limit intervened), per the paper's method. *)
+             (unless the limit or the deadline intervened), per the paper's
+             method. *)
           {
             acc with
             Stats.bound = Some c;
-            bound_complete = r.Dfs.complete;
-            to_first_bug = Some (acc.Stats.total - r.Dfs.counted + i);
-            new_at_bound = r.Dfs.counted;
-            first_bug = r.Dfs.first_bug;
-            hit_limit = r.Dfs.hit_limit;
+            bound_complete = r.Strategy.complete;
+            to_first_bug = Some (acc.Stats.total - r.Strategy.counted + i);
+            new_at_bound = r.Strategy.counted;
+            first_bug = r.Strategy.first_bug;
+            hit_limit = r.Strategy.hit_limit;
           }
       | None ->
-          if r.Dfs.hit_limit then
+          if r.Strategy.hit_limit then
             {
               acc with
               Stats.bound = Some c;
               bound_complete = false;
-              new_at_bound = r.Dfs.counted;
+              new_at_bound = r.Strategy.counted;
               hit_limit = true;
             }
-          else if not r.Dfs.pruned then
-            (* Nothing was cut off by the bound: the whole schedule space
-               has been explored; no bug exists for this benchmark model. *)
+          else if r.Strategy.hit_deadline then
+            {
+              acc with
+              Stats.bound = Some c;
+              bound_complete = false;
+              new_at_bound = r.Strategy.counted;
+            }
+          else if not r.Strategy.pruned then
             {
               acc with
               Stats.bound = Some c;
               bound_complete = true;
-              new_at_bound = r.Dfs.counted;
+              new_at_bound = r.Strategy.counted;
               complete = true;
             }
           else level (c + 1) acc
     end
   in
-  level 0 (Stats.base ~technique:(technique_name kind))
+  level 0 (Stats.base ~technique)
+
+let tree_campaign ?promote ?max_steps ?max_levels ?deadline ~kind ~limit
+    program run =
+  level_loop ?max_levels ~technique:(technique_name kind)
+    ~walk:(fun ~c ~limit ->
+      run
+        (Dfs.tree_walk ?promote ?max_steps ?deadline ~count_exact:c
+           ~bound:(bound_of kind c) program)
+        ~limit)
+    ~limit ()

@@ -4,21 +4,61 @@
     first, then those with one, etc., until a bug is found (the level is
     still completed), the schedule limit is reached, or the whole space has
     been explored. Each distinct terminal schedule is counted exactly once,
-    at the level equal to its exact preemption/delay count. *)
+    at the level equal to its exact preemption/delay count.
+
+    The campaign is a multi-phase {!Strategy.STRATEGY} (one phase per bound
+    level) run by {!Driver.explore}; {!tree_campaign} exposes the same
+    level progression over an abstract walk runner for the
+    frontier-partitioned parallel engine. *)
 
 type kind = Preemption_bounding | Delay_bounding
 
 val technique_name : kind -> string
 (** ["IPB"] or ["IDB"]. *)
 
+val bound_of : kind -> int -> Dfs.bound
+(** The level-[c] walk bound of this kind. *)
+
+val strategy : ?max_levels:int -> kind:kind -> unit -> Strategy.t
+(** The iterative-bounding strategy; [max_levels] (default 64) caps the
+    number of bound levels as a safety net. *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?max_levels:int ->
+  ?deadline:float ->
   kind:kind ->
   limit:int ->
   (unit -> unit) ->
   Stats.t
 (** [explore ~kind ~limit program] performs the full iterative search with a
-    total budget of [limit] counted terminal schedules. [max_levels]
-    (default 64) caps the number of bound levels as a safety net. *)
+    total budget of [limit] counted terminal schedules —
+    {!Driver.explore} over {!strategy}. *)
+
+val level_loop :
+  ?max_levels:int ->
+  technique:string ->
+  walk:(c:int -> limit:int -> Strategy.walk_result) ->
+  limit:int ->
+  unit ->
+  Stats.t
+(** The level progression over an abstract per-level walk: explore level
+    [c] with the remaining budget, stop on bug / limit / deadline /
+    unpruned completion, else continue at [c + 1]. Produces statistics
+    equal to {!explore} when [walk] behaves like the sequential
+    count-exact walk. *)
+
+val tree_campaign :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?max_levels:int ->
+  ?deadline:float ->
+  kind:kind ->
+  limit:int ->
+  (unit -> unit) ->
+  (Strategy.tree_walk -> limit:int -> Strategy.walk_result) ->
+  Stats.t
+(** The whole campaign as a function of a walk runner: each level's
+    count-exact {!Dfs.tree_walk} is handed to the runner — sequential, or
+    [Sct_parallel.Frontier.run] for the subtree-sharded parallel plan. *)

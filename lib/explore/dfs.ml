@@ -2,13 +2,14 @@ open Sct_core
 
 type bound = Unbounded | Preemption of int | Delay of int
 
-type level_result = {
+type level_result = Strategy.walk_result = {
   counted : int;
   buggy : int;
   to_first_bug : int option;
   first_bug : Stats.bug_witness option;
   pruned : bool;
   hit_limit : bool;
+  hit_deadline : bool;
   complete : bool;
   executions : int;
   n_threads : int;
@@ -45,48 +46,84 @@ let push st ~chosen ~rest ~enabled ~fp =
   fr.f_fp <- fp;
   st.len <- st.len + 1
 
-type frontier_info = {
+type frontier_info = Strategy.frontier_info = {
   fi_prefix : (Tid.t * Tid.t list) array;
   fi_branched_below : bool;
 }
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
-    ?(on_schedule = fun _ -> ()) ?(record_decisions = false) ?prefix
-    ?(max_branch_depth = max_int) ?on_exec ~bound ~limit program =
-  let bound_c =
-    match bound with Unbounded -> max_int | Preemption c | Delay c -> c
-  in
-  let delta (ctx : Runtime.ctx) t =
-    match bound with
+(* --- the walk: one (bounded) level of the schedule tree ----------------- *)
+
+module Walk = struct
+  type t = {
+    w_bound : bound;
+    w_bound_c : int;
+    w_count_exact : int option;
+    w_max_branch_depth : int;
+    w_on_exec : (Runtime.result -> frontier_info -> unit) option;
+    st : stack;
+    mutable replay_len : int;
+    mutable depth : int;
+    mutable cur_count : int;
+    mutable pruned : bool;
+    mutable branched_below : bool;
+    mutable exhausted : bool;
+  }
+
+  let make ?prefix ?(max_branch_depth = max_int) ?count_exact ?on_exec ~bound
+      () =
+    let w =
+      {
+        w_bound = bound;
+        w_bound_c =
+          (match bound with
+          | Unbounded -> max_int
+          | Preemption c | Delay c -> c);
+        w_count_exact = count_exact;
+        w_max_branch_depth = max_branch_depth;
+        w_on_exec = on_exec;
+        st = { frames = Array.init 1024 (fun _ -> fresh_frame ()); len = 0 };
+        replay_len = 0;
+        depth = 0;
+        cur_count = 0;
+        pruned = false;
+        branched_below = false;
+        exhausted = false;
+      }
+    in
+    (* A pinned prefix is seeded as exhausted frames: it is replayed (with
+       the enabled-set determinism check and bound accounting) on every
+       execution and never advanced by backtracking, so the walk covers
+       exactly the subtree below the prefix. *)
+    (match prefix with
+    | None -> ()
+    | Some p ->
+        Array.iter
+          (fun (chosen, f_enabled) ->
+            push w.st ~chosen ~rest:[] ~enabled:f_enabled
+              ~fp:(Runtime.fingerprint f_enabled))
+          p;
+        w.replay_len <- w.st.len);
+    w
+
+  let delta w (ctx : Runtime.ctx) t =
+    match w.w_bound with
     | Unbounded -> 0
-    | Preemption _ -> Preemption.delta ~last:ctx.c_last ~enabled:ctx.c_enabled t
+    | Preemption _ ->
+        Preemption.delta ~last:ctx.c_last ~enabled:ctx.c_enabled t
     | Delay _ ->
-        Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled t
-  in
-  let st = { frames = Array.init 1024 (fun _ -> fresh_frame ()); len = 0 } in
-  let replay_len = ref 0 in
-  (* A pinned prefix is seeded as exhausted frames: it is replayed (with the
-     enabled-set determinism check and bound accounting) on every execution
-     and never advanced by backtracking, so the walk covers exactly the
-     subtree below the prefix. *)
-  (match prefix with
-  | None -> ()
-  | Some p ->
-      Array.iter
-        (fun (chosen, f_enabled) ->
-          push st ~chosen ~rest:[] ~enabled:f_enabled
-            ~fp:(Runtime.fingerprint f_enabled))
-        p;
-      replay_len := st.len);
-  let depth = ref 0 in
-  let cur_count = ref 0 in
-  let pruned = ref false in
-  let branched_below = ref false in
-  let scheduler (ctx : Runtime.ctx) =
-    let i = !depth in
-    depth := i + 1;
-    if i < !replay_len then begin
-      let fr = st.frames.(i) in
+        Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled
+          t
+
+  let begin_run w =
+    w.depth <- 0;
+    w.cur_count <- 0;
+    w.branched_below <- false
+
+  let choose w (ctx : Runtime.ctx) =
+    let i = w.depth in
+    w.depth <- i + 1;
+    if i < w.replay_len then begin
+      let fr = w.st.frames.(i) in
       if fr.f_fp <> ctx.c_enabled_fp then
         failwith
           (Printf.sprintf
@@ -94,15 +131,15 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
               mismatch at decision %d (is the program's state created \
               inside its closure?)"
              i);
-      cur_count := !cur_count + delta ctx fr.chosen;
+      w.cur_count <- w.cur_count + delta w ctx fr.chosen;
       fr.chosen
     end
     else begin
       match ctx.c_enabled with
       | [ t ] ->
           (* the only child; its delta is 0, so it is always in bound *)
-          if i < max_branch_depth then
-            push st ~chosen:t ~rest:[] ~enabled:ctx.c_enabled
+          if i < w.w_max_branch_depth then
+            push w.st ~chosen:t ~rest:[] ~enabled:ctx.c_enabled
               ~fp:ctx.c_enabled_fp;
           t
       | enabled -> (
@@ -110,30 +147,32 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
             Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled
           in
           let allowed =
-            List.filter (fun t -> !cur_count + delta ctx t <= bound_c) order
+            List.filter
+              (fun t -> w.cur_count + delta w ctx t <= w.w_bound_c)
+              order
           in
-          if List.compare_lengths allowed order < 0 then pruned := true;
+          if List.compare_lengths allowed order < 0 then w.pruned <- true;
           match allowed with
           | [] ->
               (* A zero-cost child always exists within any bound (see
                  DESIGN), so the filtered list cannot be empty. *)
               assert false
           | t :: rest ->
-              if i >= max_branch_depth then begin
+              if i >= w.w_max_branch_depth then begin
                 (* frontier-enumeration mode: below the split depth, follow
                    the first in-bound child without recording a backtrack
                    point *)
-                if rest <> [] then branched_below := true
+                if rest <> [] then w.branched_below <- true
               end
-              else
-                push st ~chosen:t ~rest ~enabled ~fp:ctx.c_enabled_fp;
-              cur_count := !cur_count + delta ctx t;
+              else push w.st ~chosen:t ~rest ~enabled ~fp:ctx.c_enabled_fp;
+              w.cur_count <- w.cur_count + delta w ctx t;
               t)
     end
-  in
+
   (* Drop exhausted frames; advance the deepest frame with an untried
      alternative. Returns false when the tree is exhausted. *)
-  let backtrack () =
+  let backtrack w =
+    let st = w.st in
     let rec drop () =
       if st.len = 0 then false
       else
@@ -148,85 +187,138 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ?count_exact
             true
     in
     let more = drop () in
-    replay_len := st.len;
+    w.replay_len <- st.len;
     more
-  in
-  let counted = ref 0 in
-  let buggy = ref 0 in
-  let to_first_bug = ref None in
-  let first_bug = ref None in
-  let executions = ref 0 in
-  let n_threads = ref 0 in
-  let max_enabled = ref 0 in
-  let max_points = ref 0 in
-  let hit_limit = ref false in
-  let complete = ref false in
-  let continue_ = ref (limit > 0) in
-  while !continue_ do
-    depth := 0;
-    cur_count := 0;
-    branched_below := false;
-    let res =
-      Runtime.exec ~promote ~max_steps ~record_decisions ~scheduler program
-    in
-    incr executions;
-    (match on_exec with
-    | None -> ()
-    | Some f ->
-        let fi_prefix =
-          Array.init st.len (fun j ->
-              let fr = st.frames.(j) in
-              (fr.chosen, fr.f_enabled))
-        in
-        f res { fi_prefix; fi_branched_below = !branched_below });
-    n_threads := max !n_threads res.r_n_threads;
-    max_enabled := max !max_enabled res.r_max_enabled;
-    max_points := max !max_points res.r_multi_points;
+
+  let counts w (res : Runtime.result) =
     let exact =
-      match bound with
+      match w.w_bound with
       | Unbounded | Preemption _ -> res.r_pc
       | Delay _ -> res.r_dc
     in
-    let counts = match count_exact with None -> true | Some c -> exact = c in
-    if counts then begin
-      incr counted;
-      on_schedule res;
-      match res.r_outcome with
-      | Outcome.Bug { bug; by } ->
-          incr buggy;
-          if !to_first_bug = None then begin
-            to_first_bug := Some !counted;
-            first_bug :=
-              Some
-                {
-                  Stats.w_bug = bug;
-                  w_by = by;
-                  w_schedule = res.r_schedule;
-                  w_pc = res.r_pc;
-                  w_dc = res.r_dc;
-                }
-          end
-      | Outcome.Ok | Outcome.Step_limit -> ()
-    end;
-    if !counted >= limit then begin
-      hit_limit := true;
-      continue_ := false
-    end
-    else if not (backtrack ()) then begin
-      complete := true;
-      continue_ := false
-    end
-  done;
+    match w.w_count_exact with None -> true | Some c -> exact = c
+
+  (* Observe one terminal execution: report the frontier info, decide
+     whether the schedule counts, and advance the walk — it is over when no
+     untried alternative remains. Backtracking eagerly (before the driver's
+     budget check) is harmless: it only mutates the decision stack, which
+     is dropped when the campaign stops. *)
+  let on_terminal w (res : Runtime.result) =
+    (match w.w_on_exec with
+    | None -> ()
+    | Some f ->
+        let fi_prefix =
+          Array.init w.st.len (fun j ->
+              let fr = w.st.frames.(j) in
+              (fr.chosen, fr.f_enabled))
+        in
+        f res { fi_prefix; fi_branched_below = w.branched_below });
+    let v_counts = counts w res in
+    w.exhausted <- not (backtrack w);
+    { Strategy.v_counts; v_phase_over = w.exhausted }
+
+  let pruned w = w.pruned
+  let exhausted w = w.exhausted
+end
+
+(* --- the single-level STRATEGY instance --------------------------------- *)
+
+let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
+  (module struct
+    let technique = technique
+    let tracks_distinct = false
+    let respects_limit = true
+
+    type state = { w : Walk.t; mutable started : bool }
+
+    let init () = { w; started = false }
+
+    let next_phase st =
+      if st.started then
+        Strategy.Finished
+          {
+            f_complete = Walk.exhausted st.w;
+            f_bound = None;
+            f_bound_complete = false;
+            f_new_at_bound = false;
+          }
+      else begin
+        st.started <- true;
+        Strategy.Phase { ph_bound = None; ph_new_at_bound = false }
+      end
+
+    let begin_run st = Walk.begin_run st.w
+    let listener _ = None
+    let choose st ctx = Walk.choose st.w ctx
+    let on_terminal st res = Walk.on_terminal st.w res
+  end)
+
+let strategy ?count_exact ~bound () =
+  strategy_of_walk (Walk.make ?count_exact ~bound ())
+
+(* --- walk-result lifting and the compatibility front-end ---------------- *)
+
+let level_result_of_stats ~pruned (s : Stats.t) =
   {
-    counted = !counted;
-    buggy = !buggy;
-    to_first_bug = !to_first_bug;
-    first_bug = !first_bug;
-    pruned = !pruned;
-    hit_limit = !hit_limit;
-    complete = !complete;
-    executions = !executions;
-    n_threads = !n_threads;
-    max_enabled = !max_enabled;
-    max_sched_points = !max_points;
+    counted = s.Stats.total;
+    buggy = s.Stats.buggy;
+    to_first_bug = s.Stats.to_first_bug;
+    first_bug = s.Stats.first_bug;
+    pruned;
+    hit_limit = s.Stats.hit_limit;
+    hit_deadline = s.Stats.hit_deadline;
+    complete = s.Stats.complete;
+    executions = s.Stats.executions;
+    n_threads = s.Stats.n_threads;
+    max_enabled = s.Stats.max_enabled;
+    max_sched_points = s.Stats.max_sched_points;
   }
+
+let stats_of ~technique (r : level_result) =
+  {
+    (Stats.base ~technique) with
+    Stats.to_first_bug = r.to_first_bug;
+    total = r.counted;
+    buggy = r.buggy;
+    complete = r.complete;
+    hit_limit = r.hit_limit;
+    hit_deadline = r.hit_deadline;
+    first_bug = r.first_bug;
+    n_threads = r.n_threads;
+    max_enabled = r.max_enabled;
+    max_sched_points = r.max_sched_points;
+    executions = r.executions;
+  }
+
+let explore ?promote ?max_steps ?count_exact ?on_schedule ?record_decisions
+    ?prefix ?max_branch_depth ?on_exec ?deadline ~bound ~limit program =
+  let w =
+    Walk.make ?prefix ?max_branch_depth ?count_exact ?on_exec ~bound ()
+  in
+  let s =
+    Driver.explore ?promote ?max_steps ?record_decisions ?on_schedule
+      ?deadline ~limit (strategy_of_walk w) program
+  in
+  level_result_of_stats ~pruned:(Walk.pruned w) s
+
+(* --- the tree-walk sharding capability ---------------------------------- *)
+
+let tree_walk ?promote ?max_steps ?count_exact ?deadline ~bound program :
+    Strategy.tree_walk =
+  (* a never-run walk, used only for the exact-count filter *)
+  let filter = Walk.make ?count_exact ~bound () in
+  {
+    Strategy.tw_enum =
+      (fun ~max_branch_depth ~on_exec ~limit ->
+        explore ?promote ?max_steps ?count_exact ?deadline ~max_branch_depth
+          ~on_exec ~bound ~limit program);
+    tw_sub =
+      (fun ~prefix ~limit ->
+        explore ?promote ?max_steps ?count_exact ?deadline ~prefix ~bound
+          ~limit program);
+    tw_counts = (fun res -> Walk.counts filter res);
+  }
+
+let tree_campaign ?promote ?max_steps ?deadline ~bound ~limit program run =
+  stats_of ~technique:"DFS"
+    (run (tree_walk ?promote ?max_steps ?deadline ~bound program) ~limit)

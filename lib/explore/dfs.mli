@@ -1,25 +1,30 @@
 (** Stateless depth-first exploration of the schedule space, with optional
     schedule bounding (paper §3, "Maple's systematic mode").
 
-    The explorer maintains an explicit stack of scheduling decisions; every
+    The walk maintains an explicit stack of scheduling decisions; every
     terminal schedule costs one full re-execution of the program from its
     initial state (stateless model checking). Children at a scheduling point
     are ordered by round-robin distance from the previously scheduled thread,
     so the first terminal schedule explored is the non-preemptive round-robin
-    schedule — identical for IPB, IDB and DFS, as in the paper. *)
+    schedule — identical for IPB, IDB and DFS, as in the paper.
+
+    The campaign loop lives in {!Driver}; this module provides the walk as
+    a {!Strategy.STRATEGY} instance plus the {!Strategy.tree_walk} sharding
+    capability the parallel engine partitions. *)
 
 type bound =
   | Unbounded
   | Preemption of int  (** prune schedules with [PC > c] *)
   | Delay of int  (** prune schedules with [DC > c] *)
 
-type level_result = {
+type level_result = Strategy.walk_result = {
   counted : int;  (** terminal schedules counted by this call *)
   buggy : int;
   to_first_bug : int option;  (** 1-based index among counted schedules *)
   first_bug : Stats.bug_witness option;
   pruned : bool;  (** at least one child was cut off by the bound *)
   hit_limit : bool;  (** stopped because [limit] schedules were counted *)
+  hit_deadline : bool;  (** stopped because the wall-clock deadline passed *)
   complete : bool;  (** the (bounded) tree was exhausted *)
   executions : int;
   n_threads : int;
@@ -27,7 +32,7 @@ type level_result = {
   max_sched_points : int;
 }
 
-type frontier_info = {
+type frontier_info = Strategy.frontier_info = {
   fi_prefix : (Sct_core.Tid.t * Sct_core.Tid.t list) array;
       (** the (chosen, enabled) decisions of this execution above
           [max_branch_depth] — a replayable subtree prefix *)
@@ -39,6 +44,42 @@ type frontier_info = {
 (** Per-execution frontier information reported to [on_exec]; used by the
     parallel engine (lib/parallel) to partition the schedule tree. *)
 
+(** The reusable walk machinery: decision stack, prefix replay, bound
+    accounting and backtracking for one (bounded) level of the schedule
+    tree. {!Bounded} drives one walk per bound level through its own
+    strategy. *)
+module Walk : sig
+  type t
+
+  val make :
+    ?prefix:(Sct_core.Tid.t * Sct_core.Tid.t list) array ->
+    ?max_branch_depth:int ->
+    ?count_exact:int ->
+    ?on_exec:(Sct_core.Runtime.result -> frontier_info -> unit) ->
+    bound:bound ->
+    unit ->
+    t
+
+  val begin_run : t -> unit
+  val choose : t -> Sct_core.Runtime.ctx -> Sct_core.Tid.t
+
+  val on_terminal : t -> Sct_core.Runtime.result -> Strategy.verdict
+  (** Report frontier info, decide whether the schedule counts
+      ([count_exact]), and backtrack; the phase is over when the tree is
+      exhausted. *)
+
+  val counts : t -> Sct_core.Runtime.result -> bool
+  val pruned : t -> bool
+  val exhausted : t -> bool
+end
+
+val strategy_of_walk : ?technique:string -> Walk.t -> Strategy.t
+(** The single-phase strategy driving the given walk; the caller keeps the
+    walk to read {!Walk.pruned} after the campaign. *)
+
+val strategy : ?count_exact:int -> bound:bound -> unit -> Strategy.t
+(** A fresh single-level DFS strategy (the [--technique dfs] registration). *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
@@ -48,16 +89,19 @@ val explore :
   ?prefix:(Sct_core.Tid.t * Sct_core.Tid.t list) array ->
   ?max_branch_depth:int ->
   ?on_exec:(Sct_core.Runtime.result -> frontier_info -> unit) ->
+  ?deadline:float ->
   bound:bound ->
   limit:int ->
   (unit -> unit) ->
   level_result
-(** [explore ~bound ~limit program] walks the schedule tree within [bound].
-    With [count_exact = Some c], only terminal schedules whose exact
-    preemption (resp. delay) count equals [c] are counted — this is how
-    iterative bounding counts each distinct schedule exactly once across
-    levels (see DESIGN.md). Exploration never stops early on a bug: the
-    paper completes the current bound level to enable worst-case analysis.
+(** [explore ~bound ~limit program] walks the schedule tree within [bound]
+    — {!Driver.explore} over {!strategy_of_walk}, lifted back to a
+    {!level_result}. With [count_exact = Some c], only terminal schedules
+    whose exact preemption (resp. delay) count equals [c] are counted —
+    this is how iterative bounding counts each distinct schedule exactly
+    once across levels (see DESIGN.md). Exploration never stops early on a
+    bug: the paper completes the current bound level to enable worst-case
+    analysis.
 
     [on_schedule] is called on every counted terminal schedule's execution
     result; pass [record_decisions:true] if the callback needs the decision
@@ -75,3 +119,31 @@ val explore :
 
     @raise Failure if the program is nondeterministic (the enabled set at a
     replayed decision differs from the recorded one). *)
+
+val level_result_of_stats : pruned:bool -> Stats.t -> level_result
+
+val stats_of : technique:string -> level_result -> Stats.t
+(** Lift a walk result into the Table 3 statistics record. *)
+
+val tree_walk :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?count_exact:int ->
+  ?deadline:float ->
+  bound:bound ->
+  (unit -> unit) ->
+  Strategy.tree_walk
+(** The subtree-sharding capability of this walk: frontier enumeration,
+    pinned-prefix sub-walks, and the exact-count filter. *)
+
+val tree_campaign :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  bound:bound ->
+  limit:int ->
+  (unit -> unit) ->
+  (Strategy.tree_walk -> limit:int -> Strategy.walk_result) ->
+  Stats.t
+(** The whole DFS campaign as a function of a walk runner — instantiated
+    sequentially or with [Sct_parallel.Frontier.run]. *)

@@ -1,0 +1,127 @@
+open Sct_core
+
+(* The one generic campaign loop. Every technique runs through here (the
+   parallel engine runs shards of campaigns, each shard again through
+   here); all budget, deadline, statistics and hook logic lives in this
+   file only. *)
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(record_decisions = false) ?(stop_on_bug = false) ?(count_offset = 0)
+    ?deadline ?(on_schedule = fun _ -> ()) ~limit
+    (module S : Strategy.STRATEGY) program =
+  let st = S.init () in
+  let limit = if S.respects_limit then limit else max_int in
+  let counted = ref 0 in
+  let phase_counted = ref 0 in
+  let buggy = ref 0 in
+  let to_first_bug = ref None in
+  let first_bug = ref None in
+  let executions = ref 0 in
+  let n_threads = ref 0 in
+  let max_enabled = ref 0 in
+  let max_points = ref 0 in
+  let hit_limit = ref false in
+  let hit_deadline = ref false in
+  let complete = ref false in
+  let bound = ref None in
+  let bound_complete = ref false in
+  let new_at_bound = ref 0 in
+  let seen = ref (if S.tracks_distinct then Some Stats.Sched_set.empty else None) in
+  let scheduler ctx = S.choose st ctx in
+  (* Record the phase bookkeeping when the campaign stops inside a phase
+     (budget, deadline, or stop_on_bug): the bound reached is the phase's,
+     and the phase's counted schedules are the "new at bound" statistic
+     when the phase says so. [bound_complete]/[complete] stay false — the
+     phase did not finish. *)
+  let stop_in (ph : Strategy.phase) =
+    bound := ph.ph_bound;
+    if ph.ph_new_at_bound then new_at_bound := !phase_counted
+  in
+  let finish (f : Strategy.finish) =
+    complete := f.f_complete;
+    bound := f.f_bound;
+    bound_complete := f.f_bound_complete;
+    if f.f_new_at_bound then new_at_bound := !phase_counted
+  in
+  let rec phases () =
+    match S.next_phase st with
+    | Strategy.Finished f -> finish f
+    | Strategy.Phase ph ->
+        phase_counted := 0;
+        if !counted >= limit then begin
+          hit_limit := true;
+          stop_in ph
+        end
+        else runs ph
+  and runs ph =
+    S.begin_run st;
+    let res =
+      Runtime.exec ~promote ?listener:(S.listener st) ~max_steps
+        ~record_decisions ~scheduler program
+    in
+    incr executions;
+    n_threads := max !n_threads res.Runtime.r_n_threads;
+    max_enabled := max !max_enabled res.Runtime.r_max_enabled;
+    max_points := max !max_points res.Runtime.r_multi_points;
+    let v = S.on_terminal st res in
+    if v.Strategy.v_counts then begin
+      incr counted;
+      incr phase_counted;
+      (match !seen with
+      | Some set ->
+          seen :=
+            Some (Stats.Sched_set.add (Schedule.to_list res.r_schedule) set)
+      | None -> ());
+      on_schedule res;
+      match res.Runtime.r_outcome with
+      | Outcome.Bug { bug; by } ->
+          incr buggy;
+          if !to_first_bug = None then begin
+            to_first_bug := Some (count_offset + !counted);
+            first_bug :=
+              Some
+                {
+                  Stats.w_bug = bug;
+                  w_by = by;
+                  w_schedule = res.r_schedule;
+                  w_pc = res.r_pc;
+                  w_dc = res.r_dc;
+                }
+          end
+      | Outcome.Ok | Outcome.Step_limit -> ()
+    end;
+    if !counted >= limit then begin
+      hit_limit := true;
+      stop_in ph
+    end
+    else if stop_on_bug && !to_first_bug <> None then stop_in ph
+    else
+      match deadline with
+      | Some dl when Unix.gettimeofday () > dl ->
+          hit_deadline := true;
+          stop_in ph
+      | _ -> if v.Strategy.v_phase_over then phases () else runs ph
+  in
+  phases ();
+  {
+    (Stats.base ~technique:S.technique) with
+    Stats.bound = !bound;
+    bound_complete = !bound_complete;
+    to_first_bug = !to_first_bug;
+    total = !counted;
+    new_at_bound = !new_at_bound;
+    buggy = !buggy;
+    complete = !complete;
+    hit_limit = !hit_limit;
+    hit_deadline = !hit_deadline;
+    first_bug = !first_bug;
+    n_threads = !n_threads;
+    max_enabled = !max_enabled;
+    max_sched_points = !max_points;
+    executions = !executions;
+    distinct_schedules = !seen;
+  }
+
+let deadline_of_time_limit = function
+  | None -> None
+  | Some seconds -> Some (Unix.gettimeofday () +. seconds)

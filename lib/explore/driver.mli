@@ -1,0 +1,38 @@
+(** The generic budgeted campaign driver.
+
+    One loop executes every technique (see {!Strategy}): it repeatedly asks
+    the strategy for the next phase and the next scheduled execution, and
+    owns all cross-cutting bookkeeping — the schedule budget, the optional
+    wall-clock deadline, statistics accumulation, distinct-schedule
+    tracking, bug witnesses, and the [on_schedule] hook the reports and the
+    store build on. *)
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?record_decisions:bool ->
+  ?stop_on_bug:bool ->
+  ?count_offset:int ->
+  ?deadline:float ->
+  ?on_schedule:(Sct_core.Runtime.result -> unit) ->
+  limit:int ->
+  Strategy.t ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore ~limit strategy program] runs the campaign until the strategy
+    finishes, [limit] terminal schedules were counted ([Stats.hit_limit] —
+    ignored when the strategy declares [respects_limit = false]), the
+    [deadline] (absolute {!Unix.gettimeofday} timestamp) passes between two
+    executions ([Stats.hit_deadline]), or — with [stop_on_bug] — the first
+    buggy schedule was counted. When both fire on the same execution the
+    schedule limit wins, so deadline-free runs are byte-for-byte
+    deterministic.
+
+    [count_offset] shifts [Stats.to_first_bug] into an absolute index space
+    (shard [lo]), so shard statistics merge into the sequential campaign's.
+    [on_schedule] is called on every counted terminal schedule; pass
+    [record_decisions:true] if the callback needs the decision trace. *)
+
+val deadline_of_time_limit : float option -> float option
+(** Turn a relative [--time-limit] (seconds, [None] = unlimited) into an
+    absolute deadline for {!explore}, evaluated now. *)

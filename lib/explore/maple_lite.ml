@@ -115,37 +115,39 @@ let count_run s res =
   in
   bug_stats s res
 
-(* One profiling run. Maple profiles under native, uncontrolled execution,
-   which is mostly run-to-block scheduling with occasional OS preemptions;
-   we model that as round-robin with sparse random deviations. The RNG is
-   re-seeded from [(seed, i)] and the access history is per-run, so run [i]
-   is independent of every other run — profiling shards merge by unioning
-   the returned iRoot sets. *)
+(* The profiling scheduler. Maple profiles under native, uncontrolled
+   execution, which is mostly run-to-block scheduling with occasional OS
+   preemptions; we model that as round-robin with sparse random
+   deviations. *)
+let profile_choose rng (ctx : Runtime.ctx) =
+  if Random.State.int rng 16 = 0 then
+    match ctx.c_enabled with
+    | [ t ] ->
+        (* still draw, keeping the RNG stream identical *)
+        ignore (Random.State.int rng 1 : int);
+        t
+    | enabled ->
+        let enabled = Array.of_list enabled in
+        enabled.(Random.State.int rng (Array.length enabled))
+  else
+    match
+      Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+
+(* One profiling run. The RNG is re-seeded from [(seed, i)] and the access
+   history is per-run, so run [i] is independent of every other run —
+   profiling shards merge by unioning the returned iRoot sets. *)
 let profile_one ?(promote = fun _ -> false) ?(max_steps = 100_000) ~seed i
     program =
   let profile = new_profile () in
   let rng = Random.State.make [| seed; i; 0x3aF |] in
-  let scheduler (ctx : Runtime.ctx) =
-    if Random.State.int rng 16 = 0 then
-      match ctx.c_enabled with
-      | [ t ] ->
-          (* still draw, keeping the RNG stream identical *)
-          ignore (Random.State.int rng 1 : int);
-          t
-      | enabled ->
-          let enabled = Array.of_list enabled in
-          enabled.(Random.State.int rng (Array.length enabled))
-    else
-      match
-        Sct_core.Delay.deterministic_choice ~n:ctx.c_n_threads
-          ~last:ctx.c_last ~enabled:ctx.c_enabled
-      with
-      | Some t -> t
-      | None -> assert false
-  in
   let res =
     Runtime.exec ~promote ~max_steps ~record_decisions:false
-      ~listener:(observe_run_pairs profile) ~scheduler program
+      ~listener:(observe_run_pairs profile)
+      ~scheduler:(profile_choose rng) program
   in
   (res, profile.observed, profile.adjacent)
 
@@ -163,68 +165,204 @@ let candidates ~promote ~observed ~adjacent =
 
 let kind_matches k op_kind = akind_of op_kind = k
 
+(* The active scheduler: round-robin, but a thread about to perform the
+   [second] access of the target is withheld until some other thread
+   performs the [first] access — then scheduling returns to plain
+   round-robin. Maple's own forcing gives up after a bounded wait (its
+   "timeout" heuristics); we model that with a withholding budget
+   ([patience]). *)
+let active_choose ~forced ~patience target (ctx : Runtime.ctx) =
+  let rt = ctx.c_rt in
+  let pending_matches t k =
+    match Runtime.pending_op rt t with
+    | Some (Op.Access { name; kind; _ }) ->
+        name = target.loc && kind_matches k kind
+    | _ -> false
+  in
+  let pending_second t = pending_matches t target.second in
+  let order =
+    Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled
+  in
+  if !forced || !patience = 0 then List.hd order
+  else begin
+    let withheld, rest = List.partition pending_second order in
+    match rest with
+    | [] ->
+        (* every enabled thread is withheld: release the most recently
+           created one, keeping earlier ones (usually the forced party)
+           parked *)
+        List.fold_left max (List.hd withheld) withheld
+    | t :: _ ->
+        if withheld <> [] then decr patience;
+        if withheld <> [] && pending_matches t target.first then
+          forced := true;
+        t
+  end
+
 let active_run ?(promote = fun _ -> false) ?(max_steps = 100_000) target
     program =
-    (* Round-robin, but a thread about to perform the [second] access of the
-       target is withheld until some other thread performs the [first]
-       access — then scheduling returns to plain round-robin. Maple's own
-       forcing gives up after a bounded wait (its "timeout" heuristics); we
-       model that with a withholding budget. *)
-    let forced = ref false in
-    let patience = ref 400 in
-    let scheduler (ctx : Runtime.ctx) =
-      let rt = ctx.c_rt in
-      let pending_matches t k =
-        match Runtime.pending_op rt t with
-        | Some (Op.Access { name; kind; _ }) ->
-            name = target.loc && kind_matches k kind
-        | _ -> false
-      in
-      let pending_second t = pending_matches t target.second in
-      let order =
-        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
-          ~enabled:ctx.c_enabled
-      in
-      let choice =
-        if !forced || !patience = 0 then List.hd order
-        else begin
-          let withheld, rest = List.partition pending_second order in
-          match rest with
-          | [] ->
-              (* every enabled thread is withheld: release the most recently
-                 created one, keeping earlier ones (usually the forced
-                 party) parked *)
-              List.fold_left max (List.hd withheld) withheld
-          | t :: _ ->
-              if withheld <> [] then decr patience;
-              if withheld <> [] && pending_matches t target.first then
-                forced := true;
-              t
-        end
-      in
-      choice
-    in
-    Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
-      program
+  let forced = ref false in
+  let patience = ref 400 in
+  Runtime.exec ~promote ~max_steps ~record_decisions:false
+    ~scheduler:(active_choose ~forced ~patience target)
+    program
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(profile_runs = 10) ~seed program =
+(* --- the STRATEGY instance --------------------------------------------- *)
+
+type stage = Profiling of int | Forcing of iroot list | Finished_
+
+let strategy ?(promote = fun _ -> false) ?(profile_runs = 10) ~seed () :
+    Strategy.t =
+  (module struct
+    let technique = "MapleAlg"
+    let tracks_distinct = false
+
+    (* the campaign length is intrinsic: [profile_runs] profiling runs plus
+       one active run per candidate, regardless of the schedule limit *)
+    let respects_limit = false
+
+    type state = {
+      mutable stage : stage;
+      mutable observed : Iroot_set.t;
+      mutable adjacent : Iroot_set.t;
+      (* per-run scheduler state *)
+      mutable profile : profile;
+      mutable rng : Random.State.t;
+      a_forced : bool ref;
+      a_patience : int ref;
+      mutable started : bool;
+    }
+
+    let init () =
+      {
+        stage = (if profile_runs <= 0 then Finished_ else Profiling 0);
+        observed = Iroot_set.empty;
+        adjacent = Iroot_set.empty;
+        profile = new_profile ();
+        rng = Random.State.make [| 0 |];
+        a_forced = ref false;
+        a_patience = ref 400;
+        started = false;
+      }
+
+    let finished =
+      Strategy.Finished
+        {
+          (* every candidate was attempted: Maple's heuristic termination *)
+          f_complete = true;
+          f_bound = None;
+          f_bound_complete = false;
+          f_new_at_bound = false;
+        }
+
+    let next_phase st =
+      if st.started then finished
+      else begin
+        st.started <- true;
+        match st.stage with
+        | Finished_ -> finished
+        | Profiling _ | Forcing _ ->
+            Strategy.Phase { ph_bound = None; ph_new_at_bound = false }
+      end
+
+    let begin_run st =
+      match st.stage with
+      | Profiling i ->
+          st.profile <- new_profile ();
+          st.rng <- Random.State.make [| seed; i; 0x3aF |]
+      | Forcing (_ :: _) ->
+          st.a_forced := false;
+          st.a_patience := 400
+      | Forcing [] | Finished_ -> assert false
+
+    let listener st =
+      match st.stage with
+      | Profiling _ -> Some (observe_run_pairs st.profile)
+      | Forcing _ | Finished_ -> None
+
+    let choose st ctx =
+      match st.stage with
+      | Profiling _ -> profile_choose st.rng ctx
+      | Forcing (c :: _) ->
+          active_choose ~forced:st.a_forced ~patience:st.a_patience c ctx
+      | Forcing [] | Finished_ -> assert false
+
+    let on_terminal st (res : Runtime.result) =
+      let bug =
+        match res.Runtime.r_outcome with
+        | Outcome.Bug _ -> true
+        | Outcome.Ok | Outcome.Step_limit -> false
+      in
+      (match st.stage with
+      | Profiling i ->
+          st.observed <- Iroot_set.union st.observed st.profile.observed;
+          st.adjacent <- Iroot_set.union st.adjacent st.profile.adjacent;
+          if bug then st.stage <- Finished_
+          else if i + 1 < profile_runs then st.stage <- Profiling (i + 1)
+          else begin
+            match
+              candidates ~promote ~observed:st.observed ~adjacent:st.adjacent
+            with
+            | [] -> st.stage <- Finished_
+            | cs -> st.stage <- Forcing cs
+          end
+      | Forcing (_ :: rest) ->
+          if bug || rest = [] then st.stage <- Finished_
+          else st.stage <- Forcing rest
+      | Forcing [] | Finished_ -> assert false);
+      {
+        Strategy.v_counts = true;
+        v_phase_over =
+          (match st.stage with Finished_ -> true | _ -> false);
+      }
+  end)
+
+let explore ?promote ?max_steps ?(profile_runs = 10) ?deadline ~seed program =
+  Driver.explore ?promote ?max_steps ?deadline ~limit:max_int
+    (strategy ?promote ~profile_runs ~seed ())
+    program
+
+(* --- the batched sharding capability ------------------------------------ *)
+
+(* Profiling runs are independent: they execute on any domain and their
+   iRoot sets are unioned by commit closures in run order, truncated at the
+   first buggy run (the point where the sequential algorithm stops
+   profiling). Candidates are generated once the profiling batch is fully
+   absorbed; active runs are deterministic per candidate and merged in
+   candidate order up to the first bug. *)
+let batches ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(profile_runs = 10) ~seed program : Strategy.run_batches =
   let stats = ref (Stats.base ~technique:"MapleAlg") in
-  (* Phase 1: profiling. *)
   let observed = ref Iroot_set.empty in
   let adjacent = ref Iroot_set.empty in
-  let i = ref 0 in
-  while !i < profile_runs && not (Stats.found !stats) do
-    let res, obs, adj = profile_one ~promote ~max_steps ~seed !i program in
-    observed := Iroot_set.union !observed obs;
-    adjacent := Iroot_set.union !adjacent adj;
-    stats := count_run !stats res;
-    incr i
-  done;
-  (* Phase 2: one active run per candidate reversal, until the first bug. *)
-  List.iter
-    (fun c ->
-      if not (Stats.found !stats) then
-        stats := count_run !stats (active_run ~promote ~max_steps c program))
-    (candidates ~promote ~observed:!observed ~adjacent:!adjacent);
-  { !stats with Stats.complete = true }
+  let stage = ref `Profile in
+  let rb_next () =
+    match !stage with
+    | `Profile ->
+        stage := `Force;
+        Some
+          (List.init profile_runs (fun i () ->
+               let res, obs, adj =
+                 profile_one ~promote ~max_steps ~seed i program
+               in
+               ( res,
+                 fun () ->
+                   observed := Iroot_set.union !observed obs;
+                   adjacent := Iroot_set.union !adjacent adj )))
+    | `Force ->
+        stage := `Done;
+        if Stats.found !stats then None
+        else
+          Some
+            (List.map
+               (fun c () ->
+                 (active_run ~promote ~max_steps c program, fun () -> ()))
+               (candidates ~promote ~observed:!observed ~adjacent:!adjacent))
+    | `Done -> None
+  in
+  {
+    Strategy.rb_next;
+    rb_found = (fun () -> Stats.found !stats);
+    rb_absorb = (fun res -> stats := count_run !stats res);
+    rb_finish = (fun () -> { !stats with Stats.complete = true });
+  }

@@ -17,10 +17,22 @@
     restricted to promoted (racy) locations — the analogue of Maple
     profiling dependencies through instrumented racy instructions. *)
 
+val strategy :
+  ?promote:(string -> bool) ->
+  ?profile_runs:int ->
+  seed:int ->
+  unit ->
+  Strategy.t
+(** The MapleLite campaign as a {!Strategy.STRATEGY}: [profile_runs]
+    profiling runs (default 10), then one active run per candidate, stopping
+    at the first bug. The campaign length is intrinsic ([respects_limit] is
+    [false]); the generic driver runs it to heuristic completion. *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?profile_runs:int ->
+  ?deadline:float ->
   seed:int ->
   (unit -> unit) ->
   Stats.t
@@ -71,3 +83,15 @@ val active_run :
 val count_run : Stats.t -> Sct_core.Runtime.result -> Stats.t
 (** Fold one profiling/active execution into the statistics exactly as
     {!explore} does (total, executions, buggy, first bug). *)
+
+val batches :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?profile_runs:int ->
+  seed:int ->
+  (unit -> unit) ->
+  Strategy.run_batches
+(** The declared parallel plan ({!Strategy.Shard_runs}): a batch of
+    independent profiling runs whose iRoot sets are unioned by commit
+    closures in run order, then — unless a profiling run was buggy — a batch
+    of active runs generated from the absorbed sets. *)

@@ -20,77 +20,105 @@ let probe ?(promote = fun _ -> false) ?(max_steps = 100_000) program =
   in
   max 1 res.Runtime.r_steps
 
-let run_one ~promote ~max_steps ~change_points ~seed ~k i program =
+(* Per-run scheduler state: the lazily drawn priorities and the sampled
+   change depths. Distinct-with-high-probability initial priorities above
+   the change values; change value j is j itself (all below initial
+   priorities). *)
+type run_state = {
+  rng : Random.State.t;
+  priorities : (Tid.t, int) Hashtbl.t;
+  depths : (int * int) list;
+}
+
+let make_run ~change_points ~seed ~k i =
   let rng = Random.State.make [| seed; i; 0x9c7 |] in
-  (* Distinct-with-high-probability initial priorities above the change
-     values; change value j is j itself (all below initial priorities). *)
   let priorities : (Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
-  let priority t =
-    match Hashtbl.find_opt priorities t with
-    | Some p -> p
-    | None ->
-        let p = change_points + 1 + Random.State.int rng 1_000_000 in
-        Hashtbl.replace priorities t p;
-        p
-  in
   let depths =
     List.init change_points (fun j -> (1 + Random.State.int rng k, j))
   in
-  let scheduler (ctx : Runtime.ctx) =
-    let best () =
-      List.fold_left
-        (fun acc t ->
-          match acc with
-          | None -> Some t
-          | Some u -> if priority t > priority u then Some t else acc)
-        None ctx.c_enabled
-    in
-    (match best () with
-    | Some t ->
-        List.iter
-          (fun (d, j) ->
-            if d = ctx.c_step + 1 then Hashtbl.replace priorities t j)
-          depths
-    | None -> ());
-    match best () with Some t -> t | None -> assert false
+  { rng; priorities; depths }
+
+let pct_choose ~change_points rs (ctx : Runtime.ctx) =
+  let priority t =
+    match Hashtbl.find_opt rs.priorities t with
+    | Some p -> p
+    | None ->
+        let p = change_points + 1 + Random.State.int rs.rng 1_000_000 in
+        Hashtbl.replace rs.priorities t p;
+        p
   in
-  Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler program
+  let best () =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | None -> Some t
+        | Some u -> if priority t > priority u then Some t else acc)
+      None ctx.c_enabled
+  in
+  (match best () with
+  | Some t ->
+      List.iter
+        (fun (d, j) ->
+          if d = ctx.c_step + 1 then Hashtbl.replace rs.priorities t j)
+        rs.depths
+  | None -> ());
+  match best () with Some t -> t | None -> assert false
 
-let explore_shard ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(change_points = 2) ~seed ~k ~lo ~hi program =
-  let stats = ref (Stats.base ~technique:"PCT") in
-  for i = lo to hi - 1 do
-    let res = run_one ~promote ~max_steps ~change_points ~seed ~k i program in
-    let s = Stats.observe_run !stats res in
-    let s =
-      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
-    in
-    let s =
-      match res.Runtime.r_outcome with
-      | Outcome.Bug { bug; by } ->
-          let s = { s with Stats.buggy = s.Stats.buggy + 1 } in
-          if s.Stats.to_first_bug = None then
-            {
-              s with
-              Stats.to_first_bug = Some (i + 1);
-              first_bug =
-                Some
-                  {
-                    Stats.w_bug = bug;
-                    w_by = by;
-                    w_schedule = res.Runtime.r_schedule;
-                    w_pc = res.Runtime.r_pc;
-                    w_dc = res.Runtime.r_dc;
-                  };
-            }
-          else s
-      | Outcome.Ok | Outcome.Step_limit -> s
-    in
-    stats := s
-  done;
-  { !stats with Stats.hit_limit = true }
+(* [k = None] probes on campaign setup; shards of one campaign share the
+   collector's probe instead, keeping run [i] identical for every shard
+   assignment. *)
+let strategy ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(change_points = 2) ?k ?(lo = 0) ~seed program () : Strategy.t =
+  (module struct
+    let technique = "PCT"
+    let tracks_distinct = false
+    let respects_limit = true
 
-let explore ?promote ?max_steps ?change_points ~seed ~runs program =
+    type state = { k : int; mutable i : int; mutable run : run_state }
+
+    let init () =
+      let k = match k with Some k -> k | None -> probe ~promote ~max_steps program in
+      { k; i = lo; run = make_run ~change_points ~seed ~k lo }
+
+    let next_phase st =
+      if st.i > lo then
+        Strategy.Finished
+          {
+            f_complete = false;
+            f_bound = None;
+            f_bound_complete = false;
+            f_new_at_bound = false;
+          }
+      else Strategy.Phase { ph_bound = None; ph_new_at_bound = false }
+
+    let begin_run st =
+      st.run <- make_run ~change_points ~seed ~k:st.k st.i;
+      st.i <- st.i + 1
+
+    let listener _ = None
+    let choose st ctx = pct_choose ~change_points st.run ctx
+    let on_terminal _ _ = { Strategy.v_counts = true; v_phase_over = false }
+  end)
+
+let explore_shard ?promote ?max_steps ?change_points ?deadline ~seed ~k ~lo
+    ~hi program =
+  let s =
+    Driver.explore ?promote ?max_steps ?deadline ~count_offset:lo
+      ~limit:(hi - lo)
+      (strategy ?promote ?max_steps ?change_points ~k ~lo ~seed program ())
+      program
+  in
+  { s with Stats.hit_limit = true }
+
+let explore ?promote ?max_steps ?change_points ?deadline ~seed ~runs program =
   let k = probe ?promote ?max_steps program in
-  explore_shard ?promote ?max_steps ?change_points ~seed ~k ~lo:0 ~hi:runs
-    program
+  explore_shard ?promote ?max_steps ?change_points ?deadline ~seed ~k ~lo:0
+    ~hi:runs program
+
+let sharding ?promote ?max_steps ?change_points ?deadline ~seed program =
+  (* one probe for the whole campaign, on the collector *)
+  let k = probe ?promote ?max_steps program in
+  Strategy.Shard_seed
+    (fun ~lo ~hi ->
+      explore_shard ?promote ?max_steps ?change_points ?deadline ~seed ~k ~lo
+        ~hi program)

@@ -12,10 +12,25 @@
     paper's related-work section points at, and benchmarked in the ablation
     benches. *)
 
+val strategy :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?change_points:int ->
+  ?k:int ->
+  ?lo:int ->
+  seed:int ->
+  (unit -> unit) ->
+  unit ->
+  Strategy.t
+(** The PCT strategy starting at absolute run index [lo]. Without [k], the
+    campaign's length estimate is fixed by one uncounted {!probe} run on
+    setup. *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?change_points:int ->
+  ?deadline:float ->
   seed:int ->
   runs:int ->
   (unit -> unit) ->
@@ -34,6 +49,7 @@ val explore_shard :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?change_points:int ->
+  ?deadline:float ->
   seed:int ->
   k:int ->
   lo:int ->
@@ -44,3 +60,14 @@ val explore_shard :
     campaign with the fixed length estimate [k]. [to_first_bug] is an
     absolute 1-based run index; folding {!Stats.merge} over a partition of
     [0, runs) equals the sequential {!explore} result. *)
+
+val sharding :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?change_points:int ->
+  ?deadline:float ->
+  seed:int ->
+  (unit -> unit) ->
+  Strategy.sharding
+(** The declared parallel plan: one probe on the collector fixes [k], then
+    {!Strategy.Shard_seed} over {!explore_shard}. *)

@@ -3,64 +3,70 @@ open Sct_core
 (* Run [i] of a campaign depends only on [seed] and [i]: the RNG is
    re-seeded per run, so any contiguous sharding of the run range replays
    the sequential campaign exactly (lib/parallel relies on this). *)
-let run_one ~promote ~max_steps ~seed i program =
-  let rng = Random.State.make [| seed; i |] in
-  let scheduler (ctx : Runtime.ctx) =
-    match ctx.c_enabled with
-    | [ t ] ->
-        (* still draw, so the RNG stream matches the general case exactly *)
-        ignore (Random.State.int rng 1 : int);
-        t
-    | enabled ->
-        (* one O(n) conversion, then O(1) indexing — [List.nth] here cost a
-           second traversal of the enabled list at every decision *)
-        let enabled = Array.of_list enabled in
-        enabled.(Random.State.int rng (Array.length enabled))
+
+(* One uniform draw per scheduling point. On a singleton enabled set the
+   draw is still performed, so the RNG stream matches the general case
+   exactly. *)
+let uniform_choose rng (ctx : Runtime.ctx) =
+  match ctx.c_enabled with
+  | [ t ] ->
+      ignore (Random.State.int rng 1 : int);
+      t
+  | enabled ->
+      (* one O(n) conversion, then O(1) indexing — [List.nth] here cost a
+         second traversal of the enabled list at every decision *)
+      let enabled = Array.of_list enabled in
+      enabled.(Random.State.int rng (Array.length enabled))
+
+let strategy ?(seed = 0) ?(lo = 0) () : Strategy.t =
+  (module struct
+    let technique = "Rand"
+    let tracks_distinct = true
+    let respects_limit = true
+
+    type state = { mutable i : int; mutable rng : Random.State.t }
+
+    let init () = { i = lo; rng = Random.State.make [| 0 |] }
+
+    (* a single never-ending phase: only the budget or the deadline stops a
+       random walk *)
+    let next_phase st =
+      if st.i > lo then
+        Strategy.Finished
+          {
+            f_complete = false;
+            f_bound = None;
+            f_bound_complete = false;
+            f_new_at_bound = false;
+          }
+      else Strategy.Phase { ph_bound = None; ph_new_at_bound = false }
+
+    let begin_run st =
+      st.rng <- Random.State.make [| seed; st.i |];
+      st.i <- st.i + 1
+
+    let listener _ = None
+    let choose st ctx = uniform_choose st.rng ctx
+    let on_terminal _ _ = { Strategy.v_counts = true; v_phase_over = false }
+  end)
+
+let explore_shard ?promote ?max_steps ?stop_on_bug ?deadline ~seed ~lo ~hi
+    program =
+  let s =
+    Driver.explore ?promote ?max_steps ?stop_on_bug ?deadline
+      ~count_offset:lo ~limit:(hi - lo)
+      (strategy ~seed ~lo ())
+      program
   in
-  Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler program
+  (* a random campaign is always budget-truncated, even when it stopped on
+     a bug or covers an empty shard *)
+  { s with Stats.hit_limit = true }
 
-let explore_shard ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(stop_on_bug = false) ~seed ~lo ~hi program =
-  let stats = ref (Stats.base ~technique:"Rand") in
-  let seen = ref Stats.Sched_set.empty in
-  let continue_ = ref true in
-  let i = ref lo in
-  while !continue_ && !i < hi do
-    let res = run_one ~promote ~max_steps ~seed !i program in
-    seen := Stats.Sched_set.add (Schedule.to_list res.Runtime.r_schedule) !seen;
-    let s = Stats.observe_run !stats res in
-    let s =
-      { s with Stats.total = s.Stats.total + 1; executions = s.executions + 1 }
-    in
-    let s =
-      match res.Runtime.r_outcome with
-      | Outcome.Bug { bug; by } ->
-          let s = { s with Stats.buggy = s.Stats.buggy + 1 } in
-          if s.Stats.to_first_bug = None then begin
-            if stop_on_bug then continue_ := false;
-            {
-              s with
-              (* 1-based absolute run index, so shard results merge into
-                 the same index space as a sequential campaign *)
-              Stats.to_first_bug = Some (!i + 1);
-              first_bug =
-                Some
-                  {
-                    Stats.w_bug = bug;
-                    w_by = by;
-                    w_schedule = res.Runtime.r_schedule;
-                    w_pc = res.Runtime.r_pc;
-                    w_dc = res.Runtime.r_dc;
-                  };
-            }
-          end
-          else s
-      | Outcome.Ok | Outcome.Step_limit -> s
-    in
-    stats := s;
-    incr i
-  done;
-  { !stats with Stats.hit_limit = true; distinct_schedules = Some !seen }
+let explore ?promote ?max_steps ?stop_on_bug ?deadline ~seed ~runs program =
+  explore_shard ?promote ?max_steps ?stop_on_bug ?deadline ~seed ~lo:0
+    ~hi:runs program
 
-let explore ?promote ?max_steps ?stop_on_bug ~seed ~runs program =
-  explore_shard ?promote ?max_steps ?stop_on_bug ~seed ~lo:0 ~hi:runs program
+let sharding ?promote ?max_steps ?deadline ~seed program =
+  Strategy.Shard_seed
+    (fun ~lo ~hi ->
+      explore_shard ?promote ?max_steps ?deadline ~seed ~lo ~hi program)

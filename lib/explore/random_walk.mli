@@ -9,10 +9,15 @@
     range can be partitioned into shards whose statistics merge (with
     {!Stats.merge}) into exactly the sequential campaign's statistics. *)
 
+val strategy : ?seed:int -> ?lo:int -> unit -> Strategy.t
+(** The random-walk strategy starting at absolute run index [lo]
+    (default 0). *)
+
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?stop_on_bug:bool ->
+  ?deadline:float ->
   seed:int ->
   runs:int ->
   (unit -> unit) ->
@@ -25,6 +30,7 @@ val explore_shard :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?stop_on_bug:bool ->
+  ?deadline:float ->
   seed:int ->
   lo:int ->
   hi:int ->
@@ -35,3 +41,13 @@ val explore_shard :
     {e absolute} run index and distinct schedules are carried as a set, so
     folding {!Stats.merge} over any partition of [0, runs) into shards
     equals the sequential result ({!Stats.equal}). *)
+
+val sharding :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  seed:int ->
+  (unit -> unit) ->
+  Strategy.sharding
+(** The declared parallel plan: {!Strategy.Shard_seed} over
+    {!explore_shard}. *)

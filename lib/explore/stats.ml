@@ -22,6 +22,7 @@ type t = {
   buggy : int;
   complete : bool;
   hit_limit : bool;
+  hit_deadline : bool;
   first_bug : bug_witness option;
   n_threads : int;
   max_enabled : int;
@@ -44,6 +45,7 @@ let base ~technique =
     buggy = 0;
     complete = false;
     hit_limit = false;
+    hit_deadline = false;
     first_bug = None;
     n_threads = 0;
     max_enabled = 0;
@@ -107,6 +109,7 @@ let merge a b =
     buggy = a.buggy + b.buggy;
     complete = a.complete || b.complete;
     hit_limit = a.hit_limit || b.hit_limit;
+    hit_deadline = a.hit_deadline || b.hit_deadline;
     first_bug = first.first_bug;
     n_threads = max a.n_threads b.n_threads;
     max_enabled = max a.max_enabled b.max_enabled;
@@ -126,6 +129,7 @@ let equal a b =
   && a.new_at_bound = b.new_at_bound
   && a.buggy = b.buggy && a.complete = b.complete
   && a.hit_limit = b.hit_limit
+  && a.hit_deadline = b.hit_deadline
   && Option.equal equal_witness a.first_bug b.first_bug
   && a.n_threads = b.n_threads
   && a.max_enabled = b.max_enabled
@@ -136,6 +140,7 @@ let equal a b =
 let pp ppf t =
   let opt = function None -> "-" | Some i -> string_of_int i in
   Format.fprintf ppf
-    "%s: bound=%s first=%s total=%d new=%d buggy=%d complete=%b limit=%b"
+    "%s: bound=%s first=%s total=%d new=%d buggy=%d complete=%b limit=%b%s"
     t.technique (opt t.bound) (opt t.to_first_bug) t.total t.new_at_bound
     t.buggy t.complete t.hit_limit
+    (if t.hit_deadline then " deadline=true" else "")

@@ -30,7 +30,11 @@ type t = {
           "# new schedules") *)
   buggy : int;  (** buggy schedules among [total] *)
   complete : bool;  (** the entire schedule space was explored *)
-  hit_limit : bool;
+  hit_limit : bool;  (** stopped because the schedule limit was reached *)
+  hit_deadline : bool;
+      (** stopped because the wall-clock [--time-limit] deadline passed;
+          never set on deadline-free campaigns, whose statistics are
+          byte-for-byte deterministic *)
   first_bug : bug_witness option;
   n_threads : int;  (** max threads created over all runs *)
   max_enabled : int;  (** max simultaneously enabled threads over all runs *)

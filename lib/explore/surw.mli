@@ -1,0 +1,73 @@
+(** SURW — a selectively uniform random walk.
+
+    A naive random walk (Rand) draws uniformly at every scheduling point,
+    which over-samples schedules that exhaust short threads early. SURW
+    weights each point by an a-priori estimate of the events each thread
+    has left to execute, descending the schedule tree with probability
+    roughly proportional to the number of terminal schedules under each
+    branch — an approximately uniform sample over terminal schedules.
+
+    The per-thread estimates are fixed for the whole campaign by one
+    uncounted deterministic round-robin {!probe} (the same a-priori setup
+    PCT uses for its depth range), which makes run [i] a pure function of
+    [(seed, i, estimates)] and the campaign shardable by seed range.
+
+    Not part of the paper's Table 3 — a study extension, excluded from the
+    paper tables by default. *)
+
+type estimates
+(** Per-thread event-count estimates from a probe run. *)
+
+val probe :
+  ?promote:(string -> bool) -> ?max_steps:int -> (unit -> unit) -> estimates
+(** One uncounted deterministic round-robin execution; returns how many
+    times each thread was scheduled, the campaign's per-thread budgets. *)
+
+val strategy :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?estimates:estimates ->
+  ?lo:int ->
+  seed:int ->
+  (unit -> unit) ->
+  unit ->
+  Strategy.t
+(** The SURW strategy starting at absolute run index [lo]. Without
+    [estimates], the per-thread budgets are fixed by one uncounted {!probe}
+    run on setup. *)
+
+val explore :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  seed:int ->
+  runs:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore ~seed ~runs program] probes once and performs [runs] weighted
+    random executions. *)
+
+val explore_shard :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  estimates:estimates ->
+  seed:int ->
+  lo:int ->
+  hi:int ->
+  (unit -> unit) ->
+  Stats.t
+(** [explore_shard ~estimates ~seed ~lo ~hi program] performs runs [lo, hi)
+    of the campaign with the fixed estimates. [to_first_bug] is an absolute
+    1-based run index; folding {!Stats.merge} over a partition of [0, runs)
+    equals the sequential {!explore} result. *)
+
+val sharding :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  seed:int ->
+  (unit -> unit) ->
+  Strategy.sharding
+(** The declared parallel plan: one probe on the collector fixes the
+    estimates, then {!Strategy.Shard_seed} over {!explore_shard}. *)

@@ -1,6 +1,7 @@
-type t = IPB | IDB | DFS | Rand | PCT | Maple
+type t = IPB | IDB | DFS | Rand | PCT | Maple | SURW
 
 let all_paper = [ IPB; IDB; DFS; Rand; Maple ]
+let all = [ IPB; IDB; DFS; Rand; PCT; Maple; SURW ]
 
 let name = function
   | IPB -> "IPB"
@@ -9,6 +10,7 @@ let name = function
   | Rand -> "Rand"
   | PCT -> "PCT"
   | Maple -> "MapleAlg"
+  | SURW -> "SURW"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -18,7 +20,10 @@ let of_name s =
   | "rand" | "random" -> Some Rand
   | "pct" -> Some PCT
   | "maple" | "maplealg" -> Some Maple
+  | "surw" -> Some SURW
   | _ -> None
+
+let valid_names = [ "ipb"; "idb"; "dfs"; "rand"; "pct"; "maple"; "surw" ]
 
 type options = {
   limit : int;
@@ -29,6 +34,7 @@ type options = {
   maple_profile_runs : int;
   jobs : int;
   split_depth : int;
+  time_limit : float option;
 }
 
 let default_options =
@@ -41,44 +47,71 @@ let default_options =
     maple_profile_runs = 10;
     jobs = 1;
     split_depth = 3;
+    time_limit = None;
   }
 
-let dfs_stats ~technique (r : Dfs.level_result) =
-  {
-    (Stats.base ~technique) with
-    Stats.to_first_bug = r.Dfs.to_first_bug;
-    total = r.Dfs.counted;
-    buggy = r.Dfs.buggy;
-    complete = r.Dfs.complete;
-    hit_limit = r.Dfs.hit_limit;
-    first_bug = r.Dfs.first_bug;
-    n_threads = r.Dfs.n_threads;
-    max_enabled = r.Dfs.max_enabled;
-    max_sched_points = r.Dfs.max_sched_points;
-    executions = r.Dfs.executions;
-  }
+let deadline_of o = Driver.deadline_of_time_limit o.time_limit
+let dfs_stats = Dfs.stats_of
 
-let run ?(promote = fun _ -> false) o technique program =
+(* Pure STRATEGY registration: which strategy value a technique name
+   denotes, under the campaign options. All exploration control flow lives
+   in Driver.explore. *)
+let strategy ?(promote = fun _ -> false) o technique program =
+  match technique with
+  | IPB -> Bounded.strategy ~kind:Bounded.Preemption_bounding ()
+  | IDB -> Bounded.strategy ~kind:Bounded.Delay_bounding ()
+  | DFS -> Dfs.strategy ~bound:Dfs.Unbounded ()
+  | Rand -> Random_walk.strategy ~seed:o.seed ()
+  | PCT ->
+      Pct.strategy ~promote ~max_steps:o.max_steps
+        ~change_points:o.pct_change_points ~seed:o.seed program ()
+  | Maple ->
+      Maple_lite.strategy ~promote ~profile_runs:o.maple_profile_runs
+        ~seed:o.seed ()
+  | SURW ->
+      Surw.strategy ~promote ~max_steps:o.max_steps ~seed:o.seed program ()
+
+(* Declared parallel plan per technique, consumed by Sct_parallel.Drivers.
+   Again pure registration: the technique only names its capability
+   ({!Strategy.sharding}); how shards are dispatched, merged and truncated
+   lives in lib/parallel. *)
+let sharding ?(promote = fun _ -> false) o technique program =
+  let deadline = deadline_of o in
   match technique with
   | IPB ->
-      Bounded.explore ~promote ~max_steps:o.max_steps
-        ~kind:Bounded.Preemption_bounding ~limit:o.limit program
+      Strategy.Shard_tree
+        (fun run ->
+          Bounded.tree_campaign ~promote ~max_steps:o.max_steps ?deadline
+            ~kind:Bounded.Preemption_bounding ~limit:o.limit program run)
   | IDB ->
-      Bounded.explore ~promote ~max_steps:o.max_steps
-        ~kind:Bounded.Delay_bounding ~limit:o.limit program
+      Strategy.Shard_tree
+        (fun run ->
+          Bounded.tree_campaign ~promote ~max_steps:o.max_steps ?deadline
+            ~kind:Bounded.Delay_bounding ~limit:o.limit program run)
   | DFS ->
-      dfs_stats ~technique:"DFS"
-        (Dfs.explore ~promote ~max_steps:o.max_steps ~bound:Dfs.Unbounded
-           ~limit:o.limit program)
+      Strategy.Shard_tree
+        (fun run ->
+          Dfs.tree_campaign ~promote ~max_steps:o.max_steps ?deadline
+            ~bound:Dfs.Unbounded ~limit:o.limit program run)
   | Rand ->
-      Random_walk.explore ~promote ~max_steps:o.max_steps ~seed:o.seed
-        ~runs:o.limit program
+      Random_walk.sharding ~promote ~max_steps:o.max_steps ?deadline
+        ~seed:o.seed program
   | PCT ->
-      Pct.explore ~promote ~max_steps:o.max_steps
-        ~change_points:o.pct_change_points ~seed:o.seed ~runs:o.limit program
+      Pct.sharding ~promote ~max_steps:o.max_steps
+        ~change_points:o.pct_change_points ?deadline ~seed:o.seed program
   | Maple ->
-      Maple_lite.explore ~promote ~max_steps:o.max_steps
-        ~profile_runs:o.maple_profile_runs ~seed:o.seed program
+      Strategy.Shard_runs
+        (Maple_lite.batches ~promote ~max_steps:o.max_steps
+           ~profile_runs:o.maple_profile_runs ~seed:o.seed program)
+  | SURW ->
+      Surw.sharding ~promote ~max_steps:o.max_steps ?deadline ~seed:o.seed
+        program
+
+let run ?(promote = fun _ -> false) o technique program =
+  Driver.explore ~promote ~max_steps:o.max_steps ?deadline:(deadline_of o)
+    ~limit:o.limit
+    (strategy ~promote o technique program)
+    program
 
 let detect_races o program =
   Sct_race.Promotion.detect ~runs:o.race_runs ~seed:o.seed

@@ -1,14 +1,24 @@
 (** Uniform front-end over the concurrency-testing techniques of the study
     (paper §5): the race-detection phase followed by any of the IPB, IDB,
-    DFS, Rand and MapleAlg phases, plus the PCT extension. *)
+    DFS, Rand and MapleAlg phases, plus the PCT and SURW extensions.
 
-type t = IPB | IDB | DFS | Rand | PCT | Maple
+    Every technique is a {!Strategy.STRATEGY} value; {!run} is nothing but
+    {!Driver.explore} applied to the registered strategy. *)
+
+type t = IPB | IDB | DFS | Rand | PCT | Maple | SURW
 
 val all_paper : t list
-(** The five techniques of Table 3, in the paper's column order. *)
+(** The five techniques of Table 3, in the paper's column order. PCT and
+    SURW are study extensions, excluded from the paper tables by default. *)
+
+val all : t list
+(** Every technique, paper order first, then the extensions. *)
 
 val name : t -> string
 val of_name : string -> t option
+
+val valid_names : string list
+(** The canonical names accepted by {!of_name}, for CLI error messages. *)
 
 type options = {
   limit : int;  (** schedule limit per technique (paper: 10,000) *)
@@ -25,20 +35,42 @@ type options = {
   split_depth : int;
       (** decision depth at which the parallel engine splits the DFS/IPB/IDB
           schedule tree into subtree partitions *)
+  time_limit : float option;
+      (** wall-clock budget in seconds per campaign; [None] (the default)
+          disables the deadline and keeps runs fully deterministic *)
 }
 
 val default_options : options
 (** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
     pct_change_points = 2; maple_profile_runs = 10; jobs = 1;
-    split_depth = 3]. *)
+    split_depth = 3; time_limit = None]. *)
+
+val deadline_of : options -> float option
+(** The absolute deadline for a campaign starting now, from
+    [options.time_limit]. *)
 
 val dfs_stats : technique:string -> Dfs.level_result -> Stats.t
 (** Lift a DFS level result into the Table 3 statistics record. *)
 
+val strategy :
+  ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Strategy.t
+(** The registered strategy of a technique under the given options — pure
+    registration; all control flow lives in {!Driver.explore}. *)
+
+val sharding :
+  ?promote:(string -> bool) ->
+  options ->
+  t ->
+  (unit -> unit) ->
+  Strategy.sharding
+(** The declared parallel plan of a technique, dispatched by
+    [Sct_parallel.Drivers] from the capability constructor alone. *)
+
 val run :
   ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Stats.t
 (** Run one technique with an externally supplied promotion predicate
-    (defaults to promoting nothing). *)
+    (defaults to promoting nothing): {!Driver.explore} over {!strategy},
+    budgeted by [options.limit] and [options.time_limit]. *)
 
 val detect_races : options -> (unit -> unit) -> Sct_race.Promotion.result
 (** Phase 1: the data-race detection phase. *)

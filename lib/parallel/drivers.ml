@@ -15,95 +15,55 @@ let merge_all = function
   | [] -> invalid_arg "Sct_parallel.Drivers.merge_all: no shards"
   | s :: rest -> List.fold_left Stats.merge s rest
 
-let run_rand ~pool ~promote (o : Techniques.options) program =
+(* Interpreter for the Shard_seed capability: contiguous per-worker slices
+   of the run range, folded with Stats.merge (first-bug indices are
+   absolute, so the merge recovers the sequential first bug). *)
+let run_seed_sharded ~pool ~limit shard =
   let futs =
     List.map
-      (fun (lo, hi) ->
-        Pool.submit pool (fun () ->
-            Random_walk.explore_shard ~promote ~max_steps:o.max_steps
-              ~seed:o.seed ~lo ~hi program))
-      (shard_ranges ~shards:(Pool.size pool) ~n:o.limit)
+      (fun (lo, hi) -> Pool.submit pool (fun () -> shard ~lo ~hi))
+      (shard_ranges ~shards:(Pool.size pool) ~n:limit)
   in
   merge_all (List.map Pool.await futs)
 
-let run_pct ~pool ~promote (o : Techniques.options) program =
-  (* The probe run fixes PCT's a-priori length estimate [k] for the whole
-     campaign, making run [i] a pure function of [(seed, i, k)]. *)
-  let k = Pct.probe ~promote ~max_steps:o.max_steps program in
-  let futs =
-    List.map
-      (fun (lo, hi) ->
-        Pool.submit pool (fun () ->
-            Pct.explore_shard ~promote ~max_steps:o.max_steps
-              ~change_points:o.pct_change_points ~seed:o.seed ~k ~lo ~hi
-              program))
-      (shard_ranges ~shards:(Pool.size pool) ~n:o.limit)
+(* Interpreter for the Shard_runs capability: each batch's independent runs
+   execute in parallel; their results are committed and absorbed in batch
+   order, truncated at the first bug — runs past it are cancelled
+   unabsorbed, exactly the runs the sequential algorithm would not have
+   executed. *)
+let run_batched ~pool (rb : Strategy.run_batches) =
+  let rec batches () =
+    match rb.Strategy.rb_next () with
+    | None -> ()
+    | Some batch ->
+        let futs = List.map (Pool.submit pool) batch in
+        List.iter
+          (fun fut ->
+            if rb.Strategy.rb_found () then Pool.cancel fut
+            else begin
+              let res, commit = Pool.await fut in
+              commit ();
+              rb.Strategy.rb_absorb res
+            end)
+          futs;
+        batches ()
   in
-  merge_all (List.map Pool.await futs)
+  batches ();
+  rb.Strategy.rb_finish ()
 
-let run_maple ~pool ~promote (o : Techniques.options) program =
-  let stats = ref (Stats.base ~technique:"MapleAlg") in
-  (* Phase 1: profiling runs are independent; run them all in parallel but
-     merge in run order, discarding runs past the first buggy one — exactly
-     the runs the sequential algorithm would not have executed. *)
-  let profile_futs =
-    List.init o.maple_profile_runs (fun i ->
-        Pool.submit pool (fun () ->
-            Maple_lite.profile_one ~promote ~max_steps:o.max_steps ~seed:o.seed
-              i program))
-  in
-  let observed = ref Maple_lite.Iroot_set.empty in
-  let adjacent = ref Maple_lite.Iroot_set.empty in
-  List.iter
-    (fun fut ->
-      if Stats.found !stats then Pool.cancel fut
-      else begin
-        let res, obs, adj = Pool.await fut in
-        observed := Maple_lite.Iroot_set.union !observed obs;
-        adjacent := Maple_lite.Iroot_set.union !adjacent adj;
-        stats := Maple_lite.count_run !stats res
-      end)
-    profile_futs;
-  (* Phase 2: one (deterministic) active run per candidate reversal, merged
-     in candidate order up to the first bug. *)
-  if not (Stats.found !stats) then begin
-    let active_futs =
-      List.map
-        (fun c ->
-          Pool.submit pool (fun () ->
-              Maple_lite.active_run ~promote ~max_steps:o.max_steps c program))
-        (Maple_lite.candidates ~promote ~observed:!observed
-           ~adjacent:!adjacent)
-    in
-    List.iter
-      (fun fut ->
-        if Stats.found !stats then Pool.cancel fut
-        else stats := Maple_lite.count_run !stats (Pool.await fut))
-      active_futs
-  end;
-  { !stats with Stats.complete = true }
-
+(* Dispatch purely on the declared capability: the shape of the
+   {!Sct_explore.Strategy.sharding} value decides the parallel plan; no
+   per-technique case analysis remains here. *)
 let run ~pool ?(promote = fun _ -> false) (o : Techniques.options) technique
     program =
   if Pool.size pool <= 1 then Techniques.run ~promote o technique program
   else
-    match technique with
-    | Techniques.Rand -> run_rand ~pool ~promote o program
-    | Techniques.PCT -> run_pct ~pool ~promote o program
-    | Techniques.Maple -> run_maple ~pool ~promote o program
-    | Techniques.DFS ->
-        Techniques.dfs_stats ~technique:"DFS"
-          (Frontier.explore ~pool ~promote ~max_steps:o.max_steps
-             ~split_depth:o.split_depth ~bound:Dfs.Unbounded ~limit:o.limit
-             program)
-    | Techniques.IPB ->
-        Frontier.explore_bounded ~pool ~promote ~max_steps:o.max_steps
-          ~split_depth:o.split_depth ~kind:Bounded.Preemption_bounding
-          ~limit:o.limit program
-    | Techniques.IDB ->
-        Frontier.explore_bounded ~pool ~promote ~max_steps:o.max_steps
-          ~split_depth:o.split_depth ~kind:Bounded.Delay_bounding
-          ~limit:o.limit program
+    match Techniques.sharding ~promote o technique program with
+    | Strategy.Shard_seed shard -> run_seed_sharded ~pool ~limit:o.limit shard
+    | Strategy.Shard_tree campaign ->
+        campaign (fun tw ~limit ->
+            Frontier.run ~pool ~split_depth:o.split_depth tw ~limit)
+    | Strategy.Shard_runs rb -> run_batched ~pool rb
 
 let run_all ~pool ?(techniques = Techniques.all_paper) o program =
   let detection = Techniques.detect_races o program in

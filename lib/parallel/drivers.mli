@@ -1,19 +1,22 @@
-(** Parallel drivers for the study's techniques, one strategy per technique
-    family, all producing statistics equal ([Sct_explore.Stats.equal]) to
-    the sequential {!Sct_explore.Techniques.run} for every pool size:
+(** Parallel drivers for the study's techniques, dispatched from each
+    technique's {e declared} sharding capability
+    ({!Sct_explore.Strategy.sharding}) — the shape of the capability value,
+    never the identity of the technique, decides the parallel plan. All
+    plans produce statistics equal ([Sct_explore.Stats.equal]) to the
+    sequential {!Sct_explore.Techniques.run} for every pool size:
 
-    - Rand and PCT sample independent runs: the run range is sharded into
-      contiguous per-worker slices (run [i] depends only on [(seed, i)]),
-      and shard statistics are folded with [Sct_explore.Stats.merge] —
-      first-bug indices are absolute, so the merge recovers the sequential
-      first bug.
-    - MapleAlg's profiling runs are independent and run in parallel, merged
-      in run order and truncated at the first buggy run (the point where the
-      sequential algorithm stops profiling); active runs are deterministic
-      per candidate and merged in candidate order up to the first bug.
-    - DFS, IPB and IDB use frontier partitioning ({!Frontier}).
+    - [Shard_seed] (Rand, PCT, SURW): run [i] is a pure function of the
+      campaign seed and [i]; the run range is sharded into contiguous
+      per-worker slices and shard statistics are folded with
+      [Sct_explore.Stats.merge] — first-bug indices are absolute, so the
+      merge recovers the sequential first bug.
+    - [Shard_tree] (DFS, IPB, IDB): the campaign runs its abstract tree
+      walks through the frontier-partitioned runner ({!Frontier.run}).
+    - [Shard_runs] (MapleAlg): finite batches of independent runs execute
+      in parallel and are committed and absorbed in batch order, truncated
+      at the first bug.
 
-    With a pool of size 1 every driver simply calls the sequential code. *)
+    With a pool of size 1 every plan simply calls the sequential code. *)
 
 val run :
   pool:Pool.t ->

@@ -7,48 +7,38 @@ open Sct_explore
    result instead of re-exploring it on a worker. *)
 type partition =
   | Leaf of Runtime.result
-  | Subtree of (Tid.t * Tid.t list) array * Dfs.level_result Pool.future
+  | Subtree of Strategy.prefix * Strategy.walk_result Pool.future
 
-let explore ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?count_exact ?(split_depth = 3) ~bound ~limit program =
-  let counts exact =
-    match count_exact with None -> true | Some c -> exact = c
-  in
-  let exact_of (res : Runtime.result) =
-    match bound with
-    | Dfs.Unbounded | Dfs.Preemption _ -> res.r_pc
-    | Dfs.Delay _ -> res.r_dc
-  in
+(* The generic frontier-partitioned runner: everything it needs from the
+   technique is in the abstract {!Sct_explore.Strategy.tree_walk} — how to
+   enumerate the frontier, how to walk one subtree, and whether a terminal
+   schedule counts. No per-technique knowledge lives here. *)
+let run ~pool ?(split_depth = 3) (tw : Strategy.tree_walk) ~limit :
+    Strategy.walk_result =
   (* Phase 1: sequential frontier enumeration on this domain. Every
      execution pins the first in-bound child below [split_depth], so it
      reaches the first terminal schedule of its depth-[split_depth] subtree;
      subtrees with further branching are submitted to the pool as soon as
      they are discovered, in DFS order. *)
   let parts = ref [] in
-  let on_exec (res : Runtime.result) (fi : Dfs.frontier_info) =
+  let on_exec (res : Runtime.result) (fi : Strategy.frontier_info) =
     let p =
-      if fi.Dfs.fi_branched_below then
-        let prefix = fi.Dfs.fi_prefix in
+      if fi.Strategy.fi_branched_below then
+        let prefix = fi.Strategy.fi_prefix in
         Subtree
-          ( prefix,
-            Pool.submit pool (fun () ->
-                Dfs.explore ~promote ~max_steps ?count_exact ~prefix ~bound
-                  ~limit program) )
+          (prefix, Pool.submit pool (fun () -> tw.Strategy.tw_sub ~prefix ~limit))
       else Leaf res
     in
     parts := p :: !parts
   in
-  let enum =
-    Dfs.explore ~promote ~max_steps ?count_exact
-      ~max_branch_depth:split_depth ~on_exec ~bound ~limit program
-  in
+  let enum = tw.Strategy.tw_enum ~max_branch_depth:split_depth ~on_exec ~limit in
   let parts = List.rev !parts in
   (* Phase 2: merge in partition (= sequential DFS) order. The enumeration
      counts at most one terminal schedule per partition, so whenever it
      stopped at the limit the merged walk is guaranteed to cross the limit
      within the collected partitions. *)
   let leaf_result (res : Runtime.result) =
-    let counted = if counts (exact_of res) then 1 else 0 in
+    let counted = if tw.Strategy.tw_counts res then 1 else 0 in
     let buggy, to_first_bug, first_bug =
       if counted = 1 then
         match res.r_outcome with
@@ -67,13 +57,14 @@ let explore ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
       else (0, None, None)
     in
     {
-      Dfs.counted;
+      Strategy.counted;
       buggy;
       to_first_bug;
       first_bug;
       pruned = false;
       (* pruning at this leaf's decisions was observed by the enumeration *)
       hit_limit = false;
+      hit_deadline = false;
       complete = true;
       executions = 1;
       n_threads = res.r_n_threads;
@@ -89,17 +80,20 @@ let explore ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
   let n_threads = ref 0 in
   let max_enabled = ref 0 in
   let max_points = ref 0 in
-  let pruned = ref enum.Dfs.pruned in
+  let pruned = ref enum.Strategy.pruned in
   let hit = ref false in
+  let hit_deadline = ref enum.Strategy.hit_deadline in
   let rec merge = function
     | [] -> ()
     | p :: rest ->
         let r =
-          match p with Leaf res -> leaf_result res | Subtree (_, fut) -> Pool.await fut
+          match p with
+          | Leaf res -> leaf_result res
+          | Subtree (_, fut) -> Pool.await fut
         in
         let remaining = limit - !counted in
         let r =
-          if r.Dfs.counted < remaining then r
+          if r.Strategy.counted < remaining then r
           else begin
             (* This partition reaches the schedule limit. Reproduce the
                sequential stop point exactly — including the executions and
@@ -107,24 +101,23 @@ let explore ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
                subtree with the remaining budget. *)
             hit := true;
             match p with
-            | Leaf _ -> { r with Dfs.hit_limit = true }
-            | Subtree (prefix, _) ->
-                Dfs.explore ~promote ~max_steps ?count_exact ~prefix ~bound
-                  ~limit:remaining program
+            | Leaf _ -> { r with Strategy.hit_limit = true }
+            | Subtree (prefix, _) -> tw.Strategy.tw_sub ~prefix ~limit:remaining
           end
         in
-        (match r.Dfs.to_first_bug with
+        (match r.Strategy.to_first_bug with
         | Some i when !to_first_bug = None ->
             to_first_bug := Some (!counted + i);
-            first_bug := r.Dfs.first_bug
+            first_bug := r.Strategy.first_bug
         | _ -> ());
-        counted := !counted + r.Dfs.counted;
-        buggy := !buggy + r.Dfs.buggy;
-        executions := !executions + r.Dfs.executions;
-        n_threads := max !n_threads r.Dfs.n_threads;
-        max_enabled := max !max_enabled r.Dfs.max_enabled;
-        max_points := max !max_points r.Dfs.max_sched_points;
-        pruned := !pruned || r.Dfs.pruned;
+        counted := !counted + r.Strategy.counted;
+        buggy := !buggy + r.Strategy.buggy;
+        executions := !executions + r.Strategy.executions;
+        n_threads := max !n_threads r.Strategy.n_threads;
+        max_enabled := max !max_enabled r.Strategy.max_enabled;
+        max_points := max !max_points r.Strategy.max_sched_points;
+        pruned := !pruned || r.Strategy.pruned;
+        hit_deadline := !hit_deadline || r.Strategy.hit_deadline;
         if !hit then
           List.iter
             (function Subtree (_, fut) -> Pool.cancel fut | Leaf _ -> ())
@@ -133,78 +126,28 @@ let explore ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
   in
   merge parts;
   {
-    Dfs.counted = !counted;
+    Strategy.counted = !counted;
     buggy = !buggy;
     to_first_bug = !to_first_bug;
     first_bug = !first_bug;
     pruned = !pruned;
     hit_limit = !hit;
-    complete = (if !hit then false else enum.Dfs.complete);
+    hit_deadline = !hit_deadline;
+    complete = (if !hit || !hit_deadline then false else enum.Strategy.complete);
     executions = !executions;
     n_threads = !n_threads;
     max_enabled = !max_enabled;
     max_sched_points = !max_points;
   }
 
-let explore_bounded ~pool ?(promote = fun _ -> false) ?(max_steps = 100_000)
-    ?(max_levels = 64) ?split_depth ~kind ~limit program =
-  let wrap c =
-    match kind with
-    | Bounded.Preemption_bounding -> Dfs.Preemption c
-    | Bounded.Delay_bounding -> Dfs.Delay c
-  in
-  (* Mirrors [Bounded.explore]'s level loop, with each level's walk
-     parallelised by [explore]. *)
-  let rec level c (acc : Stats.t) =
-    if acc.Stats.total >= limit then
-      { acc with Stats.bound = Some c; hit_limit = true }
-    else if c > max_levels then { acc with Stats.bound = Some c }
-    else begin
-      let r =
-        explore ~pool ~promote ~max_steps ?split_depth ~count_exact:c
-          ~bound:(wrap c) ~limit:(limit - acc.Stats.total) program
-      in
-      let acc =
-        {
-          acc with
-          Stats.total = acc.Stats.total + r.Dfs.counted;
-          buggy = acc.Stats.buggy + r.Dfs.buggy;
-          executions = acc.Stats.executions + r.Dfs.executions;
-          n_threads = max acc.Stats.n_threads r.Dfs.n_threads;
-          max_enabled = max acc.Stats.max_enabled r.Dfs.max_enabled;
-          max_sched_points =
-            max acc.Stats.max_sched_points r.Dfs.max_sched_points;
-        }
-      in
-      match r.Dfs.to_first_bug with
-      | Some i ->
-          {
-            acc with
-            Stats.bound = Some c;
-            bound_complete = r.Dfs.complete;
-            to_first_bug = Some (acc.Stats.total - r.Dfs.counted + i);
-            new_at_bound = r.Dfs.counted;
-            first_bug = r.Dfs.first_bug;
-            hit_limit = r.Dfs.hit_limit;
-          }
-      | None ->
-          if r.Dfs.hit_limit then
-            {
-              acc with
-              Stats.bound = Some c;
-              bound_complete = false;
-              new_at_bound = r.Dfs.counted;
-              hit_limit = true;
-            }
-          else if not r.Dfs.pruned then
-            {
-              acc with
-              Stats.bound = Some c;
-              bound_complete = true;
-              new_at_bound = r.Dfs.counted;
-              complete = true;
-            }
-          else level (c + 1) acc
-    end
-  in
-  level 0 (Stats.base ~technique:(Bounded.technique_name kind))
+let explore ~pool ?promote ?max_steps ?count_exact ?split_depth ?deadline
+    ~bound ~limit program =
+  run ~pool ?split_depth
+    (Dfs.tree_walk ?promote ?max_steps ?count_exact ?deadline ~bound program)
+    ~limit
+
+let explore_bounded ~pool ?promote ?max_steps ?max_levels ?split_depth
+    ?deadline ~kind ~limit program =
+  Bounded.tree_campaign ?promote ?max_steps ?max_levels ?deadline ~kind ~limit
+    program
+    (fun tw ~limit -> run ~pool ?split_depth tw ~limit)

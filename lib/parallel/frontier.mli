@@ -1,15 +1,16 @@
-(** Frontier-partitioned parallel DFS and iterative bounding.
+(** Frontier-partitioned parallel execution of systematic schedule-tree
+    walks.
 
     The schedule tree is split at a fixed decision depth: a sequential
     enumeration pass walks the tree with backtracking restricted to depths
-    below [split_depth] ({!Sct_explore.Dfs.explore}'s [max_branch_depth]),
-    discovering one depth-[split_depth] subtree per execution, in DFS order.
-    Subtrees with internal branching are explored on pool workers (each
-    worker replays the pinned prefix and runs an ordinary DFS below it);
+    below [split_depth] (the tree walk's [max_branch_depth]), discovering
+    one depth-[split_depth] subtree per execution, in DFS order. Subtrees
+    with internal branching are explored on pool workers (each worker
+    replays the pinned prefix and runs an ordinary walk below it);
     single-schedule subtrees reuse the enumeration's own execution.
 
     Partition results are merged {e in DFS order}, so the merged
-    {!Sct_explore.Dfs.level_result} is identical to a sequential walk:
+    {!Sct_explore.Strategy.walk_result} is identical to a sequential walk:
     schedule counts and executions add up, first-bug indices are offset by
     the schedules counted before the partition, and when the cumulative
     count crosses the schedule limit the crossing subtree is re-walked with
@@ -23,21 +24,32 @@
     where the flag is exact — so {!explore_bounded} is exactly
     sequential-equivalent. *)
 
+val run :
+  pool:Pool.t ->
+  ?split_depth:int ->
+  Sct_explore.Strategy.tree_walk ->
+  limit:int ->
+  Sct_explore.Strategy.walk_result
+(** The generic runner: parallelise one abstract tree walk. This is the
+    interpreter of the {!Sct_explore.Strategy.Shard_tree} capability — it
+    has no knowledge of which technique it runs. [split_depth] defaults
+    to 3. The program closure behind the walk is invoked concurrently on
+    several domains, one execution per domain at a time; it must create all
+    of its state inside the call (every SCTBench benchmark does). *)
+
 val explore :
   pool:Pool.t ->
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?count_exact:int ->
   ?split_depth:int ->
+  ?deadline:float ->
   bound:Sct_explore.Dfs.bound ->
   limit:int ->
   (unit -> unit) ->
   Sct_explore.Dfs.level_result
 (** Parallel equivalent of [Sct_explore.Dfs.explore] (without the callback
-    arguments). [split_depth] defaults to 3. The program closure is invoked
-    concurrently on several domains, one execution per domain at a time; it
-    must create all of its state inside the call (every SCTBench benchmark
-    does). *)
+    arguments): {!run} over [Sct_explore.Dfs.tree_walk]. *)
 
 val explore_bounded :
   pool:Pool.t ->
@@ -45,11 +57,12 @@ val explore_bounded :
   ?max_steps:int ->
   ?max_levels:int ->
   ?split_depth:int ->
+  ?deadline:float ->
   kind:Sct_explore.Bounded.kind ->
   limit:int ->
   (unit -> unit) ->
   Sct_explore.Stats.t
-(** Parallel equivalent of [Sct_explore.Bounded.explore]: the iterative
-    bounding level loop with each level's bounded walk parallelised by
-    {!explore}. Produces statistics equal ([Sct_explore.Stats.equal]) to the
-    sequential function for every pool size. *)
+(** Parallel equivalent of [Sct_explore.Bounded.explore]:
+    [Sct_explore.Bounded.tree_campaign] instantiated with {!run}. Produces
+    statistics equal ([Sct_explore.Stats.equal]) to the sequential function
+    for every pool size. *)

@@ -104,18 +104,36 @@ let witness_of_json j =
 
 (* --- technique options --- *)
 
+(* The JSON tree has no float constructor (see json.mli); the optional
+   wall-clock limit is carried as an OCaml hex-float string ("%h"), which
+   [float_of_string] reads back exactly. The field is emitted only when
+   set, so version-1 journals and fingerprints written before the field
+   existed remain byte-identical. *)
+let time_limit_to_json s = Json.Str (Printf.sprintf "%h" s)
+
+let time_limit_of_json = function
+  | Json.Str s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> error "malformed time_limit %S" s)
+  | _ -> error "malformed time_limit"
+
 let options_to_json (o : Techniques.options) =
   Json.Obj
-    [
-      ("limit", Json.Int o.Techniques.limit);
-      ("seed", Json.Int o.Techniques.seed);
-      ("max_steps", Json.Int o.Techniques.max_steps);
-      ("race_runs", Json.Int o.Techniques.race_runs);
-      ("pct_change_points", Json.Int o.Techniques.pct_change_points);
-      ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
-      ("jobs", Json.Int o.Techniques.jobs);
-      ("split_depth", Json.Int o.Techniques.split_depth);
-    ]
+    ([
+       ("limit", Json.Int o.Techniques.limit);
+       ("seed", Json.Int o.Techniques.seed);
+       ("max_steps", Json.Int o.Techniques.max_steps);
+       ("race_runs", Json.Int o.Techniques.race_runs);
+       ("pct_change_points", Json.Int o.Techniques.pct_change_points);
+       ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
+       ("jobs", Json.Int o.Techniques.jobs);
+       ("split_depth", Json.Int o.Techniques.split_depth);
+     ]
+    @
+    match o.Techniques.time_limit with
+    | None -> []
+    | Some s -> [ ("time_limit", time_limit_to_json s) ])
 
 let options_of_json j =
   {
@@ -127,13 +145,14 @@ let options_of_json j =
     maple_profile_runs = get_int (field j "maple_profile_runs");
     jobs = get_int (field j "jobs");
     split_depth = get_int (field j "split_depth");
+    time_limit = opt_field j "time_limit" time_limit_of_json;
   }
 
 (* --- statistics --- *)
 
 let stats_to_json (s : Stats.t) =
   Json.Obj
-    [
+    ([
       ("technique", Json.Str s.Stats.technique);
       ("bound", opt_to_json (fun i -> Json.Int i) s.Stats.bound);
       ("bound_complete", Json.Bool s.Stats.bound_complete);
@@ -143,6 +162,12 @@ let stats_to_json (s : Stats.t) =
       ("buggy", Json.Int s.Stats.buggy);
       ("complete", Json.Bool s.Stats.complete);
       ("hit_limit", Json.Bool s.Stats.hit_limit);
+    ]
+    @ (* emitted only when set: deadline-free stats keep the version-1
+         byte-identical encoding the resume fingerprints rely on *)
+    (if s.Stats.hit_deadline then [ ("hit_deadline", Json.Bool true) ]
+     else [])
+    @ [
       ("first_bug", opt_to_json witness_to_json s.Stats.first_bug);
       ("n_threads", Json.Int s.Stats.n_threads);
       ("max_enabled", Json.Int s.Stats.max_enabled);
@@ -157,7 +182,7 @@ let stats_to_json (s : Stats.t) =
                  (fun sched -> schedule_to_json (Schedule.of_list sched))
                  (Stats.Sched_set.elements set)))
           s.Stats.distinct_schedules );
-    ]
+    ])
 
 let stats_of_json j =
   {
@@ -170,6 +195,10 @@ let stats_of_json j =
     buggy = get_int (field j "buggy");
     complete = get_bool (field j "complete");
     hit_limit = get_bool (field j "hit_limit");
+    hit_deadline =
+      (match opt_field j "hit_deadline" get_bool with
+      | Some b -> b
+      | None -> false);
     first_bug = opt_field j "first_bug" witness_of_json;
     n_threads = get_int (field j "n_threads");
     max_enabled = get_int (field j "max_enabled");

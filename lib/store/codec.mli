@@ -23,6 +23,10 @@ val bug_to_json : Sct_core.Outcome.bug -> Json.t
 val bug_of_json : Json.t -> Sct_core.Outcome.bug
 val witness_to_json : Sct_explore.Stats.bug_witness -> Json.t
 val witness_of_json : Json.t -> Sct_explore.Stats.bug_witness
+val time_limit_to_json : float -> Json.t
+(** Exact (hex-float string) encoding of a wall-clock limit; shared with
+    the store fingerprints. *)
+
 val options_to_json : Sct_explore.Techniques.options -> Json.t
 val options_of_json : Json.t -> Sct_explore.Techniques.options
 val stats_to_json : Sct_explore.Stats.t -> Json.t

@@ -27,17 +27,24 @@ let fingerprint ~bench ~technique (o : Techniques.options) =
   (* jobs / split_depth excluded: results are identical for every value *)
   Json.to_string
     (Json.Obj
-       [
-         ("v", Json.Int Codec.version);
-         ("bench", Json.Str bench);
-         ("technique", Json.Str technique);
-         ("limit", Json.Int o.Techniques.limit);
-         ("seed", Json.Int o.Techniques.seed);
-         ("max_steps", Json.Int o.Techniques.max_steps);
-         ("race_runs", Json.Int o.Techniques.race_runs);
-         ("pct_change_points", Json.Int o.Techniques.pct_change_points);
-         ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
-       ])
+       ([
+          ("v", Json.Int Codec.version);
+          ("bench", Json.Str bench);
+          ("technique", Json.Str technique);
+          ("limit", Json.Int o.Techniques.limit);
+          ("seed", Json.Int o.Techniques.seed);
+          ("max_steps", Json.Int o.Techniques.max_steps);
+          ("race_runs", Json.Int o.Techniques.race_runs);
+          ("pct_change_points", Json.Int o.Techniques.pct_change_points);
+          ("maple_profile_runs", Json.Int o.Techniques.maple_profile_runs);
+        ]
+      (* emitted only when set, so deadline-free fingerprints are stable
+         across versions; a wall-clock limit makes the cell's statistics
+         timing-dependent, so such cells never alias deadline-free ones *)
+      @
+      match o.Techniques.time_limit with
+      | None -> []
+      | Some s -> [ ("time_limit", Codec.time_limit_to_json s) ]))
   |> Digest.string |> Digest.to_hex
 
 let entry_to_line key e =

@@ -247,7 +247,9 @@ let test_run_all_pipeline () =
             (Sct_explore.Techniques.name t ^ " finds figure1")
             true
             (Sct_explore.Stats.found s)
-      | Sct_explore.Techniques.PCT | Sct_explore.Techniques.Maple -> ())
+      | Sct_explore.Techniques.PCT | Sct_explore.Techniques.Maple
+      | Sct_explore.Techniques.SURW ->
+          ())
     results
 
 (* --- Stats.merge laws ---
@@ -282,6 +284,7 @@ let gen_stats =
     let* buggy = int_bound 20 in
     let* complete = bool in
     let* hit_limit = bool in
+    let* hit_deadline = bool in
     let* n_threads = int_bound 5 in
     let* max_enabled = int_bound 5 in
     let* max_sched_points = int_bound 50 in
@@ -301,6 +304,7 @@ let gen_stats =
         buggy;
         complete;
         hit_limit;
+        hit_deadline;
         n_threads;
         max_enabled;
         max_sched_points;

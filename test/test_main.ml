@@ -8,6 +8,7 @@ let () =
          Test_runtime_edge.suites;
          Test_race.suites;
          Test_explore.suites;
+         Test_strategy.suites;
          Test_programs_qcheck.suites;
          Test_engine_hot.suites;
          Test_por.suites;

@@ -135,15 +135,7 @@ let test_frontier_bounded_matches_bounded () =
 
 (* --- determinism: parallel drivers == sequential techniques --- *)
 
-let all_techniques =
-  [
-    Sct_explore.Techniques.IPB;
-    Sct_explore.Techniques.IDB;
-    Sct_explore.Techniques.DFS;
-    Sct_explore.Techniques.Rand;
-    Sct_explore.Techniques.PCT;
-    Sct_explore.Techniques.Maple;
-  ]
+let all_techniques = Sct_explore.Techniques.all
 
 let det_options =
   { Sct_explore.Techniques.default_options with

@@ -78,6 +78,11 @@ let gen_options =
     let* maple_profile_runs = int_range 1 20 in
     let* jobs = int_range 1 8 in
     let* split_depth = int_range 1 6 in
+    (* dyadic rationals: exactly representable, so [=] on the decoded
+       record is meaningful *)
+    let* time_limit =
+      option (map (fun i -> float_of_int i /. 8.) (int_range 0 80_000))
+    in
     return
       {
         Techniques.limit;
@@ -88,6 +93,7 @@ let gen_options =
         maple_profile_runs;
         jobs;
         split_depth;
+        time_limit;
       })
 
 let gen_stats =
@@ -102,6 +108,7 @@ let gen_stats =
     let* buggy = int_bound 50 in
     let* complete = bool in
     let* hit_limit = bool in
+    let* hit_deadline = bool in
     let* n_threads = int_bound 8 in
     let* max_enabled = int_bound 8 in
     let* max_sched_points = int_bound 100 in
@@ -119,6 +126,7 @@ let gen_stats =
         buggy;
         complete;
         hit_limit;
+        hit_deadline;
         n_threads;
         max_enabled;
         max_sched_points;
@@ -184,6 +192,25 @@ let fixture_stats_value =
     distinct_schedules = Some (Stats.Sched_set.of_list [ [ 0; 1 ]; [ 1; 0 ] ]);
   }
 
+(* v1 extension fields: absent on the pinned fixtures above (so old
+   journals keep decoding), emitted only when set *)
+let fixture_options_deadline =
+  {|{"v":1,"options":{"limit":10000,"seed":0,"max_steps":100000,"race_runs":10,"pct_change_points":2,"maple_profile_runs":10,"jobs":1,"split_depth":3,"time_limit":"0x1.9p+5"}}|}
+
+let fixture_options_deadline_value =
+  { Techniques.default_options with Techniques.time_limit = Some 50. }
+
+let fixture_stats_deadline =
+  {|{"v":1,"stats":{"technique":"Rand","bound":null,"bound_complete":false,"to_first_bug":null,"total":3,"new_at_bound":0,"buggy":0,"complete":false,"hit_limit":false,"hit_deadline":true,"first_bug":null,"n_threads":0,"max_enabled":0,"max_sched_points":0,"executions":3,"distinct":null}}|}
+
+let fixture_stats_deadline_value =
+  {
+    (Stats.base ~technique:"Rand") with
+    Stats.total = 3;
+    executions = 3;
+    hit_deadline = true;
+  }
+
 let test_fixture_stability () =
   Alcotest.(check (list int))
     "schedule fixture decodes" [ 0; 0; 1; 2 ]
@@ -216,7 +243,22 @@ let test_fixture_stability () =
     (Codec.decode_stats fixture_stats);
   Alcotest.(check string)
     "stats fixture re-encodes byte-identically" fixture_stats
-    (Codec.encode_stats fixture_stats_value)
+    (Codec.encode_stats fixture_stats_value);
+  Alcotest.(check bool)
+    "time-limit options fixture decodes" true
+    (Codec.decode_options fixture_options_deadline
+    = fixture_options_deadline_value);
+  Alcotest.(check string)
+    "time-limit options fixture re-encodes byte-identically"
+    fixture_options_deadline
+    (Codec.encode_options fixture_options_deadline_value);
+  Alcotest.(check stats_t)
+    "deadline stats fixture decodes" fixture_stats_deadline_value
+    (Codec.decode_stats fixture_stats_deadline);
+  Alcotest.(check string)
+    "deadline stats fixture re-encodes byte-identically"
+    fixture_stats_deadline
+    (Codec.encode_stats fixture_stats_deadline_value)
 
 let expect_codec_error name f =
   match f () with

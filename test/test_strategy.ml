@@ -1,0 +1,348 @@
+(* The Strategy interface and the generic driver (lib/explore/strategy.ml,
+   driver.ml): each technique routed through Driver.explore must equal a
+   from-scratch naive reference loop written directly against the runtime;
+   the wall-clock deadline must be reported distinctly from the schedule
+   limit; and the SURW extension must be seed-deterministic, shardable
+   (jobs 1 == jobs 4) and able to find easy bugs. *)
+
+open Sct_core
+module Stats = Sct_explore.Stats
+module Techniques = Sct_explore.Techniques
+
+let promote_all _ = true
+let stats_t = Alcotest.testable Stats.pp Stats.equal
+
+let two_seq a b () =
+  let (_ : Tid.t) =
+    Sct.spawn
+      (fun () ->
+        for _ = 1 to b do
+          Sct.yield ()
+        done)
+  in
+  for _ = 1 to a do
+    Sct.yield ()
+  done
+
+let figure1 () =
+  let x = Sct.Var.make ~name:"x" 0 and y = Sct.Var.make ~name:"y" 0 in
+  let t1 =
+    Sct.spawn (fun () ->
+        Sct.Var.write x 1;
+        Sct.Var.write y 1)
+  in
+  let t2 =
+    Sct.spawn (fun () ->
+        let vx = Sct.Var.read x in
+        let vy = Sct.Var.read y in
+        Sct.check (vx = vy) "x=y")
+  in
+  ignore (t1, t2)
+
+(* --- naive reference loops ---
+   Written directly against Runtime.exec, with their own stats bookkeeping:
+   they share no code with Driver.explore or the STRATEGY instances. *)
+
+let count_result ~i stats (res : Runtime.result) =
+  let stats = Stats.observe_run stats res in
+  let stats =
+    {
+      stats with
+      Stats.total = stats.Stats.total + 1;
+      executions = stats.Stats.executions + 1;
+    }
+  in
+  match res.Runtime.r_outcome with
+  | Outcome.Bug { bug; by } ->
+      let stats = { stats with Stats.buggy = stats.Stats.buggy + 1 } in
+      if stats.Stats.to_first_bug = None then
+        {
+          stats with
+          Stats.to_first_bug = Some i;
+          first_bug =
+            Some
+              {
+                Stats.w_bug = bug;
+                w_by = by;
+                w_schedule = res.Runtime.r_schedule;
+                w_pc = res.Runtime.r_pc;
+                w_dc = res.Runtime.r_dc;
+              };
+        }
+      else stats
+  | Outcome.Ok | Outcome.Step_limit -> stats
+
+let naive_rand ~seed ~runs program =
+  let stats = ref (Stats.base ~technique:"Rand") in
+  let seen = ref Stats.Sched_set.empty in
+  for i = 0 to runs - 1 do
+    let rng = Random.State.make [| seed; i |] in
+    let scheduler (ctx : Runtime.ctx) =
+      match ctx.c_enabled with
+      | [ t ] ->
+          ignore (Random.State.int rng 1 : int);
+          t
+      | enabled ->
+          let a = Array.of_list enabled in
+          a.(Random.State.int rng (Array.length a))
+    in
+    let res =
+      Runtime.exec ~promote:promote_all ~max_steps:100_000 ~scheduler program
+    in
+    seen := Stats.Sched_set.add (Schedule.to_list res.Runtime.r_schedule) !seen;
+    stats := count_result ~i:(i + 1) !stats res
+  done;
+  {
+    !stats with
+    Stats.hit_limit = true;
+    distinct_schedules = Some !seen;
+  }
+
+let naive_pct ~change_points ~seed ~runs program =
+  (* the a-priori length estimate: one deterministic RR run *)
+  let rr (ctx : Runtime.ctx) =
+    match
+      Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
+        ~enabled:ctx.c_enabled
+    with
+    | Some t -> t
+    | None -> assert false
+  in
+  let k =
+    max 1
+      (Runtime.exec ~promote:promote_all ~max_steps:100_000 ~scheduler:rr
+         program)
+        .Runtime.r_steps
+  in
+  let stats = ref (Stats.base ~technique:"PCT") in
+  for i = 0 to runs - 1 do
+    let rng = Random.State.make [| seed; i; 0x9c7 |] in
+    let priorities : (Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
+    let depths =
+      List.init change_points (fun j -> (1 + Random.State.int rng k, j))
+    in
+    let priority t =
+      match Hashtbl.find_opt priorities t with
+      | Some p -> p
+      | None ->
+          let p = change_points + 1 + Random.State.int rng 1_000_000 in
+          Hashtbl.replace priorities t p;
+          p
+    in
+    let scheduler (ctx : Runtime.ctx) =
+      let best () =
+        List.fold_left
+          (fun acc t ->
+            match acc with
+            | None -> Some t
+            | Some u -> if priority t > priority u then Some t else acc)
+          None ctx.c_enabled
+      in
+      (match best () with
+      | Some t ->
+          List.iter
+            (fun (d, j) ->
+              if d = ctx.c_step + 1 then Hashtbl.replace priorities t j)
+            depths
+      | None -> ());
+      match best () with Some t -> t | None -> assert false
+    in
+    let res =
+      Runtime.exec ~promote:promote_all ~max_steps:100_000 ~scheduler program
+    in
+    stats := count_result ~i:(i + 1) !stats res
+  done;
+  { !stats with Stats.hit_limit = true }
+
+(* Naive DFS: a work-list of decision prefixes (no backtracking stack, no
+   replay machinery shared with lib/explore). Each run follows its prefix,
+   then always takes the round-robin-first enabled thread, recording every
+   untried alternative as a new prefix. Counts terminal schedules. *)
+let naive_dfs_count program =
+  let counted = ref 0 in
+  let work = Queue.create () in
+  Queue.add [] work;
+  while not (Queue.is_empty work) do
+    let prefix = Queue.pop work in
+    let depth = ref 0 in
+    let path = ref [] in
+    (* decisions taken so far, reversed *)
+    let scheduler (ctx : Runtime.ctx) =
+      let i = !depth in
+      incr depth;
+      let t =
+        match List.nth_opt prefix i with
+        | Some t -> t
+        | None ->
+            let order =
+              Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+                ~enabled:ctx.c_enabled
+            in
+            (* every untried sibling becomes a fresh prefix: the path up to
+               here plus the alternative decision *)
+            List.iter
+              (fun alt -> Queue.add (List.rev (alt :: !path)) work)
+              (List.tl order);
+            List.hd order
+      in
+      path := t :: !path;
+      t
+    in
+    let (_ : Runtime.result) =
+      Runtime.exec ~promote:promote_all ~max_steps:100_000 ~scheduler program
+    in
+    incr counted
+  done;
+  !counted
+
+let test_rand_matches_naive () =
+  List.iter
+    (fun (seed, runs) ->
+      let driver =
+        Techniques.run ~promote:promote_all
+          { Techniques.default_options with Techniques.limit = runs; seed }
+          Techniques.Rand figure1
+      in
+      Alcotest.check stats_t
+        (Printf.sprintf "Rand seed=%d runs=%d" seed runs)
+        (naive_rand ~seed ~runs figure1)
+        driver)
+    [ (0, 1); (0, 57); (3, 200); (42, 100) ]
+
+let test_pct_matches_naive () =
+  List.iter
+    (fun (seed, runs, change_points) ->
+      let driver =
+        Techniques.run ~promote:promote_all
+          {
+            Techniques.default_options with
+            Techniques.limit = runs;
+            seed;
+            pct_change_points = change_points;
+          }
+          Techniques.PCT figure1
+      in
+      Alcotest.check stats_t
+        (Printf.sprintf "PCT seed=%d runs=%d cp=%d" seed runs change_points)
+        (naive_pct ~change_points ~seed ~runs figure1)
+        driver)
+    [ (0, 50, 1); (1, 120, 2); (7, 80, 3) ]
+
+let test_dfs_matches_naive () =
+  List.iter
+    (fun (a, b) ->
+      let driver =
+        Techniques.run ~promote:promote_all
+          { Techniques.default_options with Techniques.limit = 1_000_000 }
+          Techniques.DFS (two_seq a b)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "DFS two_seq %d %d complete" a b)
+        true driver.Stats.complete;
+      Alcotest.(check int)
+        (Printf.sprintf "DFS two_seq %d %d counted" a b)
+        (naive_dfs_count (two_seq a b))
+        driver.Stats.total)
+    [ (1, 1); (2, 3); (3, 3); (4, 2) ]
+
+(* --- the wall-clock deadline, distinct from the schedule limit --- *)
+
+let test_deadline_distinct_from_limit () =
+  (* an already-expired deadline stops the campaign after one execution *)
+  let s =
+    Sct_explore.Driver.explore ~promote:promote_all
+      ~deadline:(Unix.gettimeofday () -. 1.)
+      ~limit:1_000_000
+      (Sct_explore.Random_walk.strategy ~seed:0 ())
+      figure1
+  in
+  Alcotest.(check int) "one schedule before the deadline check" 1
+    s.Stats.total;
+  Alcotest.(check bool) "deadline reported" true s.Stats.hit_deadline;
+  Alcotest.(check bool) "not a limit stop" false s.Stats.hit_limit;
+  (* through the options record *)
+  let o =
+    {
+      Techniques.default_options with
+      Techniques.limit = 1_000_000;
+      time_limit = Some 0.;
+    }
+  in
+  let s = Techniques.run ~promote:promote_all o Techniques.Rand figure1 in
+  Alcotest.(check bool) "options deadline reported" true s.Stats.hit_deadline;
+  Alcotest.(check bool) "options not a limit stop" false s.Stats.hit_limit;
+  (* no deadline: the limit stop is reported as before *)
+  let o = { o with Techniques.time_limit = None; limit = 10 } in
+  let s = Techniques.run ~promote:promote_all o Techniques.Rand figure1 in
+  Alcotest.(check bool) "limit stop" true s.Stats.hit_limit;
+  Alcotest.(check bool) "no deadline stop" false s.Stats.hit_deadline
+
+(* --- SURW --- *)
+
+let test_surw_deterministic_and_sharded () =
+  let o =
+    { Techniques.default_options with Techniques.limit = 300; seed = 5 }
+  in
+  let s1 = Techniques.run ~promote:promote_all o Techniques.SURW figure1 in
+  let s2 = Techniques.run ~promote:promote_all o Techniques.SURW figure1 in
+  Alcotest.check stats_t "seed-deterministic" s1 s2;
+  let par =
+    Sct_parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Sct_parallel.Drivers.run ~pool ~promote:promote_all o Techniques.SURW
+          figure1)
+  in
+  Alcotest.check stats_t "jobs 1 == jobs 4" s1 par
+
+let test_surw_finds_easy_bugs () =
+  List.iter
+    (fun bname ->
+      let b = Option.get (Sctbench.Registry.by_name bname) in
+      let o =
+        { Techniques.default_options with Techniques.limit = 10_000 }
+      in
+      let promote =
+        Sct_race.Promotion.promote
+          (Techniques.detect_races o b.Sctbench.Bench.program)
+      in
+      let s =
+        Techniques.run ~promote o Techniques.SURW b.Sctbench.Bench.program
+      in
+      Alcotest.(check bool) (bname ^ ": surw finds the bug") true
+        (Stats.found s))
+    [ "CS.lazy01_bad"; "CS.account_bad"; "misc.ctrace-test" ]
+
+let test_surw_weights_cover_both_orders () =
+  (* two threads, one long and one short: uniform Rand heavily favours
+     schedules that retire the short thread early; SURW must still sample
+     both relative orders of the racy accesses *)
+  let s =
+    Sct_explore.Surw.explore ~promote:promote_all ~seed:0 ~runs:500
+      (two_seq 1 8)
+  in
+  Alcotest.(check bool)
+    "several distinct schedules" true
+    (match Stats.distinct s with Some d -> d > 1 | None -> false)
+
+let suites =
+  [
+    ( "strategy-driver",
+      [
+        Alcotest.test_case "Rand via driver == naive reference" `Quick
+          test_rand_matches_naive;
+        Alcotest.test_case "PCT via driver == naive reference" `Quick
+          test_pct_matches_naive;
+        Alcotest.test_case "DFS via driver == naive enumeration" `Quick
+          test_dfs_matches_naive;
+        Alcotest.test_case "deadline reported distinctly from limit" `Quick
+          test_deadline_distinct_from_limit;
+      ] );
+    ( "surw",
+      [
+        Alcotest.test_case "seed-deterministic and jobs 1 == jobs 4" `Quick
+          test_surw_deterministic_and_sharded;
+        Alcotest.test_case "finds easy CS/misc bugs" `Slow
+          test_surw_finds_easy_bugs;
+        Alcotest.test_case "covers both orders of a skewed program" `Quick
+          test_surw_weights_cover_both_orders;
+      ] );
+  ]
