@@ -104,24 +104,11 @@ let options_of ?(jobs = 1) ?(split_depth = 3) ?time_limit limit seed =
   }
 
 let parse_techniques names =
-  let names =
-    List.concat_map
-      (fun n ->
-        List.filter (fun s -> s <> "") (String.split_on_char ',' n))
-      names
-  in
-  match names with
-  | [] -> Sct_explore.Techniques.all_paper
-  | names ->
-      List.map
-        (fun n ->
-          match Sct_explore.Techniques.of_name n with
-          | Some t -> t
-          | None ->
-              Printf.eprintf "unknown technique: %s (valid: %s)\n" n
-                (String.concat ", " Sct_explore.Techniques.valid_names);
-              exit 1)
-        names
+  match Sct_explore.Techniques.parse_list names with
+  | Ok ts -> ts
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
 
 let select suite ids =
   let all = Sctbench.Registry.all in
@@ -428,6 +415,68 @@ let study_cmd name what doc =
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
       $ time_limit_t $ suite_t $ ids_t $ techniques_t $ store_t $ resume_t)
 
+(* self-testing fuzz: generated programs under the differential oracle *)
+let fuzz_cmd =
+  let count_t =
+    let doc = "Number of programs to generate and check." in
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let fuzz_limit_t =
+    let doc = "Schedule budget per technique campaign and program." in
+    Arg.(value & opt int 500 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let max_steps_t =
+    let doc = "Per-execution step budget (live-lock guard)." in
+    Arg.(value & opt int 5_000 & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let fuzz_store_t =
+    let doc =
+      "Write shrunk counterexamples as replayable artifacts under \
+       $(docv)/fuzz."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let run seed count limit max_steps jobs store =
+    let cfg = { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5 } in
+    (* program i is a pure function of (seed, i): shard across the pool,
+       reassemble in index order — output is identical for every --jobs *)
+    let reports =
+      Sct_parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          List.init count (fun i ->
+              Sct_parallel.Pool.submit pool (fun () ->
+                  Sct_fuzz.Harness.one_program ~cfg ~campaign_seed:seed i))
+          |> List.map Sct_parallel.Pool.await)
+    in
+    let summary = Sct_fuzz.Harness.summarize reports in
+    List.iter
+      (fun cx ->
+        Format.printf "%a@." Sct_fuzz.Harness.pp_counterexample cx;
+        match store with
+        | Some dir ->
+            let path =
+              Sct_fuzz.Harness.dump ~dir:(Filename.concat dir "fuzz") cx
+            in
+            Printf.printf "counterexample written to %s\n" path
+        | None -> ())
+      summary.Sct_fuzz.Harness.s_counterexamples;
+    Printf.printf
+      "fuzz: %d programs (seed %d, limit %d): %d invariant violation(s)\n"
+      summary.Sct_fuzz.Harness.s_programs seed limit
+      (List.length summary.Sct_fuzz.Harness.s_counterexamples);
+    if summary.Sct_fuzz.Harness.s_counterexamples <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random concurrent programs and check the \
+          cross-technique differential invariants (inclusions, POR \
+          equivalence, witness replay, schedule-count algebra, \
+          shard-merge determinism); failing programs are shrunk to \
+          minimal counterexamples.")
+    Term.(
+      const run $ seed_t $ count_t $ fuzz_limit_t $ max_steps_t $ jobs_t
+      $ fuzz_store_t)
+
 (* recorded bug-witness artifacts *)
 let artifacts_cmd =
   let store_req_t =
@@ -466,7 +515,13 @@ let artifacts_cmd =
       Printf.eprintf "no artifact %s in %s\n" digest store;
       exit 1
     end;
-    Sct_store.Artifact.load path
+    (* a corrupted or tampered artifact must fail the command, not crash
+       with an uncaught exception *)
+    match Sct_store.Artifact.load path with
+    | a -> a
+    | exception Sct_store.Artifact.Error msg ->
+        prerr_endline msg;
+        exit 1
   in
   let show_cmd =
     let run store digest =
@@ -539,6 +594,7 @@ let () =
       replay_cmd;
       minimize_cmd;
       por_cmd;
+      fuzz_cmd;
       artifacts_cmd;
       study_cmd "table1" `Table1 "Regenerate Table 1 (suite overview).";
       study_cmd "table2" `Table2 "Regenerate Table 2 (trivial benchmarks).";

@@ -25,6 +25,34 @@ let of_name s =
 
 let valid_names = [ "ipb"; "idb"; "dfs"; "rand"; "pct"; "maple"; "surw" ]
 
+let parse_list ?(default = all_paper) specs =
+  let names =
+    List.concat_map
+      (fun spec ->
+        List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+      specs
+  in
+  match (specs, names) with
+  | [], _ -> Ok default
+  | _, [] ->
+      Error
+        (Printf.sprintf "no technique names given (valid: %s)"
+           (String.concat ", " valid_names))
+  | _, names ->
+      let rec go seen acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match of_name n with
+            | None ->
+                Error
+                  (Printf.sprintf "unknown technique: %s (valid: %s)" n
+                     (String.concat ", " valid_names))
+            | Some t ->
+                if List.mem t seen then go seen acc rest
+                else go (t :: seen) (t :: acc) rest)
+      in
+      go [] [] names
+
 type options = {
   limit : int;
   seed : int;

@@ -20,6 +20,16 @@ val of_name : string -> t option
 val valid_names : string list
 (** The canonical names accepted by {!of_name}, for CLI error messages. *)
 
+val parse_list : ?default:t list -> string list -> (t list, string) result
+(** Parse a [--technique] specification: each element may hold several
+    comma-separated names; empty fragments (as in ["ipb,,rand"] or a
+    trailing comma) are ignored. Duplicate names are {e deduplicated} —
+    the first occurrence wins and order is preserved — so repeating a
+    technique never runs it twice. An empty [specs] list yields [default]
+    ([all_paper] unless overridden); a non-empty [specs] that reduces to
+    zero names is an error (the flag was given but named nothing), as is
+    any unknown name — both errors list every valid name. *)
+
 type options = {
   limit : int;  (** schedule limit per technique (paper: 10,000) *)
   seed : int;

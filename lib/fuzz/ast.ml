@@ -1,0 +1,81 @@
+type stmt =
+  | Yield
+  | Write of { var : int; value : int }
+  | Incr of { var : int }
+  | Check_eq of { var : int; expect : int }
+  | Lock of { m : int; body : stmt list }
+  | Try_lock of { m : int; body : stmt list }
+  | Atomic_incr
+  | Atomic_cas of { expect : int; repl : int }
+  | Sem_wait
+  | Sem_post
+  | Cond_signal
+  | Cond_broadcast
+  | Cond_wait of { m : int }
+  | Barrier_wait
+  | Arr_set of { index : int; value : int }
+  | Arr_get of { index : int }
+  | Loop of { times : int; body : stmt list }
+  | If_eq of { var : int; expect : int; then_ : stmt list; else_ : stmt list }
+  | Join of { thread : int }
+
+type program = { threads : stmt list list }
+
+let rec stmt_size = function
+  | Yield | Write _ | Incr _ | Check_eq _ | Atomic_incr | Atomic_cas _
+  | Sem_wait | Sem_post | Cond_signal | Cond_broadcast | Cond_wait _
+  | Barrier_wait | Arr_set _ | Arr_get _ | Join _ ->
+      1
+  | Lock { body; _ } | Try_lock { body; _ } | Loop { body; _ } ->
+      1 + list_size body
+  | If_eq { then_; else_; _ } -> 1 + list_size then_ + list_size else_
+
+and list_size ss = List.fold_left (fun n s -> n + stmt_size s) 0 ss
+
+let size p = List.fold_left (fun n t -> n + list_size t) 0 p.threads
+let equal (a : program) b = a = b
+
+let rec pp_stmt fmt = function
+  | Yield -> Format.fprintf fmt "yield"
+  | Write { var; value } -> Format.fprintf fmt "v%d := %d" var value
+  | Incr { var } -> Format.fprintf fmt "v%d++" var
+  | Check_eq { var; expect } -> Format.fprintf fmt "check(v%d = %d)" var expect
+  | Lock { m; body } ->
+      Format.fprintf fmt "@[<hv 2>lock(m%d) {%a@;<1 -2>}@]" m pp_body body
+  | Try_lock { m; body } ->
+      Format.fprintf fmt "@[<hv 2>trylock(m%d) {%a@;<1 -2>}@]" m pp_body body
+  | Atomic_incr -> Format.fprintf fmt "a++"
+  | Atomic_cas { expect; repl } ->
+      Format.fprintf fmt "cas(a, %d, %d)" expect repl
+  | Sem_wait -> Format.fprintf fmt "sem_wait"
+  | Sem_post -> Format.fprintf fmt "sem_post"
+  | Cond_signal -> Format.fprintf fmt "signal"
+  | Cond_broadcast -> Format.fprintf fmt "broadcast"
+  | Cond_wait { m } -> Format.fprintf fmt "cond_wait(m%d)" m
+  | Barrier_wait -> Format.fprintf fmt "barrier"
+  | Arr_set { index; value } -> Format.fprintf fmt "arr[%d] := %d" index value
+  | Arr_get { index } -> Format.fprintf fmt "arr[%d]" index
+  | Loop { times; body } ->
+      Format.fprintf fmt "@[<hv 2>repeat %d {%a@;<1 -2>}@]" times pp_body body
+  | If_eq { var; expect; then_; else_ } ->
+      Format.fprintf fmt
+        "@[<hv 2>if v%d = %d {%a@;<1 -2>}@ @[<hv 2>else {%a@;<1 -2>}@]@]" var
+        expect pp_body then_ pp_body else_
+  | Join { thread } -> Format.fprintf fmt "join(t%d)" thread
+
+and pp_body fmt = function
+  | [] -> ()
+  | ss ->
+      List.iteri
+        (fun i s ->
+          if i > 0 then Format.fprintf fmt ";";
+          Format.fprintf fmt "@ %a" pp_stmt s)
+        ss
+
+let pp fmt p =
+  List.iteri
+    (fun i body ->
+      Format.fprintf fmt "@[<hv 2>thread t%d {%a@;<1 -2>}@]@." i pp_body body)
+    p.threads
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,60 @@
+(** The typed AST of generated concurrent programs.
+
+    A fuzz program is a list of thread bodies over a fixed, small resource
+    environment (see {!Compile}): [n_vars] plain shared variables, one
+    sequentially-consistent atomic, [n_mutexes] mutexes, one condition
+    variable, one counting semaphore (initial value 1), one size-2 cyclic
+    barrier and one bounds-checked shared array of length
+    {!Compile.arr_len}. Statements cover the runtime's full visible-op
+    vocabulary — spawn/join (implicit: the main thread spawns every body in
+    order and joins them all, plus explicit cross-thread {!constructor-Join}),
+    mutexes, condition variables, barriers, semaphores, atomics, shared
+    variables and arrays, bounded loops and branches on shared state.
+
+    Every program is well-formed by construction (resource indices are
+    reduced modulo the environment size at compile time, joins only target
+    earlier-spawned threads) and deterministic up to scheduling, so it is a
+    valid input for every exploration technique. Programs may be buggy —
+    failing {!constructor-Check_eq} assertions, deadlocks through lock
+    nesting / lost signals / barrier underflow, out-of-bounds array
+    accesses — which is exactly what the differential oracle wants. *)
+
+type stmt =
+  | Yield
+  | Write of { var : int; value : int }  (** v := value *)
+  | Incr of { var : int }  (** v := v + 1, a non-atomic read-modify-write *)
+  | Check_eq of { var : int; expect : int }
+      (** [Sct.check (v = expect)] — the assertion-bug source *)
+  | Lock of { m : int; body : stmt list }  (** balanced critical section *)
+  | Try_lock of { m : int; body : stmt list }
+      (** body runs only if the lock was acquired *)
+  | Atomic_incr  (** fetch-and-add 1 on the shared atomic *)
+  | Atomic_cas of { expect : int; repl : int }
+  | Sem_wait
+  | Sem_post
+  | Cond_signal
+  | Cond_broadcast
+  | Cond_wait of { m : int }  (** lock m; wait c m; unlock m *)
+  | Barrier_wait
+  | Arr_set of { index : int; value : int }
+      (** [index >= Compile.arr_len] is an out-of-bounds crash *)
+  | Arr_get of { index : int }
+  | Loop of { times : int; body : stmt list }  (** bounded repetition *)
+  | If_eq of { var : int; expect : int; then_ : stmt list; else_ : stmt list }
+      (** branch on shared state *)
+  | Join of { thread : int }
+      (** join thread [thread]; compiled to a no-op unless [thread] is an
+          earlier-spawned thread of the program (see {!Compile}) *)
+
+type program = { threads : stmt list list }
+
+val size : program -> int
+(** Total number of statement nodes, the measure the shrinker minimises. *)
+
+val equal : program -> program -> bool
+
+val pp : Format.formatter -> program -> unit
+(** Deterministic, human-readable rendering used in counterexample
+    artifacts and qcheck failure output. *)
+
+val to_string : program -> string

@@ -1,0 +1,74 @@
+open Sct_core
+
+let n_vars = 2
+let n_mutexes = 2
+let arr_len = 2
+
+let program (p : Ast.program) () =
+  let vars =
+    Array.init n_vars (fun i ->
+        Sct.Var.make ~name:(Printf.sprintf "fz_v%d" i) 0)
+  in
+  let atomic = Sct.Atomic.make ~name:"fz_a" 0 in
+  let mutexes = Array.init n_mutexes (fun _ -> Sct.Mutex.create ()) in
+  let cond = Sct.Cond.create () in
+  let sem = Sct.Sem.create 1 in
+  let barrier = Sct.Barrier.create 2 in
+  let arr = Sct.Arr.make ~name:"fz_arr" arr_len 0 in
+  let n_threads = List.length p.Ast.threads in
+  let tids = Array.make (max 1 n_threads) (-1) in
+  let var i = vars.(abs i mod n_vars) in
+  let mutex i = mutexes.(abs i mod n_mutexes) in
+  let rec run_stmt ~me s =
+    match (s : Ast.stmt) with
+    | Yield -> Sct.yield ()
+    | Write { var = v; value } -> Sct.Var.write (var v) value
+    | Incr { var = v } ->
+        let x = var v in
+        Sct.Var.write x (Sct.Var.read x + 1)
+    | Check_eq { var = v; expect } ->
+        Sct.check
+          (Sct.Var.read (var v) = expect)
+          (Printf.sprintf "fz_v%d = %d" (abs v mod n_vars) expect)
+    | Lock { m; body } ->
+        Sct.Mutex.lock (mutex m);
+        run_body ~me body;
+        Sct.Mutex.unlock (mutex m)
+    | Try_lock { m; body } ->
+        if Sct.Mutex.try_lock (mutex m) then begin
+          run_body ~me body;
+          Sct.Mutex.unlock (mutex m)
+        end
+    | Atomic_incr -> Sct.Atomic.incr atomic
+    | Atomic_cas { expect; repl } ->
+        ignore (Sct.Atomic.compare_and_set atomic expect repl : bool)
+    | Sem_wait -> Sct.Sem.wait sem
+    | Sem_post -> Sct.Sem.post sem
+    | Cond_signal -> Sct.Cond.signal cond
+    | Cond_broadcast -> Sct.Cond.broadcast cond
+    | Cond_wait { m } ->
+        Sct.Mutex.lock (mutex m);
+        Sct.Cond.wait cond (mutex m);
+        Sct.Mutex.unlock (mutex m)
+    | Barrier_wait -> Sct.Barrier.wait barrier
+    | Arr_set { index; value } -> Sct.Arr.set arr index value
+    | Arr_get { index } -> ignore (Sct.Arr.get arr index : int)
+    | Loop { times; body } ->
+        for _ = 1 to times do
+          run_body ~me body
+        done
+    | If_eq { var = v; expect; then_; else_ } ->
+        if Sct.Var.read (var v) = expect then run_body ~me then_
+        else run_body ~me else_
+    | Join { thread } ->
+        (* only earlier-spawned threads have a deterministically published
+           tid; anything else degenerates to a pure scheduling point *)
+        if thread >= 0 && thread < me then Sct.join tids.(thread)
+        else Sct.yield ()
+  and run_body ~me ss = List.iter (run_stmt ~me) ss in
+  List.iteri
+    (fun i body -> tids.(i) <- Sct.spawn (fun () -> run_body ~me:i body))
+    p.Ast.threads;
+  for i = 0 to n_threads - 1 do
+    Sct.join tids.(i)
+  done

@@ -1,0 +1,27 @@
+(** Compile a fuzz AST into a runnable [Sct] program.
+
+    The compiled thunk allocates a fresh resource environment on every
+    invocation, so it is a valid program for {!Sct_core.Runtime.exec} and
+    can be re-executed arbitrarily often by the explorers:
+
+    - [n_vars] plain shared variables [fz_v0 .. ], initially 0;
+    - one atomic counter [fz_a], initially 0;
+    - [n_mutexes] mutexes;
+    - one condition variable, one semaphore (initial value 1), one cyclic
+      barrier of size 2;
+    - one shared array [fz_arr] of length {!arr_len}, zero-initialised.
+
+    Resource indices in the AST are reduced modulo the environment size, so
+    every AST is compilable. [Join {thread}] is compiled to a real
+    [Sct.join] only when [thread] names an earlier-spawned thread (the only
+    case where the target's id is deterministically available); otherwise
+    it degenerates to a [yield], keeping shrunk programs well-formed. The
+    main thread spawns every body in order and joins them all. *)
+
+val n_vars : int
+val n_mutexes : int
+val arr_len : int
+
+val program : Ast.program -> unit -> unit
+(** [program ast] is the runnable program; the outer application performs
+    no effects, so the result can be shared across domains. *)

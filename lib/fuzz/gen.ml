@@ -1,0 +1,104 @@
+let max_threads = 3
+
+(* Deterministic polymorphic hash mix: per-program seeds must not depend on
+   anything but (campaign_seed, index). *)
+let derive_seed ~campaign_seed ~index = Hashtbl.hash (campaign_seed, index)
+
+let pick rng (choices : (int * (unit -> 'a)) list) =
+  let total = List.fold_left (fun n (w, _) -> n + w) 0 choices in
+  let rec go n = function
+    | [] -> assert false
+    | (w, f) :: rest -> if n < w then f () else go (n - w) rest
+  in
+  go (Random.State.int rng total) choices
+
+let int_in rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+(* List.init does not specify the evaluation order of [f]; the generator
+   must consume the PRNG in a fixed order. *)
+let init_ordered n f =
+  let rec go i = if i >= n then [] else f i :: go (i + 1) in
+  go 0
+
+let gen_value rng = Random.State.int rng 3
+let gen_var rng = Random.State.int rng Compile.n_vars
+let gen_mutex rng = Random.State.int rng Compile.n_mutexes
+
+(* mostly in bounds; [arr_len] itself (out of bounds) now and then, to
+   exercise the Memory_error outcome *)
+let gen_index rng =
+  if Random.State.int rng 6 = 0 then Compile.arr_len
+  else Random.State.int rng Compile.arr_len
+
+let rec gen_stmt rng ~n_threads ~depth : Ast.stmt =
+  let body () = gen_body rng ~n_threads ~depth:(depth + 1) in
+  let compound =
+    if depth >= 2 then []
+    else
+      [
+        ( 3,
+          fun () ->
+            let m = gen_mutex rng in
+            Ast.Lock { m; body = body () } );
+        ( 1,
+          fun () ->
+            let m = gen_mutex rng in
+            Ast.Try_lock { m; body = body () } );
+        ( 2,
+          fun () ->
+            let times = int_in rng 1 3 in
+            Ast.Loop { times; body = body () } );
+        ( 2,
+          fun () ->
+            let var = gen_var rng in
+            let expect = gen_value rng in
+            let then_ = body () in
+            let else_ = if Random.State.bool rng then body () else [] in
+            Ast.If_eq { var; expect; then_; else_ } );
+      ]
+  in
+  pick rng
+    ([
+       (2, fun () -> Ast.Yield);
+       ( 3,
+         fun () ->
+           let var = gen_var rng in
+           Ast.Write { var; value = gen_value rng } );
+       (4, fun () -> Ast.Incr { var = gen_var rng });
+       ( 4,
+         fun () ->
+           let var = gen_var rng in
+           Ast.Check_eq { var; expect = gen_value rng } );
+       (2, fun () -> Ast.Atomic_incr);
+       ( 1,
+         fun () ->
+           let expect = gen_value rng in
+           Ast.Atomic_cas { expect; repl = gen_value rng } );
+       (1, fun () -> Ast.Sem_wait);
+       (1, fun () -> Ast.Sem_post);
+       (1, fun () -> Ast.Cond_signal);
+       (1, fun () -> Ast.Cond_broadcast);
+       (1, fun () -> Ast.Cond_wait { m = gen_mutex rng });
+       (1, fun () -> Ast.Barrier_wait);
+       ( 1,
+         fun () ->
+           let index = gen_index rng in
+           Ast.Arr_set { index; value = gen_value rng } );
+       (1, fun () -> Ast.Arr_get { index = gen_index rng });
+       (1, fun () -> Ast.Join { thread = Random.State.int rng n_threads });
+     ]
+    @ compound)
+
+and gen_body rng ~n_threads ~depth =
+  let n = int_in rng 1 (max 1 (3 - depth)) in
+  init_ordered n (fun _ -> gen_stmt rng ~n_threads ~depth)
+
+let program ~seed =
+  let rng = Random.State.make [| 0xF022; seed |] in
+  let n_threads = int_in rng 1 max_threads in
+  let threads =
+    init_ordered n_threads (fun _ ->
+        let n = int_in rng 1 4 in
+        init_ordered n (fun _ -> gen_stmt rng ~n_threads ~depth:0))
+  in
+  { Ast.threads }

@@ -1,0 +1,26 @@
+(** The seeded random program generator.
+
+    Programs are a pure function of the seed: [program ~seed] builds its
+    own PRNG state, so the same seed always yields the same AST — the
+    property the whole fuzz pipeline (deterministic campaigns, shrunk
+    counterexamples reproducible from their seed alone, byte-identical
+    [--jobs 1] vs [--jobs N] output) rests on.
+
+    Shape bounds keep the schedule spaces small enough for the systematic
+    techniques to frequently exhaust them within the fuzz budget: at most
+    {!max_threads} threads, at most 4 top-level statements per thread,
+    nesting depth at most 2, loops of at most 3 iterations. Bug sources are
+    generated deliberately: racy [Incr]/[Check_eq] pairs, lock nesting
+    (self-deadlock on non-recursive mutexes), condition waits with lost or
+    missing signals, barrier underflow, and occasional out-of-bounds array
+    indices. *)
+
+val max_threads : int
+
+val program : seed:int -> Ast.program
+(** The program of [seed]; total (never raises) and deterministic. *)
+
+val derive_seed : campaign_seed:int -> index:int -> int
+(** The per-program seed of program [index] of a fuzz campaign — a
+    deterministic mix, so campaigns can be sharded by index without
+    changing any program. *)

@@ -1,0 +1,93 @@
+type counterexample = {
+  cx_index : int;
+  cx_seed : int;
+  cx_original : Ast.program;
+  cx_shrunk : Ast.program;
+  cx_violations : Oracle.violation list;
+}
+
+type report = {
+  r_index : int;
+  r_seed : int;
+  r_size : int;
+  r_counterexample : counterexample option;
+}
+
+type summary = { s_programs : int; s_counterexamples : counterexample list }
+
+let one_program ?wrap ~cfg ~campaign_seed index =
+  let seed = Gen.derive_seed ~campaign_seed ~index in
+  let ast = Gen.program ~seed in
+  let violations_of p = Oracle.check ?wrap cfg ~seed (Compile.program p) in
+  let counterexample =
+    match violations_of ast with
+    | [] -> None
+    | violations ->
+        let shrunk =
+          Shrink.shrink ~check:(fun p -> violations_of p <> []) ast
+        in
+        let cx_violations =
+          if Ast.equal shrunk ast then violations else violations_of shrunk
+        in
+        Some
+          {
+            cx_index = index;
+            cx_seed = seed;
+            cx_original = ast;
+            cx_shrunk = shrunk;
+            cx_violations;
+          }
+  in
+  {
+    r_index = index;
+    r_seed = seed;
+    r_size = Ast.size ast;
+    r_counterexample = counterexample;
+  }
+
+let summarize reports =
+  {
+    s_programs = List.length reports;
+    s_counterexamples =
+      List.filter_map (fun r -> r.r_counterexample) reports;
+  }
+
+let run ?wrap ~cfg ~seed ~count () =
+  let rec go i acc =
+    if i >= count then List.rev acc
+    else
+      go (i + 1) (one_program ?wrap ~cfg ~campaign_seed:seed i :: acc)
+  in
+  summarize (go 0 [])
+
+let pp_counterexample fmt cx =
+  Format.fprintf fmt
+    "program %d (seed %d): %d violation(s), shrunk %d -> %d nodes@."
+    cx.cx_index cx.cx_seed
+    (List.length cx.cx_violations)
+    (Ast.size cx.cx_original) (Ast.size cx.cx_shrunk);
+  List.iter
+    (fun v -> Format.fprintf fmt "  %a@." Oracle.pp_violation v)
+    cx.cx_violations;
+  Format.fprintf fmt "shrunk program:@.%a" Ast.pp cx.cx_shrunk
+
+let dump ~dir cx =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "# sct-fuzz counterexample v1@.";
+  Format.fprintf fmt "# program index: %d@." cx.cx_index;
+  Format.fprintf fmt "# program seed:  %d@." cx.cx_seed;
+  Format.fprintf fmt
+    "# reproduce: the seed alone regenerates the original program \
+     (Sct_fuzz.Gen.program ~seed:%d)@."
+    cx.cx_seed;
+  List.iter
+    (fun v -> Format.fprintf fmt "# violated: %a@." Oracle.pp_violation v)
+    cx.cx_violations;
+  Format.fprintf fmt "@.## shrunk (%d nodes)@.%a" (Ast.size cx.cx_shrunk)
+    Ast.pp cx.cx_shrunk;
+  Format.fprintf fmt "@.## original (%d nodes)@.%a" (Ast.size cx.cx_original)
+    Ast.pp cx.cx_original;
+  Format.pp_print_flush fmt ();
+  let file = Printf.sprintf "fuzz-s%d-i%d.txt" cx.cx_seed cx.cx_index in
+  Sct_store.Artifact.write_atomic ~dir ~file (Buffer.contents buf)

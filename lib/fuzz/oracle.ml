@@ -1,0 +1,264 @@
+open Sct_explore
+module Outcome = Sct_core.Outcome
+module Schedule = Sct_core.Schedule
+module Runtime = Sct_core.Runtime
+
+type config = { limit : int; max_steps : int; race_runs : int }
+
+let default_config = { limit = 500; max_steps = 5_000; race_runs = 5 }
+
+type violation = { v_invariant : string; v_detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] %s" v.v_invariant v.v_detail
+
+type runner = Techniques.t -> Stats.t
+
+let promote_all _ = true
+
+(* The sub-budget of the POR cross-check and the shard-merge check: both
+   re-explore, so they run on a slice of the campaign budget. *)
+let sub_limit limit = min limit 200
+
+let check ?(wrap = fun r -> r) cfg ~seed program =
+  let violations = ref [] in
+  let fail inv fmt =
+    Format.kasprintf
+      (fun detail ->
+        violations := { v_invariant = inv; v_detail = detail } :: !violations)
+      fmt
+  in
+  let require inv cond fmt =
+    Format.kasprintf
+      (fun detail ->
+        if not cond then
+          violations := { v_invariant = inv; v_detail = detail } :: !violations)
+      fmt
+  in
+  let o =
+    {
+      Techniques.default_options with
+      Techniques.limit = cfg.limit;
+      seed;
+      max_steps = cfg.max_steps;
+      race_runs = cfg.race_runs;
+    }
+  in
+  let detection = Techniques.detect_races o program in
+  let promote = Sct_race.Promotion.promote detection in
+  let base : runner = fun t -> Techniques.run ~promote o t program in
+  let runner = wrap base in
+  let stats = List.map (fun t -> (t, runner t)) Techniques.all in
+  let stat t = List.assoc t stats in
+  let tname t = Techniques.name t in
+
+  (* ---- per-technique schedule-count algebra --------------------------- *)
+  List.iter
+    (fun (t, (s : Stats.t)) ->
+      let n = tname t in
+      require "algebra" (s.Stats.buggy >= 0 && s.Stats.buggy <= s.Stats.total)
+        "%s: buggy=%d outside [0, total=%d]" n s.Stats.buggy s.Stats.total;
+      require "algebra"
+        (s.Stats.buggy > 0 = (s.Stats.first_bug <> None))
+        "%s: buggy=%d inconsistent with first_bug presence" n s.Stats.buggy;
+      (match (s.Stats.to_first_bug, s.Stats.first_bug) with
+      | Some i, Some _ ->
+          require "algebra"
+            (i >= 1 && i <= s.Stats.total)
+            "%s: to_first_bug=%d outside [1, total=%d]" n i s.Stats.total
+      | None, None -> ()
+      | Some i, None ->
+          fail "algebra" "%s: to_first_bug=%d without a witness" n i
+      | None, Some _ -> fail "algebra" "%s: witness without to_first_bug" n);
+      if t <> Techniques.Maple then begin
+        require "algebra"
+          (s.Stats.total <= cfg.limit)
+          "%s: total=%d exceeds the budget %d" n s.Stats.total cfg.limit;
+        require "algebra"
+          ((not s.Stats.hit_limit) || s.Stats.total = cfg.limit)
+          "%s: hit_limit with total=%d <> limit=%d" n s.Stats.total cfg.limit
+      end;
+      (match Stats.distinct s with
+      | None -> ()
+      | Some d ->
+          require "algebra"
+            (d <= s.Stats.total && (s.Stats.total = 0) = (d = 0))
+            "%s: distinct=%d inconsistent with total=%d" n d s.Stats.total);
+      require "algebra" (not s.Stats.hit_deadline)
+        "%s: hit_deadline on a deadline-free campaign" n;
+      (* bounded techniques: the witness's own count is the level where it
+         was found *)
+      match (t, s.Stats.first_bug) with
+      | Techniques.IPB, Some w ->
+          require "algebra"
+            (s.Stats.bound = Some w.Stats.w_pc)
+            "IPB: bound=%s but witness pc=%d"
+            (match s.Stats.bound with
+            | None -> "None"
+            | Some b -> string_of_int b)
+            w.Stats.w_pc
+      | Techniques.IDB, Some w ->
+          require "algebra"
+            (s.Stats.bound = Some w.Stats.w_dc)
+            "IDB: bound=%s but witness dc=%d"
+            (match s.Stats.bound with
+            | None -> "None"
+            | Some b -> string_of_int b)
+            w.Stats.w_dc
+      | _ -> ())
+    stats;
+
+  (* ---- every witness replays to the same bug -------------------------- *)
+  List.iter
+    (fun (t, (s : Stats.t)) ->
+      match s.Stats.first_bug with
+      | None -> ()
+      | Some w -> (
+          let n = tname t in
+          match
+            Replay.replay ~promote ~max_steps:cfg.max_steps
+              ~schedule:w.Stats.w_schedule program
+          with
+          | None ->
+              fail "witness-replay" "%s: witness schedule is infeasible" n
+          | Some r ->
+              require "witness-replay"
+                (Outcome.is_buggy r.Runtime.r_outcome)
+                "%s: witness replays without a bug (outcome %s)" n
+                (Outcome.to_string r.Runtime.r_outcome);
+              require "witness-replay"
+                (Schedule.equal r.Runtime.r_schedule w.Stats.w_schedule)
+                "%s: replayed schedule differs from the witness" n;
+              (match r.Runtime.r_outcome with
+              | Outcome.Bug { bug; by } ->
+                  require "witness-replay"
+                    (Outcome.bug_equal bug w.Stats.w_bug
+                    && Sct_core.Tid.equal by w.Stats.w_by)
+                    "%s: replay found a different bug or culprit" n
+              | _ -> ());
+              require "witness-replay"
+                (r.Runtime.r_pc = w.Stats.w_pc && r.Runtime.r_dc = w.Stats.w_dc)
+                "%s: replay pc/dc (%d/%d) differ from the witness (%d/%d)" n
+                r.Runtime.r_pc r.Runtime.r_dc w.Stats.w_pc w.Stats.w_dc))
+    stats;
+
+  (* ---- bug-finding inclusions on exhaustible programs ------------------ *)
+  let dfs = stat Techniques.DFS in
+  let ipb = stat Techniques.IPB in
+  let idb = stat Techniques.IDB in
+  if dfs.Stats.complete then begin
+    if Stats.found dfs then begin
+      require "inclusion" (Stats.found ipb)
+        "DFS exhausted the space and found a bug, IPB did not";
+      require "inclusion" (Stats.found idb)
+        "DFS exhausted the space and found a bug, IDB did not"
+    end
+    else begin
+      List.iter
+        (fun (t, s) ->
+          require "inclusion" (not (Stats.found s))
+            "DFS exhausted a bug-free space but %s reports a bug" (tname t))
+        stats;
+      require "inclusion" ipb.Stats.complete
+        "DFS exhausted a bug-free space but IPB did not complete";
+      require "inclusion" idb.Stats.complete
+        "DFS exhausted a bug-free space but IDB did not complete";
+      require "inclusion"
+        (ipb.Stats.total = dfs.Stats.total)
+        "IPB counted %d schedules on a bug-free exhausted space of %d"
+        ipb.Stats.total dfs.Stats.total;
+      require "inclusion"
+        (idb.Stats.total = dfs.Stats.total)
+        "IDB counted %d schedules on a bug-free exhausted space of %d"
+        idb.Stats.total dfs.Stats.total
+    end
+  end;
+
+  (* ---- POR vs full DFS, all locations visible -------------------------- *)
+  let por_limit = sub_limit cfg.limit in
+  let dfs_all =
+    Dfs.explore ~promote:promote_all ~max_steps:cfg.max_steps
+      ~bound:Dfs.Unbounded ~limit:por_limit program
+  in
+  if dfs_all.Dfs.complete then
+    List.iter
+      (fun (mode, mode_name) ->
+        let por =
+          Por.explore ~promote:promote_all ~max_steps:cfg.max_steps ~mode
+            ~limit:por_limit program
+        in
+        require "por" por.Por.complete
+          "POR(%s) did not complete on a space full DFS exhausted (%d \
+           schedules)"
+          mode_name dfs_all.Dfs.counted;
+        require "por"
+          (por.Por.buggy > 0 = (dfs_all.Dfs.buggy > 0))
+          "POR(%s) and full DFS disagree on bug-freedom (POR buggy=%d, DFS \
+           buggy=%d)"
+          mode_name por.Por.buggy dfs_all.Dfs.buggy;
+        require "por"
+          (por.Por.counted <= dfs_all.Dfs.counted)
+          "POR(%s) counted %d terminal schedules, more than full DFS's %d"
+          mode_name por.Por.counted dfs_all.Dfs.counted;
+        require "por" (por.Por.counted >= 1)
+          "POR(%s) counted no terminal schedule" mode_name)
+      [ (Por.Sleep, "sleep"); (Por.Dpor, "dpor"); (Por.Dpor_sleep, "both") ];
+
+  (* ---- bound-level algebra: monotone in c, and DC >= PC ---------------- *)
+  let walk bound =
+    Dfs.explore ~promote ~max_steps:cfg.max_steps ~bound ~limit:cfg.limit
+      program
+  in
+  let pc_counts =
+    List.map (fun c -> (walk (Dfs.Preemption c)).Dfs.counted) [ 0; 1; 2 ]
+  in
+  let dc_counts =
+    List.map (fun c -> (walk (Dfs.Delay c)).Dfs.counted) [ 0; 1; 2 ]
+  in
+  let monotone name = function
+    | [ a; b; c ] ->
+        require "bound-algebra"
+          (a <= b && b <= c)
+          "%s-bounded schedule counts not monotone in the bound: %d, %d, %d"
+          name a b c
+    | _ -> assert false
+  in
+  monotone "preemption" pc_counts;
+  monotone "delay" dc_counts;
+  List.iteri
+    (fun c (dc, pc) ->
+      require "bound-algebra" (dc <= pc)
+        "delay bound %d admits %d schedules, preemption bound %d only %d \
+         (DC >= PC violated)"
+        c dc c pc)
+    (List.combine dc_counts pc_counts);
+  if dfs.Stats.complete then
+    List.iteri
+      (fun c pc ->
+        require "bound-algebra"
+          (pc <= dfs.Stats.total)
+          "preemption bound %d counts %d schedules, beyond the full space's \
+           %d"
+          c pc dfs.Stats.total)
+      pc_counts;
+
+  (* ---- shard-merge determinism for the seed-sharded techniques --------- *)
+  List.iter
+    (fun t ->
+      match Techniques.sharding ~promote o t program with
+      | Strategy.Shard_seed f ->
+          let m = sub_limit cfg.limit in
+          let whole = f ~lo:0 ~hi:m in
+          let h = m / 2 in
+          let merged = Stats.merge (f ~lo:0 ~hi:h) (f ~lo:h ~hi:m) in
+          require "shard-merge"
+            (Stats.equal whole merged)
+            "%s: half-range shards do not merge to the whole range ([0,%d) \
+             vs [0,%d)+[%d,%d))"
+            (tname t) m h h m
+      | Strategy.Shard_tree _ | Strategy.Shard_runs _ ->
+          fail "shard-merge" "%s: expected a Shard_seed parallel plan"
+            (tname t))
+    [ Techniques.Rand; Techniques.PCT; Techniques.SURW ];
+
+  List.rev !violations

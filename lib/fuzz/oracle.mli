@@ -1,0 +1,65 @@
+(** The cross-technique differential oracle.
+
+    One generated program is run under every technique of the study
+    (DFS, IPB, IDB, Rand, PCT, MapleAlg, SURW) through the real pipeline —
+    race detection, promotion, then {!Sct_explore.Techniques.run} — and the
+    relational guarantees the paper's headline claims rest on are checked:
+
+    - {b Inclusions} (paper §6): on programs whose schedule space DFS
+      exhausts within the budget, a DFS-found bug must also be found by IPB
+      and by IDB; if exhaustive DFS finds no bug, {e no} technique may
+      report one, IPB/IDB must also complete, and all three must count the
+      same number of distinct terminal schedules.
+    - {b POR equivalence} (paper §7): with every location visible, sleep
+      sets, DPOR and their combination must agree with full DFS on
+      bug-freedom whenever full DFS completes, while never counting more
+      terminal schedules.
+    - {b Witness replayability} (paper §1): every reported bug witness must
+      replay through {!Sct_explore.Replay} to the same bug, by the same
+      thread, with the same preemption and delay counts.
+    - {b Schedule-count algebra}: counted schedules never exceed the
+      budget; [hit_limit] means the budget was spent exactly; distinct
+      schedules are between 1 and [total]; bound-[c] walk counts are
+      monotone in [c], and delay-bounded counts never exceed
+      preemption-bounded counts at the same level (DC ≥ PC, paper §2);
+      witness bound consistency for IPB ([w_pc = bound]) and IDB
+      ([w_dc = bound]).
+    - {b Shard-merge determinism}: for the seed-sharded techniques
+      (Rand, PCT, SURW), running a prefix range and merging two half-range
+      shards with {!Sct_explore.Stats.merge} must be
+      {!Sct_explore.Stats.equal} — the algebra that makes [--jobs N]
+      byte-identical.
+
+    The oracle is parametric in the per-technique runner so the test suite
+    can inject a deliberately broken strategy and assert that the harness
+    catches (and shrinks) the violation. *)
+
+type config = {
+  limit : int;  (** schedule budget per technique campaign *)
+  max_steps : int;  (** per-execution live-lock guard *)
+  race_runs : int;  (** executions of the race-detection phase *)
+}
+
+val default_config : config
+(** [limit = 500; max_steps = 5_000; race_runs = 5]. *)
+
+type violation = {
+  v_invariant : string;  (** stable invariant identifier, e.g. ["inclusion"] *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type runner = Sct_explore.Techniques.t -> Sct_explore.Stats.t
+(** A per-technique campaign, already closed over program and options. *)
+
+val check :
+  ?wrap:(runner -> runner) ->
+  config ->
+  seed:int ->
+  (unit -> unit) ->
+  violation list
+(** [check cfg ~seed program] returns every invariant violation observed
+    (empty on a healthy build). [seed] seeds the randomised techniques and
+    the race-detection phase. [wrap] (default: identity) intercepts the
+    technique runner — test-only, for fault injection. *)

@@ -1,0 +1,88 @@
+(* One-step AST simplifications for delta debugging. Termination measure:
+   size + sum of loop iteration counts; every candidate strictly
+   decreases it. *)
+
+let rec stmt_measure (s : Ast.stmt) =
+  match s with
+  | Loop { times; body } -> 1 + times + list_measure body
+  | Lock { body; _ } | Try_lock { body; _ } -> 1 + list_measure body
+  | If_eq { then_; else_; _ } -> 1 + list_measure then_ + list_measure else_
+  | _ -> 1
+
+and list_measure ss = List.fold_left (fun n s -> n + stmt_measure s) 0 ss
+
+let measure (p : Ast.program) =
+  List.fold_left (fun n t -> n + list_measure t) 0 p.Ast.threads
+
+(* Replace element [i] of [l] by the list [rs] (splicing). *)
+let splice l i rs =
+  List.concat (List.mapi (fun j x -> if j = i then rs else [ x ]) l)
+
+(* Simplifications of a single statement, each yielding a replacement
+   statement LIST (so unwrapping splices the body in place). *)
+let rec stmt_variants (s : Ast.stmt) : Ast.stmt list list =
+  match s with
+  | Ast.Lock { m; body } ->
+      (body :: List.map (fun b -> [ Ast.Lock { m; body = b } ]) (list_variants body))
+  | Ast.Try_lock { m; body } ->
+      (body
+      :: List.map (fun b -> [ Ast.Try_lock { m; body = b } ]) (list_variants body))
+  | Ast.Loop { times; body } ->
+      (body :: (if times > 1 then [ [ Ast.Loop { times = times - 1; body } ] ] else []))
+      @ List.map (fun b -> [ Ast.Loop { times; body = b } ]) (list_variants body)
+  | Ast.If_eq { var; expect; then_; else_ } ->
+      [ then_; else_ ]
+      @ List.map
+          (fun b -> [ Ast.If_eq { var; expect; then_ = b; else_ } ])
+          (list_variants then_)
+      @ List.map
+          (fun b -> [ Ast.If_eq { var; expect; then_; else_ = b } ])
+          (list_variants else_)
+  | _ -> []
+
+(* Simplifications of a statement list: drop one element, or simplify one
+   element in place, in program order. *)
+and list_variants (ss : Ast.stmt list) : Ast.stmt list list =
+  let drops = List.mapi (fun i _ -> splice ss i []) ss in
+  let deep =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun rs -> splice ss i rs) (stmt_variants s))
+         ss)
+  in
+  drops @ deep
+
+let candidates (p : Ast.program) =
+  let threads = p.Ast.threads in
+  let drop_threads =
+    List.mapi (fun i _ -> { Ast.threads = splice threads i [] }) threads
+  in
+  let per_thread =
+    List.concat
+      (List.mapi
+         (fun i body ->
+           List.map
+             (fun b -> { Ast.threads = splice threads i [ b ] })
+             (list_variants body))
+         threads)
+  in
+  let m = measure p in
+  List.filter (fun c -> measure c < m) (drop_threads @ per_thread)
+
+let shrink ?(max_checks = 2000) ~check p =
+  if not (check p) then
+    invalid_arg "Sct_fuzz.Shrink.shrink: program does not fail";
+  let budget = ref max_checks in
+  let rec go p =
+    let rec first = function
+      | [] -> p
+      | c :: rest ->
+          if !budget <= 0 then p
+          else begin
+            decr budget;
+            if check c then go c else first rest
+          end
+    in
+    first (candidates p)
+  in
+  go p

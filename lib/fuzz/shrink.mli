@@ -1,0 +1,29 @@
+(** Delta-debugging on the program AST.
+
+    Given a predicate that holds of a failing program (e.g. "the oracle
+    reports a violation"), {!shrink} greedily applies the first
+    still-failing simplification until none applies: dropping whole
+    threads, dropping statements, unwrapping compound statements into
+    their bodies, and reducing loop iteration counts. Every candidate
+    strictly decreases the measure [size + Σ loop iterations], so the
+    search terminates; the result is locally minimal (no single
+    simplification preserves the failure).
+
+    Shrinking is deterministic: candidates are enumerated in a fixed
+    order, so the same failing program always shrinks to the same
+    counterexample. *)
+
+val candidates : Ast.program -> Ast.program list
+(** All one-step simplifications, each strictly smaller under the
+    termination measure, in the fixed exploration order (threads dropped
+    first, then per-statement simplifications in program order). *)
+
+val shrink :
+  ?max_checks:int ->
+  check:(Ast.program -> bool) ->
+  Ast.program ->
+  Ast.program
+(** [shrink ~check p] requires [check p = true] and returns a locally
+    minimal program on which [check] still holds. [max_checks]
+    (default 2000) bounds the number of [check] evaluations as a safety
+    net; on exhaustion the best program found so far is returned. *)

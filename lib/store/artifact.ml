@@ -85,19 +85,22 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.file_exists dir -> ()
   end
 
-let save ~dir t =
+let write_atomic ~dir ~file content =
   mkdir_p dir;
-  let final = Filename.concat dir (filename t) in
+  let final = Filename.concat dir file in
   if not (Sys.file_exists final) then begin
-    let meta_line, sched_line = lines_of t in
-    let tmp = Filename.concat dir ("." ^ filename t ^ ".tmp") in
+    let tmp = Filename.concat dir ("." ^ file ^ ".tmp") in
     let oc = open_out_bin tmp in
-    output_string oc
-      (magic ^ "\n# meta: " ^ meta_line ^ "\n" ^ sched_line ^ "\n");
+    output_string oc content;
     close_out oc;
     Sys.rename tmp final
   end;
   final
+
+let save ~dir t =
+  let meta_line, sched_line = lines_of t in
+  write_atomic ~dir ~file:(filename t)
+    (magic ^ "\n# meta: " ^ meta_line ^ "\n" ^ sched_line ^ "\n")
 
 let read_file path =
   let ic =

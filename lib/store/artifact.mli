@@ -52,6 +52,13 @@ val save : dir:string -> t -> string
     return its path. Content addressing makes this idempotent: an existing
     file with the same digest is left untouched. *)
 
+val write_atomic : dir:string -> file:string -> string -> string
+(** [write_atomic ~dir ~file content] writes [content] to [dir/file]
+    (directory created if missing) with the store's crash-safety
+    discipline — temp file in the same directory, then rename — and
+    returns the final path. An existing file is left untouched. Also used
+    by the fuzz subsystem for counterexample artifacts. *)
+
 val load : string -> t
 (** Read an artifact back and verify its digest against the content.
     @raise Error on malformed files or digest mismatch. *)

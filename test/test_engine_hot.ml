@@ -182,50 +182,69 @@ let golden_benchmarks =
 
 let golden_limit = 200
 
-let produce_table3 () =
-  let open Sct_explore in
-  let o = { Techniques.default_options with Techniques.limit = golden_limit } in
-  let benches =
-    List.map
-      (fun name ->
-        match Sctbench.Registry.by_name name with
-        | Some b -> b
-        | None -> Alcotest.fail ("missing benchmark " ^ name))
-      golden_benchmarks
-  in
-  let rows = Sct_report.Run_data.run_all o benches in
+(* The rows are the expensive part (six benchmarks x five techniques at
+   --limit 200); both golden tables render from the same single run. *)
+let golden_rows =
+  lazy
+    (let open Sct_explore in
+     let o =
+       { Techniques.default_options with Techniques.limit = golden_limit }
+     in
+     let benches =
+       List.map
+         (fun name ->
+           match Sctbench.Registry.by_name name with
+           | Some b -> b
+           | None -> Alcotest.fail ("missing benchmark " ^ name))
+         golden_benchmarks
+     in
+     Sct_report.Run_data.run_all o benches)
+
+let render print =
   let buf = Buffer.create 4096 in
   let fmt = Format.formatter_of_buffer buf in
-  Sct_report.Table3.print ~out:fmt ~limit:golden_limit rows;
+  print ~out:fmt ~limit:golden_limit (Lazy.force golden_rows);
   Format.pp_print_flush fmt ();
   Buffer.contents buf
 
-let test_golden_table3 () =
-  let produced = produce_table3 () in
-  match Sys.getenv_opt "SCT_GOLDEN_UPDATE" with
+let produce_table3 () =
+  render (fun ~out -> Sct_report.Table3.print ~out)
+
+let produce_table2 () =
+  render (fun ~out -> Sct_report.Table2.print ~out)
+
+(* [update_env] regenerates the golden file instead of checking it;
+   otherwise [file] is looked up next to the test executable (dune copies
+   deps there) with fallbacks for [dune exec] from the repo root. *)
+let check_golden ~update_env ~file ~what produced =
+  match Sys.getenv_opt update_env with
   | Some path ->
       Out_channel.with_open_bin path (fun oc -> output_string oc produced)
   | None ->
-      (* dune copies the dep next to the test executable; when invoked via
-         [dune exec] from the repo root, fall back to the source file *)
       let golden =
         List.find_opt Sys.file_exists
           [
-            Filename.concat
-              (Filename.dirname Sys.executable_name)
-              "table3_golden.txt";
-            "table3_golden.txt";
-            Filename.concat "test" "table3_golden.txt";
+            Filename.concat (Filename.dirname Sys.executable_name) file;
+            file;
+            Filename.concat "test" file;
           ]
       in
       let golden =
         match golden with
         | Some p -> p
-        | None -> Alcotest.fail "table3_golden.txt not found"
+        | None -> Alcotest.fail (file ^ " not found")
       in
       let expected = In_channel.with_open_bin golden In_channel.input_all in
-      Alcotest.(check string) "table3 rows byte-identical to golden" expected
+      Alcotest.(check string) (what ^ " byte-identical to golden") expected
         produced
+
+let test_golden_table3 () =
+  check_golden ~update_env:"SCT_GOLDEN_UPDATE" ~file:"table3_golden.txt"
+    ~what:"table3 rows" (produce_table3 ())
+
+let test_golden_table2 () =
+  check_golden ~update_env:"SCT_GOLDEN_UPDATE_TABLE2"
+    ~file:"table2_golden.txt" ~what:"table2 summary" (produce_table2 ())
 
 let suites =
   [
@@ -237,4 +256,7 @@ let suites =
     ( "golden-table3",
       [ Alcotest.test_case "rows match pre-overhaul golden" `Slow
           test_golden_table3 ] );
+    ( "golden-table2",
+      [ Alcotest.test_case "summary matches committed golden" `Slow
+          test_golden_table2 ] );
   ]

@@ -21,4 +21,6 @@ let () =
          Test_store.suites;
          Test_parallel.suites;
          Test_robustness.suites;
+         Test_fuzz.suites;
+         Test_cli_artifacts.suites;
        ])

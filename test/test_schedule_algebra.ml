@@ -123,6 +123,69 @@ let prop_rr_order_costs =
           costs = List.init (List.length order) (fun i -> i))
         steps)
 
+(* --- edge cases: the empty schedule and the schedule container laws --- *)
+
+let test_empty_schedule () =
+  Alcotest.(check int) "length empty" 0 (Schedule.length Schedule.empty);
+  Alcotest.(check (option int)) "last empty" None (Schedule.last Schedule.empty);
+  Alcotest.(check (list int)) "to_list empty" []
+    (Schedule.to_list Schedule.empty);
+  Alcotest.(check bool) "empty equals of_list []" true
+    (Schedule.equal Schedule.empty (Schedule.of_list []));
+  (* counting over zero decisions is zero, not an error *)
+  Alcotest.(check int) "PC of no steps" 0 (Preemption.count ~steps:[]);
+  Alcotest.(check int) "DC of no steps" 0
+    (Delay.count ~n_at:(fun _ -> 1) ~steps:[])
+
+let prop_schedule_container_laws =
+  QCheck2.Test.make ~name:"schedule: of_list/to_list/snoc/last laws"
+    ~count:300
+    QCheck2.Gen.(list (int_range 0 7))
+    (fun l ->
+      let s = Schedule.of_list l in
+      Schedule.to_list s = l
+      && Schedule.length s = List.length l
+      && Schedule.equal s s
+      && List.for_all
+           (fun t ->
+             let s' = Schedule.snoc s t in
+             Schedule.last s' = Some t
+             && Schedule.length s' = Schedule.length s + 1
+             && Schedule.to_list s' = l @ [ t ])
+           [ 0; 3 ])
+
+(* A single-thread program has exactly one schedule: DFS exhausts the space
+   in one execution and no technique can ever pay a preemption or delay. *)
+let test_single_thread_program () =
+  let program () =
+    let x = Sct_core.Sct.Var.make ~name:"st_x" 0 in
+    for _ = 1 to 5 do
+      Sct_core.Sct.yield ();
+      Sct_core.Sct.Var.write x (Sct_core.Sct.Var.read x + 1)
+    done;
+    Sct_core.Sct.check (Sct_core.Sct.Var.read x = 5) "st"
+  in
+  let r =
+    Sct_explore.Dfs.explore
+      ~promote:(fun _ -> true)
+      ~bound:Sct_explore.Dfs.Unbounded ~limit:10 program
+  in
+  Alcotest.(check int) "exactly one terminal schedule" 1
+    r.Sct_explore.Dfs.executions;
+  Alcotest.(check bool) "space exhausted" true r.Sct_explore.Dfs.complete;
+  Alcotest.(check bool) "no bug" false (r.Sct_explore.Dfs.first_bug <> None);
+  (* every decision continues the only runnable thread: pc = dc = 0 *)
+  let rr =
+    Sct_explore.Replay.replay
+      ~promote:(fun _ -> true)
+      ~schedule:Schedule.empty program
+  in
+  match rr with
+  | None -> Alcotest.fail "replay failed"
+  | Some res ->
+      Alcotest.(check int) "pc = 0" 0 res.Runtime.r_pc;
+      Alcotest.(check int) "dc = 0" 0 res.Runtime.r_dc
+
 let prop_distance_roundtrip =
   QCheck2.Test.make ~name:"distance: (x + d) mod n = y" ~count:500
     QCheck2.Gen.(
@@ -150,6 +213,10 @@ let suites =
         Alcotest.test_case "deterministic choice" `Quick
           test_deterministic_choice;
         Alcotest.test_case "count folds" `Quick test_counts_fold;
+        Alcotest.test_case "empty schedule" `Quick test_empty_schedule;
+        Alcotest.test_case "single-thread program: pc = dc = 0" `Quick
+          test_single_thread_program;
+        QCheck_alcotest.to_alcotest prop_schedule_container_laws;
         QCheck_alcotest.to_alcotest prop_dc_ge_pc;
         QCheck_alcotest.to_alcotest prop_det_choice_zero_delay;
         QCheck_alcotest.to_alcotest prop_rr_order_costs;

@@ -78,6 +78,62 @@ let test_parse () =
     (Failure "Replay.parse: empty thread id at offset 2") (fun () ->
       ignore (Sct_explore.Replay.parse "0,,1"))
 
+let test_parse_edges () =
+  Alcotest.(check (list int)) "trailing whitespace tolerated" [ 0; 1 ]
+    (Schedule.to_list (Sct_explore.Replay.parse "0,1 \t "));
+  Alcotest.(check (list int)) "empty input" []
+    (Schedule.to_list (Sct_explore.Replay.parse ""));
+  Alcotest.check_raises "trailing garbage names its exact offset"
+    (Failure {|Replay.parse: bad thread id "junk" at offset 4|}) (fun () ->
+      ignore (Sct_explore.Replay.parse "0,1,junk"));
+  Alcotest.check_raises "trailing comma is an empty id, not whitespace"
+    (Failure "Replay.parse: empty thread id at offset 4") (fun () ->
+      ignore (Sct_explore.Replay.parse "0,1,"));
+  Alcotest.check_raises "leading comma"
+    (Failure "Replay.parse: empty thread id at offset 0") (fun () ->
+      ignore (Sct_explore.Replay.parse ",0"));
+  Alcotest.check_raises "inner whitespace does not split ids"
+    (Failure {|Replay.parse: bad thread id "7 7" at offset 1|}) (fun () ->
+      ignore (Sct_explore.Replay.parse " 7 7"))
+
+(* --- --technique list parsing --- *)
+
+let technique =
+  Alcotest.testable
+    (fun ppf t -> Format.pp_print_string ppf (Sct_explore.Techniques.name t))
+    ( = )
+
+let parsed = Alcotest.(result (list technique) string)
+
+let check_parse what specs expected =
+  Alcotest.check parsed what expected
+    (Sct_explore.Techniques.parse_list specs)
+
+let valid_names_msg = "valid: ipb, idb, dfs, rand, pct, maple, surw"
+
+let test_technique_list () =
+  let open Sct_explore.Techniques in
+  check_parse "no flag: the paper's five techniques" [] (Ok all_paper);
+  check_parse "comma-separated" [ "dfs,rand" ] (Ok [ DFS; Rand ]);
+  check_parse "repeated flags concatenate" [ "ipb"; "maple" ]
+    (Ok [ IPB; Maple ]);
+  check_parse "names are case-insensitive, aliases accepted"
+    [ "DFS,Random,MapleAlg" ]
+    (Ok [ DFS; Rand; Maple ]);
+  check_parse "duplicates dedupe, first occurrence wins"
+    [ "idb,ipb,idb"; "ipb,surw" ]
+    (Ok [ IDB; IPB; SURW ]);
+  check_parse "empty fragments (stray commas) are ignored" [ "ipb,,rand," ]
+    (Ok [ IPB; Rand ]);
+  check_parse "unknown name lists every valid name" [ "dfs,bogus" ]
+    (Error ("unknown technique: bogus (" ^ valid_names_msg ^ ")"));
+  check_parse "a flag that names nothing is an error" [ "," ]
+    (Error ("no technique names given (" ^ valid_names_msg ^ ")"));
+  check_parse "explicit empty string too" [ "" ]
+    (Error ("no technique names given (" ^ valid_names_msg ^ ")"));
+  Alcotest.check parsed "default override" (Ok [ DFS ])
+    (Sct_explore.Techniques.parse_list ~default:[ DFS ] [])
+
 (* --- simplification --- *)
 
 let test_simplify_reduces_preemptions () =
@@ -186,6 +242,10 @@ let suites =
           test_replay_detects_infeasible;
         Alcotest.test_case "replay fallback" `Quick test_replay_fallback;
         Alcotest.test_case "schedule parsing" `Quick test_parse;
+        Alcotest.test_case "schedule parsing: edge offsets" `Quick
+          test_parse_edges;
+        Alcotest.test_case "--technique list parsing" `Quick
+          test_technique_list;
         Alcotest.test_case "simplification reaches the minimal witness"
           `Quick test_simplify_reduces_preemptions;
         Alcotest.test_case "simplification rejects non-buggy input" `Quick
