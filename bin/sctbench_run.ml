@@ -477,6 +477,200 @@ let fuzz_cmd =
       const run $ seed_t $ count_t $ fuzz_limit_t $ max_steps_t $ jobs_t
       $ fuzz_store_t)
 
+(* fleet-scale campaign orchestration *)
+let campaign_store_t =
+  let doc =
+    "The campaign store directory. Opened resumably: an existing journal \
+     is continued from exactly where it stopped."
+  in
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let policy_t =
+  let doc =
+    "Budget-allocation policy: $(b,uniform) (round-robin; completed \
+     campaigns reproduce the one-shot runner's outputs byte-for-byte) or \
+     $(b,bandit) (adaptive: budget flows to cells whose distinct-schedule \
+     coverage still grows and whose bound is still low)."
+  in
+  Arg.(value & opt string "uniform" & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let slice_t =
+  let doc = "Budget slice (schedules) leased to a cell at a time." in
+  Arg.(value & opt int 500 & info [ "slice" ] ~docv:"N" ~doc)
+
+let parse_policy s =
+  match Sct_campaign.Scheduler.policy_of_name s with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "unknown policy %s (expected one of: %s)\n" s
+        (String.concat ", " Sct_campaign.Scheduler.policy_names);
+      exit 1
+
+let parse_shard s =
+  match String.index_opt s '/' with
+  | Some i -> (
+      let k = String.sub s 0 i
+      and n = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some k, Some n when n >= 1 && k >= 0 && k < n -> (k, n)
+      | _ ->
+          Printf.eprintf "invalid shard %s (expected K/N with 0 <= K < N)\n" s;
+          exit 1)
+  | None ->
+      Printf.eprintf "invalid shard %s (expected K/N, e.g. 0/3)\n" s;
+      exit 1
+
+let run_campaign ~shard limit seed jobs split_depth time_limit suite ids techs
+    policy slice store =
+  let benches = select suite ids in
+  let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+  let techniques = parse_techniques techs in
+  let policy = parse_policy policy in
+  let cells = Sct_campaign.Cell.grid ~techniques o benches in
+  let cells =
+    match shard with
+    | None -> cells
+    | Some (k, n) -> Sct_campaign.Cell.shard ~k ~n cells
+  in
+  let db = Sct_store.Db.open_ ~dir:store in
+  let outcome =
+    Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
+      (fun pool ->
+        Sct_campaign.Orchestrator.run ~policy ~slice
+          ~on_slice:(fun c p ->
+            Printf.eprintf "%-40s slice %d: %d schedules banked%s\n%!"
+              (Sct_campaign.Cell.name c)
+              p.Sct_store.Codec.p_slices p.Sct_store.Codec.p_consumed
+              (if p.Sct_store.Codec.p_done then " (done)" else ""))
+          ~pool ~db cells)
+  in
+  Sct_store.Db.close db;
+  Printf.printf "campaign: %d cells, %d finished, %d slice(s) this run\n"
+    outcome.Sct_campaign.Orchestrator.cells
+    outcome.Sct_campaign.Orchestrator.finished
+    outcome.Sct_campaign.Orchestrator.slices
+
+let campaign_cmd =
+  let grid_args run =
+    Term.(
+      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ time_limit_t
+      $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t $ campaign_store_t)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run (or resume) a campaign over the selected grid in this \
+            process, leasing budget slices per cell until every cell is \
+            done. Safe to kill at any instant: relaunching on the same \
+            store resumes exactly.")
+      (grid_args (run_campaign ~shard:None))
+  in
+  let worker_cmd =
+    let shard_t =
+      let doc =
+        "This worker's lease, $(b,K/N): of $(i,N) disjoint shards of the \
+         campaign grid, work the $(i,K)-th (0-based). Each worker writes \
+         its own store; fold them with $(b,store merge)."
+      in
+      Arg.(
+        required & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
+    in
+    let run shard limit seed jobs split_depth time_limit suite ids techs
+        policy slice store =
+      run_campaign ~shard:(Some (parse_shard shard)) limit seed jobs
+        split_depth time_limit suite ids techs policy slice store
+    in
+    Cmd.v
+      (Cmd.info "worker"
+         ~doc:
+           "Run one shard of a campaign into a per-worker store (multi-\
+            process fleets: N workers with --shard 0/N .. (N-1)/N, then \
+            $(b,store merge)).")
+      Term.(
+        const run $ shard_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
+        $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t
+        $ campaign_store_t)
+  in
+  let status_cmd =
+    let run store =
+      let db = Sct_store.Db.open_ ~dir:store in
+      Sct_campaign.Status.render Format.std_formatter db;
+      Sct_store.Db.close db
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Report per-cell campaign progress (banked budget, slices, \
+            distinct-schedule growth) from any store.")
+      Term.(const run $ campaign_store_t)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Fleet-scale campaign orchestration: restartable budget-sliced \
+          runs, multi-process sharding, adaptive allocation.")
+    [ run_cmd; worker_cmd; status_cmd ]
+
+(* store maintenance *)
+let store_cmd =
+  let into_t =
+    let doc = "Destination store directory (created if missing)." in
+    Arg.(required & opt (some string) None & info [ "into" ] ~docv:"DIR" ~doc)
+  in
+  let srcs_t =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SRC" ~doc:"Source store directories.")
+  in
+  let merge_cmd =
+    let run into srcs =
+      let dst = Sct_store.Db.open_ ~dir:into in
+      List.iter
+        (fun dir ->
+          let src = Sct_store.Db.open_ ~dir in
+          Sct_store.Db.merge_from dst ~src;
+          Sct_store.Db.close src)
+        srcs;
+      Printf.printf "merged %d store(s) into %s: %d cells (%d finished)\n"
+        (List.length srcs) into
+        (List.length (Sct_store.Db.entries_any dst))
+        (Sct_store.Db.size dst);
+      Sct_store.Db.close dst
+    in
+    Cmd.v
+      (Cmd.info "merge"
+         ~doc:
+           "Fold worker stores into one: copy witness artifacts and keep \
+            the most advanced record per cell. Associative, commutative \
+            and idempotent, so any merge order yields the same store.")
+      Term.(const run $ into_t $ srcs_t)
+  in
+  let compact_cmd =
+    let store_req_t =
+      let doc = "The store directory to compact." in
+      Arg.(
+        required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+    in
+    let run store =
+      let db = Sct_store.Db.open_ ~dir:store in
+      let before = List.length (Sct_store.Db.entries_any db) in
+      Sct_store.Db.compact db;
+      Printf.printf "compacted %s: %d record(s) kept\n" store before;
+      Sct_store.Db.close db
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Atomically rewrite the journal keeping only the latest record \
+            per cell, dropping superseded campaign slices and any torn \
+            tail. Resume behaviour is unchanged.")
+      Term.(const run $ store_req_t)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Maintain study/campaign store directories.")
+    [ merge_cmd; compact_cmd ]
+
 (* recorded bug-witness artifacts *)
 let artifacts_cmd =
   let store_req_t =
@@ -595,6 +789,8 @@ let () =
       minimize_cmd;
       por_cmd;
       fuzz_cmd;
+      campaign_cmd;
+      store_cmd;
       artifacts_cmd;
       study_cmd "table1" `Table1 "Regenerate Table 1 (suite overview).";
       study_cmd "table2" `Table2 "Regenerate Table 2 (trivial benchmarks).";

@@ -1,0 +1,34 @@
+module Techniques = Sct_explore.Techniques
+
+type t = {
+  index : int;
+  bench : Sctbench.Bench.t;
+  technique : Techniques.t;
+  options : Techniques.options;
+  key : string;
+}
+
+let name c =
+  c.bench.Sctbench.Bench.name ^ "/" ^ Techniques.name c.technique
+
+let grid ?(techniques = Techniques.all_paper) options benches =
+  let cells =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun technique ->
+            let key =
+              Sct_store.Db.fingerprint ~bench:bench.Sctbench.Bench.name
+                ~technique:(Techniques.name technique) options
+            in
+            { index = 0; bench; technique; options; key })
+          techniques)
+      benches
+  in
+  List.mapi (fun index c -> { c with index }) cells
+
+let shard ~k ~n cells =
+  if n < 1 || k < 0 || k >= n then
+    invalid_arg
+      (Printf.sprintf "Sct_campaign.Cell.shard: shard %d/%d is not valid" k n);
+  List.filter (fun c -> c.index mod n = k) cells

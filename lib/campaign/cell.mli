@@ -1,0 +1,35 @@
+(** The campaign's unit of work: one benchmark × technique pair under
+    fixed exploration options, identified by the store's options
+    fingerprint — the same key the one-shot study runner journals under,
+    so campaign stores and run stores name cells identically. *)
+
+type t = {
+  index : int;
+      (** position in the campaign grid: the scheduler's deterministic
+          tie-break order, and the basis of {!shard} *)
+  bench : Sctbench.Bench.t;
+  technique : Sct_explore.Techniques.t;
+  options : Sct_explore.Techniques.options;
+  key : string;  (** [Sct_store.Db.fingerprint] of the cell *)
+}
+
+val name : t -> string
+(** ["CS.account_bad/IPB"] — for log lines and error messages. *)
+
+val grid :
+  ?techniques:Sct_explore.Techniques.t list ->
+  Sct_explore.Techniques.options ->
+  Sctbench.Bench.t list ->
+  t list
+(** The full campaign grid, benchmark-major ([techniques] defaults to
+    [Techniques.all_paper]) — the same cell order the one-shot study
+    runner executes, so a uniform round-robin campaign completes cells in
+    a store-compatible order. Indices are consecutive from 0. *)
+
+val shard : k:int -> n:int -> t list -> t list
+(** The [k]-th of [n] disjoint leases: cells whose grid index is congruent
+    to [k] modulo [n]. Striding (rather than chunking) gives every worker
+    a mix of benchmarks, so shard wall-clock times stay balanced. The [n]
+    shards partition the grid: merging the resulting worker stores covers
+    every cell exactly once.
+    @raise Invalid_argument unless [0 <= k < n]. *)

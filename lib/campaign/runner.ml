@@ -1,0 +1,95 @@
+module Stats = Sct_explore.Stats
+module Techniques = Sct_explore.Techniques
+module Strategy = Sct_explore.Strategy
+module Db = Sct_store.Db
+module Codec = Sct_store.Codec
+module Pool = Sct_parallel.Pool
+module Drivers = Sct_parallel.Drivers
+
+type slice_result = { stats : Stats.t; progress : Codec.progress }
+
+(* One contiguous sub-range of the seed space per pool worker; the merge
+   equals the sequential [lo, hi) shard (the Shard_seed contract). *)
+let seed_slice ~pool shard ~lo ~hi =
+  let n = hi - lo in
+  if Pool.size pool <= 1 || n <= 1 then shard ~lo ~hi
+  else
+    let futs =
+      List.map
+        (fun (slo, shi) ->
+          Pool.submit pool (fun () -> shard ~lo:(lo + slo) ~hi:(lo + shi)))
+        (Drivers.shard_ranges ~shards:(Pool.size pool) ~n)
+    in
+    Drivers.merge_all (List.map Pool.await futs)
+
+let run_slice ~pool ~promote ~slice ~prev (cell : Cell.t) =
+  if slice < 1 then
+    invalid_arg "Sct_campaign.Runner.run_slice: slice must be at least 1";
+  let o = cell.Cell.options in
+  let program = cell.Cell.bench.Sctbench.Bench.program in
+  let prev_stats = Option.map (fun e -> e.Db.e_stats) prev in
+  let consumed, slices =
+    match prev with
+    | None -> (0, 0)
+    | Some e -> (
+        match e.Db.e_progress with
+        | Some p -> (p.Codec.p_consumed, p.Codec.p_slices)
+        | None ->
+            (* a finished study-runner record; the orchestrator never
+               grants such a cell a slice, but stay total *)
+            (e.Db.e_stats.Stats.total, 1))
+  in
+  match Techniques.sharding ~promote o cell.Cell.technique program with
+  | Strategy.Shard_seed shard ->
+      let hi = min o.Techniques.limit (consumed + slice) in
+      let slice_stats = seed_slice ~pool shard ~lo:consumed ~hi in
+      let stats =
+        match prev_stats with
+        | None -> slice_stats
+        | Some p -> Stats.merge p slice_stats
+      in
+      {
+        stats;
+        progress =
+          {
+            Codec.p_consumed = hi;
+            p_slices = slices + 1;
+            p_done = hi >= o.Techniques.limit;
+          };
+      }
+  | Strategy.Shard_tree _ ->
+      (* re-run the cumulative prefix under a geometrically growing limit:
+         doubling bounds the total re-executed work by ~2x the final run,
+         and the last slice explores under the cell's exact limit *)
+      let target =
+        min o.Techniques.limit (max (consumed + slice) (2 * consumed))
+      in
+      let s =
+        Drivers.run ~pool ~promote
+          { o with Techniques.limit = target }
+          cell.Cell.technique program
+      in
+      let finished =
+        (not s.Stats.hit_limit) || target >= o.Techniques.limit
+      in
+      {
+        stats = s;
+        progress =
+          {
+            Codec.p_consumed = s.Stats.total;
+            p_slices = slices + 1;
+            p_done = finished;
+          };
+      }
+  | Strategy.Shard_runs _ ->
+      (* intrinsic-length campaign: one atomic slice *)
+      let s = Drivers.run ~pool ~promote o cell.Cell.technique program in
+      {
+        stats = s;
+        progress =
+          {
+            Codec.p_consumed = s.Stats.total;
+            p_slices = slices + 1;
+            p_done = true;
+          };
+      }

@@ -1,0 +1,61 @@
+module Stats = Sct_explore.Stats
+module Db = Sct_store.Db
+
+type row = {
+  r_bench : string;
+  r_technique : string;
+  r_state : Scheduler.state;
+  r_bugs : bool;
+}
+
+let row_of_entry (e : Db.entry) =
+  {
+    r_bench = e.Db.e_bench;
+    r_technique = e.Db.e_technique;
+    r_state = Scheduler.state_of_entry e;
+    r_bugs = Stats.found e.Db.e_stats;
+  }
+
+let render ppf db =
+  let rows =
+    Db.entries_any db
+    |> List.map (fun (_, e) -> row_of_entry e)
+    |> List.sort (fun a b ->
+           match String.compare a.r_bench b.r_bench with
+           | 0 -> String.compare a.r_technique b.r_technique
+           | c -> c)
+  in
+  let finished =
+    List.length (List.filter (fun r -> r.r_state.Scheduler.s_finished) rows)
+  in
+  let slices =
+    List.fold_left (fun acc r -> acc + r.r_state.Scheduler.s_slices) 0 rows
+  in
+  let bugs = List.length (List.filter (fun r -> r.r_bugs) rows) in
+  Format.fprintf ppf
+    "Campaign: %d cells (%d finished, %d in flight), %d slices, %d with bugs@."
+    (List.length rows) finished
+    (List.length rows - finished)
+    slices bugs;
+  if rows <> [] then begin
+    Format.fprintf ppf "%-30s %-9s %-8s %9s %7s %9s %6s %14s@." "benchmark"
+      "technique" "state" "consumed" "slices" "distinct" "bound"
+      "distinct/slice";
+    List.iter
+      (fun r ->
+        let st = r.r_state in
+        let rate =
+          float_of_int st.Scheduler.s_coverage
+          /. float_of_int (max 1 st.Scheduler.s_slices)
+        in
+        Format.fprintf ppf "%-30s %-9s %-8s %9d %7d %9d %6s %14.1f@."
+          r.r_bench r.r_technique
+          (if st.Scheduler.s_finished then "done" else "running")
+          st.Scheduler.s_consumed st.Scheduler.s_slices
+          st.Scheduler.s_coverage
+          (match st.Scheduler.s_bound with
+          | Some b -> string_of_int b
+          | None -> "-")
+          rate)
+      rows
+  end

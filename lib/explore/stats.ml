@@ -34,6 +34,15 @@ type t = {
 let found t = t.to_first_bug <> None
 let distinct t = Option.map Sched_set.cardinal t.distinct_schedules
 
+(* Distinct schedules when the technique tracks them, else the counted
+   total (systematic techniques never re-explore, so every counted
+   schedule is distinct). This is the campaign scheduler's coverage
+   signal. *)
+let coverage t =
+  match t.distinct_schedules with
+  | Some set -> Sched_set.cardinal set
+  | None -> t.total
+
 let base ~technique =
   {
     technique;

@@ -53,6 +53,12 @@ val found : t -> bool
 val distinct : t -> int option
 (** Number of distinct schedules, when tracked. *)
 
+val coverage : t -> int
+(** Distinct schedules when tracked, the counted total otherwise
+    (systematic techniques count every schedule once, so the total {e is}
+    the distinct count). The campaign scheduler's per-cell coverage
+    signal. *)
+
 val base : technique:string -> t
 (** All-zero statistics to be folded over. *)
 

@@ -18,6 +18,15 @@
 
     With a pool of size 1 every plan simply calls the sequential code. *)
 
+val shard_ranges : shards:int -> n:int -> (int * int) list
+(** Balanced contiguous shards covering [\[0, n)], at least one (possibly
+    empty). Also used by the campaign runner ([lib/campaign]) to sub-shard
+    a budget slice across the pool. *)
+
+val merge_all : Sct_explore.Stats.t list -> Sct_explore.Stats.t
+(** Fold shard statistics with [Sct_explore.Stats.merge].
+    @raise Invalid_argument on the empty list. *)
+
 val run :
   pool:Pool.t ->
   ?promote:(string -> bool) ->

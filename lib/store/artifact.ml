@@ -163,14 +163,17 @@ let load path =
    end);
   { meta; schedule; digest }
 
+(* Sorted by content digest, not by directory or file-name order:
+   [Sys.readdir] order is filesystem-dependent, and a hand-renamed witness
+   file would otherwise list under its name rather than its identity. *)
 let list ~dir =
   if not (Sys.file_exists dir) then []
   else
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun f ->
            Filename.check_suffix f ".sched" && f.[0] <> '.')
-    |> List.sort String.compare
     |> List.map (fun f -> load (Filename.concat dir f))
+    |> List.sort (fun a b -> String.compare a.digest b.digest)
 
 let schedule_of_file path =
   let content = read_file path in

@@ -64,8 +64,10 @@ val load : string -> t
     @raise Error on malformed files or digest mismatch. *)
 
 val list : dir:string -> t list
-(** All artifacts under [dir], sorted by digest; an absent directory is
-    empty. Unreadable files raise {!Error}. *)
+(** All artifacts under [dir], sorted by content digest — never by the
+    filesystem's directory order, so listings are deterministic across
+    filesystems. An absent directory is empty. Unreadable files raise
+    {!Error}. *)
 
 val schedule_of_file : string -> Sct_core.Schedule.t
 (** Read a schedule from [path]: lines starting with [#] and blank lines

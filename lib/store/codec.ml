@@ -148,6 +148,26 @@ let options_of_json j =
     time_limit = opt_field j "time_limit" time_limit_of_json;
   }
 
+(* --- campaign slice progress --- *)
+
+type progress = { p_consumed : int; p_slices : int; p_done : bool }
+
+let progress_to_json p =
+  Json.Obj
+    [
+      ("consumed", Json.Int p.p_consumed);
+      ("slices", Json.Int p.p_slices);
+      ("done", Json.Bool p.p_done);
+    ]
+
+let progress_of_json j =
+  let p_consumed = get_int (field j "consumed") in
+  let p_slices = get_int (field j "slices") in
+  let p_done = get_bool (field j "done") in
+  if p_consumed < 0 then error "negative consumed budget %d" p_consumed;
+  if p_slices < 0 then error "negative slice count %d" p_slices;
+  { p_consumed; p_slices; p_done }
+
 (* --- statistics --- *)
 
 let stats_to_json (s : Stats.t) =
@@ -242,3 +262,5 @@ let encode_options o = tag "options" (options_to_json o)
 let decode_options s = options_of_json (untag "options" s)
 let encode_stats s = tag "stats" (stats_to_json s)
 let decode_stats s = stats_of_json (untag "stats" s)
+let encode_progress p = tag "progress" (progress_to_json p)
+let decode_progress s = progress_of_json (untag "progress" s)

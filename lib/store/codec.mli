@@ -32,6 +32,22 @@ val options_of_json : Json.t -> Sct_explore.Techniques.options
 val stats_to_json : Sct_explore.Stats.t -> Json.t
 val stats_of_json : Json.t -> Sct_explore.Stats.t
 
+type progress = {
+  p_consumed : int;
+      (** terminal schedules banked by previous slices of the cell; the
+          next slice resumes at exactly this budget offset *)
+  p_slices : int;  (** number of slices taken so far *)
+  p_done : bool;  (** the cell exhausted its budget or its space *)
+}
+(** The slice-resumable campaign record: how far a campaign-run cell has
+    progressed. Journal records written by the one-shot study runner carry
+    no progress (their wire format is unchanged and implies a finished
+    cell); campaign records carry one on every slice, with [p_done]
+    marking the final slice. *)
+
+val progress_to_json : progress -> Json.t
+val progress_of_json : Json.t -> progress
+
 (** {1 Version-tagged string forms} *)
 
 val encode_schedule : Sct_core.Schedule.t -> string
@@ -44,6 +60,8 @@ val encode_options : Sct_explore.Techniques.options -> string
 val decode_options : string -> Sct_explore.Techniques.options
 val encode_stats : Sct_explore.Stats.t -> string
 val decode_stats : string -> Sct_explore.Stats.t
+val encode_progress : progress -> string
+val decode_progress : string -> progress
 
 (** {1 Helpers shared with the journal} *)
 

@@ -20,6 +20,7 @@ let () =
          Test_report.suites;
          Test_store.suites;
          Test_parallel.suites;
+         Test_campaign.suites;
          Test_robustness.suites;
          Test_fuzz.suites;
          Test_cli_artifacts.suites;

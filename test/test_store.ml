@@ -159,6 +159,18 @@ let prop_roundtrip_stats =
   QCheck2.Test.make ~name:"Codec: stats round-trip" ~count:300 gen_stats
     (fun s -> Stats.equal s (Codec.decode_stats (Codec.encode_stats s)))
 
+let gen_progress =
+  QCheck2.Gen.(
+    let* p_consumed = int_bound 500 in
+    let* p_slices = int_range 1 20 in
+    let* p_done = bool in
+    return { Codec.p_consumed; p_slices; p_done })
+
+let prop_roundtrip_progress =
+  QCheck2.Test.make ~name:"Codec: campaign progress round-trips" ~count:300
+    gen_progress (fun p ->
+      Codec.decode_progress (Codec.encode_progress p) = p)
+
 (* --- version-1 wire format stability ---
    These strings are the on-disk format; if one of these tests fails, the
    format changed and [Codec.version] must be bumped with a migration. *)
@@ -264,6 +276,17 @@ let expect_codec_error name f =
   match f () with
   | _ -> Alcotest.fail (name ^ ": expected Codec.Error")
   | exception Codec.Error _ -> ()
+
+let fixture_progress = {|{"v":1,"progress":{"consumed":20,"slices":2,"done":false}}|}
+
+let test_progress_fixture_stability () =
+  let p = Codec.decode_progress fixture_progress in
+  Alcotest.(check bool)
+    "progress fixture decodes" true
+    (p = { Codec.p_consumed = 20; p_slices = 2; p_done = false });
+  Alcotest.(check string)
+    "progress fixture re-encodes byte-identically" fixture_progress
+    (Codec.encode_progress p)
 
 let test_version_gate () =
   expect_codec_error "newer version" (fun () ->
@@ -442,6 +465,213 @@ let test_fingerprint_ignores_parallelism () =
     (Db.fingerprint ~bench:"B" ~technique:"IPB" o
     <> Db.fingerprint ~bench:"B" ~technique:"IDB" o)
 
+(* --- artifact listing order --- *)
+
+let test_artifact_list_order () =
+  with_dir (fun dir ->
+      (* distinct benches give distinct contents, hence distinct digests *)
+      let digests =
+        List.map
+          (fun bench ->
+            let a =
+              Artifact.make ~bench ~technique:"Rand"
+                ~options:Techniques.default_options ~bound:None sample_witness
+            in
+            let (_ : string) = Artifact.save ~dir a in
+            a.Artifact.digest)
+          [ "B1"; "B2"; "B3"; "B4"; "B5"; "B6"; "B7" ]
+      in
+      let listed =
+        List.map (fun a -> a.Artifact.digest) (Artifact.list ~dir)
+      in
+      Alcotest.(check (list string))
+        "listed in digest order, independent of readdir order"
+        (List.sort String.compare digests)
+        listed)
+
+(* --- campaign progress records --- *)
+
+let test_db_progress_records () =
+  with_dir (fun dir ->
+      let o = Techniques.default_options in
+      let k = Db.fingerprint ~bench:"B" ~technique:"Rand" o in
+      let db = Db.open_ ~dir in
+      Db.record
+        ~progress:{ Codec.p_consumed = 10; p_slices = 1; p_done = false }
+        db ~key:k ~bench:"B" ~technique:"Rand" ~racy:0 ~options:o
+        (entry_stats "Rand" None);
+      Alcotest.(check bool) "in-flight cell invisible to find" true (Db.find db k = None);
+      Alcotest.(check bool) "in-flight cell invisible to mem" false (Db.mem db k);
+      Alcotest.(check bool) "visible to find_any" true (Db.find_any db k <> None);
+      Alcotest.(check int) "size counts finished cells only" 0 (Db.size db);
+      Alcotest.(check bool) "but the store is not empty" false (Db.is_empty db);
+      Db.record
+        ~progress:{ Codec.p_consumed = 40; p_slices = 2; p_done = true }
+        db ~key:k ~bench:"B" ~technique:"Rand" ~racy:0 ~options:o
+        (entry_stats "Rand" None);
+      Alcotest.(check bool) "done campaign cell visible to find" true (Db.mem db k);
+      Db.close db;
+      let db = Db.open_ ~dir in
+      (match Db.find db k with
+      | None -> Alcotest.fail "done campaign cell lost on reopen"
+      | Some e -> (
+          match e.Db.e_progress with
+          | Some p ->
+              Alcotest.(check int) "consumed survives" 40 p.Codec.p_consumed;
+              Alcotest.(check int) "slices survive" 2 p.Codec.p_slices
+          | None -> Alcotest.fail "progress lost on reopen"));
+      Db.close db)
+
+(* --- merging worker stores: lattice laws --- *)
+
+(* Journals whose records collide on few keys (two benches × two
+   techniques, fixed options), so merges exercise the per-key join. *)
+let gen_journal =
+  QCheck2.Gen.(
+    list_size (int_bound 6)
+      (let* bench = oneofl [ "B1"; "B2" ] in
+       let* technique = oneofl [ "IPB"; "Rand" ] in
+       let* racy = int_bound 3 in
+       let* stats = gen_stats in
+       let* progress = option gen_progress in
+       return (bench, technique, racy, { stats with Stats.technique }, progress)))
+
+let build_store dir journal =
+  let db = Db.open_ ~dir in
+  List.iter
+    (fun (bench, technique, racy, stats, progress) ->
+      let key = Db.fingerprint ~bench ~technique Techniques.default_options in
+      Db.record ?progress db ~key ~bench ~technique ~racy
+        ~options:Techniques.default_options stats)
+    journal;
+  db
+
+(* A store's semantic content, order-independent. *)
+let canon db =
+  Db.entries_any db
+  |> List.map (fun (k, (e : Db.entry)) ->
+         ( k,
+           e.Db.e_bench,
+           e.Db.e_technique,
+           e.Db.e_racy,
+           Codec.encode_stats e.Db.e_stats,
+           e.Db.e_witness,
+           Option.map
+             (fun (p : Codec.progress) ->
+               (p.Codec.p_consumed, p.Codec.p_slices, p.Codec.p_done))
+             e.Db.e_progress ))
+  |> List.sort compare
+
+(* Build the journals in fresh stores, merge them (in journal-list order)
+   into another fresh store, and return its canonical content. *)
+let canon_of_merge journals =
+  with_dir (fun dir ->
+      let dst = Db.open_ ~dir:(Filename.concat dir "dst") in
+      List.iteri
+        (fun i j ->
+          let src =
+            build_store (Filename.concat dir (Printf.sprintf "src%d" i)) j
+          in
+          Db.merge_from dst ~src;
+          Db.close src)
+        journals;
+      let c = canon dst in
+      Db.close dst;
+      c)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"Db.merge_from: commutative" ~count:15
+    QCheck2.Gen.(tup2 gen_journal gen_journal)
+    (fun (a, b) -> canon_of_merge [ a; b ] = canon_of_merge [ b; a ])
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"Db.merge_from: associative" ~count:15
+    QCheck2.Gen.(tup3 gen_journal gen_journal gen_journal)
+    (fun (a, b, c) ->
+      (* ((a ∪ b) ∪ c) vs (a ∪ (b ∪ c)): materialise b ∪ c first, then
+         fold it into a copy of a *)
+      let left = canon_of_merge [ a; b; c ] in
+      let right =
+        with_dir (fun dir ->
+            let bc = Db.open_ ~dir:(Filename.concat dir "bc") in
+            let sb = build_store (Filename.concat dir "b") b in
+            let sc = build_store (Filename.concat dir "c") c in
+            Db.merge_from bc ~src:sb;
+            Db.merge_from bc ~src:sc;
+            Db.close sb;
+            Db.close sc;
+            let dst = Db.open_ ~dir:(Filename.concat dir "dst") in
+            let sa = build_store (Filename.concat dir "a") a in
+            Db.merge_from dst ~src:sa;
+            Db.merge_from dst ~src:bc;
+            Db.close sa;
+            Db.close bc;
+            let c = canon dst in
+            Db.close dst;
+            c)
+      in
+      left = right)
+
+let prop_merge_idempotent =
+  QCheck2.Test.make
+    ~name:"Db.merge_from: idempotent on duplicate cells" ~count:15 gen_journal
+    (fun a ->
+      (* a ∪ a = a, both as a repeated source and as a self-re-merge *)
+      canon_of_merge [ a; a ] = canon_of_merge [ a ])
+
+let test_merge_prefers_advanced () =
+  let o = Techniques.default_options in
+  let stats n = { (entry_stats "Rand" None) with Stats.total = n } in
+  let rec_with db key progress n =
+    Db.record ?progress db ~key ~bench:"B" ~technique:"Rand" ~racy:0
+      ~options:o (stats n)
+  in
+  let key = Db.fingerprint ~bench:"B" ~technique:"Rand" o in
+  let check_merge ~what ~expect j1 j2 =
+    with_dir (fun dir ->
+        let s1 = Db.open_ ~dir:(Filename.concat dir "s1") in
+        j1 s1;
+        let s2 = Db.open_ ~dir:(Filename.concat dir "s2") in
+        j2 s2;
+        List.iter
+          (fun (a, b) ->
+            let dst = Db.open_ ~dir:(fresh_dir ()) in
+            Db.merge_from dst ~src:a;
+            Db.merge_from dst ~src:b;
+            let e = Option.get (Db.find_any dst key) in
+            Alcotest.(check int) what expect e.Db.e_stats.Stats.total;
+            let d = Db.dir dst in
+            Db.close dst;
+            rm_rf d)
+          [ (s1, s2); (s2, s1) ];
+        Db.close s1;
+        Db.close s2)
+  in
+  let inflight n db =
+    rec_with db key
+      (Some { Codec.p_consumed = n; p_slices = 1; p_done = false })
+      n
+  in
+  let finished n db =
+    rec_with db key
+      (Some { Codec.p_consumed = n; p_slices = 2; p_done = true })
+      n
+  in
+  check_merge ~what:"larger banked budget wins" ~expect:20 (inflight 10)
+    (inflight 20);
+  check_merge ~what:"finished beats in-flight" ~expect:15 (finished 15)
+    (inflight 20)
+
+(* --- compaction --- *)
+
+let count_journal_lines dir =
+  let ic = open_in_bin (Filename.concat dir "journal.jsonl") in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  String.split_on_char '\n' content
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
 (* --- kill-and-resume: the tentpole guarantee --- *)
 
 let pick name =
@@ -523,6 +753,45 @@ let test_kill_and_resume () =
       Db.close db;
       check_rows_equal clean cached)
 
+let test_compact_then_resume () =
+  with_dir (fun dir ->
+      let o = resume_options in
+      let benches = resume_benches () in
+      let clean = Sct_report.Run_data.run_all o benches in
+      (* interrupt a stored run, tear the journal tail, then compact *)
+      let db = Db.open_ ~dir in
+      let seen = ref 0 in
+      (try
+         ignore
+           (Sct_report.Run_data.run_all ~store:db
+              ~progress:(fun _ ->
+                incr seen;
+                if !seen = 3 then raise Interrupted)
+              o benches
+             : Sct_report.Run_data.row list)
+       with Interrupted -> ());
+      Db.close db;
+      append_torn_record dir;
+      let db = Db.open_ ~dir in
+      let before = canon db in
+      let records = List.length (Db.entries_any db) in
+      Db.compact db;
+      Alcotest.(check bool)
+        "in-memory state unchanged by compaction" true
+        (canon db = before);
+      Alcotest.(check int)
+        "journal holds exactly one line per cell (torn tail dropped)"
+        records (count_journal_lines dir);
+      Db.close db;
+      (* the compacted store resumes into exactly the clean rows *)
+      let db = Db.open_ ~dir in
+      Alcotest.(check bool)
+        "reopened compacted store reads back identically" true
+        (canon db = before);
+      let resumed = Sct_report.Run_data.run_all ~store:db o benches in
+      Db.close db;
+      check_rows_equal clean resumed)
+
 let test_witnesses_replay_as_buggy () =
   with_dir (fun dir ->
       let o = resume_options in
@@ -570,8 +839,11 @@ let suites =
         QCheck_alcotest.to_alcotest prop_roundtrip_witness;
         QCheck_alcotest.to_alcotest prop_roundtrip_options;
         QCheck_alcotest.to_alcotest prop_roundtrip_stats;
+        QCheck_alcotest.to_alcotest prop_roundtrip_progress;
         Alcotest.test_case "version-1 wire format is stable" `Quick
           test_fixture_stability;
+        Alcotest.test_case "campaign progress wire format is stable" `Quick
+          test_progress_fixture_stability;
         Alcotest.test_case "version gate and malformed input" `Quick
           test_version_gate;
       ] );
@@ -583,6 +855,8 @@ let suites =
           test_artifact_tamper_detected;
         Alcotest.test_case "schedule_of_file reads raw and .sched files"
           `Quick test_schedule_of_file;
+        Alcotest.test_case "listing is digest-ordered" `Quick
+          test_artifact_list_order;
       ] );
     ( "store.db",
       [
@@ -592,11 +866,23 @@ let suites =
           test_db_truncated_tail;
         Alcotest.test_case "fingerprint ignores jobs/split-depth" `Quick
           test_fingerprint_ignores_parallelism;
+        Alcotest.test_case "campaign progress records are slice-resumable"
+          `Quick test_db_progress_records;
+      ] );
+    ( "store.merge",
+      [
+        QCheck_alcotest.to_alcotest prop_merge_commutative;
+        QCheck_alcotest.to_alcotest prop_merge_associative;
+        QCheck_alcotest.to_alcotest prop_merge_idempotent;
+        Alcotest.test_case "join keeps the most advanced snapshot" `Quick
+          test_merge_prefers_advanced;
       ] );
     ( "store.resume",
       [
         Alcotest.test_case "kill-and-resume equals an uninterrupted run"
           `Slow test_kill_and_resume;
+        Alcotest.test_case "compacted store resumes identically" `Slow
+          test_compact_then_resume;
         Alcotest.test_case "recorded witnesses replay as buggy" `Slow
           test_witnesses_replay_as_buggy;
       ] );
