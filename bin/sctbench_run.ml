@@ -12,7 +12,7 @@ let seed_t =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let suite_t =
-  let doc = "Restrict to one suite (CB, chess, CS, inspect, misc, parsec, radbench, splash2)." in
+  let doc = "Restrict to one suite (CB, chess, CS, inspect, misc, parsec, radbench, splash2, corpus)." in
   Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"SUITE" ~doc)
 
 let ids_t =
@@ -110,8 +110,27 @@ let parse_techniques names =
       prerr_endline msg;
       exit 1
 
+let corpus_t =
+  let doc =
+    "Load a promoted corpus directory (see the $(b,corpus) command group) \
+     and register its entries as extension benchmarks in the $(b,corpus) \
+     suite before selection."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+
+let load_corpus = function
+  | None -> ()
+  | Some dir -> (
+      match Sct_corpus.Suite_io.register ~dir () with
+      | Ok benches ->
+          Printf.eprintf "corpus: registered %d extension benchmark(s) from %s\n%!"
+            (List.length benches) dir
+      | Error msg ->
+          prerr_endline msg;
+          exit 1)
+
 let select suite ids =
-  let all = Sctbench.Registry.all in
+  let all = Sctbench.Registry.full () in
   let all =
     match suite with
     | None -> all
@@ -129,15 +148,20 @@ let progress (b : Sctbench.Bench.t) =
 
 (* list *)
 let list_cmd =
-  let run () =
+  let run corpus =
+    load_corpus corpus;
     List.iter
       (fun (b : Sctbench.Bench.t) ->
         Printf.printf "%2d  %-28s %s\n" b.Sctbench.Bench.id
           b.Sctbench.Bench.name b.Sctbench.Bench.description)
-      Sctbench.Registry.all
+      (Sctbench.Registry.full ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the 52 SCTBench benchmarks.")
-    Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the 52 SCTBench benchmarks (plus any $(b,--corpus) \
+          extensions).")
+    Term.(const run $ corpus_t)
 
 (* detect *)
 let detect_cmd =
@@ -383,7 +407,8 @@ let por_cmd =
 
 (* the full study: tables and figures *)
 let study what limit seed jobs split_depth time_limit suite ids techs store
-    resume =
+    resume corpus =
+  load_corpus corpus;
   let benches = select suite ids in
   let o = options_of ~jobs ~split_depth ?time_limit limit seed in
   match what with
@@ -413,7 +438,8 @@ let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
-      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ store_t $ resume_t)
+      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ store_t $ resume_t
+      $ corpus_t)
 
 (* self-testing fuzz: generated programs under the differential oracle *)
 let fuzz_cmd =
@@ -436,15 +462,42 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run seed count limit max_steps jobs store =
-    let cfg = { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5 } in
+  let vocab_t =
+    let doc =
+      "Generator vocabulary: $(b,classic) (the original pthread-style \
+       statements), $(b,async) (biased toward futures, bounded channels \
+       and the work-queue idiom) or $(b,full) (both, evenly mixed)."
+    in
+    Arg.(value & opt string "classic" & info [ "vocab" ] ~docv:"VOCAB" ~doc)
+  in
+  let run seed count limit max_steps jobs store techs vocab =
+    let techniques =
+      match
+        Sct_explore.Techniques.parse_list ~default:Sct_explore.Techniques.all
+          techs
+      with
+      | Ok ts -> ts
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+    in
+    let vocab =
+      match Sct_fuzz.Gen.vocab_of_name vocab with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "unknown vocabulary %s (expected classic, async or full)\n" vocab;
+          exit 1
+    in
+    let cfg = { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5; techniques } in
     (* program i is a pure function of (seed, i): shard across the pool,
        reassemble in index order — output is identical for every --jobs *)
     let reports =
       Sct_parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
           List.init count (fun i ->
               Sct_parallel.Pool.submit pool (fun () ->
-                  Sct_fuzz.Harness.one_program ~cfg ~campaign_seed:seed i))
+                  Sct_fuzz.Harness.one_program ~vocab ~cfg ~campaign_seed:seed
+                    i))
           |> List.map Sct_parallel.Pool.await)
     in
     let summary = Sct_fuzz.Harness.summarize reports in
@@ -475,7 +528,291 @@ let fuzz_cmd =
           minimal counterexamples.")
     Term.(
       const run $ seed_t $ count_t $ fuzz_limit_t $ max_steps_t $ jobs_t
-      $ fuzz_store_t)
+      $ fuzz_store_t $ techniques_t $ vocab_t)
+
+(* the corpus factory: mine, promote, stats, run *)
+let corpus_cmd =
+  let module Mine = Sct_corpus.Mine in
+  let module Manifest = Sct_corpus.Manifest in
+  let count_t =
+    let doc = "Number of programs to generate and survey." in
+    Arg.(value & opt int Mine.default_config.Mine.count & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let mine_limit_t =
+    let doc = "Schedule budget per technique and program." in
+    Arg.(value & opt int Mine.default_config.Mine.limit & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let max_steps_t =
+    let doc = "Per-execution step budget (live-lock guard)." in
+    Arg.(
+      value
+      & opt int Mine.default_config.Mine.max_steps
+      & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let vocab_t =
+    let doc = "Generator vocabulary: classic, async or full." in
+    Arg.(
+      value
+      & opt string (Sct_fuzz.Gen.vocab_name Mine.default_config.Mine.vocab)
+      & info [ "vocab" ] ~docv:"VOCAB" ~doc)
+  in
+  let shrink_checks_t =
+    let doc = "Survey budget per keeper shrink." in
+    Arg.(
+      value
+      & opt int Mine.default_config.Mine.shrink_checks
+      & info [ "shrink-checks" ] ~docv:"N" ~doc)
+  in
+  let dir_t =
+    let doc = "The corpus directory." in
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let mine_config seed count vocab limit max_steps techs shrink_checks =
+    let techniques =
+      match
+        Sct_explore.Techniques.parse_list ~default:Sct_explore.Techniques.all
+          techs
+      with
+      | Ok ts -> ts
+      | Error msg ->
+          prerr_endline msg;
+          exit 1
+    in
+    let vocab =
+      match Sct_fuzz.Gen.vocab_of_name vocab with
+      | Some v -> v
+      | None ->
+          Printf.eprintf
+            "unknown vocabulary %s (expected classic, async or full)\n" vocab;
+          exit 1
+    in
+    {
+      Mine.default_config with
+      Mine.campaign_seed = seed;
+      count;
+      vocab;
+      limit;
+      max_steps;
+      techniques;
+      shrink_checks;
+    }
+  in
+  (* Phase A, sharded: probe i is pure in (cfg, i), so futures are awaited
+     in index order and the probe list — hence everything downstream — is
+     byte-identical for every --jobs. With a store, finished probes are
+     read back instead of re-run, and fresh ones are journalled per
+     program×technique cell the moment they complete. *)
+  let mine_probes (cfg : Mine.config) jobs store =
+    let bench_name i =
+      "corpus."
+      ^ Manifest.entry_name ~campaign_seed:cfg.Mine.campaign_seed ~index:i
+    in
+    let keys i =
+      let seed =
+        Sct_fuzz.Gen.derive_seed ~campaign_seed:cfg.Mine.campaign_seed
+          ~index:i
+      in
+      let o = Mine.options_of cfg ~seed in
+      ( seed,
+        o,
+        List.map
+          (fun t ->
+            ( t,
+              Sct_store.Db.fingerprint ~bench:(bench_name i)
+                ~technique:(Sct_explore.Techniques.name t) o ))
+          cfg.Mine.techniques )
+    in
+    let cached i =
+      match store with
+      | None -> None
+      | Some db -> (
+          let seed, _, cells = keys i in
+          let entries =
+            List.map
+              (fun (t, key) ->
+                Option.map (fun e -> (t, e)) (Sct_store.Db.find db key))
+              cells
+          in
+          match
+            List.map (function Some e -> e | None -> raise Exit) entries
+          with
+          | entries ->
+              Some
+                {
+                  Mine.p_index = i;
+                  p_seed = seed;
+                  p_racy =
+                    (match entries with
+                    | (_, e) :: _ -> e.Sct_store.Db.e_racy
+                    | [] -> 0);
+                  p_stats =
+                    List.map
+                      (fun (t, e) -> (t, e.Sct_store.Db.e_stats))
+                      entries;
+                }
+          | exception Exit -> None)
+    in
+    let journal (p : Mine.probe) =
+      match store with
+      | None -> ()
+      | Some db ->
+          let _, o, cells = keys p.Mine.p_index in
+          List.iter2
+            (fun (t, key) (t', stats) ->
+              assert (t = t');
+              Sct_store.Db.record db ~key ~bench:(bench_name p.Mine.p_index)
+                ~technique:(Sct_explore.Techniques.name t)
+                ~racy:p.Mine.p_racy ~options:o stats)
+            cells p.Mine.p_stats
+    in
+    Sct_parallel.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+        List.init cfg.Mine.count (fun i ->
+            match cached i with
+            | Some p -> Either.Left p
+            | None ->
+                Either.Right
+                  (Sct_parallel.Pool.submit pool (fun () -> Mine.probe cfg i)))
+        |> List.map (function
+             | Either.Left p -> p
+             | Either.Right fut ->
+                 let p = Sct_parallel.Pool.await fut in
+                 journal p;
+                 p))
+  in
+  let mine_outcome cfg jobs store resume =
+    let store = open_store ~resume store in
+    let probes = mine_probes cfg jobs store in
+    close_store store;
+    Mine.collect cfg probes
+  in
+  let print_outcome (cfg : Mine.config) (o : Mine.outcome) =
+    Printf.printf
+      "mined %d programs (seed %d, vocab %s, limit %d): %d hard, %d \
+       duplicate(s), %d kept\n"
+      o.Mine.o_programs cfg.Mine.campaign_seed
+      (Sct_fuzz.Gen.vocab_name cfg.Mine.vocab)
+      cfg.Mine.limit o.Mine.o_hard o.Mine.o_duplicates
+      (List.length o.Mine.o_candidates);
+    List.iter
+      (fun (c : Mine.candidate) ->
+        let h = c.Mine.c_hardness in
+        Printf.printf "%-12s %-12s size %d (from %d)  digest %s  found-by %s\n"
+          (Manifest.entry_name ~campaign_seed:cfg.Mine.campaign_seed
+             ~index:c.Mine.c_index)
+          (Sct_corpus.Hardness.cls_name h.Sct_corpus.Hardness.h_class)
+          c.Mine.c_size c.Mine.c_original_size
+          (String.sub c.Mine.c_digest 0 12)
+          (match h.Sct_corpus.Hardness.h_found_by with
+          | [] -> "-"
+          | fs -> String.concat "," fs))
+      o.Mine.o_candidates
+  in
+  let mine_cmd =
+    let run seed count vocab limit max_steps techs shrink_checks jobs store
+        resume =
+      let cfg = mine_config seed count vocab limit max_steps techs shrink_checks in
+      print_outcome cfg (mine_outcome cfg jobs store resume)
+    in
+    Cmd.v
+      (Cmd.info "mine"
+         ~doc:
+           "Mine hard concurrency scenarios: generate $(b,--count) seeded \
+            programs, survey each under the configured techniques, keep \
+            the deep/rare/elusive ones, shrink them, and dedupe \
+            behavioural duplicates. Deterministic in (seed, count); \
+            byte-identical for every $(b,--jobs); resumable via \
+            $(b,--store).")
+      Term.(
+        const run $ seed_t $ count_t $ vocab_t $ mine_limit_t $ max_steps_t
+        $ techniques_t $ shrink_checks_t $ jobs_t $ store_t $ resume_t)
+  in
+  let promote_cmd =
+    let run seed count vocab limit max_steps techs shrink_checks jobs store
+        resume dir =
+      let cfg = mine_config seed count vocab limit max_steps techs shrink_checks in
+      let outcome = mine_outcome cfg jobs store resume in
+      let manifest =
+        Sct_corpus.Suite_io.write ~dir cfg outcome.Mine.o_candidates
+      in
+      Printf.printf "promoted %d program(s) to %s\n"
+        (List.length manifest.Manifest.entries)
+        dir
+    in
+    Cmd.v
+      (Cmd.info "promote"
+         ~doc:
+           "Mine (resuming from $(b,--store) when given) and write the \
+            kept programs into $(b,--dir) as a versioned extension suite: \
+            one readable program file per entry plus a manifest recording \
+            seeds, hardness and behavioural digests. Re-promoting the \
+            same mine is byte-identical.")
+      Term.(
+        const run $ seed_t $ count_t $ vocab_t $ mine_limit_t $ max_steps_t
+        $ techniques_t $ shrink_checks_t $ jobs_t $ store_t $ resume_t $ dir_t)
+  in
+  let stats_cmd =
+    let run dir =
+      let path = Filename.concat dir Sct_corpus.Suite_io.manifest_file in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error msg ->
+          prerr_endline msg;
+          exit 1
+      | src -> (
+          match Manifest.of_string src with
+          | Error msg ->
+              prerr_endline msg;
+              exit 1
+          | Ok m -> Sct_corpus.Report.stats Format.std_formatter m)
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Describe a promoted corpus from its manifest: mining \
+            configuration, hardness census, per-entry records.")
+      Term.(const run $ dir_t)
+  in
+  let run_cmd =
+    let run dir limit seed jobs split_depth time_limit techs store resume =
+      load_corpus (Some dir);
+      let benches = Sctbench.Registry.of_suite Sctbench.Bench.Corpus in
+      if benches = [] then begin
+        prerr_endline "corpus run: the corpus is empty";
+        exit 1
+      end;
+      let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+      let techniques = parse_techniques techs in
+      let store = open_store ~resume store in
+      let rows =
+        Sct_parallel.Pool.with_pool ~jobs:o.Sct_explore.Techniques.jobs
+          (fun pool ->
+            Sct_parallel.Suite.run_all ~pool ?store ~techniques ~progress o
+              benches)
+      in
+      close_store store;
+      Sct_report.Table3.print ~limit rows;
+      (* the manifest's mining-time hardness is the corpus paper row, so
+         the agreement table is a standing regression study: current
+         behaviour vs promoted behaviour *)
+      Sct_report.Table3.print_agreement rows
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Load a promoted corpus and run the full study pipeline over \
+            it, printing the Table-3-style report plus the agreement of \
+            current behaviour against the mining-time record — the \
+            corpus's standing regression study.")
+      Term.(
+        const run $ dir_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
+        $ time_limit_t $ techniques_t $ store_t $ resume_t)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "The benchmark factory: mine hard generated scenarios, promote \
+          them into a versioned extension suite, and keep them honest as \
+          a standing regression study.")
+    [ mine_cmd; promote_cmd; stats_cmd; run_cmd ]
 
 (* fleet-scale campaign orchestration *)
 let campaign_store_t =
@@ -521,7 +858,8 @@ let parse_shard s =
       exit 1
 
 let run_campaign ~shard limit seed jobs split_depth time_limit suite ids techs
-    policy slice store =
+    policy slice store corpus =
+  load_corpus corpus;
   let benches = select suite ids in
   let o = options_of ~jobs ~split_depth ?time_limit limit seed in
   let techniques = parse_techniques techs in
@@ -554,7 +892,8 @@ let campaign_cmd =
   let grid_args run =
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ time_limit_t
-      $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t $ campaign_store_t)
+      $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t $ campaign_store_t
+      $ corpus_t)
   in
   let run_cmd =
     Cmd.v
@@ -577,9 +916,9 @@ let campaign_cmd =
         required & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
     in
     let run shard limit seed jobs split_depth time_limit suite ids techs
-        policy slice store =
+        policy slice store corpus =
       run_campaign ~shard:(Some (parse_shard shard)) limit seed jobs
-        split_depth time_limit suite ids techs policy slice store
+        split_depth time_limit suite ids techs policy slice store corpus
     in
     Cmd.v
       (Cmd.info "worker"
@@ -590,7 +929,7 @@ let campaign_cmd =
       Term.(
         const run $ shard_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
         $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t
-        $ campaign_store_t)
+        $ campaign_store_t $ corpus_t)
   in
   let status_cmd =
     let run store =
@@ -789,6 +1128,7 @@ let () =
       minimize_cmd;
       por_cmd;
       fuzz_cmd;
+      corpus_cmd;
       campaign_cmd;
       store_cmd;
       artifacts_cmd;

@@ -1,0 +1,175 @@
+open Sct_explore
+module Json = Sct_store.Json
+
+type cls = Deep_bound | Rare | Elusive | Easy | Safe
+
+let deep_bound = 2
+let elusive_schedules = 20
+
+let cls_name = function
+  | Deep_bound -> "deep-bound"
+  | Rare -> "rare"
+  | Elusive -> "elusive"
+  | Easy -> "easy"
+  | Safe -> "safe"
+
+let cls_of_name s =
+  match String.lowercase_ascii s with
+  | "deep-bound" -> Some Deep_bound
+  | "rare" -> Some Rare
+  | "elusive" -> Some Elusive
+  | "easy" -> Some Easy
+  | "safe" -> Some Safe
+  | _ -> None
+
+type t = {
+  h_class : cls;
+  h_found_by : string list;
+  h_surveyed : string list;
+  h_ipb_bound : int option;
+  h_idb_bound : int option;
+  h_max_to_first : int option;
+  h_threads : int;
+  h_max_enabled : int;
+}
+
+let classify (survey : (Techniques.t * Stats.t) list) =
+  let finders = List.filter (fun (_, s) -> Stats.found s) survey in
+  let h_found_by = List.map (fun (t, _) -> Techniques.name t) finders in
+  let h_surveyed = List.map (fun (t, _) -> Techniques.name t) survey in
+  let bound_of t =
+    match List.assoc_opt t survey with
+    | Some s when Stats.found s -> s.Stats.bound
+    | _ -> None
+  in
+  let h_ipb_bound = bound_of Techniques.IPB in
+  let h_idb_bound = bound_of Techniques.IDB in
+  let h_max_to_first =
+    List.fold_left
+      (fun acc (_, s) ->
+        match (acc, s.Stats.to_first_bug) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (max a b))
+      None finders
+  in
+  let h_threads =
+    List.fold_left (fun n (_, s) -> max n s.Stats.n_threads) 0 survey
+  in
+  let h_max_enabled =
+    List.fold_left (fun n (_, s) -> max n s.Stats.max_enabled) 0 survey
+  in
+  let buggy = finders <> [] in
+  (* deep: every bounded finder needed a bound >= deep_bound, counting a
+     bounded technique that ran but missed a bug others found as deeper
+     still; requires at least one bounded technique surveyed *)
+  let deep =
+    buggy
+    &&
+    let bounded =
+      List.filter
+        (fun (t, _) -> t = Techniques.IPB || t = Techniques.IDB)
+        survey
+    in
+    bounded <> []
+    && List.for_all
+         (fun (_, s) ->
+           (not (Stats.found s))
+           || match s.Stats.bound with Some b -> b >= deep_bound | None -> true)
+         bounded
+  in
+  let rare = buggy && 3 * List.length finders <= List.length survey in
+  let elusive =
+    buggy
+    && match h_max_to_first with Some n -> n >= elusive_schedules | None -> false
+  in
+  let h_class =
+    if not buggy then Safe
+    else if deep then Deep_bound
+    else if rare then Rare
+    else if elusive then Elusive
+    else Easy
+  in
+  {
+    h_class;
+    h_found_by;
+    h_surveyed;
+    h_ipb_bound;
+    h_idb_bound;
+    h_max_to_first;
+    h_threads;
+    h_max_enabled;
+  }
+
+let keep h =
+  match h.h_class with
+  | Deep_bound | Rare | Elusive -> true
+  | Easy | Safe -> false
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+let strs l = Json.Arr (List.map (fun s -> Json.Str s) l)
+
+let to_json h =
+  Json.Obj
+    [
+      ("class", Json.Str (cls_name h.h_class));
+      ("found_by", strs h.h_found_by);
+      ("surveyed", strs h.h_surveyed);
+      ("ipb_bound", opt_int h.h_ipb_bound);
+      ("idb_bound", opt_int h.h_idb_bound);
+      ("max_to_first", opt_int h.h_max_to_first);
+      ("threads", Json.Int h.h_threads);
+      ("max_enabled", Json.Int h.h_max_enabled);
+    ]
+
+let of_json j =
+  let str_list k =
+    match Json.member k j with
+    | Some (Json.Arr l) ->
+        Ok
+          (List.map
+             (function Json.Str s -> s | _ -> raise Exit)
+             l)
+    | _ -> Error (Printf.sprintf "hardness: missing list field %s" k)
+  in
+  let int_opt k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok (Some n)
+    | Some Json.Null | None -> Ok None
+    | Some _ -> Error (Printf.sprintf "hardness: bad field %s" k)
+  in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "hardness: missing int field %s" k)
+  in
+  let ( let* ) = Result.bind in
+  match
+    let* cls =
+      match Json.member "class" j with
+      | Some (Json.Str s) -> (
+          match cls_of_name s with
+          | Some c -> Ok c
+          | None -> Error (Printf.sprintf "hardness: unknown class %s" s))
+      | _ -> Error "hardness: missing class"
+    in
+    let* h_found_by = str_list "found_by" in
+    let* h_surveyed = str_list "surveyed" in
+    let* h_ipb_bound = int_opt "ipb_bound" in
+    let* h_idb_bound = int_opt "idb_bound" in
+    let* h_max_to_first = int_opt "max_to_first" in
+    let* h_threads = int "threads" in
+    let* h_max_enabled = int "max_enabled" in
+    Ok
+      {
+        h_class = cls;
+        h_found_by;
+        h_surveyed;
+        h_ipb_bound;
+        h_idb_bound;
+        h_max_to_first;
+        h_threads;
+        h_max_enabled;
+      }
+  with
+  | r -> r
+  | exception Exit -> Error "hardness: non-string element in a name list"

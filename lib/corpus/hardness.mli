@@ -1,0 +1,62 @@
+(** Hardness scoring: which mined programs are worth keeping.
+
+    The paper's empirical point is that benchmarks differ wildly in how
+    hard their bugs are to expose; a corpus of trivially-buggy generated
+    programs would add nothing to the 52. A mined program is scored from
+    its per-technique statistics and kept only when its bug is {e hard}
+    along one of three axes:
+
+    - {b deep}: the bug needs a preemption/delay bound of at least
+      {!deep_bound} — or escapes bounded search entirely while another
+      technique finds it;
+    - {b rare}: at most a third of the surveyed techniques find the bug;
+    - {b elusive}: some finder explored at least {!elusive_schedules}
+      schedules before its first buggy one.
+
+    The record persists into the corpus manifest, where it doubles as the
+    entry's expected behaviour: re-running the promoted suite compares
+    current bounds and finders against mining-time ones — a standing
+    regression study in the shape of the paper's Table 3. *)
+
+type cls =
+  | Deep_bound  (** found only at preemption/delay bound >= {!deep_bound} *)
+  | Rare  (** found by at most a third of the surveyed techniques *)
+  | Elusive  (** >= {!elusive_schedules} schedules before the first bug *)
+  | Easy  (** buggy, but none of the above *)
+  | Safe  (** no surveyed technique found a bug *)
+
+val deep_bound : int
+(** 2. *)
+
+val elusive_schedules : int
+(** 20 — calibrated against the generator: at 50 keepers all but vanish
+    (about 1 in 600 probes), at 20 a mine yields on the order of 1%. *)
+
+val cls_name : cls -> string
+val cls_of_name : string -> cls option
+
+type t = {
+  h_class : cls;
+  h_found_by : string list;
+      (** display names of the finding techniques, in survey order *)
+  h_surveyed : string list;  (** every technique surveyed, in survey order *)
+  h_ipb_bound : int option;
+      (** bound at which IPB exposed the bug; [None] = IPB did not find it
+          (or was not surveyed) *)
+  h_idb_bound : int option;
+  h_max_to_first : int option;
+      (** max over finders of schedules-to-first-bug *)
+  h_threads : int;  (** max threads observed across the survey *)
+  h_max_enabled : int;
+}
+
+val classify : (Sct_explore.Techniques.t * Sct_explore.Stats.t) list -> t
+(** Score one program from its survey. The class priority is
+    [Deep_bound > Rare > Elusive > Easy]: a deep bug that is also rare
+    classifies as deep. *)
+
+val keep : t -> bool
+(** Kept classes: [Deep_bound], [Rare] and [Elusive]. *)
+
+val to_json : t -> Sct_store.Json.t
+val of_json : Sct_store.Json.t -> (t, string) result

@@ -1,0 +1,205 @@
+module Json = Sct_store.Json
+
+let version = 1
+
+type header = {
+  hd_campaign_seed : int;
+  hd_count : int;
+  hd_vocab : string;
+  hd_limit : int;
+  hd_max_steps : int;
+  hd_race_runs : int;
+  hd_techniques : string list;
+  hd_shrink_checks : int;
+  hd_sig_limit : int;
+}
+
+type entry = {
+  m_name : string;
+  m_file : string;
+  m_index : int;
+  m_seed : int;
+  m_size : int;
+  m_original_size : int;
+  m_digest : string;
+  m_hardness : Hardness.t;
+}
+
+type t = { header : header; entries : entry list }
+
+let entry_name ~campaign_seed ~index = Printf.sprintf "s%d-i%d" campaign_seed index
+
+let of_mine (cfg : Mine.config) candidates =
+  let header =
+    {
+      hd_campaign_seed = cfg.Mine.campaign_seed;
+      hd_count = cfg.Mine.count;
+      hd_vocab = Sct_fuzz.Gen.vocab_name cfg.Mine.vocab;
+      hd_limit = cfg.Mine.limit;
+      hd_max_steps = cfg.Mine.max_steps;
+      hd_race_runs = cfg.Mine.race_runs;
+      hd_techniques =
+        List.map Sct_explore.Techniques.name cfg.Mine.techniques;
+      hd_shrink_checks = cfg.Mine.shrink_checks;
+      hd_sig_limit = cfg.Mine.sig_limit;
+    }
+  in
+  let entries =
+    List.map
+      (fun (c : Mine.candidate) ->
+        let name =
+          entry_name ~campaign_seed:cfg.Mine.campaign_seed ~index:c.Mine.c_index
+        in
+        {
+          m_name = name;
+          m_file = Filename.concat "programs" (name ^ ".sct");
+          m_index = c.Mine.c_index;
+          m_seed = c.Mine.c_seed;
+          m_size = c.Mine.c_size;
+          m_original_size = c.Mine.c_original_size;
+          m_digest = c.Mine.c_digest;
+          m_hardness = c.Mine.c_hardness;
+        })
+      candidates
+  in
+  { header; entries }
+
+let header_json h =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("kind", Json.Str "sct-corpus");
+      ("campaign_seed", Json.Int h.hd_campaign_seed);
+      ("count", Json.Int h.hd_count);
+      ("vocab", Json.Str h.hd_vocab);
+      ("limit", Json.Int h.hd_limit);
+      ("max_steps", Json.Int h.hd_max_steps);
+      ("race_runs", Json.Int h.hd_race_runs);
+      ("techniques", Json.Arr (List.map (fun s -> Json.Str s) h.hd_techniques));
+      ("shrink_checks", Json.Int h.hd_shrink_checks);
+      ("sig_limit", Json.Int h.hd_sig_limit);
+    ]
+
+let entry_json e =
+  Json.Obj
+    [
+      ("name", Json.Str e.m_name);
+      ("file", Json.Str e.m_file);
+      ("index", Json.Int e.m_index);
+      ("seed", Json.Int e.m_seed);
+      ("size", Json.Int e.m_size);
+      ("original_size", Json.Int e.m_original_size);
+      ("digest", Json.Str e.m_digest);
+      ("hardness", Hardness.to_json e.m_hardness);
+    ]
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Json.to_string (header_json m.header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (entry_json e));
+      Buffer.add_char buf '\n')
+    m.entries;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let int_field j k =
+  match Json.member k j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "manifest: missing int field %s" k)
+
+let str_field j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "manifest: missing string field %s" k)
+
+let header_of_json j =
+  let* v = int_field j "v" in
+  if v <> version then
+    Error (Printf.sprintf "manifest: unsupported version %d (want %d)" v version)
+  else
+    let* kind = str_field j "kind" in
+    if kind <> "sct-corpus" then
+      Error (Printf.sprintf "manifest: unexpected kind %s" kind)
+    else
+      let* hd_campaign_seed = int_field j "campaign_seed" in
+      let* hd_count = int_field j "count" in
+      let* hd_vocab = str_field j "vocab" in
+      let* hd_limit = int_field j "limit" in
+      let* hd_max_steps = int_field j "max_steps" in
+      let* hd_race_runs = int_field j "race_runs" in
+      let* hd_techniques =
+        match Json.member "techniques" j with
+        | Some (Json.Arr l) -> (
+            try
+              Ok (List.map (function Json.Str s -> s | _ -> raise Exit) l)
+            with Exit -> Error "manifest: non-string technique name")
+        | _ -> Error "manifest: missing techniques"
+      in
+      let* hd_shrink_checks = int_field j "shrink_checks" in
+      let* hd_sig_limit = int_field j "sig_limit" in
+      Ok
+        {
+          hd_campaign_seed;
+          hd_count;
+          hd_vocab;
+          hd_limit;
+          hd_max_steps;
+          hd_race_runs;
+          hd_techniques;
+          hd_shrink_checks;
+          hd_sig_limit;
+        }
+
+let entry_of_json j =
+  let* m_name = str_field j "name" in
+  let* m_file = str_field j "file" in
+  let* m_index = int_field j "index" in
+  let* m_seed = int_field j "seed" in
+  let* m_size = int_field j "size" in
+  let* m_original_size = int_field j "original_size" in
+  let* m_digest = str_field j "digest" in
+  let* m_hardness =
+    match Json.member "hardness" j with
+    | Some h -> Hardness.of_json h
+    | None -> Error "manifest: missing hardness"
+  in
+  Ok
+    {
+      m_name;
+      m_file;
+      m_index;
+      m_seed;
+      m_size;
+      m_original_size;
+      m_digest;
+      m_hardness;
+    }
+
+let of_string src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "manifest: empty file"
+  | hd :: rest -> (
+      let parse_line decode line =
+        match Json.of_string line with
+        | j -> decode j
+        | exception Json.Parse_error { pos; msg } ->
+            Error (Printf.sprintf "manifest: bad JSON at byte %d: %s" pos msg)
+      in
+      let* header = parse_line header_of_json hd in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest ->
+            let* e = parse_line entry_of_json l in
+            go (e :: acc) rest
+      in
+      match go [] rest with
+      | Ok entries -> Ok { header; entries }
+      | Error _ as e -> e)

@@ -1,0 +1,62 @@
+(** The corpus manifest: one versioned, line-oriented record of what was
+    promoted and why.
+
+    [manifest.jsonl] holds a header line followed by one line per entry,
+    in promotion (campaign index) order:
+
+    {v
+    {"v":1,"kind":"sct-corpus","campaign_seed":42,"count":200,...}
+    {"name":"s42-i17","file":"programs/s42-i17.sct","index":17,...}
+    v}
+
+    The header records the full mining configuration — seed, count,
+    vocabulary, budgets, surveyed techniques — so a corpus is reproducible
+    from its manifest alone. Each entry records the derived generator
+    seed, the sizes before and after shrinking, the behavioural digest
+    ({!Signature}) and the {!Hardness} record, which downstream doubles as
+    the entry's expected Table-3 row. Encoding is deterministic (ordered
+    fields, no floats, no timestamps): promoting the same mine twice
+    writes byte-identical manifests. *)
+
+val version : int
+(** 1. *)
+
+type header = {
+  hd_campaign_seed : int;
+  hd_count : int;
+  hd_vocab : string;
+  hd_limit : int;
+  hd_max_steps : int;
+  hd_race_runs : int;
+  hd_techniques : string list;
+  hd_shrink_checks : int;
+  hd_sig_limit : int;
+}
+
+type entry = {
+  m_name : string;  (** unqualified benchmark name, e.g. ["s42-i17"] *)
+  m_file : string;  (** program file, relative to the corpus directory *)
+  m_index : int;  (** index within the mining campaign *)
+  m_seed : int;  (** derived generator seed *)
+  m_size : int;  (** AST size of the promoted (shrunk) program *)
+  m_original_size : int;
+  m_digest : string;  (** behavioural digest of the promoted program *)
+  m_hardness : Hardness.t;
+}
+
+type t = { header : header; entries : entry list }
+
+val entry_name : campaign_seed:int -> index:int -> string
+(** ["s<seed>-i<index>"]. *)
+
+val of_mine : Mine.config -> Mine.candidate list -> t
+(** Assemble the manifest of a mining outcome (candidates in index
+    order). *)
+
+val to_string : t -> string
+(** The jsonl rendering, trailing newline included; deterministic. *)
+
+val of_string : string -> (t, string) result
+(** Parse a manifest; blank lines are ignored, version mismatches and
+    malformed lines are errors (the corpus format is small enough that
+    silent skipping would only mask corruption). *)

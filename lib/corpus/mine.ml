@@ -1,0 +1,139 @@
+open Sct_explore
+module Gen = Sct_fuzz.Gen
+module Ast = Sct_fuzz.Ast
+module Compile = Sct_fuzz.Compile
+module Shrink = Sct_fuzz.Shrink
+
+type config = {
+  campaign_seed : int;
+  count : int;
+  vocab : Gen.vocab;
+  limit : int;
+  max_steps : int;
+  race_runs : int;
+  techniques : Techniques.t list;
+  shrink_checks : int;
+  sig_limit : int;
+}
+
+let default_config =
+  {
+    campaign_seed = 0;
+    count = 100;
+    vocab = Gen.Full;
+    limit = 300;
+    max_steps = 5_000;
+    race_runs = 3;
+    techniques = Techniques.all;
+    shrink_checks = 60;
+    sig_limit = 400;
+  }
+
+type probe = {
+  p_index : int;
+  p_seed : int;
+  p_racy : int;
+  p_stats : (Techniques.t * Stats.t) list;
+}
+
+let options_of cfg ~seed =
+  {
+    Techniques.default_options with
+    Techniques.limit = cfg.limit;
+    seed;
+    max_steps = cfg.max_steps;
+    race_runs = cfg.race_runs;
+  }
+
+let survey cfg ~seed ast =
+  let program = Compile.program ast in
+  let o = options_of cfg ~seed in
+  let detection = Techniques.detect_races o program in
+  let promote = Sct_race.Promotion.promote detection in
+  ( List.length detection.Sct_race.Promotion.racy,
+    List.map (fun t -> (t, Techniques.run ~promote o t program)) cfg.techniques
+  )
+
+let probe cfg index =
+  let seed = Gen.derive_seed ~campaign_seed:cfg.campaign_seed ~index in
+  let ast = Gen.generate ~vocab:cfg.vocab ~seed () in
+  let racy, stats = survey cfg ~seed ast in
+  { p_index = index; p_seed = seed; p_racy = racy; p_stats = stats }
+
+type candidate = {
+  c_index : int;
+  c_seed : int;
+  c_program : Ast.program;
+  c_original_size : int;
+  c_size : int;
+  c_digest : string;
+  c_hardness : Hardness.t;
+}
+
+type outcome = {
+  o_programs : int;
+  o_hard : int;
+  o_duplicates : int;
+  o_candidates : candidate list;
+}
+
+let collect cfg probes =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let hard = ref 0 and dups = ref 0 in
+  let candidates =
+    List.filter_map
+      (fun p ->
+        let h = Hardness.classify p.p_stats in
+        if not (Hardness.keep h) then None
+        else begin
+          incr hard;
+          let ast = Gen.generate ~vocab:cfg.vocab ~seed:p.p_seed () in
+          (* shrink while the hardness class survives: the minimal program
+             still exhibiting the same kind of challenge *)
+          let same_class q =
+            let hq = Hardness.classify (snd (survey cfg ~seed:p.p_seed q)) in
+            Hardness.keep hq && hq.Hardness.h_class = h.Hardness.h_class
+          in
+          let shrunk =
+            Shrink.shrink ~max_checks:cfg.shrink_checks ~check:same_class ast
+          in
+          let hardness =
+            if Ast.equal shrunk ast then h
+            else Hardness.classify (snd (survey cfg ~seed:p.p_seed shrunk))
+          in
+          let digest =
+            Signature.digest ~limit:cfg.sig_limit ~max_steps:cfg.max_steps
+              (Compile.program shrunk)
+          in
+          if Hashtbl.mem seen digest then begin
+            incr dups;
+            None
+          end
+          else begin
+            Hashtbl.add seen digest ();
+            Some
+              {
+                c_index = p.p_index;
+                c_seed = p.p_seed;
+                c_program = shrunk;
+                c_original_size = Ast.size ast;
+                c_size = Ast.size shrunk;
+                c_digest = digest;
+                c_hardness = hardness;
+              }
+          end
+        end)
+      probes
+  in
+  {
+    o_programs = List.length probes;
+    o_hard = !hard;
+    o_duplicates = !dups;
+    o_candidates = candidates;
+  }
+
+let run cfg =
+  let rec go i acc =
+    if i >= cfg.count then List.rev acc else go (i + 1) (probe cfg i :: acc)
+  in
+  collect cfg (go 0 [])

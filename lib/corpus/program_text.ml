@@ -1,0 +1,240 @@
+module Ast = Sct_fuzz.Ast
+
+let header = "# sct-corpus program v1"
+
+(* ---- printing ---------------------------------------------------------- *)
+
+let rec print_stmt buf indent (s : Ast.stmt) =
+  let pad () = Buffer.add_string buf (String.make indent ' ') in
+  let atom fmt = Printf.ksprintf (fun l -> pad (); Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  let block head body =
+    pad ();
+    Buffer.add_string buf head;
+    if body = [] then Buffer.add_string buf ")\n"
+    else begin
+      Buffer.add_char buf '\n';
+      print_body buf (indent + 2) body;
+      (* close on the last child's line *)
+      let n = Buffer.length buf in
+      if n > 0 && Buffer.nth buf (n - 1) = '\n' then
+        Buffer.truncate buf (n - 1);
+      Buffer.add_string buf ")\n"
+    end
+  in
+  match s with
+  | Ast.Yield -> atom "(yield)"
+  | Ast.Write { var; value } -> atom "(write %d %d)" var value
+  | Ast.Incr { var } -> atom "(incr %d)" var
+  | Ast.Check_eq { var; expect } -> atom "(check %d %d)" var expect
+  | Ast.Atomic_incr -> atom "(atomic-incr)"
+  | Ast.Atomic_cas { expect; repl } -> atom "(cas %d %d)" expect repl
+  | Ast.Sem_wait -> atom "(sem-wait)"
+  | Ast.Sem_post -> atom "(sem-post)"
+  | Ast.Cond_signal -> atom "(signal)"
+  | Ast.Cond_broadcast -> atom "(broadcast)"
+  | Ast.Cond_wait { m } -> atom "(cond-wait %d)" m
+  | Ast.Barrier_wait -> atom "(barrier)"
+  | Ast.Arr_set { index; value } -> atom "(arr-set %d %d)" index value
+  | Ast.Arr_get { index } -> atom "(arr-get %d)" index
+  | Ast.Join { thread } -> atom "(join %d)" thread
+  | Ast.Await { slot } -> atom "(await %d)" slot
+  | Ast.Chan_send { ch; value } -> atom "(send %d %d)" ch value
+  | Ast.Chan_recv { ch } -> atom "(recv %d)" ch
+  | Ast.Wq_put { task } -> atom "(wq-put %d)" task
+  | Ast.Wq_take -> atom "(wq-take)"
+  | Ast.Lock { m; body } -> block (Printf.sprintf "(lock %d" m) body
+  | Ast.Try_lock { m; body } -> block (Printf.sprintf "(trylock %d" m) body
+  | Ast.Loop { times; body } -> block (Printf.sprintf "(loop %d" times) body
+  | Ast.Future { slot; body } -> block (Printf.sprintf "(future %d" slot) body
+  | Ast.If_eq { var; expect; then_; else_ } ->
+      pad ();
+      Buffer.add_string buf (Printf.sprintf "(if %d %d\n" var expect);
+      print_branch buf (indent + 2) "then" then_;
+      print_branch buf (indent + 2) "else" else_;
+      let n = Buffer.length buf in
+      if n > 0 && Buffer.nth buf (n - 1) = '\n' then Buffer.truncate buf (n - 1);
+      Buffer.add_string buf ")\n"
+
+and print_branch buf indent kw body =
+  Buffer.add_string buf (String.make indent ' ');
+  Buffer.add_char buf '(';
+  Buffer.add_string buf kw;
+  if body = [] then Buffer.add_string buf ")\n"
+  else begin
+    Buffer.add_char buf '\n';
+    print_body buf (indent + 2) body;
+    let n = Buffer.length buf in
+    if n > 0 && Buffer.nth buf (n - 1) = '\n' then Buffer.truncate buf (n - 1);
+    Buffer.add_string buf ")\n"
+  end
+
+and print_body buf indent body = List.iter (print_stmt buf indent) body
+
+let to_string (p : Ast.program) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun body ->
+      Buffer.add_string buf "(thread";
+      if body = [] then Buffer.add_string buf ")\n"
+      else begin
+        Buffer.add_char buf '\n';
+        print_body buf 2 body;
+        let n = Buffer.length buf in
+        if n > 0 && Buffer.nth buf (n - 1) = '\n' then
+          Buffer.truncate buf (n - 1);
+        Buffer.add_string buf ")\n"
+      end)
+    p.Ast.threads;
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Bad of string
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    match src.[!i] with
+    | '#' -> while !i < n && src.[!i] <> '\n' do incr i done
+    | ' ' | '\t' | '\r' | '\n' -> incr i
+    | '(' -> toks := `L :: !toks; incr i
+    | ')' -> toks := `R :: !toks; incr i
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && not
+               (match src.[!i] with
+               | ' ' | '\t' | '\r' | '\n' | '(' | ')' | '#' -> true
+               | _ -> false)
+        do
+          incr i
+        done;
+        toks := `A (String.sub src start (!i - start)) :: !toks
+  done;
+  List.rev !toks
+
+let parse_sexps toks =
+  (* one pass with an explicit stack of open lists *)
+  let rec go stack acc = function
+    | [] -> (
+        match stack with
+        | [] -> List.rev acc
+        | _ -> raise (Bad "unbalanced parentheses: missing ')'"))
+    | `A a :: rest -> go stack (Atom a :: acc) rest
+    | `L :: rest -> go (acc :: stack) [] rest
+    | `R :: rest -> (
+        match stack with
+        | [] -> raise (Bad "unbalanced parentheses: stray ')'")
+        | parent :: stack -> go stack (List (List.rev acc) :: parent) rest)
+  in
+  go [] [] toks
+
+let rec sexp_to_string = function
+  | Atom a -> a
+  | List l -> "(" ^ String.concat " " (List.map sexp_to_string l) ^ ")"
+
+let int_of = function
+  | Atom a -> (
+      match int_of_string_opt a with
+      | Some n -> n
+      | None -> raise (Bad (Printf.sprintf "expected an integer, got %s" a)))
+  | List _ as s ->
+      raise (Bad ("expected an integer, got " ^ sexp_to_string s))
+
+let rec stmt_of (s : sexp) : Ast.stmt =
+  match s with
+  | Atom a -> raise (Bad (Printf.sprintf "expected a statement form, got %s" a))
+  | List (Atom kw :: args) -> (
+      let wrong () =
+        raise
+          (Bad (Printf.sprintf "bad arity in %s" (sexp_to_string s)))
+      in
+      match (kw, args) with
+      | "yield", [] -> Ast.Yield
+      | "write", [ v; n ] -> Ast.Write { var = int_of v; value = int_of n }
+      | "incr", [ v ] -> Ast.Incr { var = int_of v }
+      | "check", [ v; n ] -> Ast.Check_eq { var = int_of v; expect = int_of n }
+      | "atomic-incr", [] -> Ast.Atomic_incr
+      | "cas", [ e; r ] -> Ast.Atomic_cas { expect = int_of e; repl = int_of r }
+      | "sem-wait", [] -> Ast.Sem_wait
+      | "sem-post", [] -> Ast.Sem_post
+      | "signal", [] -> Ast.Cond_signal
+      | "broadcast", [] -> Ast.Cond_broadcast
+      | "cond-wait", [ m ] -> Ast.Cond_wait { m = int_of m }
+      | "barrier", [] -> Ast.Barrier_wait
+      | "arr-set", [ i; v ] -> Ast.Arr_set { index = int_of i; value = int_of v }
+      | "arr-get", [ i ] -> Ast.Arr_get { index = int_of i }
+      | "join", [ t ] -> Ast.Join { thread = int_of t }
+      | "await", [ s ] -> Ast.Await { slot = int_of s }
+      | "send", [ c; v ] -> Ast.Chan_send { ch = int_of c; value = int_of v }
+      | "recv", [ c ] -> Ast.Chan_recv { ch = int_of c }
+      | "wq-put", [ t ] -> Ast.Wq_put { task = int_of t }
+      | "wq-take", [] -> Ast.Wq_take
+      | "lock", m :: body -> Ast.Lock { m = int_of m; body = body_of body }
+      | "trylock", m :: body ->
+          Ast.Try_lock { m = int_of m; body = body_of body }
+      | "loop", n :: body -> Ast.Loop { times = int_of n; body = body_of body }
+      | "future", sl :: body ->
+          Ast.Future { slot = int_of sl; body = body_of body }
+      | ( "if",
+          [ v; e; List (Atom "then" :: then_); List (Atom "else" :: else_) ] )
+        ->
+          Ast.If_eq
+            {
+              var = int_of v;
+              expect = int_of e;
+              then_ = body_of then_;
+              else_ = body_of else_;
+            }
+      | ( ( "yield" | "write" | "incr" | "check" | "atomic-incr" | "cas"
+          | "sem-wait" | "sem-post" | "signal" | "broadcast" | "cond-wait"
+          | "barrier" | "arr-set" | "arr-get" | "join" | "await" | "send"
+          | "recv" | "wq-put" | "wq-take" | "if" ),
+          _ ) ->
+          wrong ()
+      | _ -> raise (Bad (Printf.sprintf "unknown statement form %s" kw)))
+  | List _ ->
+      raise (Bad ("expected a statement form, got " ^ sexp_to_string s))
+
+and body_of stmts = List.map stmt_of stmts
+
+let thread_of = function
+  | List (Atom "thread" :: body) -> body_of body
+  | s -> raise (Bad ("expected a (thread ...) form, got " ^ sexp_to_string s))
+
+(* The first non-blank line must be the version header: a v2 file (or a
+   file that is not a corpus program at all) is an error, not a guess. *)
+let check_header src =
+  let rec first_line i =
+    if i >= String.length src then None
+    else
+      match String.index_from_opt src i '\n' with
+      | None ->
+          let l = String.trim (String.sub src i (String.length src - i)) in
+          if l = "" then None else Some l
+      | Some j ->
+          let l = String.trim (String.sub src i (j - i)) in
+          if l = "" then first_line (j + 1) else Some l
+  in
+  match first_line 0 with
+  | Some l when l = header -> Ok ()
+  | Some l -> Error (Printf.sprintf "expected header %S, got %S" header l)
+  | None -> Error (Printf.sprintf "empty input (expected header %S)" header)
+
+let parse src =
+  match check_header src with
+  | Error _ as e -> e
+  | Ok () -> (
+  match parse_sexps (tokenize src) with
+  | exception Bad msg -> Error msg
+  | sexps -> (
+      match List.map thread_of sexps with
+      | threads -> Ok { Ast.threads }
+      | exception Bad msg -> Error msg))

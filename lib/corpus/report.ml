@@ -1,0 +1,48 @@
+let classes =
+  [
+    Hardness.Deep_bound;
+    Hardness.Rare;
+    Hardness.Elusive;
+    Hardness.Easy;
+    Hardness.Safe;
+  ]
+
+let opt_bound = function None -> "-" | Some b -> string_of_int b
+
+let stats fmt (m : Manifest.t) =
+  let h = m.Manifest.header in
+  Format.fprintf fmt "corpus v%d: %d programs (campaign seed %d, count %d, vocab %s)@."
+    Manifest.version
+    (List.length m.Manifest.entries)
+    h.Manifest.hd_campaign_seed h.Manifest.hd_count h.Manifest.hd_vocab;
+  Format.fprintf fmt
+    "survey: limit %d, max-steps %d, race-runs %d, techniques %s@.@."
+    h.Manifest.hd_limit h.Manifest.hd_max_steps h.Manifest.hd_race_runs
+    (String.concat "," h.Manifest.hd_techniques);
+  Format.fprintf fmt "%-12s %5s@." "class" "count";
+  List.iter
+    (fun c ->
+      let n =
+        List.length
+          (List.filter
+             (fun (e : Manifest.entry) ->
+               e.Manifest.m_hardness.Hardness.h_class = c)
+             m.Manifest.entries)
+      in
+      Format.fprintf fmt "%-12s %5d@." (Hardness.cls_name c) n)
+    classes;
+  Format.fprintf fmt "@.%-14s %-12s %5s %12s %4s %4s  %s@." "name" "class"
+    "size" "shrunk-from" "ipb" "idb" "found-by";
+  List.iter
+    (fun (e : Manifest.entry) ->
+      let hd = e.Manifest.m_hardness in
+      Format.fprintf fmt "%-14s %-12s %5d %12d %4s %4s  %s@."
+        e.Manifest.m_name
+        (Hardness.cls_name hd.Hardness.h_class)
+        e.Manifest.m_size e.Manifest.m_original_size
+        (opt_bound hd.Hardness.h_ipb_bound)
+        (opt_bound hd.Hardness.h_idb_bound)
+        (match hd.Hardness.h_found_by with
+        | [] -> "-"
+        | fs -> String.concat "," fs))
+    m.Manifest.entries

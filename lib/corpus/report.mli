@@ -1,0 +1,10 @@
+(** Deterministic textual reports over a corpus manifest.
+
+    {!stats} renders from the manifest alone — no exploration — so its
+    output is a pure function of the corpus bytes; the test suite pins it
+    with a golden file (regenerate with [SCT_CORPUS_GOLDEN_UPDATE=1]). *)
+
+val stats : Format.formatter -> Manifest.t -> unit
+(** The [corpus stats] report: the mining configuration, the per-class
+    census, and one line per entry (size, shrink ratio, mined bounds,
+    finding techniques). *)

@@ -1,0 +1,26 @@
+open Sct_explore
+module Runtime = Sct_core.Runtime
+
+let digest ?(limit = 400) ?(max_steps = 5_000) program =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let r =
+    Dfs.explore
+      ~promote:(fun _ -> true)
+      ~max_steps ~record_decisions:true
+      ~on_schedule:(fun res ->
+        Hashtbl.replace seen
+          (Hb_signature.to_string
+             (Hb_signature.of_decisions res.Runtime.r_decisions))
+          ())
+      ~bound:Dfs.Unbounded ~limit program
+  in
+  let sigs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (if r.Dfs.complete then "complete\n" else "partial\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_string buf "--\n")
+    sigs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

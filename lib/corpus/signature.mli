@@ -1,0 +1,25 @@
+(** Behavioural digests of programs, used as the corpus dedupe key.
+
+    Two generated programs frequently differ syntactically yet exercise
+    the same interleavings — the generator has a small vocabulary and the
+    shrinker funnels counterexamples toward the same minima. The corpus
+    therefore dedupes on {e behaviour}: the set of happens-before
+    signatures ({!Sct_explore.Hb_signature}) of the program's terminal
+    schedules under a bounded promote-all DFS. Programs with equal digests
+    exhibit the same partial orders — per-object access sequences and
+    per-thread operation counts — so keeping one of them loses no
+    scheduling challenge.
+
+    The digest is deterministic: DFS exploration order is deterministic,
+    signatures render canonically, and the set is sorted before hashing.
+    A budget-truncated exploration is truncated at the same point on every
+    run, so the digest stays stable (and is marked partial). *)
+
+val digest :
+  ?limit:int -> ?max_steps:int -> (unit -> unit) -> string
+(** [digest program] is the MD5 hex of the sorted canonical signature set
+    of up to [limit] (default 400) terminal schedules, each execution
+    bounded by [max_steps] (default 5000) steps; every shared location is
+    visible (promote-all), so the digest sees all conflicts. If the limit
+    truncated the exploration, the digest input carries a partial marker —
+    a truncated space never collides with an exhausted one. *)

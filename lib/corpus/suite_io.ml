@@ -1,0 +1,110 @@
+module Ast = Sct_fuzz.Ast
+module Compile = Sct_fuzz.Compile
+module Bench = Sctbench.Bench
+
+let manifest_file = "manifest.jsonl"
+let default_base_id = 1000
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Unconditional atomic write: the corpus is re-promotable, so existing
+   files are replaced (unlike content-addressed artifacts, which
+   Sct_store.Artifact.write_atomic leaves untouched). *)
+let overwrite_atomic ~dir ~file content =
+  mkdir_p dir;
+  let final = Filename.concat dir file in
+  let tmp = Filename.concat dir ("." ^ file ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp final;
+  final
+
+let write ~dir cfg candidates =
+  let manifest = Manifest.of_mine cfg candidates in
+  List.iter2
+    (fun (e : Manifest.entry) (c : Mine.candidate) ->
+      ignore
+        (overwrite_atomic
+           ~dir:(Filename.concat dir "programs")
+           ~file:(Filename.basename e.Manifest.m_file)
+           (Program_text.to_string c.Mine.c_program)))
+    manifest.Manifest.entries candidates;
+  ignore
+    (overwrite_atomic ~dir ~file:manifest_file (Manifest.to_string manifest));
+  manifest
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let ( let* ) = Result.bind
+
+let load ~dir =
+  let* src = read_file (Filename.concat dir manifest_file) in
+  let* manifest = Manifest.of_string src in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (e : Manifest.entry) :: rest ->
+        let path = Filename.concat dir e.Manifest.m_file in
+        let* src = read_file path in
+        let* ast =
+          Result.map_error
+            (fun m -> Printf.sprintf "%s: %s" path m)
+            (Program_text.parse src)
+        in
+        go ((e, ast) :: acc) rest
+  in
+  let* programs = go [] manifest.Manifest.entries in
+  Ok (manifest, programs)
+
+let to_bench ~id (e : Manifest.entry) ast =
+  let h = e.Manifest.m_hardness in
+  let paper =
+    {
+      Bench.p_threads = h.Hardness.h_threads;
+      p_max_enabled = h.Hardness.h_max_enabled;
+      p_ipb_bound = h.Hardness.h_ipb_bound;
+      p_idb_bound = h.Hardness.h_idb_bound;
+      p_dfs_found = List.mem "DFS" h.Hardness.h_found_by;
+      p_rand_found = List.mem "Rand" h.Hardness.h_found_by;
+      p_maple_found = List.mem "MapleAlg" h.Hardness.h_found_by;
+    }
+  in
+  {
+    Bench.id;
+    suite = Bench.Corpus;
+    name = Bench.qualified_name Bench.Corpus e.Manifest.m_name;
+    program = Compile.program ast;
+    description =
+      Printf.sprintf "mined %s program (seed %d, digest %s)"
+        (Hardness.cls_name h.Hardness.h_class)
+        e.Manifest.m_seed
+        (String.sub e.Manifest.m_digest 0 12);
+    paper;
+    expect_ipb = h.Hardness.h_ipb_bound;
+    expect_idb = h.Hardness.h_idb_bound;
+  }
+
+let register ?(base_id = default_base_id) ~dir () =
+  let* _, programs = load ~dir in
+  let benches =
+    List.mapi (fun i (e, ast) -> to_bench ~id:(base_id + i) e ast) programs
+  in
+  let rec go = function
+    | [] -> Ok benches
+    | b :: rest -> (
+        match Sctbench.Registry.register b with
+        | Ok () -> go rest
+        | Error _ as e -> e)
+  in
+  go benches

@@ -1,0 +1,49 @@
+(** Promotion and loading of corpus directories.
+
+    On-disk layout of a promoted corpus:
+
+    {v
+    DIR/manifest.jsonl        header + one line per entry ({!Manifest})
+    DIR/programs/<name>.sct   the promoted programs ({!Program_text})
+    v}
+
+    {!write} is deterministic and atomic per file (temp file + rename,
+    always overwriting): promoting the same mining outcome twice produces
+    byte-identical trees. {!register} makes a corpus a first-class
+    extension of the benchmark registry — entries land in the
+    {!Sctbench.Bench.Corpus} suite with ids from [base_id] up, carrying
+    their mining-time hardness as the paper row, so every downstream
+    consumer (tables, campaign cells, the parallel suite, the oracle)
+    sees them exactly like the 52. *)
+
+val manifest_file : string
+(** ["manifest.jsonl"]. *)
+
+val default_base_id : int
+(** 1000 — clear of the paper's benchmark ids 0..51. *)
+
+val write :
+  dir:string -> Mine.config -> Mine.candidate list -> Manifest.t
+(** Promote a mining outcome into [dir] (created if needed): every
+    candidate's program file plus the manifest. Returns the written
+    manifest. *)
+
+val load :
+  dir:string ->
+  (Manifest.t * (Manifest.entry * Sct_fuzz.Ast.program) list, string) result
+(** Read a corpus back: parse the manifest, then each program file. Fails
+    on the first malformed file; an entry whose program file is missing is
+    an error, not a skip. *)
+
+val to_bench :
+  id:int -> Manifest.entry -> Sct_fuzz.Ast.program -> Sctbench.Bench.t
+(** The registry entry of one corpus program: suite [Corpus], qualified
+    name [corpus.<name>], the mining-time hardness as paper row and
+    expected bounds. *)
+
+val register :
+  ?base_id:int -> dir:string -> unit -> (Sctbench.Bench.t list, string) result
+(** Load [dir] and register every entry (ids [base_id], [base_id + 1],
+    ... in manifest order) through {!Sctbench.Registry.register}. Returns
+    the registered benches; the first failure (parse error, id or name
+    clash) aborts with nothing further registered. *)

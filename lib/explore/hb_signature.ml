@@ -42,6 +42,27 @@ let of_decisions decisions =
       |> List.sort compare;
   }
 
+(* Canonical text form: both field lists are sorted by construction, so
+   equal signatures render to equal strings — stable across processes and
+   OCaml versions, unlike the polymorphic hash. *)
+let to_string (s : t) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (x, seq) ->
+      Buffer.add_string buf
+        (if x = global_object then "o:global" else Printf.sprintf "o:%d" x);
+      List.iter
+        (fun (t, tag) ->
+          Buffer.add_string buf (Printf.sprintf " %s:%s" (Tid.to_string t) tag))
+        seq;
+      Buffer.add_char buf '\n')
+    s.per_object;
+  List.iter
+    (fun (t, n) ->
+      Buffer.add_string buf (Printf.sprintf "t:%s=%d\n" (Tid.to_string t) n))
+    s.per_thread;
+  Buffer.contents buf
+
 let distinct_under_dfs ?(promote = fun _ -> false) ?(max_steps = 100_000)
     ~limit program =
   let seen : (t, unit) Hashtbl.t = Hashtbl.create 1024 in

@@ -10,7 +10,17 @@
     touching it, plus each thread's operation count. Two executions with
     equal signatures are permutations of each other that commute only
     independent operations — they reach the same final state and exhibit
-    the same bugs. *)
+    the same bugs.
+
+    The encoding is deliberately {e finer} than Mazurkiewicz trace
+    equivalence: an object's touch sequence records reads too, so two
+    schedules that differ only in the order of concurrent reads of the
+    same object get distinct signatures even though POR treats them as
+    equivalent. Signatures are invariant exactly under reorderings of
+    operations with disjoint footprints (a qcheck law in the test suite);
+    the over-splitting is sound everywhere signatures are used — distinct
+    counts over-approximate, caches only lose hits, and the corpus digest
+    only dedupes less. *)
 
 type t
 
@@ -20,6 +30,12 @@ val hash : t -> int
 val of_decisions : Sct_core.Runtime.decision list -> t
 (** Build the signature from a run's recorded decisions (requires
     [record_decisions:true] in {!Sct_core.Runtime.exec}). *)
+
+val to_string : t -> string
+(** A canonical text rendering: [equal a b] iff
+    [to_string a = to_string b]. Stable across processes and compiler
+    versions (unlike {!hash}), so it is a sound basis for persisted
+    digests — the corpus manifest's signature field hashes these. *)
 
 val distinct_under_dfs :
   ?promote:(string -> bool) ->

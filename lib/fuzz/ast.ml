@@ -18,15 +18,23 @@ type stmt =
   | Loop of { times : int; body : stmt list }
   | If_eq of { var : int; expect : int; then_ : stmt list; else_ : stmt list }
   | Join of { thread : int }
+  | Future of { slot : int; body : stmt list }
+  | Await of { slot : int }
+  | Chan_send of { ch : int; value : int }
+  | Chan_recv of { ch : int }
+  | Wq_put of { task : int }
+  | Wq_take
 
 type program = { threads : stmt list list }
 
 let rec stmt_size = function
   | Yield | Write _ | Incr _ | Check_eq _ | Atomic_incr | Atomic_cas _
   | Sem_wait | Sem_post | Cond_signal | Cond_broadcast | Cond_wait _
-  | Barrier_wait | Arr_set _ | Arr_get _ | Join _ ->
+  | Barrier_wait | Arr_set _ | Arr_get _ | Join _ | Await _ | Chan_send _
+  | Chan_recv _ | Wq_put _ | Wq_take ->
       1
-  | Lock { body; _ } | Try_lock { body; _ } | Loop { body; _ } ->
+  | Lock { body; _ } | Try_lock { body; _ } | Loop { body; _ }
+  | Future { body; _ } ->
       1 + list_size body
   | If_eq { then_; else_; _ } -> 1 + list_size then_ + list_size else_
 
@@ -62,6 +70,14 @@ let rec pp_stmt fmt = function
         "@[<hv 2>if v%d = %d {%a@;<1 -2>}@ @[<hv 2>else {%a@;<1 -2>}@]@]" var
         expect pp_body then_ pp_body else_
   | Join { thread } -> Format.fprintf fmt "join(t%d)" thread
+  | Future { slot; body } ->
+      Format.fprintf fmt "@[<hv 2>f%d := async {%a@;<1 -2>}@]" slot pp_body
+        body
+  | Await { slot } -> Format.fprintf fmt "await(f%d)" slot
+  | Chan_send { ch; value } -> Format.fprintf fmt "ch%d <- %d" ch value
+  | Chan_recv { ch } -> Format.fprintf fmt "<-ch%d" ch
+  | Wq_put { task } -> Format.fprintf fmt "wq_put(%d)" task
+  | Wq_take -> Format.fprintf fmt "wq_take"
 
 and pp_body fmt = function
   | [] -> ()

@@ -17,7 +17,17 @@
     valid input for every exploration technique. Programs may be buggy —
     failing {!constructor-Check_eq} assertions, deadlocks through lock
     nesting / lost signals / barrier underflow, out-of-bounds array
-    accesses — which is exactly what the differential oracle wants. *)
+    accesses — which is exactly what the differential oracle wants.
+
+    The async/task-parallel statements ({!constructor-Future},
+    {!constructor-Await}, bounded channels, the work-queue idiom) extend
+    the vocabulary beyond SCTBench's pthread style into the setting of
+    futures and message passing: a future spawns a thread at runtime and
+    publishes its handle in a promise slot; channels are capacity-1
+    bounded buffers; the work queue is a semaphore-guarded shared counter
+    with a racy completion count. They are generated only under the
+    [Async]/[Full] vocabularies (see {!Gen.vocab}), so classic fuzz
+    campaigns are byte-for-byte unchanged. *)
 
 type stmt =
   | Yield
@@ -45,6 +55,21 @@ type stmt =
   | Join of { thread : int }
       (** join thread [thread]; compiled to a no-op unless [thread] is an
           earlier-spawned thread of the program (see {!Compile}) *)
+  | Future of { slot : int; body : stmt list }
+      (** spawn [body] as a fresh thread and publish its handle in promise
+          slot [slot mod Compile.n_futures]; the main thread joins every
+          future at program end, so leaked futures never outlive the
+          execution *)
+  | Await of { slot : int }
+      (** join the future published in [slot]; a pure scheduling point when
+          the slot is still empty *)
+  | Chan_send of { ch : int; value : int }
+      (** blocking send on the capacity-1 bounded channel [ch] *)
+  | Chan_recv of { ch : int }  (** blocking receive from channel [ch] *)
+  | Wq_put of { task : int }  (** enqueue one work item *)
+  | Wq_take
+      (** dequeue one work item (blocking) and bump the unsynchronised
+          completion counter — a deliberate data-race source *)
 
 type program = { threads : stmt list list }
 

@@ -11,6 +11,17 @@
       barrier of size 2;
     - one shared array [fz_arr] of length {!arr_len}, zero-initialised.
 
+    The async/task-parallel statements compile against a further
+    environment: [n_futures] promise slots (a {!Ast.constructor-Future}
+    spawns its body as a fresh thread and publishes the handle; an
+    {!Ast.constructor-Await} of an empty slot degenerates to a [yield]),
+    [n_chans] capacity-1 bounded channels (a data location [fz_ch<i>]
+    guarded by a slots/items semaphore pair), and one work queue (items
+    semaphore, a mutex-guarded pending count [fz_wq_n], and an
+    {e unsynchronised} completion counter [fz_wq_done] — a deliberate
+    data-race source). The main thread joins every future after the
+    top-level joins, so no execution leaks a running thread.
+
     Resource indices in the AST are reduced modulo the environment size, so
     every AST is compilable. [Join {thread}] is compiled to a real
     [Sct.join] only when [thread] names an earlier-spawned thread (the only
@@ -21,6 +32,8 @@
 val n_vars : int
 val n_mutexes : int
 val arr_len : int
+val n_futures : int
+val n_chans : int
 
 val program : Ast.program -> unit -> unit
 (** [program ast] is the runnable program; the outer application performs

@@ -1,5 +1,19 @@
 let max_threads = 3
 
+type vocab = Classic | Async | Full
+
+let vocab_name = function
+  | Classic -> "classic"
+  | Async -> "async"
+  | Full -> "full"
+
+let vocab_of_name s =
+  match String.lowercase_ascii s with
+  | "classic" -> Some Classic
+  | "async" -> Some Async
+  | "full" -> Some Full
+  | _ -> None
+
 (* Deterministic polymorphic hash mix: per-program seeds must not depend on
    anything but (campaign_seed, index). *)
 let derive_seed ~campaign_seed ~index = Hashtbl.hash (campaign_seed, index)
@@ -30,8 +44,11 @@ let gen_index rng =
   if Random.State.int rng 6 = 0 then Compile.arr_len
   else Random.State.int rng Compile.arr_len
 
-let rec gen_stmt rng ~n_threads ~depth : Ast.stmt =
-  let body () = gen_body rng ~n_threads ~depth:(depth + 1) in
+let gen_chan rng = Random.State.int rng Compile.n_chans
+let gen_slot rng = Random.State.int rng Compile.n_futures
+
+let rec gen_stmt rng ~vocab ~n_threads ~depth : Ast.stmt =
+  let body () = gen_body rng ~vocab ~n_threads ~depth:(depth + 1) in
   let compound =
     if depth >= 2 then []
     else
@@ -56,6 +73,35 @@ let rec gen_stmt rng ~n_threads ~depth : Ast.stmt =
             let else_ = if Random.State.bool rng then body () else [] in
             Ast.If_eq { var; expect; then_; else_ } );
       ]
+  in
+  (* the async choices come last and are only offered under the extended
+     vocabularies, so [Classic] consumes the PRNG exactly as before and
+     every historical seed regenerates its historical program *)
+  let async =
+    match vocab with
+    | Classic -> []
+    | (Async | Full) as v ->
+        (* [Async] doubles the async weights, biasing programs toward the
+           task-parallel idioms; [Full] mixes both vocabularies evenly *)
+        let w k = if v = Async then 2 * k else k in
+        [
+          ( w 3,
+            fun () ->
+              let slot = gen_slot rng in
+              let body =
+                if depth >= 2 then [ Ast.Incr { var = gen_var rng } ]
+                else body ()
+              in
+              Ast.Future { slot; body } );
+          (w 2, fun () -> Ast.Await { slot = gen_slot rng });
+          ( w 2,
+            fun () ->
+              let ch = gen_chan rng in
+              Ast.Chan_send { ch; value = gen_value rng } );
+          (w 2, fun () -> Ast.Chan_recv { ch = gen_chan rng });
+          (w 2, fun () -> Ast.Wq_put { task = Random.State.int rng 2 });
+          (w 2, fun () -> Ast.Wq_take);
+        ]
   in
   pick rng
     ([
@@ -87,18 +133,20 @@ let rec gen_stmt rng ~n_threads ~depth : Ast.stmt =
        (1, fun () -> Ast.Arr_get { index = gen_index rng });
        (1, fun () -> Ast.Join { thread = Random.State.int rng n_threads });
      ]
-    @ compound)
+    @ compound @ async)
 
-and gen_body rng ~n_threads ~depth =
+and gen_body rng ~vocab ~n_threads ~depth =
   let n = int_in rng 1 (max 1 (3 - depth)) in
-  init_ordered n (fun _ -> gen_stmt rng ~n_threads ~depth)
+  init_ordered n (fun _ -> gen_stmt rng ~vocab ~n_threads ~depth)
 
-let program ~seed =
+let generate ?(vocab = Classic) ~seed () =
   let rng = Random.State.make [| 0xF022; seed |] in
   let n_threads = int_in rng 1 max_threads in
   let threads =
     init_ordered n_threads (fun _ ->
         let n = int_in rng 1 4 in
-        init_ordered n (fun _ -> gen_stmt rng ~n_threads ~depth:0))
+        init_ordered n (fun _ -> gen_stmt rng ~vocab ~n_threads ~depth:0))
   in
   { Ast.threads }
+
+let program ~seed = generate ~seed ()

@@ -17,8 +17,23 @@
 
 val max_threads : int
 
+type vocab = Classic | Async | Full
+(** The statement vocabulary offered to the generator. [Classic] is the
+    original pthread-style set and consumes the PRNG exactly as it always
+    has, so every historical seed regenerates its historical program.
+    [Async] and [Full] additionally offer the async/task-parallel
+    statements (futures, bounded channels, the work-queue idiom) — the
+    corpus factory's extended program class. *)
+
+val vocab_name : vocab -> string
+val vocab_of_name : string -> vocab option
+
+val generate : ?vocab:vocab -> seed:int -> unit -> Ast.program
+(** The program of [(vocab, seed)] (default vocabulary [Classic]); total
+    (never raises) and deterministic in its arguments. *)
+
 val program : seed:int -> Ast.program
-(** The program of [seed]; total (never raises) and deterministic. *)
+(** [generate ~vocab:Classic ~seed ()]. *)
 
 val derive_seed : campaign_seed:int -> index:int -> int
 (** The per-program seed of program [index] of a fuzz campaign — a

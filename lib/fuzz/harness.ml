@@ -15,9 +15,9 @@ type report = {
 
 type summary = { s_programs : int; s_counterexamples : counterexample list }
 
-let one_program ?wrap ~cfg ~campaign_seed index =
+let one_program ?wrap ?(vocab = Gen.Classic) ~cfg ~campaign_seed index =
   let seed = Gen.derive_seed ~campaign_seed ~index in
-  let ast = Gen.program ~seed in
+  let ast = Gen.generate ~vocab ~seed () in
   let violations_of p = Oracle.check ?wrap cfg ~seed (Compile.program p) in
   let counterexample =
     match violations_of ast with
@@ -52,11 +52,11 @@ let summarize reports =
       List.filter_map (fun r -> r.r_counterexample) reports;
   }
 
-let run ?wrap ~cfg ~seed ~count () =
+let run ?wrap ?vocab ~cfg ~seed ~count () =
   let rec go i acc =
     if i >= count then List.rev acc
     else
-      go (i + 1) (one_program ?wrap ~cfg ~campaign_seed:seed i :: acc)
+      go (i + 1) (one_program ?wrap ?vocab ~cfg ~campaign_seed:seed i :: acc)
   in
   summarize (go 0 [])
 

@@ -28,11 +28,13 @@ type summary = {
 
 val one_program :
   ?wrap:(Oracle.runner -> Oracle.runner) ->
+  ?vocab:Gen.vocab ->
   cfg:Oracle.config ->
   campaign_seed:int ->
   int ->
   report
-(** [one_program ~cfg ~campaign_seed index]: generate program [index],
+(** [one_program ~cfg ~campaign_seed index]: generate program [index]
+    (under [vocab], default {!Gen.Classic}),
     run the oracle, and — on violation — shrink
     it to a locally minimal counterexample (the shrink predicate is "the
     oracle still reports at least one violation"). Pure in its arguments:
@@ -43,6 +45,7 @@ val summarize : report list -> summary
 
 val run :
   ?wrap:(Oracle.runner -> Oracle.runner) ->
+  ?vocab:Gen.vocab ->
   cfg:Oracle.config ->
   seed:int ->
   count:int ->

@@ -3,9 +3,15 @@ module Outcome = Sct_core.Outcome
 module Schedule = Sct_core.Schedule
 module Runtime = Sct_core.Runtime
 
-type config = { limit : int; max_steps : int; race_runs : int }
+type config = {
+  limit : int;
+  max_steps : int;
+  race_runs : int;
+  techniques : Techniques.t list;
+}
 
-let default_config = { limit = 500; max_steps = 5_000; race_runs = 5 }
+let default_config =
+  { limit = 500; max_steps = 5_000; race_runs = 5; techniques = Techniques.all }
 
 type violation = { v_invariant : string; v_detail : string }
 
@@ -48,8 +54,9 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
   let promote = Sct_race.Promotion.promote detection in
   let base : runner = fun t -> Techniques.run ~promote o t program in
   let runner = wrap base in
-  let stats = List.map (fun t -> (t, runner t)) Techniques.all in
-  let stat t = List.assoc t stats in
+  let stats = List.map (fun t -> (t, runner t)) cfg.techniques in
+  let stat t = List.assoc_opt t stats in
+  let selected t = List.mem t cfg.techniques in
   let tname t = Techniques.name t in
 
   (* ---- per-technique schedule-count algebra --------------------------- *)
@@ -143,43 +150,49 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
     stats;
 
   (* ---- bug-finding inclusions on exhaustible programs ------------------ *)
-  let dfs = stat Techniques.DFS in
-  let ipb = stat Techniques.IPB in
-  let idb = stat Techniques.IDB in
-  if dfs.Stats.complete then begin
-    if Stats.found dfs then begin
-      require "inclusion" (Stats.found ipb)
-        "DFS exhausted the space and found a bug, IPB did not";
-      require "inclusion" (Stats.found idb)
-        "DFS exhausted the space and found a bug, IDB did not"
-    end
-    else begin
-      List.iter
-        (fun (t, s) ->
-          require "inclusion" (not (Stats.found s))
-            "DFS exhausted a bug-free space but %s reports a bug" (tname t))
-        stats;
-      require "inclusion" ipb.Stats.complete
-        "DFS exhausted a bug-free space but IPB did not complete";
-      require "inclusion" idb.Stats.complete
-        "DFS exhausted a bug-free space but IDB did not complete";
-      require "inclusion"
-        (ipb.Stats.total = dfs.Stats.total)
-        "IPB counted %d schedules on a bug-free exhausted space of %d"
-        ipb.Stats.total dfs.Stats.total;
-      require "inclusion"
-        (idb.Stats.total = dfs.Stats.total)
-        "IDB counted %d schedules on a bug-free exhausted space of %d"
-        idb.Stats.total dfs.Stats.total
-    end
-  end;
+  (* The inclusion laws relate DFS, IPB and IDB, so they only apply when all
+     three ran under this campaign's technique selection. *)
+  let dfs_stat = stat Techniques.DFS in
+  (match (dfs_stat, stat Techniques.IPB, stat Techniques.IDB) with
+  | Some dfs, Some ipb, Some idb when dfs.Stats.complete ->
+      if Stats.found dfs then begin
+        require "inclusion" (Stats.found ipb)
+          "DFS exhausted the space and found a bug, IPB did not";
+        require "inclusion" (Stats.found idb)
+          "DFS exhausted the space and found a bug, IDB did not"
+      end
+      else begin
+        List.iter
+          (fun (t, s) ->
+            require "inclusion" (not (Stats.found s))
+              "DFS exhausted a bug-free space but %s reports a bug" (tname t))
+          stats;
+        require "inclusion" ipb.Stats.complete
+          "DFS exhausted a bug-free space but IPB did not complete";
+        require "inclusion" idb.Stats.complete
+          "DFS exhausted a bug-free space but IDB did not complete";
+        require "inclusion"
+          (ipb.Stats.total = dfs.Stats.total)
+          "IPB counted %d schedules on a bug-free exhausted space of %d"
+          ipb.Stats.total dfs.Stats.total;
+        require "inclusion"
+          (idb.Stats.total = dfs.Stats.total)
+          "IDB counted %d schedules on a bug-free exhausted space of %d"
+          idb.Stats.total dfs.Stats.total
+      end
+  | _ -> ());
 
   (* ---- POR vs full DFS, all locations visible -------------------------- *)
+  (* A DFS-based cross-check; skipped when the campaign deselected DFS. *)
   let por_limit = sub_limit cfg.limit in
   let dfs_all =
-    Dfs.explore ~promote:promote_all ~max_steps:cfg.max_steps
-      ~bound:Dfs.Unbounded ~limit:por_limit program
+    if not (selected Techniques.DFS) then None
+    else
+      Some
+        (Dfs.explore ~promote:promote_all ~max_steps:cfg.max_steps
+           ~bound:Dfs.Unbounded ~limit:por_limit program)
   in
+  (match dfs_all with None -> () | Some dfs_all ->
   if dfs_all.Dfs.complete then
     List.iter
       (fun (mode, mode_name) ->
@@ -202,45 +215,50 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
           mode_name por.Por.counted dfs_all.Dfs.counted;
         require "por" (por.Por.counted >= 1)
           "POR(%s) counted no terminal schedule" mode_name)
-      [ (Por.Sleep, "sleep"); (Por.Dpor, "dpor"); (Por.Dpor_sleep, "both") ];
+      [ (Por.Sleep, "sleep"); (Por.Dpor, "dpor"); (Por.Dpor_sleep, "both") ]);
 
   (* ---- bound-level algebra: monotone in c, and DC >= PC ---------------- *)
-  let walk bound =
-    Dfs.explore ~promote ~max_steps:cfg.max_steps ~bound ~limit:cfg.limit
-      program
-  in
-  let pc_counts =
-    List.map (fun c -> (walk (Dfs.Preemption c)).Dfs.counted) [ 0; 1; 2 ]
-  in
-  let dc_counts =
-    List.map (fun c -> (walk (Dfs.Delay c)).Dfs.counted) [ 0; 1; 2 ]
-  in
-  let monotone name = function
-    | [ a; b; c ] ->
-        require "bound-algebra"
-          (a <= b && b <= c)
-          "%s-bounded schedule counts not monotone in the bound: %d, %d, %d"
-          name a b c
-    | _ -> assert false
-  in
-  monotone "preemption" pc_counts;
-  monotone "delay" dc_counts;
-  List.iteri
-    (fun c (dc, pc) ->
-      require "bound-algebra" (dc <= pc)
-        "delay bound %d admits %d schedules, preemption bound %d only %d \
-         (DC >= PC violated)"
-        c dc c pc)
-    (List.combine dc_counts pc_counts);
-  if dfs.Stats.complete then
+  (* Also DFS-based: the bounded walks reuse the DFS explorer. *)
+  if selected Techniques.DFS then begin
+    let walk bound =
+      Dfs.explore ~promote ~max_steps:cfg.max_steps ~bound ~limit:cfg.limit
+        program
+    in
+    let pc_counts =
+      List.map (fun c -> (walk (Dfs.Preemption c)).Dfs.counted) [ 0; 1; 2 ]
+    in
+    let dc_counts =
+      List.map (fun c -> (walk (Dfs.Delay c)).Dfs.counted) [ 0; 1; 2 ]
+    in
+    let monotone name = function
+      | [ a; b; c ] ->
+          require "bound-algebra"
+            (a <= b && b <= c)
+            "%s-bounded schedule counts not monotone in the bound: %d, %d, %d"
+            name a b c
+      | _ -> assert false
+    in
+    monotone "preemption" pc_counts;
+    monotone "delay" dc_counts;
     List.iteri
-      (fun c pc ->
-        require "bound-algebra"
-          (pc <= dfs.Stats.total)
-          "preemption bound %d counts %d schedules, beyond the full space's \
-           %d"
-          c pc dfs.Stats.total)
-      pc_counts;
+      (fun c (dc, pc) ->
+        require "bound-algebra" (dc <= pc)
+          "delay bound %d admits %d schedules, preemption bound %d only %d \
+           (DC >= PC violated)"
+          c dc c pc)
+      (List.combine dc_counts pc_counts);
+    match dfs_stat with
+    | Some dfs when dfs.Stats.complete ->
+        List.iteri
+          (fun c pc ->
+            require "bound-algebra"
+              (pc <= dfs.Stats.total)
+              "preemption bound %d counts %d schedules, beyond the full \
+               space's %d"
+              c pc dfs.Stats.total)
+          pc_counts
+    | _ -> ()
+  end;
 
   (* ---- shard-merge determinism for the seed-sharded techniques --------- *)
   List.iter
@@ -259,6 +277,6 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
       | Strategy.Shard_tree _ | Strategy.Shard_runs _ ->
           fail "shard-merge" "%s: expected a Shard_seed parallel plan"
             (tname t))
-    [ Techniques.Rand; Techniques.PCT; Techniques.SURW ];
+    (List.filter selected [ Techniques.Rand; Techniques.PCT; Techniques.SURW ]);
 
   List.rev !violations

@@ -38,10 +38,17 @@ type config = {
   limit : int;  (** schedule budget per technique campaign *)
   max_steps : int;  (** per-execution live-lock guard *)
   race_runs : int;  (** executions of the race-detection phase *)
+  techniques : Sct_explore.Techniques.t list;
+      (** techniques the oracle runs and cross-checks. Invariants that
+          relate specific techniques degrade gracefully: the inclusion
+          checks need DFS, IPB and IDB all selected; the POR and
+          bound-algebra cross-checks need DFS; shard-merge runs on the
+          selected subset of [Rand; PCT; SURW]. *)
 }
 
 val default_config : config
-(** [limit = 500; max_steps = 5_000; race_runs = 5]. *)
+(** [limit = 500; max_steps = 5_000; race_runs = 5;
+    techniques = Techniques.all]. *)
 
 type violation = {
   v_invariant : string;  (** stable invariant identifier, e.g. ["inclusion"] *)

@@ -5,7 +5,8 @@
 let rec stmt_measure (s : Ast.stmt) =
   match s with
   | Loop { times; body } -> 1 + times + list_measure body
-  | Lock { body; _ } | Try_lock { body; _ } -> 1 + list_measure body
+  | Lock { body; _ } | Try_lock { body; _ } | Future { body; _ } ->
+      1 + list_measure body
   | If_eq { then_; else_; _ } -> 1 + list_measure then_ + list_measure else_
   | _ -> 1
 
@@ -27,6 +28,11 @@ let rec stmt_variants (s : Ast.stmt) : Ast.stmt list list =
   | Ast.Try_lock { m; body } ->
       (body
       :: List.map (fun b -> [ Ast.Try_lock { m; body = b } ]) (list_variants body))
+  | Ast.Future { slot; body } ->
+      (* unwrapping runs the body synchronously on the spawning thread — a
+         strictly smaller program that preserves the body's operations *)
+      (body
+      :: List.map (fun b -> [ Ast.Future { slot; body = b } ]) (list_variants body))
   | Ast.Loop { times; body } ->
       (body :: (if times > 1 then [ [ Ast.Loop { times = times - 1; body } ] ] else []))
       @ List.map (fun b -> [ Ast.Loop { times; body = b } ]) (list_variants body)

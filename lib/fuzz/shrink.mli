@@ -11,7 +11,21 @@
 
     Shrinking is deterministic: candidates are enumerated in a fixed
     order, so the same failing program always shrinks to the same
-    counterexample. *)
+    counterexample.
+
+    {b Measure tie-breaking.} The measure orders candidates only
+    partially: many one-step simplifications decrease it by the same
+    amount (dropping any single [Yield], say). Ties are NOT broken by
+    re-measuring — the greedy descent takes the {e first} still-failing
+    candidate in enumeration order: whole-thread drops first (in thread
+    order), then per-thread statement simplifications in program order,
+    and within one statement the unwrap-into-body candidate before the
+    iteration-count decrement before the in-place body simplifications.
+    Because the order is a pure function of the AST, [shrink] is a
+    deterministic — and hence idempotent — function of its input: the
+    result is locally minimal, so a second application finds no passing
+    candidate and returns it unchanged (the test suite asserts
+    [shrink (shrink p) = shrink p]). *)
 
 val candidates : Ast.program -> Ast.program list
 (** All one-step simplifications, each strictly smaller under the

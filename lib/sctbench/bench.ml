@@ -1,4 +1,13 @@
-type suite = CB | CHESS | CS | Inspect | Misc | Parsec | Radbench | Splash2
+type suite =
+  | CB
+  | CHESS
+  | CS
+  | Inspect
+  | Misc
+  | Parsec
+  | Radbench
+  | Splash2
+  | Corpus
 
 let suite_name = function
   | CB -> "CB"
@@ -9,6 +18,7 @@ let suite_name = function
   | Parsec -> "parsec"
   | Radbench -> "radbench"
   | Splash2 -> "splash2"
+  | Corpus -> "corpus"
 
 let suite_of_name s =
   match String.lowercase_ascii s with
@@ -20,6 +30,7 @@ let suite_of_name s =
   | "parsec" -> Some Parsec
   | "radbench" -> Some Radbench
   | "splash2" | "splash" -> Some Splash2
+  | "corpus" -> Some Corpus
   | _ -> None
 
 type paper_row = {
@@ -97,3 +108,4 @@ let table1_types = function
   | Parsec -> "Parallel workloads"
   | Radbench -> "Tests cases for real applications"
   | Splash2 -> "Parallel workloads"
+  | Corpus -> "Mined extension suite (generated programs promoted by corpus)"

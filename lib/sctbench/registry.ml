@@ -1,4 +1,4 @@
-let all : Bench.t list =
+let static : Bench.t list =
   List.sort
     (fun (a : Bench.t) b -> compare a.Bench.id b.Bench.id)
     (List.concat
@@ -13,14 +13,39 @@ let all : Bench.t list =
          Splash2.entries;
        ])
 
-let by_id id = List.find_opt (fun (b : Bench.t) -> b.Bench.id = id) all
+let all = static
+
+(* Extension entries (mined corpus programs), in registration order. Kept
+   apart from [static] so the paper's 52 stay exactly the paper's 52. *)
+let extension : Bench.t list ref = ref []
+
+let extensions () = List.rev !extension
+
+let full () = static @ extensions ()
+
+let register (b : Bench.t) =
+  let clashes (e : Bench.t) =
+    e.Bench.id = b.Bench.id || String.equal e.Bench.name b.Bench.name
+  in
+  if List.exists clashes (full ()) then
+    Error
+      (Printf.sprintf "registry: id %d or name %s already registered"
+         b.Bench.id b.Bench.name)
+  else begin
+    extension := b :: !extension;
+    Ok ()
+  end
+
+let reset_extensions () = extension := []
+
+let by_id id = List.find_opt (fun (b : Bench.t) -> b.Bench.id = id) (full ())
 
 let by_name name =
   List.find_opt
     (fun (b : Bench.t) -> String.equal b.Bench.name name)
-    all
+    (full ())
 
 let of_suite suite =
-  List.filter (fun (b : Bench.t) -> b.Bench.suite = suite) all
+  List.filter (fun (b : Bench.t) -> b.Bench.suite = suite) (full ())
 
-let names () = List.map (fun (b : Bench.t) -> b.Bench.name) all
+let names () = List.map (fun (b : Bench.t) -> b.Bench.name) (full ())

@@ -1,7 +1,32 @@
-(** The assembled SCTBench registry: all 52 benchmarks, sorted by the
-    paper's benchmark id. *)
+(** The assembled SCTBench registry: the paper's 52 benchmarks, sorted by
+    benchmark id, plus any registered extension entries (mined corpus
+    programs promoted by [Sct_corpus]).
+
+    The static set is immutable — [all] is always exactly the 52 — while
+    extensions accumulate through {!register}. The lookup functions
+    ([by_id], [by_name], [of_suite], [names]) see both, so a loaded corpus
+    flows through every downstream consumer (tables, campaign
+    orchestrator, parallel suite, differential oracle) with no special
+    cases. *)
 
 val all : Bench.t list
+(** The 52 paper benchmarks only; never includes extensions. *)
+
+val register : Bench.t -> (unit, string) result
+(** Add an extension entry. Fails (without registering) if its id or
+    qualified name collides with any static or already-registered entry.
+    Extension ids conventionally start at 1000 to stay clear of the
+    paper's 0..51. *)
+
+val extensions : unit -> Bench.t list
+(** Registered extension entries, in registration order. *)
+
+val full : unit -> Bench.t list
+(** [all @ extensions ()]. *)
+
+val reset_extensions : unit -> unit
+(** Drop every registered extension (test isolation). *)
+
 val by_id : int -> Bench.t option
 val by_name : string -> Bench.t option
 val of_suite : Bench.suite -> Bench.t list

@@ -5,7 +5,13 @@
 
 open Sct_fuzz
 
-let quick_cfg = { Oracle.limit = 300; max_steps = 3_000; race_runs = 3 }
+let quick_cfg =
+  {
+    Oracle.limit = 300;
+    max_steps = 3_000;
+    race_runs = 3;
+    techniques = Sct_explore.Techniques.all;
+  }
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in

@@ -23,5 +23,6 @@ let () =
          Test_campaign.suites;
          Test_robustness.suites;
          Test_fuzz.suites;
+         Test_corpus.suites;
          Test_cli_artifacts.suites;
        ])
