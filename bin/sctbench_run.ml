@@ -53,6 +53,15 @@ let split_depth_t =
   in
   Arg.(value & opt int 3 & info [ "split-depth" ] ~docv:"D" ~doc)
 
+let prefix_batch_t =
+  let doc =
+    "Run DFS/IPB/IDB on the prefix-memoizing batched executor: shared \
+     schedule prefixes are executed once per batch instead of once per \
+     schedule. Every table and every stored journal stays byte-identical \
+     apart from the steps-executed/steps-saved counters."
+  in
+  Arg.(value & flag & info [ "prefix-batch" ] ~doc)
+
 let store_t =
   let doc =
     "Persist per-cell results and bug-witness artifacts to $(docv) \
@@ -93,7 +102,8 @@ let close_store = Option.iter Sct_store.Db.close
 let resolve_jobs jobs =
   if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
 
-let options_of ?(jobs = 1) ?(split_depth = 3) ?time_limit limit seed =
+let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false)
+    ?time_limit limit seed =
   {
     Sct_explore.Techniques.default_options with
     Sct_explore.Techniques.limit;
@@ -101,6 +111,7 @@ let options_of ?(jobs = 1) ?(split_depth = 3) ?time_limit limit seed =
     jobs = resolve_jobs jobs;
     split_depth;
     time_limit;
+    prefix_batch;
   }
 
 let parse_techniques names =
@@ -181,11 +192,14 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed jobs split_depth time_limit techs store resume name =
+  let run limit seed jobs split_depth prefix_batch time_limit techs store
+      resume name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
-        let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+        let o =
+          options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+        in
         let techniques = parse_techniques techs in
         let store = open_store ~resume store in
         let row =
@@ -224,8 +238,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
     Term.(
-      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ time_limit_t
-      $ techniques_t $ store_t $ resume_t $ name_t)
+      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
+      $ time_limit_t $ techniques_t $ store_t $ resume_t $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -406,11 +420,13 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed jobs split_depth time_limit suite ids techs store
-    resume corpus =
+let study what limit seed jobs split_depth prefix_batch time_limit suite ids
+    techs store resume corpus =
   load_corpus corpus;
   let benches = select suite ids in
-  let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+  let o =
+    options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+  in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
   | (`Table2 | `Table3 | `Fig2 | `Fig3 | `Fig4 | `Agreement | `Csv) as what ->
@@ -438,8 +454,8 @@ let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
-      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ store_t $ resume_t
-      $ corpus_t)
+      $ prefix_batch_t $ time_limit_t $ suite_t $ ids_t $ techniques_t
+      $ store_t $ resume_t $ corpus_t)
 
 (* self-testing fuzz: generated programs under the differential oracle *)
 let fuzz_cmd =
@@ -470,7 +486,7 @@ let fuzz_cmd =
     in
     Arg.(value & opt string "classic" & info [ "vocab" ] ~docv:"VOCAB" ~doc)
   in
-  let run seed count limit max_steps jobs store techs vocab =
+  let run seed count limit max_steps jobs prefix_batch store techs vocab =
     let techniques =
       match
         Sct_explore.Techniques.parse_list ~default:Sct_explore.Techniques.all
@@ -489,7 +505,10 @@ let fuzz_cmd =
             "unknown vocabulary %s (expected classic, async or full)\n" vocab;
           exit 1
     in
-    let cfg = { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5; techniques } in
+    let cfg =
+      { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5; prefix_batch;
+        techniques }
+    in
     (* program i is a pure function of (seed, i): shard across the pool,
        reassemble in index order — output is identical for every --jobs *)
     let reports =
@@ -528,7 +547,7 @@ let fuzz_cmd =
           minimal counterexamples.")
     Term.(
       const run $ seed_t $ count_t $ fuzz_limit_t $ max_steps_t $ jobs_t
-      $ fuzz_store_t $ techniques_t $ vocab_t)
+      $ prefix_batch_t $ fuzz_store_t $ techniques_t $ vocab_t)
 
 (* the corpus factory: mine, promote, stats, run *)
 let corpus_cmd =
@@ -772,14 +791,17 @@ let corpus_cmd =
       Term.(const run $ dir_t)
   in
   let run_cmd =
-    let run dir limit seed jobs split_depth time_limit techs store resume =
+    let run dir limit seed jobs split_depth prefix_batch time_limit techs
+        store resume =
       load_corpus (Some dir);
       let benches = Sctbench.Registry.of_suite Sctbench.Bench.Corpus in
       if benches = [] then begin
         prerr_endline "corpus run: the corpus is empty";
         exit 1
       end;
-      let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+      let o =
+        options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+      in
       let techniques = parse_techniques techs in
       let store = open_store ~resume store in
       let rows =
@@ -804,7 +826,7 @@ let corpus_cmd =
             corpus's standing regression study.")
       Term.(
         const run $ dir_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ time_limit_t $ techniques_t $ store_t $ resume_t)
+        $ prefix_batch_t $ time_limit_t $ techniques_t $ store_t $ resume_t)
   in
   Cmd.group
     (Cmd.info "corpus"
@@ -857,11 +879,13 @@ let parse_shard s =
       Printf.eprintf "invalid shard %s (expected K/N, e.g. 0/3)\n" s;
       exit 1
 
-let run_campaign ~shard limit seed jobs split_depth time_limit suite ids techs
-    policy slice store corpus =
+let run_campaign ~shard limit seed jobs split_depth prefix_batch time_limit
+    suite ids techs policy slice store corpus =
   load_corpus corpus;
   let benches = select suite ids in
-  let o = options_of ~jobs ~split_depth ?time_limit limit seed in
+  let o =
+    options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+  in
   let techniques = parse_techniques techs in
   let policy = parse_policy policy in
   let cells = Sct_campaign.Cell.grid ~techniques o benches in
@@ -891,9 +915,9 @@ let run_campaign ~shard limit seed jobs split_depth time_limit suite ids techs
 let campaign_cmd =
   let grid_args run =
     Term.(
-      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ time_limit_t
-      $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t $ campaign_store_t
-      $ corpus_t)
+      const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
+      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t
+      $ campaign_store_t $ corpus_t)
   in
   let run_cmd =
     Cmd.v
@@ -915,10 +939,11 @@ let campaign_cmd =
       Arg.(
         required & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
     in
-    let run shard limit seed jobs split_depth time_limit suite ids techs
-        policy slice store corpus =
+    let run shard limit seed jobs split_depth prefix_batch time_limit suite
+        ids techs policy slice store corpus =
       run_campaign ~shard:(Some (parse_shard shard)) limit seed jobs
-        split_depth time_limit suite ids techs policy slice store corpus
+        split_depth prefix_batch time_limit suite ids techs policy slice
+        store corpus
     in
     Cmd.v
       (Cmd.info "worker"
@@ -928,8 +953,8 @@ let campaign_cmd =
             $(b,store merge)).")
       Term.(
         const run $ shard_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t
-        $ campaign_store_t $ corpus_t)
+        $ prefix_batch_t $ time_limit_t $ suite_t $ ids_t $ techniques_t
+        $ policy_t $ slice_t $ campaign_store_t $ corpus_t)
   in
   let status_cmd =
     let run store =

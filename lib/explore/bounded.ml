@@ -26,6 +26,7 @@ let strategy ?(max_levels = 64) ~kind () : Strategy.t =
     let technique = technique_name kind
     let tracks_distinct = false
     let respects_limit = true
+    let supports_prefix_batch = true
 
     type state = {
       mutable c : int;
@@ -120,6 +121,8 @@ let level_loop ?(max_levels = 64) ~technique
           Stats.total = acc.Stats.total + r.Strategy.counted;
           buggy = acc.Stats.buggy + r.Strategy.buggy;
           executions = acc.Stats.executions + r.Strategy.executions;
+          steps_executed = acc.Stats.steps_executed + r.Strategy.steps_executed;
+          steps_saved = acc.Stats.steps_saved + r.Strategy.steps_saved;
           hit_deadline = acc.Stats.hit_deadline || r.Strategy.hit_deadline;
           n_threads = max acc.Stats.n_threads r.Strategy.n_threads;
           max_enabled = max acc.Stats.max_enabled r.Strategy.max_enabled;
@@ -169,6 +172,16 @@ let level_loop ?(max_levels = 64) ~technique
     end
   in
   level 0 (Stats.base ~technique)
+
+(* The batched campaign: the same level progression, each level's
+   count-exact walk routed through the prefix-batching executor. *)
+let explore_batched ?promote ?max_steps ?max_levels ?fork ?deadline ~kind
+    ~limit program =
+  level_loop ?max_levels ~technique:(technique_name kind)
+    ~walk:(fun ~c ~limit ->
+      Prefix_exec.explore ?promote ?max_steps ?fork ?deadline ~count_exact:c
+        ~bound:(bound_of kind c) ~limit program)
+    ~limit ()
 
 let tree_campaign ?promote ?max_steps ?max_levels ?deadline ~kind ~limit
     program run =

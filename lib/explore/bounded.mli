@@ -49,6 +49,20 @@ val level_loop :
     equal to {!explore} when [walk] behaves like the sequential
     count-exact walk. *)
 
+val explore_batched :
+  ?promote:(string -> bool) ->
+  ?max_steps:int ->
+  ?max_levels:int ->
+  ?fork:bool ->
+  ?deadline:float ->
+  kind:kind ->
+  limit:int ->
+  (unit -> unit) ->
+  Stats.t
+(** {!explore} with every level walked by {!Prefix_exec.explore}: identical
+    statistics except that [steps_executed]/[steps_saved] carry the batched
+    step cost. [fork] overrides the executor's back-end selection. *)
+
 val tree_campaign :
   ?promote:(string -> bool) ->
   ?max_steps:int ->

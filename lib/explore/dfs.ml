@@ -12,6 +12,8 @@ type level_result = Strategy.walk_result = {
   hit_deadline : bool;
   complete : bool;
   executions : int;
+  steps_executed : int;
+  steps_saved : int;
   n_threads : int;
   max_enabled : int;
   max_sched_points : int;
@@ -228,6 +230,7 @@ let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
     let technique = technique
     let tracks_distinct = false
     let respects_limit = true
+    let supports_prefix_batch = true
 
     type state = { w : Walk.t; mutable started : bool }
 
@@ -269,6 +272,8 @@ let level_result_of_stats ~pruned (s : Stats.t) =
     hit_deadline = s.Stats.hit_deadline;
     complete = s.Stats.complete;
     executions = s.Stats.executions;
+    steps_executed = s.Stats.steps_executed;
+    steps_saved = s.Stats.steps_saved;
     n_threads = s.Stats.n_threads;
     max_enabled = s.Stats.max_enabled;
     max_sched_points = s.Stats.max_sched_points;
@@ -288,6 +293,8 @@ let stats_of ~technique (r : level_result) =
     max_enabled = r.max_enabled;
     max_sched_points = r.max_sched_points;
     executions = r.executions;
+    steps_executed = r.steps_executed;
+    steps_saved = r.steps_saved;
   }
 
 let explore ?promote ?max_steps ?count_exact ?on_schedule ?record_decisions

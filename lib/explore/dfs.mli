@@ -27,6 +27,8 @@ type level_result = Strategy.walk_result = {
   hit_deadline : bool;  (** stopped because the wall-clock deadline passed *)
   complete : bool;  (** the (bounded) tree was exhausted *)
   executions : int;
+  steps_executed : int;  (** analytic step cost (see {!Stats.t}) *)
+  steps_saved : int;  (** steps avoided by prefix batching *)
   n_threads : int;
   max_enabled : int;
   max_sched_points : int;

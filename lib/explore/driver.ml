@@ -17,6 +17,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
   let to_first_bug = ref None in
   let first_bug = ref None in
   let executions = ref 0 in
+  let steps = ref 0 in
   let n_threads = ref 0 in
   let max_enabled = ref 0 in
   let max_points = ref 0 in
@@ -60,6 +61,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
         ~record_decisions ~scheduler program
     in
     incr executions;
+    steps := !steps + res.Runtime.r_steps;
     n_threads := max !n_threads res.Runtime.r_n_threads;
     max_enabled := max !max_enabled res.Runtime.r_max_enabled;
     max_points := max !max_points res.Runtime.r_multi_points;
@@ -119,6 +121,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     max_enabled = !max_enabled;
     max_sched_points = !max_points;
     executions = !executions;
+    steps_executed = !steps;
     distinct_schedules = !seen;
   }
 

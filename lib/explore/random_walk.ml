@@ -23,6 +23,7 @@ let strategy ?(seed = 0) ?(lo = 0) () : Strategy.t =
     let technique = "Rand"
     let tracks_distinct = true
     let respects_limit = true
+    let supports_prefix_batch = false
 
     type state = { mutable i : int; mutable rng : Random.State.t }
 

@@ -28,6 +28,8 @@ type t = {
   max_enabled : int;
   max_sched_points : int;
   executions : int;
+  steps_executed : int;
+  steps_saved : int;
   distinct_schedules : Sched_set.t option;
 }
 
@@ -60,6 +62,8 @@ let base ~technique =
     max_enabled = 0;
     max_sched_points = 0;
     executions = 0;
+    steps_executed = 0;
+    steps_saved = 0;
     distinct_schedules = None;
   }
 
@@ -69,6 +73,7 @@ let observe_run t (r : Sct_core.Runtime.result) =
     n_threads = max t.n_threads r.r_n_threads;
     max_enabled = max t.max_enabled r.r_max_enabled;
     max_sched_points = max t.max_sched_points r.r_multi_points;
+    steps_executed = t.steps_executed + r.r_steps;
   }
 
 (* A total order on witnesses, used only to break ties between equal
@@ -124,6 +129,8 @@ let merge a b =
     max_enabled = max a.max_enabled b.max_enabled;
     max_sched_points = max a.max_sched_points b.max_sched_points;
     executions = a.executions + b.executions;
+    steps_executed = a.steps_executed + b.steps_executed;
+    steps_saved = a.steps_saved + b.steps_saved;
     distinct_schedules =
       merge_opt Sched_set.union a.distinct_schedules b.distinct_schedules;
   }
@@ -144,6 +151,8 @@ let equal a b =
   && a.max_enabled = b.max_enabled
   && a.max_sched_points = b.max_sched_points
   && a.executions = b.executions
+  && a.steps_executed = b.steps_executed
+  && a.steps_saved = b.steps_saved
   && Option.equal Sched_set.equal a.distinct_schedules b.distinct_schedules
 
 let pp ppf t =
@@ -152,4 +161,8 @@ let pp ppf t =
     "%s: bound=%s first=%s total=%d new=%d buggy=%d complete=%b limit=%b%s"
     t.technique (opt t.bound) (opt t.to_first_bug) t.total t.new_at_bound
     t.buggy t.complete t.hit_limit
-    (if t.hit_deadline then " deadline=true" else "")
+    ((if t.hit_deadline then " deadline=true" else "")
+    ^
+    if t.steps_saved > 0 then
+      Printf.sprintf " steps=%d saved=%d" t.steps_executed t.steps_saved
+    else "")

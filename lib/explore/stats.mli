@@ -42,6 +42,19 @@ type t = {
       (** max number of decisions with >1 enabled thread in one run *)
   executions : int;
       (** real program executions, including bounded-level replays *)
+  steps_executed : int;
+      (** scheduler decisions actually paid for. Counted analytically: an
+          unbatched campaign pays every decision of every terminal
+          schedule; a prefix-batched campaign pays each shared prefix once
+          per batch, so [steps_executed] drops by exactly [steps_saved].
+          Both execution back-ends (fork server and re-execution fallback)
+          report the same analytic value, keeping statistics byte-identical
+          across platforms and [--jobs] values. *)
+  steps_saved : int;
+      (** decisions that prefix batching avoided re-executing; [0] on
+          unbatched campaigns. Invariant:
+          [steps_executed + steps_saved] equals the sum of terminal
+          schedule lengths, independent of execution mode. *)
   distinct_schedules : Sched_set.t option;
       (** the distinct schedules among [total], when the technique tracks
           them (the random scheduler re-explores duplicates, paper §3);

@@ -23,6 +23,7 @@ module type STRATEGY = sig
   (* declared capabilities *)
   val tracks_distinct : bool
   val respects_limit : bool
+  val supports_prefix_batch : bool
 
   type state
 
@@ -51,6 +52,8 @@ type walk_result = {
   hit_deadline : bool;
   complete : bool;
   executions : int;
+  steps_executed : int;
+  steps_saved : int;
   n_threads : int;
   max_enabled : int;
   max_sched_points : int;

@@ -57,6 +57,15 @@ module type STRATEGY = sig
   (** When [false] the campaign's length is intrinsic (MapleAlg attempts
       each candidate once) and the driver ignores the schedule limit. *)
 
+  val supports_prefix_batch : bool
+  (** The technique enumerates a deterministic schedule tree whose sibling
+      continuations share a pinned prefix, so [Techniques.run] may route
+      the campaign through {!Prefix_exec} (pay each shared prefix once per
+      batch) instead of the one-run-at-a-time driver loop. True only for
+      the systematic tree walkers (DFS, IPB, IDB); randomised and
+      profile-guided techniques pick schedules independently, so there is
+      no shared prefix structure to batch. *)
+
   (** {2 Campaign state} *)
 
   type state
@@ -110,6 +119,11 @@ type walk_result = {
   hit_deadline : bool;  (** stopped because the wall-clock deadline passed *)
   complete : bool;  (** the (bounded) tree was exhausted *)
   executions : int;
+  steps_executed : int;
+      (** analytic step cost of the walk (see {!Stats.t}): sum of terminal
+          schedule lengths minus [steps_saved] *)
+  steps_saved : int;
+      (** steps avoided by prefix batching; [0] for unbatched walks *)
   n_threads : int;
   max_enabled : int;
   max_sched_points : int;

@@ -22,25 +22,40 @@ open Sct_core
 
 type estimates = (Tid.t, int) Hashtbl.t
 
+(* Exact per-thread event counts from a traversed schedule prefix. The
+   runtime records one entry per scheduling point (singleton points
+   included), so counting occurrences of each tid in the recorded schedule
+   is exactly the count an instrumented scheduler would have accumulated —
+   but it works on any recorded prefix, not just a live execution. This is
+   the offline path-count probing of the SURW repo: traverse once, count,
+   reuse the counts for the whole campaign. *)
+let counts_of_schedule sched : estimates =
+  let counts : estimates = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      Hashtbl.replace counts t
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+    (Schedule.to_list sched);
+  counts
+
 let probe ?(promote = fun _ -> false) ?(max_steps = 100_000) program :
     estimates =
-  let counts : estimates = Hashtbl.create 16 in
+  (* the probe scheduler is a pure round-robin pick: the counting moved off
+     the execution path into [counts_of_schedule] over the recorded
+     traversal, which yields byte-identical estimates *)
   let rr (ctx : Runtime.ctx) =
     match
       Delay.deterministic_choice ~n:ctx.c_n_threads ~last:ctx.c_last
         ~enabled:ctx.c_enabled
     with
-    | Some t ->
-        Hashtbl.replace counts t
-          (1 + Option.value ~default:0 (Hashtbl.find_opt counts t));
-        t
+    | Some t -> t
     | None -> assert false
   in
-  ignore
-    (Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler:rr
-       program
-      : Runtime.result);
-  counts
+  let res =
+    Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler:rr
+      program
+  in
+  counts_of_schedule res.Runtime.r_schedule
 
 (* Per-run state: the RNG and the mutable events-left budgets, seeded from
    the campaign estimates. *)
@@ -94,6 +109,7 @@ let strategy ?(promote = fun _ -> false) ?(max_steps = 100_000) ?estimates
     let technique = "SURW"
     let tracks_distinct = true
     let respects_limit = true
+    let supports_prefix_batch = false
 
     type state = {
       estimates : estimates;

@@ -18,10 +18,19 @@
 type estimates
 (** Per-thread event-count estimates from a probe run. *)
 
+val counts_of_schedule : Sct_core.Schedule.t -> estimates
+(** Exact per-thread event counts from a traversed schedule: the runtime
+    records one tid per scheduling point, so the occurrence count of each
+    tid in a recorded schedule equals the count an instrumented scheduler
+    would have accumulated live. This is offline path-count probing: any
+    recorded prefix traversal can seed a campaign's budgets without
+    re-instrumenting an execution. *)
+
 val probe :
   ?promote:(string -> bool) -> ?max_steps:int -> (unit -> unit) -> estimates
-(** One uncounted deterministic round-robin execution; returns how many
-    times each thread was scheduled, the campaign's per-thread budgets. *)
+(** One uncounted deterministic round-robin execution; its recorded
+    traversal is folded through {!counts_of_schedule}, yielding how many
+    times each thread was scheduled — the campaign's per-thread budgets. *)
 
 val strategy :
   ?promote:(string -> bool) ->

@@ -63,6 +63,7 @@ type options = {
   jobs : int;
   split_depth : int;
   time_limit : float option;
+  prefix_batch : bool;
 }
 
 let default_options =
@@ -76,6 +77,7 @@ let default_options =
     jobs = 1;
     split_depth = 3;
     time_limit = None;
+    prefix_batch = false;
   }
 
 let deadline_of o = Driver.deadline_of_time_limit o.time_limit
@@ -135,11 +137,38 @@ let sharding ?(promote = fun _ -> false) o technique program =
       Surw.sharding ~promote ~max_steps:o.max_steps ?deadline ~seed:o.seed
         program
 
+let supports_prefix_batch technique =
+  (* read off the strategy's declared capability; options/program do not
+     affect it, so probe with the defaults *)
+  let (module S : Strategy.STRATEGY) =
+    strategy default_options technique ignore
+  in
+  S.supports_prefix_batch
+
 let run ?(promote = fun _ -> false) o technique program =
-  Driver.explore ~promote ~max_steps:o.max_steps ?deadline:(deadline_of o)
-    ~limit:o.limit
-    (strategy ~promote o technique program)
-    program
+  if o.prefix_batch && supports_prefix_batch technique then begin
+    (* the systematic tree walkers route through the prefix-batching
+       executor; statistics are identical to the driver loop below except
+       for the steps_executed / steps_saved counters *)
+    let deadline = deadline_of o in
+    match technique with
+    | DFS ->
+        Dfs.stats_of ~technique:"DFS"
+          (Prefix_exec.explore ~promote ~max_steps:o.max_steps ?deadline
+             ~bound:Dfs.Unbounded ~limit:o.limit program)
+    | IPB ->
+        Bounded.explore_batched ~promote ~max_steps:o.max_steps ?deadline
+          ~kind:Bounded.Preemption_bounding ~limit:o.limit program
+    | IDB ->
+        Bounded.explore_batched ~promote ~max_steps:o.max_steps ?deadline
+          ~kind:Bounded.Delay_bounding ~limit:o.limit program
+    | Rand | PCT | Maple | SURW -> assert false
+  end
+  else
+    Driver.explore ~promote ~max_steps:o.max_steps ?deadline:(deadline_of o)
+      ~limit:o.limit
+      (strategy ~promote o technique program)
+      program
 
 let detect_races o program =
   Sct_race.Promotion.detect ~runs:o.race_runs ~seed:o.seed

@@ -48,12 +48,18 @@ type options = {
   time_limit : float option;
       (** wall-clock budget in seconds per campaign; [None] (the default)
           disables the deadline and keeps runs fully deterministic *)
+  prefix_batch : bool;
+      (** route the systematic tree walkers (DFS/IPB/IDB — strategies
+          declaring [supports_prefix_batch]) through {!Prefix_exec},
+          paying each shared schedule prefix once per sibling batch.
+          Statistics are identical except [Stats.steps_executed] /
+          [Stats.steps_saved]; other techniques are unaffected *)
 }
 
 val default_options : options
 (** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
     pct_change_points = 2; maple_profile_runs = 10; jobs = 1;
-    split_depth = 3; time_limit = None]. *)
+    split_depth = 3; time_limit = None; prefix_batch = false]. *)
 
 val deadline_of : options -> float option
 (** The absolute deadline for a campaign starting now, from
@@ -76,11 +82,18 @@ val sharding :
 (** The declared parallel plan of a technique, dispatched by
     [Sct_parallel.Drivers] from the capability constructor alone. *)
 
+val supports_prefix_batch : t -> bool
+(** The technique's declared [supports_prefix_batch] capability (read off
+    its {!Strategy.STRATEGY} instance). *)
+
 val run :
   ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Stats.t
 (** Run one technique with an externally supplied promotion predicate
     (defaults to promoting nothing): {!Driver.explore} over {!strategy},
-    budgeted by [options.limit] and [options.time_limit]. *)
+    budgeted by [options.limit] and [options.time_limit]. With
+    [options.prefix_batch], techniques whose strategy declares
+    [supports_prefix_batch] run through {!Prefix_exec} instead — same
+    statistics, plus the step counters. *)
 
 val detect_races : options -> (unit -> unit) -> Sct_race.Promotion.result
 (** Phase 1: the data-race detection phase. *)

@@ -7,11 +7,18 @@ type config = {
   limit : int;
   max_steps : int;
   race_runs : int;
+  prefix_batch : bool;
   techniques : Techniques.t list;
 }
 
 let default_config =
-  { limit = 500; max_steps = 5_000; race_runs = 5; techniques = Techniques.all }
+  {
+    limit = 500;
+    max_steps = 5_000;
+    race_runs = 5;
+    prefix_batch = false;
+    techniques = Techniques.all;
+  }
 
 type violation = { v_invariant : string; v_detail : string }
 
@@ -48,6 +55,7 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
       seed;
       max_steps = cfg.max_steps;
       race_runs = cfg.race_runs;
+      prefix_batch = cfg.prefix_batch;
     }
   in
   let detection = Techniques.detect_races o program in
@@ -278,5 +286,40 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
           fail "shard-merge" "%s: expected a Shard_seed parallel plan"
             (tname t))
     (List.filter selected [ Techniques.Rand; Techniques.PCT; Techniques.SURW ]);
+
+  (* ---- prefix-batch differential: batched == unbatched modulo steps ---- *)
+  (* When the campaign above ran on the batched executor, re-run each tree
+     technique on the plain driver: everything but the step counters must be
+     byte-identical, and the batched counters must conserve total work
+     (executed + saved = the unbatched step count). *)
+  if cfg.prefix_batch then
+    List.iter
+      (fun (t, (s : Stats.t)) ->
+        if Techniques.supports_prefix_batch t then begin
+          let n = tname t in
+          let plain =
+            Techniques.run ~promote
+              { o with Techniques.prefix_batch = false }
+              t program
+          in
+          require "prefix-batch"
+            (Stats.equal plain
+               {
+                 s with
+                 Stats.steps_executed = plain.Stats.steps_executed;
+                 steps_saved = plain.Stats.steps_saved;
+               })
+            "%s: batched statistics differ from the unbatched driver's" n;
+          require "prefix-batch"
+            (s.Stats.steps_executed + s.Stats.steps_saved
+            = plain.Stats.steps_executed)
+            "%s: steps not conserved (batched %d executed + %d saved, \
+             unbatched %d executed)"
+            n s.Stats.steps_executed s.Stats.steps_saved
+            plain.Stats.steps_executed;
+          require "prefix-batch" (plain.Stats.steps_saved = 0)
+            "%s: the unbatched driver reported saved steps" n
+        end)
+      stats;
 
   List.rev !violations

@@ -38,6 +38,12 @@ type config = {
   limit : int;  (** schedule budget per technique campaign *)
   max_steps : int;  (** per-execution live-lock guard *)
   race_runs : int;  (** executions of the race-detection phase *)
+  prefix_batch : bool;
+      (** run DFS/IPB/IDB campaigns on the prefix-memoizing batched
+          executor, and additionally cross-check each batched campaign
+          against the plain driver: identical statistics modulo the step
+          counters, which must conserve total work
+          ([executed + saved = unbatched executed]). *)
   techniques : Sct_explore.Techniques.t list;
       (** techniques the oracle runs and cross-checks. Invariants that
           relate specific techniques degrade gracefully: the inclusion
@@ -48,7 +54,7 @@ type config = {
 
 val default_config : config
 (** [limit = 500; max_steps = 5_000; race_runs = 5;
-    techniques = Techniques.all]. *)
+    prefix_batch = false; techniques = Techniques.all]. *)
 
 type violation = {
   v_invariant : string;  (** stable invariant identifier, e.g. ["inclusion"] *)

@@ -56,7 +56,14 @@ let run_batched ~pool (rb : Strategy.run_batches) =
    per-technique case analysis remains here. *)
 let run ~pool ?(promote = fun _ -> false) (o : Techniques.options) technique
     program =
-  if Pool.size pool <= 1 then Techniques.run ~promote o technique program
+  if
+    Pool.size pool <= 1
+    || (o.Techniques.prefix_batch && Techniques.supports_prefix_batch technique)
+    (* prefix-batched tree campaigns stay on the sequential batching
+       executor even under a pool: the frontier partitioning cannot
+       reproduce the batched step counters, and a cell's statistics must
+       stay byte-identical for every [jobs] value *)
+  then Techniques.run ~promote o technique program
   else
     match Techniques.sharding ~promote o technique program with
     | Strategy.Shard_seed shard -> run_seed_sharded ~pool ~limit:o.limit shard

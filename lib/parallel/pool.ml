@@ -7,6 +7,12 @@ type t = {
   queue : (unit -> unit) Queue.t;  (* each task closes over its own future *)
   mutable closed : bool;
   mutable domains : unit Domain.t array;
+  inline : bool;
+      (* a one-job pool spawns no worker domain at all: tasks run on the
+         submitting domain at [submit] time. Task order is the FIFO order a
+         single worker would use, and — crucially — the process stays
+         single-domain, so {!Sct_explore.Prefix_exec.fork_available}
+         remains true and sequential runs keep the fork fast path. *)
 }
 
 type 'a outcome =
@@ -20,7 +26,7 @@ type 'a future = {
   mutable cancel_requested : bool;
 }
 
-let size pool = Array.length pool.domains
+let size pool = if pool.inline then 1 else Array.length pool.domains
 let default_jobs () = Domain.recommended_domain_count ()
 
 let worker pool =
@@ -50,9 +56,17 @@ let create ~jobs =
       queue = Queue.create ();
       closed = false;
       domains = [||];
+      inline = jobs = 1;
     }
   in
-  pool.domains <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  if not pool.inline then begin
+    (* the OCaml runtime refuses [Unix.fork] in any process that ever
+       spawned a second domain: switch the prefix-batch executor to its
+       portable fallback for the rest of the process *)
+    Sct_explore.Prefix_exec.note_domains_spawned ();
+    pool.domains <-
+      Array.init jobs (fun _ -> Domain.spawn (fun () -> worker pool))
+  end;
   pool
 
 let submit pool fn =
@@ -78,9 +92,17 @@ let submit pool fn =
     Mutex.unlock pool.lock;
     invalid_arg "Sct_parallel.Pool.submit: pool is shut down"
   end;
-  Queue.push task pool.queue;
-  Condition.signal pool.work;
-  Mutex.unlock pool.lock;
+  if pool.inline then begin
+    Mutex.unlock pool.lock;
+    (* run on the submitting domain right away; a later [cancel] is simply
+       too late, which best-effort cancellation already allows *)
+    task ()
+  end
+  else begin
+    Queue.push task pool.queue;
+    Condition.signal pool.work;
+    Mutex.unlock pool.lock
+  end;
   fut
 
 let await fut =
@@ -112,7 +134,8 @@ let shutdown pool =
   pool.closed <- true;
   Condition.broadcast pool.work;
   Mutex.unlock pool.lock;
-  if not was_closed then Array.iter Domain.join pool.domains
+  if (not was_closed) && not pool.inline then
+    Array.iter Domain.join pool.domains
 
 let with_pool ~jobs f =
   let pool = create ~jobs in

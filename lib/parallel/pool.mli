@@ -17,10 +17,17 @@
 type t
 
 val create : jobs:int -> t
-(** [create ~jobs] spawns [max 1 jobs] worker domains. *)
+(** [create ~jobs] spawns [max 1 jobs] worker domains — except that a
+    one-job pool spawns no domain at all: its tasks run on the submitting
+    domain at {!submit} time, in the same FIFO order a single worker would
+    use. Keeping the process single-domain preserves
+    {!Sct_explore.Prefix_exec.fork_available}, so sequential runs keep the
+    fork-server fast path. Creating a pool of two or more workers disables
+    forking for the rest of the process (the OCaml runtime refuses
+    [Unix.fork] once a second domain ever existed). *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Number of workers ([1] for the inline one-job pool). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

@@ -130,10 +130,13 @@ let options_to_json (o : Techniques.options) =
        ("jobs", Json.Int o.Techniques.jobs);
        ("split_depth", Json.Int o.Techniques.split_depth);
      ]
+    @ (match o.Techniques.time_limit with
+      | None -> []
+      | Some s -> [ ("time_limit", time_limit_to_json s) ])
     @
-    match o.Techniques.time_limit with
-    | None -> []
-    | Some s -> [ ("time_limit", time_limit_to_json s) ])
+    (* emitted only when on, for the same byte-compatibility reason *)
+    if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
+    else [])
 
 let options_of_json j =
   {
@@ -146,6 +149,10 @@ let options_of_json j =
     jobs = get_int (field j "jobs");
     split_depth = get_int (field j "split_depth");
     time_limit = opt_field j "time_limit" time_limit_of_json;
+    prefix_batch =
+      (match opt_field j "prefix_batch" get_bool with
+      | Some b -> b
+      | None -> false);
   }
 
 (* --- campaign slice progress --- *)
@@ -193,6 +200,16 @@ let stats_to_json (s : Stats.t) =
       ("max_enabled", Json.Int s.Stats.max_enabled);
       ("max_sched_points", Json.Int s.Stats.max_sched_points);
       ("executions", Json.Int s.Stats.executions);
+    ]
+    @ (* emitted only when counted: step-free stats (all-zero records,
+         pre-counter journals) keep the version-1 byte encoding *)
+    (if s.Stats.steps_executed <> 0 || s.Stats.steps_saved <> 0 then
+       [
+         ("steps_executed", Json.Int s.Stats.steps_executed);
+         ("steps_saved", Json.Int s.Stats.steps_saved);
+       ]
+     else [])
+    @ [
       ( "distinct",
         opt_to_json
           (fun set ->
@@ -224,6 +241,14 @@ let stats_of_json j =
     max_enabled = get_int (field j "max_enabled");
     max_sched_points = get_int (field j "max_sched_points");
     executions = get_int (field j "executions");
+    steps_executed =
+      (match opt_field j "steps_executed" get_int with
+      | Some n -> n
+      | None -> 0);
+    steps_saved =
+      (match opt_field j "steps_saved" get_int with
+      | Some n -> n
+      | None -> 0);
     distinct_schedules =
       opt_field j "distinct" (fun v ->
           Stats.Sched_set.of_list

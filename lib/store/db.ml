@@ -42,10 +42,14 @@ let fingerprint ~bench ~technique (o : Techniques.options) =
       (* emitted only when set, so deadline-free fingerprints are stable
          across versions; a wall-clock limit makes the cell's statistics
          timing-dependent, so such cells never alias deadline-free ones *)
+      @ (match o.Techniques.time_limit with
+        | None -> []
+        | Some s -> [ ("time_limit", Codec.time_limit_to_json s) ])
       @
-      match o.Techniques.time_limit with
-      | None -> []
-      | Some s -> [ ("time_limit", Codec.time_limit_to_json s) ]))
+      (* also only-when-on: a batched cell's step counters differ from the
+         unbatched cell's, so the two must never alias *)
+      if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
+      else []))
   |> Digest.string |> Digest.to_hex
 
 (* The "progress" field is emitted only on campaign records, so cells

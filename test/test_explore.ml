@@ -289,6 +289,8 @@ let gen_stats =
     let* max_enabled = int_bound 5 in
     let* max_sched_points = int_bound 50 in
     let* executions = int_bound 100 in
+    let* steps_executed = int_bound 1000 in
+    let* steps_saved = int_bound 1000 in
     let* distinct =
       option (list_size (int_bound 5) (list_size (int_bound 4) (int_bound 2)))
     in
@@ -309,6 +311,8 @@ let gen_stats =
         max_enabled;
         max_sched_points;
         executions;
+        steps_executed;
+        steps_saved;
         distinct_schedules =
           Option.map
             (fun ss ->

@@ -24,24 +24,45 @@ let test_pool_exception_propagates () =
       Alcotest.(check int) "pool still works" 42 (Pool.await ok))
 
 let test_pool_cancellation () =
-  Pool.with_pool ~jobs:1 (fun pool ->
+  Pool.with_pool ~jobs:2 (fun pool ->
       let gate = Mutex.create () in
       Mutex.lock gate;
-      (* occupies the single worker until the gate opens, so [second] is
-         still queued when it is cancelled *)
-      let first =
-        Pool.submit pool (fun () ->
-            Mutex.lock gate;
-            Mutex.unlock gate;
-            1)
+      (* occupy both workers until the gate opens; the FIFO queue keeps
+         [last] behind them, so it is still queued when it is cancelled *)
+      let blocked =
+        List.init 2 (fun i ->
+            Pool.submit pool (fun () ->
+                Mutex.lock gate;
+                Mutex.unlock gate;
+                i + 1))
       in
-      let second = Pool.submit pool (fun () -> 2) in
-      Pool.cancel second;
+      let last = Pool.submit pool (fun () -> 3) in
+      Pool.cancel last;
       Mutex.unlock gate;
-      Alcotest.(check int) "first" 1 (Pool.await first);
-      match Pool.await second with
+      List.iteri
+        (fun i f -> Alcotest.(check int) "blocked" (i + 1) (Pool.await f))
+        blocked;
+      match Pool.await last with
       | _ -> Alcotest.fail "expected Cancelled"
       | exception Pool.Cancelled -> ())
+
+(* a one-job pool runs tasks inline on the submitting domain and — unlike
+   a real worker pool — leaves the prefix-batch fork server available *)
+let test_pool_inline () =
+  let before = Sct_explore.Prefix_exec.fork_available () in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Pool.size pool);
+      Alcotest.(check bool) "one-job pool does not disable fork" before
+        (Sct_explore.Prefix_exec.fork_available ());
+      let f = Pool.submit pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "inline task" 42 (Pool.await f));
+  Pool.with_pool ~jobs:2 (fun _pool ->
+      Alcotest.(check bool) "a multi-worker pool disables fork" false
+        (Sct_explore.Prefix_exec.fork_available ()));
+  (* the runtime refuses fork once a second domain ever existed, so the
+     fork server stays off for the rest of the process *)
+  Alcotest.(check bool) "fork stays disabled after shutdown" false
+    (Sct_explore.Prefix_exec.fork_available ())
 
 let test_pool_many_tasks () =
   Pool.with_pool ~jobs:4 (fun pool ->
@@ -202,6 +223,7 @@ let suites =
         Alcotest.test_case "worker exception propagates" `Quick
           test_pool_exception_propagates;
         Alcotest.test_case "cancellation" `Quick test_pool_cancellation;
+        Alcotest.test_case "inline one-job pool" `Quick test_pool_inline;
         Alcotest.test_case "many tasks" `Quick test_pool_many_tasks;
       ] );
     ( "parallel-dfs",

@@ -83,6 +83,7 @@ let gen_options =
     let* time_limit =
       option (map (fun i -> float_of_int i /. 8.) (int_range 0 80_000))
     in
+    let* prefix_batch = bool in
     return
       {
         Techniques.limit;
@@ -94,6 +95,7 @@ let gen_options =
         jobs;
         split_depth;
         time_limit;
+        prefix_batch;
       })
 
 let gen_stats =
@@ -113,6 +115,8 @@ let gen_stats =
     let* max_enabled = int_bound 8 in
     let* max_sched_points = int_bound 100 in
     let* executions = int_bound 10_000 in
+    let* steps_executed = int_bound 500_000 in
+    let* steps_saved = int_bound 500_000 in
     let* distinct = option (list_size (int_bound 6) gen_schedule) in
     return
       {
@@ -131,6 +135,8 @@ let gen_stats =
         max_enabled;
         max_sched_points;
         executions;
+        steps_executed;
+        steps_saved;
         distinct_schedules = Option.map Stats.Sched_set.of_list distinct;
       })
 
@@ -223,6 +229,28 @@ let fixture_stats_deadline_value =
     hit_deadline = true;
   }
 
+let fixture_options_prefix_batch =
+  {|{"v":1,"options":{"limit":10000,"seed":0,"max_steps":100000,"race_runs":10,"pct_change_points":2,"maple_profile_runs":10,"jobs":1,"split_depth":3,"prefix_batch":true}}|}
+
+let fixture_options_prefix_batch_value =
+  { Techniques.default_options with Techniques.prefix_batch = true }
+
+let fixture_stats_steps =
+  {|{"v":1,"stats":{"technique":"DFS","bound":null,"bound_complete":false,"to_first_bug":null,"total":6,"new_at_bound":0,"buggy":0,"complete":true,"hit_limit":false,"first_bug":null,"n_threads":2,"max_enabled":2,"max_sched_points":5,"executions":6,"steps_executed":31,"steps_saved":17,"distinct":null}}|}
+
+let fixture_stats_steps_value =
+  {
+    (Stats.base ~technique:"DFS") with
+    Stats.total = 6;
+    complete = true;
+    n_threads = 2;
+    max_enabled = 2;
+    max_sched_points = 5;
+    executions = 6;
+    steps_executed = 31;
+    steps_saved = 17;
+  }
+
 let test_fixture_stability () =
   Alcotest.(check (list int))
     "schedule fixture decodes" [ 0; 0; 1; 2 ]
@@ -270,7 +298,22 @@ let test_fixture_stability () =
   Alcotest.(check string)
     "deadline stats fixture re-encodes byte-identically"
     fixture_stats_deadline
-    (Codec.encode_stats fixture_stats_deadline_value)
+    (Codec.encode_stats fixture_stats_deadline_value);
+  Alcotest.(check bool)
+    "prefix-batch options fixture decodes" true
+    (Codec.decode_options fixture_options_prefix_batch
+    = fixture_options_prefix_batch_value);
+  Alcotest.(check string)
+    "prefix-batch options fixture re-encodes byte-identically"
+    fixture_options_prefix_batch
+    (Codec.encode_options fixture_options_prefix_batch_value);
+  Alcotest.(check stats_t)
+    "step-counter stats fixture decodes" fixture_stats_steps_value
+    (Codec.decode_stats fixture_stats_steps);
+  Alcotest.(check string)
+    "step-counter stats fixture re-encodes byte-identically"
+    fixture_stats_steps
+    (Codec.encode_stats fixture_stats_steps_value)
 
 let expect_codec_error name f =
   match f () with
@@ -463,7 +506,14 @@ let test_fingerprint_ignores_parallelism () =
   Alcotest.(check bool)
     "technique included" true
     (Db.fingerprint ~bench:"B" ~technique:"IPB" o
-    <> Db.fingerprint ~bench:"B" ~technique:"IDB" o)
+    <> Db.fingerprint ~bench:"B" ~technique:"IDB" o);
+  (* batched cells carry different step counters, so they must not alias
+     unbatched ones — but the off value must keep the historical bytes *)
+  Alcotest.(check bool)
+    "prefix_batch included when on" true
+    (Db.fingerprint ~bench:"B" ~technique:"IPB" o
+    <> Db.fingerprint ~bench:"B" ~technique:"IPB"
+         { o with Techniques.prefix_batch = true })
 
 (* --- artifact listing order --- *)
 
