@@ -62,6 +62,25 @@ let prefix_batch_t =
   in
   Arg.(value & flag & info [ "prefix-batch" ] ~doc)
 
+let por_t =
+  let doc =
+    "Compose DFS/IPB/IDB with bounded partial-order reduction: $(docv) is \
+     $(b,sleep), $(b,dpor) or $(b,dpor+sleep). Reduced cells explore fewer \
+     schedules to the same bugs (sleep-pruned runs are reported as \
+     por_pruned); POR cells always run unbatched and sequential. Other \
+     techniques are unaffected."
+  in
+  Arg.(value & opt (some string) None & info [ "por" ] ~docv:"MODE" ~doc)
+
+let parse_por = function
+  | None -> None
+  | Some s -> (
+      match Sct_explore.Por.parse_mode s with
+      | Ok m -> Some m
+      | Error msg ->
+          prerr_endline msg;
+          exit 1)
+
 let store_t =
   let doc =
     "Persist per-cell results and bug-witness artifacts to $(docv) \
@@ -102,7 +121,7 @@ let close_store = Option.iter Sct_store.Db.close
 let resolve_jobs jobs =
   if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
 
-let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false)
+let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false) ?por
     ?time_limit limit seed =
   {
     Sct_explore.Techniques.default_options with
@@ -112,6 +131,7 @@ let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false)
     split_depth;
     time_limit;
     prefix_batch;
+    por;
   }
 
 let parse_techniques names =
@@ -192,13 +212,14 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed jobs split_depth prefix_batch time_limit techs store
+  let run limit seed jobs split_depth prefix_batch por time_limit techs store
       resume name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
         let o =
-          options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+          options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
+            ?time_limit limit seed
         in
         let techniques = parse_techniques techs in
         let store = open_store ~resume store in
@@ -239,7 +260,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
-      $ time_limit_t $ techniques_t $ store_t $ resume_t $ name_t)
+      $ por_t $ time_limit_t $ techniques_t $ store_t $ resume_t $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -385,11 +406,11 @@ let por_cmd =
   let run limit name mode =
     with_bench name (fun b ->
         let mode =
-          match String.lowercase_ascii mode with
-          | "sleep" -> Sct_explore.Por.Sleep
-          | "dpor" -> Sct_explore.Por.Dpor
-          | "both" | "dpor+sleep" -> Sct_explore.Por.Dpor_sleep
-          | m -> failwith ("unknown POR mode: " ^ m)
+          match Sct_explore.Por.parse_mode mode with
+          | Ok m -> m
+          | Error msg ->
+              prerr_endline msg;
+              exit 1
         in
         (* POR needs full dependence information: promote everything *)
         let r =
@@ -410,7 +431,7 @@ let por_cmd =
   let mode_t =
     Arg.(
       value & opt string "both"
-      & info [ "mode" ] ~docv:"MODE" ~doc:"sleep, dpor, or both.")
+      & info [ "mode" ] ~docv:"MODE" ~doc:"sleep, dpor, or dpor+sleep (alias: both).")
   in
   Cmd.v
     (Cmd.info "por"
@@ -420,12 +441,13 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed jobs split_depth prefix_batch time_limit suite ids
-    techs store resume corpus =
+let study what limit seed jobs split_depth prefix_batch por time_limit suite
+    ids techs store resume corpus =
   load_corpus corpus;
   let benches = select suite ids in
   let o =
-    options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+    options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
+      ?time_limit limit seed
   in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
@@ -454,8 +476,8 @@ let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
-      $ prefix_batch_t $ time_limit_t $ suite_t $ ids_t $ techniques_t
-      $ store_t $ resume_t $ corpus_t)
+      $ prefix_batch_t $ por_t $ time_limit_t $ suite_t $ ids_t
+      $ techniques_t $ store_t $ resume_t $ corpus_t)
 
 (* self-testing fuzz: generated programs under the differential oracle *)
 let fuzz_cmd =
@@ -486,7 +508,7 @@ let fuzz_cmd =
     in
     Arg.(value & opt string "classic" & info [ "vocab" ] ~docv:"VOCAB" ~doc)
   in
-  let run seed count limit max_steps jobs prefix_batch store techs vocab =
+  let run seed count limit max_steps jobs prefix_batch por store techs vocab =
     let techniques =
       match
         Sct_explore.Techniques.parse_list ~default:Sct_explore.Techniques.all
@@ -507,7 +529,7 @@ let fuzz_cmd =
     in
     let cfg =
       { Sct_fuzz.Oracle.limit; max_steps; race_runs = 5; prefix_batch;
-        techniques }
+        por = parse_por por; techniques }
     in
     (* program i is a pure function of (seed, i): shard across the pool,
        reassemble in index order — output is identical for every --jobs *)
@@ -547,7 +569,7 @@ let fuzz_cmd =
           minimal counterexamples.")
     Term.(
       const run $ seed_t $ count_t $ fuzz_limit_t $ max_steps_t $ jobs_t
-      $ prefix_batch_t $ fuzz_store_t $ techniques_t $ vocab_t)
+      $ prefix_batch_t $ por_t $ fuzz_store_t $ techniques_t $ vocab_t)
 
 (* the corpus factory: mine, promote, stats, run *)
 let corpus_cmd =
@@ -791,7 +813,7 @@ let corpus_cmd =
       Term.(const run $ dir_t)
   in
   let run_cmd =
-    let run dir limit seed jobs split_depth prefix_batch time_limit techs
+    let run dir limit seed jobs split_depth prefix_batch por time_limit techs
         store resume =
       load_corpus (Some dir);
       let benches = Sctbench.Registry.of_suite Sctbench.Bench.Corpus in
@@ -800,7 +822,8 @@ let corpus_cmd =
         exit 1
       end;
       let o =
-        options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+        options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
+          ?time_limit limit seed
       in
       let techniques = parse_techniques techs in
       let store = open_store ~resume store in
@@ -826,7 +849,8 @@ let corpus_cmd =
             corpus's standing regression study.")
       Term.(
         const run $ dir_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ prefix_batch_t $ time_limit_t $ techniques_t $ store_t $ resume_t)
+        $ prefix_batch_t $ por_t $ time_limit_t $ techniques_t $ store_t
+        $ resume_t)
   in
   Cmd.group
     (Cmd.info "corpus"
@@ -879,12 +903,13 @@ let parse_shard s =
       Printf.eprintf "invalid shard %s (expected K/N, e.g. 0/3)\n" s;
       exit 1
 
-let run_campaign ~shard limit seed jobs split_depth prefix_batch time_limit
-    suite ids techs policy slice store corpus =
+let run_campaign ~shard limit seed jobs split_depth prefix_batch por
+    time_limit suite ids techs policy slice store corpus =
   load_corpus corpus;
   let benches = select suite ids in
   let o =
-    options_of ~jobs ~split_depth ~prefix_batch ?time_limit limit seed
+    options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
+      ?time_limit limit seed
   in
   let techniques = parse_techniques techs in
   let policy = parse_policy policy in
@@ -916,8 +941,8 @@ let campaign_cmd =
   let grid_args run =
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
-      $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t $ slice_t
-      $ campaign_store_t $ corpus_t)
+      $ por_t $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t
+      $ slice_t $ campaign_store_t $ corpus_t)
   in
   let run_cmd =
     Cmd.v
@@ -939,10 +964,10 @@ let campaign_cmd =
       Arg.(
         required & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
     in
-    let run shard limit seed jobs split_depth prefix_batch time_limit suite
-        ids techs policy slice store corpus =
+    let run shard limit seed jobs split_depth prefix_batch por time_limit
+        suite ids techs policy slice store corpus =
       run_campaign ~shard:(Some (parse_shard shard)) limit seed jobs
-        split_depth prefix_batch time_limit suite ids techs policy slice
+        split_depth prefix_batch por time_limit suite ids techs policy slice
         store corpus
     in
     Cmd.v
@@ -953,8 +978,8 @@ let campaign_cmd =
             $(b,store merge)).")
       Term.(
         const run $ shard_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ prefix_batch_t $ time_limit_t $ suite_t $ ids_t $ techniques_t
-        $ policy_t $ slice_t $ campaign_store_t $ corpus_t)
+        $ prefix_batch_t $ por_t $ time_limit_t $ suite_t $ ids_t
+        $ techniques_t $ policy_t $ slice_t $ campaign_store_t $ corpus_t)
   in
   let status_cmd =
     let run store =

@@ -11,6 +11,35 @@ let bound_of kind c =
   | Preemption_bounding -> Dfs.Preemption c
   | Delay_bounding -> Dfs.Delay c
 
+(* One bound level's walk, plain or reduced: the level strategy below is
+   generic over which core enumerates the level's tree. *)
+type level_walk = {
+  lw_begin_run : unit -> unit;
+  lw_choose : Sct_core.Runtime.ctx -> Sct_core.Tid.t;
+  lw_on_terminal : Sct_core.Runtime.result -> Strategy.verdict;
+  lw_pruned : unit -> bool;
+}
+
+let plain_walk c ~kind =
+  let w = Dfs.Walk.make ~count_exact:c ~bound:(bound_of kind c) () in
+  {
+    lw_begin_run = (fun () -> Dfs.Walk.begin_run w);
+    lw_choose = Dfs.Walk.choose w;
+    lw_on_terminal = Dfs.Walk.on_terminal w;
+    lw_pruned = (fun () -> Dfs.Walk.pruned w);
+  }
+
+let por_walk c ~kind ~mode ~on_prune =
+  let w =
+    Por.Walk.make ~on_prune ~count_exact:c ~mode ~bound:(bound_of kind c) ()
+  in
+  {
+    lw_begin_run = (fun () -> Por.Walk.begin_run w);
+    lw_choose = Por.Walk.choose w;
+    lw_on_terminal = Por.Walk.on_terminal w;
+    lw_pruned = (fun () -> Por.Walk.pruned w);
+  }
+
 (* The iterative-bounding campaign as a STRATEGY: one phase per bound
    level, each phase a fresh count-exact walk of the whole tree. The level
    progression of the paper (§2, §5):
@@ -20,22 +49,33 @@ let bound_of kind c =
      analysis; [bound_complete] is true in that case);
    - a level that exhausts without pruning anything has explored the whole
      schedule space ([complete]);
-   - otherwise the next level starts, up to [max_levels]. *)
-let strategy ?(max_levels = 64) ~kind () : Strategy.t =
+   - otherwise the next level starts, up to [max_levels].
+
+   With [por], each level runs the BPOR reduction walk instead of the
+   plain count-exact walk: the level progression is unchanged, because
+   [Por.Walk.pruned] reports bound cut-offs exactly like the plain walk
+   (including backtrack points deferred to the next level) and never
+   reports sleep-set pruning, which is covered within the level. *)
+let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
+    Strategy.t =
   (module struct
     let technique = technique_name kind
     let tracks_distinct = false
     let respects_limit = true
     let supports_prefix_batch = true
+    let supports_por = true
 
     type state = {
       mutable c : int;
-      mutable walk : Dfs.Walk.t;
+      mutable walk : level_walk;
       mutable found : bool;  (** bug among this level's counted schedules *)
       mutable started : bool;
     }
 
-    let walk_at c = Dfs.Walk.make ~count_exact:c ~bound:(bound_of kind c) ()
+    let walk_at c =
+      match por with
+      | None -> plain_walk c ~kind
+      | Some mode -> por_walk c ~kind ~mode ~on_prune
 
     let init () = { c = 0; walk = walk_at 0; found = false; started = false }
 
@@ -57,7 +97,7 @@ let strategy ?(max_levels = 64) ~kind () : Strategy.t =
             f_bound_complete = true;
             f_new_at_bound = true;
           }
-      else if not (Dfs.Walk.pruned st.walk) then
+      else if not (st.walk.lw_pruned ()) then
         (* nothing was cut off by the bound: the whole schedule space has
            been explored; no bug exists for this benchmark model *)
         Strategy.Finished
@@ -85,12 +125,12 @@ let strategy ?(max_levels = 64) ~kind () : Strategy.t =
         end
       end
 
-    let begin_run st = Dfs.Walk.begin_run st.walk
+    let begin_run st = st.walk.lw_begin_run ()
     let listener _ = None
-    let choose st ctx = Dfs.Walk.choose st.walk ctx
+    let choose st ctx = st.walk.lw_choose ctx
 
     let on_terminal st res =
-      let v = Dfs.Walk.on_terminal st.walk res in
+      let v = st.walk.lw_on_terminal res in
       (if v.Strategy.v_counts then
          match res.Runtime.r_outcome with
          | Outcome.Bug _ -> st.found <- true
@@ -98,9 +138,12 @@ let strategy ?(max_levels = 64) ~kind () : Strategy.t =
       v
   end)
 
-let explore ?promote ?max_steps ?max_levels ?deadline ~kind ~limit program =
-  Driver.explore ?promote ?max_steps ?deadline ~limit
-    (strategy ?max_levels ~kind ())
+let explore ?promote ?max_steps ?max_levels ?por ?on_prune ?deadline ~kind
+    ~limit program =
+  (* reduced campaigns budget raw executions too (see Driver.explore) *)
+  let max_executions = match por with Some _ -> Some limit | None -> None in
+  Driver.explore ?promote ?max_steps ?max_executions ?deadline ~limit
+    (strategy ?max_levels ?por ?on_prune ~kind ())
     program
 
 (* The same level progression over an abstract walk runner — the shape the

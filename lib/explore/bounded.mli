@@ -9,7 +9,35 @@
     The campaign is a multi-phase {!Strategy.STRATEGY} (one phase per bound
     level) run by {!Driver.explore}; {!tree_campaign} exposes the same
     level progression over an abstract walk runner for the
-    frontier-partitioned parallel engine. *)
+    frontier-partitioned parallel engine.
+
+    {b Partial-order reduction (BPOR).} {!strategy} with [~por] runs each
+    level's count-exact walk on the {!Por.Walk} reduction core instead of
+    the plain {!Dfs.Walk}: sleep sets and DPOR backtracking prune
+    schedules that only commute independent operations, with the
+    conservative backtracking points of BPOR at the prior context switch
+    restoring soundness under the bound (plain DPOR is {e unsound} under
+    preemption/delay bounding — the bound can make a recorded backtrack
+    alternative unreachable at the level even though an equivalent
+    execution spending its budget earlier stays in bound; see por.mli for
+    the full invariant and the sleep-set caveat). The level progression is
+    unchanged: [Por.Walk.pruned] reports bound cut-offs — including
+    backtrack points whose bound delta exceeds the level — exactly like
+    the plain walk, so a level that exhausts unpruned still proves the
+    whole space explored.
+
+    {b Interaction contract.} POR campaigns are exclusive with the other
+    two tree-shaped execution machineries:
+    - {!explore_batched} / {!Prefix_exec} never run reduced walks —
+      sleep-set and clock state threads through sibling continuations in
+      walk order, so continuations cannot be forked ahead of time. When a
+      cell requests both, [Techniques.run] falls back to the unbatched
+      driver (visible as [steps_saved = 0] in the cell's statistics).
+    - {!tree_campaign} / [Sct_parallel.Frontier] never partition reduced
+      walks — backtrack and sleep sets are global to the walk.
+      [Sct_parallel.Drivers.run] routes POR cells to the sequential path
+      for every [--jobs] value, as it already does for batched cells, so
+      statistics stay byte-identical across [jobs]. *)
 
 type kind = Preemption_bounding | Delay_bounding
 
@@ -19,14 +47,24 @@ val technique_name : kind -> string
 val bound_of : kind -> int -> Dfs.bound
 (** The level-[c] walk bound of this kind. *)
 
-val strategy : ?max_levels:int -> kind:kind -> unit -> Strategy.t
+val strategy :
+  ?max_levels:int ->
+  ?por:Por.mode ->
+  ?on_prune:(unit -> unit) ->
+  kind:kind ->
+  unit ->
+  Strategy.t
 (** The iterative-bounding strategy; [max_levels] (default 64) caps the
-    number of bound levels as a safety net. *)
+    number of bound levels as a safety net. [por] runs each level on the
+    BPOR reduction walk (see the module preamble); [on_prune] fires once
+    per sleep-pruned run, feeding the [Stats.por_pruned] counter. *)
 
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?max_levels:int ->
+  ?por:Por.mode ->
+  ?on_prune:(unit -> unit) ->
   ?deadline:float ->
   kind:kind ->
   limit:int ->

@@ -231,6 +231,7 @@ let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
     let tracks_distinct = false
     let respects_limit = true
     let supports_prefix_batch = true
+    let supports_por = true
 
     type state = { w : Walk.t; mutable started : bool }
 

@@ -7,7 +7,7 @@ open Sct_core
 
 let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     ?(record_decisions = false) ?(stop_on_bug = false) ?(count_offset = 0)
-    ?deadline ?(on_schedule = fun _ -> ()) ~limit
+    ?max_executions ?deadline ?(on_schedule = fun _ -> ()) ~limit
     (module S : Strategy.STRATEGY) program =
   let st = S.init () in
   let limit = if S.respects_limit then limit else max_int in
@@ -44,12 +44,20 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     bound_complete := f.f_bound_complete;
     if f.f_new_at_bound then new_at_bound := !phase_counted
   in
+  (* Reduced (POR) campaigns budget raw executions, not only counted
+     schedules: a reduction that counts few schedules would otherwise
+     never spend its budget and climb bound levels through an
+     astronomically larger raw tree. *)
+  let budget_spent () =
+    !counted >= limit
+    || match max_executions with Some m -> !executions >= m | None -> false
+  in
   let rec phases () =
     match S.next_phase st with
     | Strategy.Finished f -> finish f
     | Strategy.Phase ph ->
         phase_counted := 0;
-        if !counted >= limit then begin
+        if budget_spent () then begin
           hit_limit := true;
           stop_in ph
         end
@@ -92,7 +100,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
           end
       | Outcome.Ok | Outcome.Step_limit -> ()
     end;
-    if !counted >= limit then begin
+    if budget_spent () then begin
       hit_limit := true;
       stop_in ph
     end

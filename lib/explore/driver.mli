@@ -13,6 +13,7 @@ val explore :
   ?record_decisions:bool ->
   ?stop_on_bug:bool ->
   ?count_offset:int ->
+  ?max_executions:int ->
   ?deadline:float ->
   ?on_schedule:(Sct_core.Runtime.result -> unit) ->
   limit:int ->
@@ -27,6 +28,14 @@ val explore :
     buggy schedule was counted. When both fire on the same execution the
     schedule limit wins, so deadline-free runs are byte-for-byte
     deterministic.
+
+    [max_executions] (default: unlimited) additionally charges the budget
+    per raw execution, counted or not, reported as [Stats.hit_limit]. The
+    POR-composed campaigns pass the schedule limit here: a reduced walk
+    deliberately counts few schedules, so a counted-only budget would let
+    it climb bound levels through an astronomically larger raw tree.
+    Execution counts are deterministic, so the cap preserves the
+    byte-identity laws ([--jobs], resume, merge).
 
     [count_offset] shifts [Stats.to_first_bug] into an absolute index space
     (shard [lo]), so shard statistics merge into the sequential campaign's.

@@ -221,6 +221,7 @@ let strategy ?(promote = fun _ -> false) ?(profile_runs = 10) ~seed () :
        one active run per candidate, regardless of the schedule limit *)
     let respects_limit = false
     let supports_prefix_batch = false
+    let supports_por = false
 
     type state = {
       mutable stage : stage;

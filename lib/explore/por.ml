@@ -2,6 +2,28 @@ open Sct_core
 
 type mode = Sleep | Dpor | Dpor_sleep
 
+let mode_name = function
+  | Sleep -> "sleep"
+  | Dpor -> "dpor"
+  | Dpor_sleep -> "dpor+sleep"
+
+let of_mode_name s =
+  match String.lowercase_ascii s with
+  | "sleep" -> Some Sleep
+  | "dpor" -> Some Dpor
+  | "dpor+sleep" | "both" -> Some Dpor_sleep
+  | _ -> None
+
+let valid_mode_names = [ "sleep"; "dpor"; "dpor+sleep" ]
+
+let parse_mode s =
+  match of_mode_name s with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown POR mode: %s (valid: %s)" s
+           (String.concat ", " valid_mode_names))
+
 type result = {
   counted : int;
   pruned_sleep : int;
@@ -12,33 +34,6 @@ type result = {
   hit_limit : bool;
   executions : int;
 }
-
-(* Raised by the scheduler when every enabled thread is asleep: the branch
-   only contains interleavings equivalent to already-explored ones. *)
-exception Sleep_pruned
-
-type frame = {
-  mutable chosen : Tid.t;
-  mutable todo : Tid.t list;  (** children still to explore *)
-  mutable done_ : (Tid.t * Op.t) list;  (** explored children, with ops *)
-  f_enabled : (Tid.t * Op.t) list;  (** enabled threads at the node *)
-  f_fp : int;  (** [Runtime.fingerprint] of the enabled tids *)
-  f_sleep : (Tid.t * Op.t) list;  (** sleep set on entry to the node *)
-}
-
-let dummy_frame =
-  { chosen = 0; todo = []; done_ = []; f_enabled = []; f_fp = 0; f_sleep = [] }
-
-type stack = { mutable frames : frame array; mutable len : int }
-
-let push st fr =
-  if st.len = Array.length st.frames then begin
-    let bigger = Array.make (2 * st.len) dummy_frame in
-    Array.blit st.frames 0 bigger 0 st.len;
-    st.frames <- bigger
-  end;
-  st.frames.(st.len) <- fr;
-  st.len <- st.len + 1
 
 let op_of enabled t =
   match List.assoc_opt t enabled with
@@ -52,51 +47,219 @@ let advance_sleep sleep done_ chosen_op =
     (fun (_, op) -> not (Op_depend.dependent chosen_op op))
     (sleep @ done_)
 
-let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
-    program =
-  let with_sleep = mode = Sleep || mode = Dpor_sleep in
-  let with_dpor = mode = Dpor || mode = Dpor_sleep in
-  let st = { frames = Array.make 1024 dummy_frame; len = 0 } in
-  let replay_len = ref 0 in
-  let depth = ref 0 in
-  (* running sleep set along the current path *)
-  let cur_sleep = ref [] in
-  (* DPOR per-execution happens-before state. Accesses are kept per
-     (object, thread) as a full history: keeping only the last access would
-     shadow the lock-acquire races that make lock-handover reorderings
-     reachable (a blocked thread can never be scheduled at the inner frames,
-     so the only usable backtrack points are at earlier acquires). *)
-  let clocks : (Tid.t, Sct_race.Vclock.t) Hashtbl.t = Hashtbl.create 16 in
-  let accesses :
-      (int, (Tid.t, (int * Sct_race.Vclock.t * Op.t) list) Hashtbl.t) Hashtbl.t
-      =
-    Hashtbl.create 64
-  in
-  let clock_of t =
-    match Hashtbl.find_opt clocks t with
+(* --- the reduction walk: one (bounded) level of the schedule tree ------- *)
+
+module Walk = struct
+  type frame = {
+    mutable chosen : Tid.t;
+    mutable todo : Tid.t list;
+        (** children still to explore (added respecting the sleep set) *)
+    mutable wake : Tid.t list;
+        (** conservative backtracking points: explored {e ignoring} the
+            sleep set, restoring soundness under a finite bound *)
+    mutable done_ : (Tid.t * Op.t) list;  (** explored children, with ops *)
+    mutable via_wake : bool;
+        (** [chosen] was taken from [wake]: the child is explored with an
+            {e empty} sleep set, because a sleeping thread's covering
+            execution may itself have been cut by the bound *)
+    mutable woke_all : bool;
+        (** a bound-cut backtrack add already promoted every in-bound
+            sibling to [wake]; later cut adds at this frame are no-ops *)
+    f_enabled : (Tid.t * Op.t) list;  (** enabled threads at the node *)
+    f_in_bound : Tid.t list;
+        (** the enabled threads whose bound delta at this node fits the
+            level bound — fixed at node creation, memoized because the
+            race-driven backtrack adds query it hot (delay deltas are
+            O(n·distance) to recompute) *)
+    f_fp : int;  (** [Runtime.fingerprint] of the enabled tids *)
+    f_sleep : (Tid.t * Op.t) list;  (** sleep set on entry to the node *)
+    f_count : int;  (** bound count (preemptions / delays) on entry *)
+    f_last : Tid.t option;  (** the thread that executed the previous step *)
+    f_n : int;  (** thread count at the node *)
+  }
+
+  let dummy_frame =
+    {
+      chosen = 0;
+      todo = [];
+      wake = [];
+      done_ = [];
+      via_wake = false;
+      woke_all = false;
+      f_enabled = [];
+      f_in_bound = [];
+      f_fp = 0;
+      f_sleep = [];
+      f_count = 0;
+      f_last = None;
+      f_n = 0;
+    }
+
+  type stack = { mutable frames : frame array; mutable len : int }
+
+  let push st fr =
+    if st.len = Array.length st.frames then begin
+      let bigger = Array.make (2 * st.len) dummy_frame in
+      Array.blit st.frames 0 bigger 0 st.len;
+      st.frames <- bigger
+    end;
+    st.frames.(st.len) <- fr;
+    st.len <- st.len + 1
+
+  type t = {
+    with_sleep : bool;
+    with_dpor : bool;
+    w_bound : Dfs.bound;
+    w_bound_c : int;
+    w_count_exact : int option;
+    w_on_prune : unit -> unit;
+    st : stack;
+    mutable replay_len : int;
+    mutable depth : int;
+    mutable cur_count : int;
+    mutable cur_sleep : (Tid.t * Op.t) list;
+    mutable run_pruned : bool;
+        (** the current run crossed a node where every in-bound enabled
+            thread slept: it does not count and records no frames *)
+    mutable pruned : bool;  (** the bound cut off a reachable reordering *)
+    mutable pruned_runs : int;
+    mutable exhausted : bool;
+    (* DPOR per-execution happens-before state. Accesses are kept per
+       (object, thread) as a full history: keeping only the last access
+       would shadow the lock-acquire races that make lock-handover
+       reorderings reachable (a blocked thread can never be scheduled at
+       the inner frames, so the only usable backtrack points are at
+       earlier acquires). *)
+    clocks : (Tid.t, Sct_race.Vclock.t) Hashtbl.t;
+    accesses :
+      (int, (Tid.t, (int * Sct_race.Vclock.t * Op.t) list) Hashtbl.t)
+      Hashtbl.t;
+  }
+
+  let make ?(on_prune = fun () -> ()) ?count_exact ~mode ~bound () =
+    let bounded = bound <> Dfs.Unbounded in
+    {
+      (* Sleep sets alone cannot prune soundly under a finite bound (see
+         por.mli): without DPOR's conservative wake-ups, [Sleep] under a
+         bound degenerates to the plain bounded walk. *)
+      with_sleep =
+        (match mode with
+        | Dpor -> false
+        | Dpor_sleep -> true
+        | Sleep -> not bounded);
+      with_dpor = (match mode with Sleep -> false | Dpor | Dpor_sleep -> true);
+      w_bound = bound;
+      w_bound_c =
+        (match bound with
+        | Dfs.Unbounded -> max_int
+        | Dfs.Preemption c | Dfs.Delay c -> c);
+      w_count_exact = count_exact;
+      w_on_prune = on_prune;
+      st = { frames = Array.make 1024 dummy_frame; len = 0 };
+      replay_len = 0;
+      depth = 0;
+      cur_count = 0;
+      cur_sleep = [];
+      run_pruned = false;
+      pruned = false;
+      pruned_runs = 0;
+      exhausted = false;
+      clocks = Hashtbl.create 16;
+      accesses = Hashtbl.create 64;
+    }
+
+  let delta w ~last ~enabled ~n t =
+    match w.w_bound with
+    | Dfs.Unbounded -> 0
+    | Dfs.Preemption _ -> Preemption.delta ~last ~enabled t
+    | Dfs.Delay _ -> Delay.delays ~n ~last ~enabled t
+
+  let clock_of w t =
+    match Hashtbl.find_opt w.clocks t with
     | Some c -> c
     | None -> Sct_race.Vclock.tick Sct_race.Vclock.zero t
-  in
-  (* Add [p] to the backtrack set of frame [j]; if [p] was not enabled
-     there, add every enabled thread (Flanagan & Godefroid 2005). *)
-  let add_backtrack j p =
-    let fr = st.frames.(j) in
+
+  (* Add thread [t] to a backtrack list of frame [j]. Conservative points
+     ignore the sleep set (a slept thread's covering execution may have
+     been cut by the bound, so it must be re-explorable). A point whose
+     own bound delta at [j] exceeds the level bound is recorded as bound
+     pruning — the reordering it denotes is only reachable at a higher
+     bound level along {e this} prefix — and every in-bound sibling at [j]
+     becomes a conservative point: the bound cost of the cut reordering
+     depends on the decisions taken between [j] and the race (delay
+     counting charges by position in the round-robin order), so an
+     interposed independent step can make the same reordering affordable
+     deeper in the tree. Exploring the in-bound siblings re-runs race
+     discovery below them, which re-derives the cut point at its new,
+     possibly cheaper, position. *)
+  let add_point w ~conservative j p =
+    let fr = w.st.frames.(j) in
+    let in_bound t = List.exists (Tid.equal t) fr.f_in_bound in
+    let explored t =
+      Tid.equal t fr.chosen
+      || List.mem_assoc t fr.done_
+      || List.exists (Tid.equal t) fr.todo
+      || List.exists (Tid.equal t) fr.wake
+    in
     let add t =
-      let explored =
-        Tid.equal t fr.chosen || List.mem_assoc t fr.done_
-        || List.exists (Tid.equal t) fr.todo
+      let asleep =
+        (not conservative) && w.with_sleep && List.mem_assoc t fr.f_sleep
       in
-      let asleep = with_sleep && List.mem_assoc t fr.f_sleep in
-      if (not explored) && not asleep then fr.todo <- t :: fr.todo
+      if (not (explored t)) && not asleep then begin
+        if in_bound t then
+          if conservative then fr.wake <- t :: fr.wake
+          else fr.todo <- t :: fr.todo
+        else begin
+          w.pruned <- true;
+          if not fr.woke_all then begin
+            fr.woke_all <- true;
+            List.iter
+              (fun t ->
+                if not (explored t) then fr.wake <- t :: fr.wake)
+              fr.f_in_bound
+          end
+        end
+      end
     in
     if List.mem_assoc p fr.f_enabled then add p
     else List.iter (fun (t, _) -> add t) fr.f_enabled
-  in
+
+  (* The prior context switch at or before frame [j]: the deepest frame
+     whose decision switched away from the thread that executed the
+     previous step. When no switch exists the prefix is the zero-cost
+     deterministic schedule; fall back to the root decision, which is
+     still a point where alternative choices change bound-reachability
+     (delay counting charges non-round-robin root choices). *)
+  let conservative_index w j =
+    let rec scan k =
+      if k < 1 then 0
+      else
+        let fr = w.st.frames.(k) in
+        let switched =
+          match fr.f_last with
+          | None -> true
+          | Some l -> not (Tid.equal fr.chosen l)
+        in
+        if switched then k else scan (k - 1)
+    in
+    scan j
+
+  (* Add [p] to the backtrack set of frame [j]; if [p] was not enabled
+     there, add every enabled thread (Flanagan & Godefroid 2005). Under a
+     finite bound, also add the conservative point of BPOR (Coons,
+     Musuvathi, McKinley) at the prior context switch: bounding makes the
+     non-conservative point insufficient, because alternative decisions
+     at the switch change which states are reachable within the bound. *)
+  let add_backtrack w j p =
+    add_point w ~conservative:false j p;
+    if w.w_bound_c <> max_int then
+      add_point w ~conservative:true (conservative_index w j) p
+
   (* DPOR bookkeeping for the op about to execute at frame [i] by [p]. *)
-  let dpor_step i p op =
-    let c = ref (clock_of p) in
+  let dpor_step w i p op =
+    let c = ref (clock_of w p) in
     (match op with
-    | Op.Join target -> c := Sct_race.Vclock.join !c (clock_of target)
+    | Op.Join target -> c := Sct_race.Vclock.join !c (clock_of w target)
     | _ -> ());
     (* Race checks are evaluated against the clock as it was before this
        scan: joining during the scan would make a thread's later accesses
@@ -104,7 +267,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
     let before = !c in
     List.iter
       (fun (x, _) ->
-        match Hashtbl.find_opt accesses x with
+        match Hashtbl.find_opt w.accesses x with
         | None -> ()
         | Some per_thread ->
             Hashtbl.iter
@@ -120,22 +283,22 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
                           && not
                                (Sct_race.Vclock.get cq q
                                <= Sct_race.Vclock.get before q)
-                        then add_backtrack j p;
+                        then add_backtrack w j p;
                         c := Sct_race.Vclock.join !c cq
                       end)
                     history)
               per_thread)
       (Op_depend.footprint op);
     c := Sct_race.Vclock.tick !c p;
-    Hashtbl.replace clocks p !c;
+    Hashtbl.replace w.clocks p !c;
     List.iter
       (fun (x, _) ->
         let per_thread =
-          match Hashtbl.find_opt accesses x with
+          match Hashtbl.find_opt w.accesses x with
           | Some m -> m
           | None ->
               let m = Hashtbl.create 4 in
-              Hashtbl.replace accesses x m;
+              Hashtbl.replace w.accesses x m;
               m
         in
         let history =
@@ -143,155 +306,245 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000) ~mode ~limit
         in
         Hashtbl.replace per_thread p ((i, !c, op) :: history))
       (Op_depend.footprint op)
-  in
-  let dpor_spawned parent child =
-    Hashtbl.replace clocks child
-      (Sct_race.Vclock.tick (clock_of parent) child)
-  in
-  let scheduler (ctx : Runtime.ctx) =
-    let i = !depth in
-    depth := i + 1;
-    let rt = ctx.c_rt in
-    let pending t =
-      match Runtime.pending_op rt t with
-      | Some op -> op
-      | None -> invalid_arg "Sct_explore.Por: enabled thread without an op"
-    in
-    let chosen, fr =
-      if i < !replay_len then begin
-        let fr = st.frames.(i) in
-        if fr.f_fp <> ctx.c_enabled_fp then
-          failwith
-            "Sct_explore.Por: nondeterministic program: enabled set mismatch"
-        else (fr.chosen, fr)
-      end
-      else begin
-        let enabled = List.map (fun t -> (t, pending t)) ctx.c_enabled in
-        let order =
-          Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
-            ~enabled:ctx.c_enabled
-        in
-        let allowed =
-          if with_sleep then
-            List.filter (fun t -> not (List.mem_assoc t !cur_sleep)) order
-          else order
-        in
-        match allowed with
-        | [] -> raise Sleep_pruned
-        | c :: rest ->
-            let todo = if with_dpor then [] else rest in
-            let fr =
-              {
-                chosen = c;
-                todo;
-                done_ = [];
-                f_enabled = enabled;
-                f_fp = ctx.c_enabled_fp;
-                f_sleep = !cur_sleep;
-              }
-            in
-            push st fr;
-            (c, fr)
-      end
-    in
-    let op = op_of fr.f_enabled chosen in
-    if with_dpor then begin
-      dpor_step i chosen op;
-      if op = Op.Spawn then dpor_spawned chosen ctx.c_n_threads
+
+  let dpor_spawned w parent child =
+    Hashtbl.replace w.clocks child
+      (Sct_race.Vclock.tick (clock_of w parent) child)
+
+  let begin_run w =
+    w.depth <- 0;
+    w.cur_count <- 0;
+    w.cur_sleep <- [];
+    w.run_pruned <- false;
+    Hashtbl.reset w.clocks;
+    Hashtbl.reset w.accesses
+
+  (* Per-decision bookkeeping shared by the replay and expansion paths:
+     dependence tracking, sleep propagation, bound accounting. A chosen
+     thread originating from a conservative wake-up may itself be in the
+     frame's sleep set; its whole subtree is explored with an empty sleep
+     set (BPOR: a sleeping thread's justification — "an equivalent
+     interleaving is covered elsewhere" — may point at executions the
+     bound cut off, so conservative re-exploration must forget it). *)
+  let account w i fr (ctx : Runtime.ctx) =
+    let op = op_of fr.f_enabled fr.chosen in
+    if w.with_dpor then begin
+      dpor_step w i fr.chosen op;
+      if op = Op.Spawn then dpor_spawned w fr.chosen ctx.c_n_threads
     end;
-    if with_sleep then cur_sleep := advance_sleep fr.f_sleep fr.done_ op;
-    chosen
-  in
-  (* Advance the deepest frame with an unexplored, non-sleeping child. *)
-  let backtrack () =
+    if w.with_sleep then
+      w.cur_sleep <-
+        (if fr.via_wake then []
+         else advance_sleep (List.remove_assoc fr.chosen fr.f_sleep) fr.done_ op);
+    w.cur_count <-
+      w.cur_count
+      + delta w ~last:ctx.c_last ~enabled:ctx.c_enabled ~n:ctx.c_n_threads
+          fr.chosen;
+    fr.chosen
+
+  let choose w (ctx : Runtime.ctx) =
+    let i = w.depth in
+    w.depth <- i + 1;
+    let in_bound t =
+      w.cur_count
+      + delta w ~last:ctx.c_last ~enabled:ctx.c_enabled ~n:ctx.c_n_threads t
+      <= w.w_bound_c
+    in
+    if w.run_pruned then begin
+      (* past a sleep-pruned node: follow the cheapest in-bound child to
+         the end of the run without recording anything — the whole branch
+         is discarded by [on_terminal] *)
+      let order =
+        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+          ~enabled:ctx.c_enabled
+      in
+      match List.filter in_bound order with
+      | t :: _ ->
+          w.cur_count <-
+            w.cur_count
+            + delta w ~last:ctx.c_last ~enabled:ctx.c_enabled
+                ~n:ctx.c_n_threads t;
+          t
+      | [] -> assert false (* a zero-cost child always exists (see DESIGN) *)
+    end
+    else if i < w.replay_len then begin
+      let fr = w.st.frames.(i) in
+      if fr.f_fp <> ctx.c_enabled_fp then
+        failwith
+          "Sct_explore.Por: nondeterministic program: enabled set mismatch";
+      account w i fr ctx
+    end
+    else begin
+      let rt = ctx.c_rt in
+      let pending t =
+        match Runtime.pending_op rt t with
+        | Some op -> op
+        | None -> invalid_arg "Sct_explore.Por: enabled thread without an op"
+      in
+      let enabled = List.map (fun t -> (t, pending t)) ctx.c_enabled in
+      let order =
+        Delay.rr_order ~n:ctx.c_n_threads ~last:ctx.c_last
+          ~enabled:ctx.c_enabled
+      in
+      let candidates = List.filter in_bound order in
+      if List.compare_lengths candidates order < 0 then w.pruned <- true;
+      let allowed =
+        if w.with_sleep then
+          List.filter (fun t -> not (List.mem_assoc t w.cur_sleep)) candidates
+        else candidates
+      in
+      match allowed with
+      | [] -> (
+          (* every in-bound enabled thread is asleep: the branch only
+             contains interleavings equivalent to already-explored ones *)
+          w.run_pruned <- true;
+          match candidates with
+          | t :: _ ->
+              w.cur_count <-
+                w.cur_count
+                + delta w ~last:ctx.c_last ~enabled:ctx.c_enabled
+                    ~n:ctx.c_n_threads t;
+              t
+          | [] -> assert false)
+      | c :: rest ->
+          let todo = if w.with_dpor then [] else rest in
+          let fr =
+            {
+              chosen = c;
+              todo;
+              wake = [];
+              done_ = [];
+              via_wake = false;
+              woke_all = false;
+              f_enabled = enabled;
+              f_in_bound = candidates;
+              f_fp = ctx.c_enabled_fp;
+              f_sleep = w.cur_sleep;
+              f_count = w.cur_count;
+              f_last = ctx.c_last;
+              f_n = ctx.c_n_threads;
+            }
+          in
+          push w.st fr;
+          account w i fr ctx
+    end
+
+  (* Advance the deepest frame with an unexplored child: sleep-respecting
+     [todo] entries first, then conservative [wake] entries, which ignore
+     the sleep set. *)
+  let backtrack w =
+    let st = w.st in
     let rec drop () =
       if st.len = 0 then false
       else begin
         let top = st.frames.(st.len - 1) in
         top.done_ <- (top.chosen, op_of top.f_enabled top.chosen) :: top.done_;
-        let skip t =
-          List.mem_assoc t top.done_
-          || (with_sleep && List.mem_assoc t top.f_sleep)
-        in
-        let rec next = function
+        let skip_done t = List.mem_assoc t top.done_ in
+        let rec next skip = function
           | [] -> None
-          | t :: rest -> if skip t then next rest else Some (t, rest)
+          | t :: rest -> if skip t then next skip rest else Some (t, rest)
         in
-        match next top.todo with
+        let skip_todo t =
+          skip_done t || (w.with_sleep && List.mem_assoc t top.f_sleep)
+        in
+        match next skip_todo top.todo with
         | Some (t, rest) ->
             top.chosen <- t;
             top.todo <- rest;
+            top.via_wake <- false;
             true
-        | None ->
-            st.len <- st.len - 1;
-            drop ()
+        | None -> (
+            match next skip_done top.wake with
+            | Some (t, rest) ->
+                top.chosen <- t;
+                top.wake <- rest;
+                top.via_wake <- true;
+                true
+            | None ->
+                st.len <- st.len - 1;
+                drop ())
       end
     in
     let more = drop () in
-    replay_len := st.len;
+    w.replay_len <- st.len;
     more
+
+  let counts w (res : Runtime.result) =
+    if w.run_pruned then false
+    else
+      let exact =
+        match w.w_bound with
+        | Dfs.Unbounded | Dfs.Preemption _ -> res.Runtime.r_pc
+        | Dfs.Delay _ -> res.Runtime.r_dc
+      in
+      match w.w_count_exact with None -> true | Some c -> exact = c
+
+  let on_terminal w (res : Runtime.result) =
+    let v_counts = counts w res in
+    if w.run_pruned then begin
+      w.pruned_runs <- w.pruned_runs + 1;
+      w.w_on_prune ()
+    end;
+    w.exhausted <- not (backtrack w);
+    { Strategy.v_counts; v_phase_over = w.exhausted }
+
+  let pruned w = w.pruned
+  let pruned_runs w = w.pruned_runs
+  let exhausted w = w.exhausted
+end
+
+(* --- the single-level STRATEGY instance --------------------------------- *)
+
+let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
+  (module struct
+    let technique = technique
+    let tracks_distinct = false
+    let respects_limit = true
+    let supports_prefix_batch = false
+    let supports_por = true
+
+    type state = { w : Walk.t; mutable started : bool }
+
+    let init () = { w; started = false }
+
+    let next_phase st =
+      if st.started then
+        Strategy.Finished
+          {
+            f_complete = Walk.exhausted st.w;
+            f_bound = None;
+            f_bound_complete = false;
+            f_new_at_bound = false;
+          }
+      else begin
+        st.started <- true;
+        Strategy.Phase { ph_bound = None; ph_new_at_bound = false }
+      end
+
+    let begin_run st = Walk.begin_run st.w
+    let listener _ = None
+    let choose st ctx = Walk.choose st.w ctx
+    let on_terminal st res = Walk.on_terminal st.w res
+  end)
+
+(* --- the compatibility front-end (unified driver underneath) ------------ *)
+
+let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
+    ?(bound = Dfs.Unbounded) ~mode ~limit program =
+  let w = Walk.make ~mode ~bound () in
+  let s =
+    (* the budget charges executions, counted or not: a reduced walk
+       deliberately counts few schedules (see Driver.explore) *)
+    Driver.explore ~promote ~max_steps ~max_executions:limit ~limit
+      (strategy_of_walk w) program
   in
-  let counted = ref 0 in
-  let pruned = ref 0 in
-  let buggy = ref 0 in
-  let to_first_bug = ref None in
-  let first_bug = ref None in
-  let executions = ref 0 in
-  let hit_limit = ref false in
-  let complete = ref false in
-  let continue_ = ref (limit > 0) in
-  while !continue_ do
-    depth := 0;
-    cur_sleep := [];
-    Hashtbl.reset clocks;
-    Hashtbl.reset accesses;
-    incr executions;
-    let outcome =
-      match
-        Runtime.exec ~promote ~max_steps ~record_decisions:false ~scheduler
-          program
-      with
-      | res -> Some res
-      | exception Sleep_pruned ->
-          incr pruned;
-          None
-    in
-    (match outcome with
-    | None -> ()
-    | Some res -> (
-        incr counted;
-        match res.Runtime.r_outcome with
-        | Outcome.Bug { bug; by } ->
-            incr buggy;
-            if !to_first_bug = None then begin
-              to_first_bug := Some !counted;
-              first_bug :=
-                Some
-                  {
-                    Stats.w_bug = bug;
-                    w_by = by;
-                    w_schedule = res.Runtime.r_schedule;
-                    w_pc = res.Runtime.r_pc;
-                    w_dc = res.Runtime.r_dc;
-                  }
-            end
-        | Outcome.Ok | Outcome.Step_limit -> ()));
-    if !counted >= limit then begin
-      hit_limit := true;
-      continue_ := false
-    end
-    else if not (backtrack ()) then begin
-      complete := true;
-      continue_ := false
-    end
-  done;
   {
-    counted = !counted;
-    pruned_sleep = !pruned;
-    buggy = !buggy;
-    to_first_bug = !to_first_bug;
-    first_bug = !first_bug;
-    complete = !complete;
-    hit_limit = !hit_limit;
-    executions = !executions;
+    counted = s.Stats.total;
+    pruned_sleep = Walk.pruned_runs w;
+    buggy = s.Stats.buggy;
+    to_first_bug = s.Stats.to_first_bug;
+    first_bug = s.Stats.first_bug;
+    complete = s.Stats.complete;
+    hit_limit = s.Stats.hit_limit;
+    executions = s.Stats.executions;
   }

@@ -22,7 +22,19 @@
     from the terminal-schedule stream (divergence depth of consecutive
     terminals = fork depth = decisions not re-executed), so campaign
     statistics are byte-identical whichever back-end ran. See DESIGN.md
-    §14. *)
+    §14.
+
+    {b Partial-order-reduced walks are never batched.} Forking one child
+    per untried sibling at a branching decision assumes the sibling set is
+    known when the decision is first reached. A reduction walk
+    ({!Por.Walk}) violates this twice over: DPOR adds backtrack points to
+    a frame only {e after} deeper steps observe races, and the sleep set a
+    sibling starts with contains the siblings explored {e before} it — the
+    continuation state threads through siblings in walk order instead of
+    being fixed at fork time. When a cell requests both [--por] and
+    [--prefix-batch], POR wins and the cell runs on the unbatched driver;
+    the fallback is visible in the cell's statistics ([steps_saved = 0])
+    and both options are recorded in the store fingerprint. *)
 
 val fork_available : unit -> bool
 (** Whether the fork server may run right now: a Unix system, on the main

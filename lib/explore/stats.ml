@@ -30,6 +30,7 @@ type t = {
   executions : int;
   steps_executed : int;
   steps_saved : int;
+  por_pruned : int;
   distinct_schedules : Sched_set.t option;
 }
 
@@ -64,6 +65,7 @@ let base ~technique =
     executions = 0;
     steps_executed = 0;
     steps_saved = 0;
+    por_pruned = 0;
     distinct_schedules = None;
   }
 
@@ -131,6 +133,7 @@ let merge a b =
     executions = a.executions + b.executions;
     steps_executed = a.steps_executed + b.steps_executed;
     steps_saved = a.steps_saved + b.steps_saved;
+    por_pruned = a.por_pruned + b.por_pruned;
     distinct_schedules =
       merge_opt Sched_set.union a.distinct_schedules b.distinct_schedules;
   }
@@ -153,6 +156,7 @@ let equal a b =
   && a.executions = b.executions
   && a.steps_executed = b.steps_executed
   && a.steps_saved = b.steps_saved
+  && a.por_pruned = b.por_pruned
   && Option.equal Sched_set.equal a.distinct_schedules b.distinct_schedules
 
 let pp ppf t =
@@ -162,7 +166,9 @@ let pp ppf t =
     t.technique (opt t.bound) (opt t.to_first_bug) t.total t.new_at_bound
     t.buggy t.complete t.hit_limit
     ((if t.hit_deadline then " deadline=true" else "")
+    ^ (if t.steps_saved > 0 then
+         Printf.sprintf " steps=%d saved=%d" t.steps_executed t.steps_saved
+       else "")
     ^
-    if t.steps_saved > 0 then
-      Printf.sprintf " steps=%d saved=%d" t.steps_executed t.steps_saved
+    if t.por_pruned > 0 then Printf.sprintf " por_pruned=%d" t.por_pruned
     else "")

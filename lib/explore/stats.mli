@@ -55,6 +55,13 @@ type t = {
           unbatched campaigns. Invariant:
           [steps_executed + steps_saved] equals the sum of terminal
           schedule lengths, independent of execution mode. *)
+  por_pruned : int;
+      (** schedules pruned by partial-order reduction: executions cut
+          because every in-bound enabled thread was asleep (the branch
+          only held interleavings equivalent to already-explored ones).
+          [0] on campaigns without [--por]; summed by {!merge}; emitted by
+          the store codec only when nonzero, so pre-POR journals and
+          fingerprints round-trip byte-identically. *)
   distinct_schedules : Sched_set.t option;
       (** the distinct schedules among [total], when the technique tracks
           them (the random scheduler re-explores duplicates, paper §3);

@@ -24,6 +24,7 @@ module type STRATEGY = sig
   val tracks_distinct : bool
   val respects_limit : bool
   val supports_prefix_batch : bool
+  val supports_por : bool
 
   type state
 

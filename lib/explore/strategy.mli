@@ -66,6 +66,18 @@ module type STRATEGY = sig
       profile-guided techniques pick schedules independently, so there is
       no shared prefix structure to batch. *)
 
+  val supports_por : bool
+  (** The technique's schedule tree can be walked by the partial-order
+      reduction core ({!Por.Walk}): sleep sets and DPOR backtracking prune
+      schedules that only commute independent operations, and for the
+      bounded walkers the reduction adds the conservative backtracking
+      points of BPOR (Coons, Musuvathi, McKinley). True only for the
+      systematic tree walkers (DFS, IPB, IDB) — the same set as
+      [supports_prefix_batch], but the two capabilities are exclusive at
+      run time: a POR cell always runs unbatched, because sleep-set state
+      threads through sibling continuations in walk order and cannot be
+      forked into batched children (see prefix_exec.mli). *)
+
   (** {2 Campaign state} *)
 
   type state

@@ -64,6 +64,7 @@ type options = {
   split_depth : int;
   time_limit : float option;
   prefix_batch : bool;
+  por : Por.mode option;
 }
 
 let default_options =
@@ -78,6 +79,7 @@ let default_options =
     split_depth = 3;
     time_limit = None;
     prefix_batch = false;
+    por = None;
   }
 
 let deadline_of o = Driver.deadline_of_time_limit o.time_limit
@@ -145,7 +147,46 @@ let supports_prefix_batch technique =
   in
   S.supports_prefix_batch
 
+let supports_por technique =
+  let (module S : Strategy.STRATEGY) =
+    strategy default_options technique ignore
+  in
+  S.supports_por
+
+(* The POR-composed campaign: the technique's schedule tree walked by the
+   Por.Walk reduction core. Exclusive with prefix batching (see por.mli's
+   interaction contract): when a cell requests both, POR wins and the cell
+   runs unbatched — visible as [steps_saved = 0] in its statistics. The
+   sleep-pruned-run counter is threaded out of the walks through
+   [on_prune] and patched into the final statistics. *)
+let run_por ~promote ~(mode : Por.mode) o technique program =
+  let deadline = deadline_of o in
+  let pruned = ref 0 in
+  let on_prune () = incr pruned in
+  let s =
+    match technique with
+    | DFS ->
+        let w =
+          Por.Walk.make ~on_prune ~mode ~bound:Dfs.Unbounded ()
+        in
+        Driver.explore ~promote ~max_steps:o.max_steps ?deadline
+          ~max_executions:o.limit ~limit:o.limit
+          (Por.strategy_of_walk w)
+          program
+    | IPB ->
+        Bounded.explore ~promote ~max_steps:o.max_steps ~por:mode ~on_prune
+          ?deadline ~kind:Bounded.Preemption_bounding ~limit:o.limit program
+    | IDB ->
+        Bounded.explore ~promote ~max_steps:o.max_steps ~por:mode ~on_prune
+          ?deadline ~kind:Bounded.Delay_bounding ~limit:o.limit program
+    | Rand | PCT | Maple | SURW -> assert false
+  in
+  { s with Stats.por_pruned = !pruned }
+
 let run ?(promote = fun _ -> false) o technique program =
+  match o.por with
+  | Some mode when supports_por technique -> run_por ~promote ~mode o technique program
+  | _ ->
   if o.prefix_batch && supports_prefix_batch technique then begin
     (* the systematic tree walkers route through the prefix-batching
        executor; statistics are identical to the driver loop below except

@@ -54,12 +54,20 @@ type options = {
           paying each shared schedule prefix once per sibling batch.
           Statistics are identical except [Stats.steps_executed] /
           [Stats.steps_saved]; other techniques are unaffected *)
+  por : Por.mode option;
+      (** compose the systematic tree walkers (strategies declaring
+          [supports_por]) with the bounded partial-order reduction of
+          {!Por.Walk}: sleep sets / DPOR with BPOR's conservative
+          backtracking points under IPB/IDB bounds. Exclusive with
+          [prefix_batch] — a POR cell always runs unbatched (visible as
+          [Stats.steps_saved = 0]) and sequential for every [jobs] value;
+          other techniques are unaffected *)
 }
 
 val default_options : options
 (** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
     pct_change_points = 2; maple_profile_runs = 10; jobs = 1;
-    split_depth = 3; time_limit = None; prefix_batch = false]. *)
+    split_depth = 3; time_limit = None; prefix_batch = false; por = None]. *)
 
 val deadline_of : options -> float option
 (** The absolute deadline for a campaign starting now, from
@@ -86,6 +94,11 @@ val supports_prefix_batch : t -> bool
 (** The technique's declared [supports_prefix_batch] capability (read off
     its {!Strategy.STRATEGY} instance). *)
 
+val supports_por : t -> bool
+(** The technique's declared [supports_por] capability (read off its
+    {!Strategy.STRATEGY} instance): true for the systematic tree walkers
+    DFS, IPB and IDB. *)
+
 val run :
   ?promote:(string -> bool) -> options -> t -> (unit -> unit) -> Stats.t
 (** Run one technique with an externally supplied promotion predicate
@@ -93,7 +106,11 @@ val run :
     budgeted by [options.limit] and [options.time_limit]. With
     [options.prefix_batch], techniques whose strategy declares
     [supports_prefix_batch] run through {!Prefix_exec} instead — same
-    statistics, plus the step counters. *)
+    statistics, plus the step counters. With [options.por], techniques
+    whose strategy declares [supports_por] run the {!Por.Walk} reduction
+    instead — fewer executions to the same bugs, [Stats.por_pruned]
+    counting the sleep-pruned runs; POR takes precedence over
+    [prefix_batch] (see por.mli's interaction contract). *)
 
 val detect_races : options -> (unit -> unit) -> Sct_race.Promotion.result
 (** Phase 1: the data-race detection phase. *)

@@ -8,6 +8,7 @@ type config = {
   max_steps : int;
   race_runs : int;
   prefix_batch : bool;
+  por : Por.mode option;
   techniques : Techniques.t list;
 }
 
@@ -17,6 +18,7 @@ let default_config =
     max_steps = 5_000;
     race_runs = 5;
     prefix_batch = false;
+    por = None;
     techniques = Techniques.all;
   }
 
@@ -56,6 +58,7 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
       max_steps = cfg.max_steps;
       race_runs = cfg.race_runs;
       prefix_batch = cfg.prefix_batch;
+      por = cfg.por;
     }
   in
   let detection = Techniques.detect_races o program in
@@ -89,9 +92,15 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
         require "algebra"
           (s.Stats.total <= cfg.limit)
           "%s: total=%d exceeds the budget %d" n s.Stats.total cfg.limit;
+        (* reduced campaigns also budget raw executions (see
+           Driver.explore), so under [por] the limit may be hit with fewer
+           counted schedules than the budget *)
         require "algebra"
-          ((not s.Stats.hit_limit) || s.Stats.total = cfg.limit)
-          "%s: hit_limit with total=%d <> limit=%d" n s.Stats.total cfg.limit
+          ((not s.Stats.hit_limit)
+          || s.Stats.total = cfg.limit
+          || (cfg.por <> None && s.Stats.executions = cfg.limit))
+          "%s: hit_limit with total=%d <> limit=%d (executions=%d)" n
+          s.Stats.total cfg.limit s.Stats.executions
       end;
       (match Stats.distinct s with
       | None -> ()
@@ -175,18 +184,25 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
             require "inclusion" (not (Stats.found s))
               "DFS exhausted a bug-free space but %s reports a bug" (tname t))
           stats;
-        require "inclusion" ipb.Stats.complete
-          "DFS exhausted a bug-free space but IPB did not complete";
-        require "inclusion" idb.Stats.complete
-          "DFS exhausted a bug-free space but IDB did not complete";
-        require "inclusion"
-          (ipb.Stats.total = dfs.Stats.total)
-          "IPB counted %d schedules on a bug-free exhausted space of %d"
-          ipb.Stats.total dfs.Stats.total;
-        require "inclusion"
-          (idb.Stats.total = dfs.Stats.total)
-          "IDB counted %d schedules on a bug-free exhausted space of %d"
-          idb.Stats.total dfs.Stats.total
+        (* the count identities assume every technique walks the same full
+           tree; a POR-composed campaign reduces each cell differently (the
+           per-level conservative wake-ups of BPOR re-explore schedules the
+           unbounded reduction sleeps through), so only the bug-freedom
+           agreement above applies under [por] *)
+        if cfg.por = None then begin
+          require "inclusion" ipb.Stats.complete
+            "DFS exhausted a bug-free space but IPB did not complete";
+          require "inclusion" idb.Stats.complete
+            "DFS exhausted a bug-free space but IDB did not complete";
+          require "inclusion"
+            (ipb.Stats.total = dfs.Stats.total)
+            "IPB counted %d schedules on a bug-free exhausted space of %d"
+            ipb.Stats.total dfs.Stats.total;
+          require "inclusion"
+            (idb.Stats.total = dfs.Stats.total)
+            "IDB counted %d schedules on a bug-free exhausted space of %d"
+            idb.Stats.total dfs.Stats.total
+        end
       end
   | _ -> ());
 
@@ -225,6 +241,119 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
           "POR(%s) counted no terminal schedule" mode_name)
       [ (Por.Sleep, "sleep"); (Por.Dpor, "dpor"); (Por.Dpor_sleep, "both") ]);
 
+  (* ---- BPOR under a bound: equivalence with the plain bounded walk ----- *)
+  (* The conservative-backtracking soundness law (por.mli): at every bound
+     level, the reduced walk of the bounded tree must agree with the plain
+     walk on bug-freedom and exhaustion while counting no more schedules.
+     All locations are promoted so the reduction sees full dependence
+     information. [Sleep] under a finite bound carries no sound pruning and
+     must degenerate to the plain walk exactly. *)
+  if selected Techniques.DFS then
+    List.iter
+      (fun bound_of ->
+        List.iter
+          (fun c ->
+            let bound = bound_of c in
+            let bname =
+              match bound with
+              | Dfs.Preemption c -> Printf.sprintf "pb=%d" c
+              | Dfs.Delay c -> Printf.sprintf "db=%d" c
+              | Dfs.Unbounded -> "unbounded"
+            in
+            let plain =
+              Dfs.explore ~promote:promote_all ~max_steps:cfg.max_steps ~bound
+                ~limit:por_limit program
+            in
+            List.iter
+              (fun mode ->
+                let mn = Por.mode_name mode in
+                let bpor =
+                  Por.explore ~promote:promote_all ~max_steps:cfg.max_steps
+                    ~bound ~mode ~limit:por_limit program
+                in
+                require "bpor"
+                  (bpor.Por.counted <= plain.Dfs.counted)
+                  "BPOR(%s) at %s counted %d schedules, more than the plain \
+                   bounded walk's %d"
+                  mn bname bpor.Por.counted plain.Dfs.counted;
+                if plain.Dfs.complete && not plain.Dfs.hit_limit then begin
+                  require "bpor" bpor.Por.complete
+                    "BPOR(%s) did not exhaust the %s tree the plain walk \
+                     exhausted (%d schedules)"
+                    mn bname plain.Dfs.counted;
+                  require "bpor"
+                    (bpor.Por.buggy > 0 = (plain.Dfs.buggy > 0))
+                    "BPOR(%s) and the plain walk disagree on bug-freedom at \
+                     %s (BPOR buggy=%d, plain buggy=%d)"
+                    mn bname bpor.Por.buggy plain.Dfs.buggy
+                end;
+                if mode = Por.Sleep then
+                  require "bpor"
+                    (bpor.Por.counted = plain.Dfs.counted
+                    && bpor.Por.buggy = plain.Dfs.buggy
+                    && bpor.Por.pruned_sleep = 0)
+                    "sleep-mode at %s must degenerate to the plain bounded \
+                     walk (counted %d vs %d, buggy %d vs %d, sleep-pruned %d)"
+                    bname bpor.Por.counted plain.Dfs.counted bpor.Por.buggy
+                    plain.Dfs.buggy bpor.Por.pruned_sleep)
+              [ Por.Sleep; Por.Dpor; Por.Dpor_sleep ])
+          [ 0; 1; 2 ])
+      [ (fun c -> Dfs.Preemption c); (fun c -> Dfs.Delay c) ];
+
+  (* ---- POR-composed campaigns: bug-finding no worse at equal bounds ---- *)
+  (* The Strategy-level composition (Techniques.run with [por]): whenever
+     both campaigns resolve their space within the budget, the reduced
+     IPB/IDB campaign agrees with the plain one on bug-freedom, finds its
+     bug at the same bound level, and counts no more schedules. *)
+  (let cmode =
+     match cfg.por with Some m -> m | None -> Por.Dpor_sleep
+   in
+   List.iter
+     (fun t ->
+       let n = tname t in
+       let o_sub =
+         {
+           o with
+           Techniques.limit = por_limit;
+           prefix_batch = false;
+           por = None;
+         }
+       in
+       let plain = Techniques.run ~promote:promote_all o_sub t program in
+       let bpor =
+         Techniques.run ~promote:promote_all
+           { o_sub with Techniques.por = Some cmode }
+           t program
+       in
+       require "bpor-campaign"
+         (bpor.Stats.total <= plain.Stats.total)
+         "%s+POR(%s) counted %d schedules, more than plain %s's %d" n
+         (Por.mode_name cmode) bpor.Stats.total n plain.Stats.total;
+       if
+         (not plain.Stats.hit_limit)
+         && not bpor.Stats.hit_limit
+       then begin
+         require "bpor-campaign"
+           (Stats.found bpor = Stats.found plain)
+           "%s+POR(%s) and plain %s disagree on bug-freedom" n
+           (Por.mode_name cmode) n;
+         if Stats.found plain then
+           require "bpor-campaign"
+             (bpor.Stats.bound = plain.Stats.bound)
+             "%s+POR(%s) found its bug at bound %s, plain %s at %s" n
+             (Por.mode_name cmode)
+             (match bpor.Stats.bound with
+             | None -> "None"
+             | Some b -> string_of_int b)
+             n
+             (match plain.Stats.bound with
+             | None -> "None"
+             | Some b -> string_of_int b)
+       end)
+     (List.filter
+        (fun t -> selected t && Techniques.supports_por t)
+        [ Techniques.IPB; Techniques.IDB ]));
+
   (* ---- bound-level algebra: monotone in c, and DC >= PC ---------------- *)
   (* Also DFS-based: the bounded walks reuse the DFS explorer. *)
   if selected Techniques.DFS then begin
@@ -255,8 +384,11 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
            (DC >= PC violated)"
           c dc c pc)
       (List.combine dc_counts pc_counts);
+    (* the full-space cap only holds against a plain DFS total: under
+       [por] the campaign's DFS is reduced, and a plain bounded count can
+       legitimately exceed the reduced full-space count *)
     match dfs_stat with
-    | Some dfs when dfs.Stats.complete ->
+    | Some dfs when dfs.Stats.complete && cfg.por = None ->
         List.iteri
           (fun c pc ->
             require "bound-algebra"

@@ -14,6 +14,14 @@
       sets, DPOR and their combination must agree with full DFS on
       bug-freedom whenever full DFS completes, while never counting more
       terminal schedules.
+    - {b BPOR bound equivalence}: at every preemption/delay bound level
+      [c] in [0..2], the bound-parameterized reduction walk must agree
+      with the plain bounded walk on bug-freedom and exhaustion while
+      counting no more schedules — the conservative-backtracking soundness
+      law of por.mli; sleep-only mode under a finite bound must degenerate
+      to the plain walk exactly. At the campaign level, a POR-composed
+      IPB/IDB run must find its bug at the same bound level as the plain
+      campaign whenever both resolve within the budget.
     - {b Witness replayability} (paper §1): every reported bug witness must
       replay through {!Sct_explore.Replay} to the same bug, by the same
       thread, with the same preemption and delay counts.
@@ -44,6 +52,14 @@ type config = {
           against the plain driver: identical statistics modulo the step
           counters, which must conserve total work
           ([executed + saved = unbatched executed]). *)
+  por : Sct_explore.Por.mode option;
+      (** compose the main DFS/IPB/IDB campaigns with partial-order
+          reduction, so every generic invariant (algebra, witness replay,
+          inclusions' bug agreement) also exercises the reduced walks. The
+          dedicated BPOR cross-checks run regardless of this field (the
+          campaign-level comparison uses [Dpor_sleep] when unset); the
+          inclusion count identities are skipped under [por], where each
+          cell reduces its tree differently. *)
   techniques : Sct_explore.Techniques.t list;
       (** techniques the oracle runs and cross-checks. Invariants that
           relate specific techniques degrade gracefully: the inclusion
@@ -54,7 +70,7 @@ type config = {
 
 val default_config : config
 (** [limit = 500; max_steps = 5_000; race_runs = 5;
-    prefix_batch = false; techniques = Techniques.all]. *)
+    prefix_batch = false; por = None; techniques = Techniques.all]. *)
 
 type violation = {
   v_invariant : string;  (** stable invariant identifier, e.g. ["inclusion"] *)

@@ -63,6 +63,10 @@ let run ~pool ?(promote = fun _ -> false) (o : Techniques.options) technique
        executor even under a pool: the frontier partitioning cannot
        reproduce the batched step counters, and a cell's statistics must
        stay byte-identical for every [jobs] value *)
+    || (o.Techniques.por <> None && Techniques.supports_por technique)
+    (* POR campaigns likewise: backtrack and sleep sets are global to the
+       reduction walk, so depth-[split_depth] subtrees are not independent
+       and the frontier cannot partition them (see por.mli) *)
   then Techniques.run ~promote o technique program
   else
     match Techniques.sharding ~promote o technique program with

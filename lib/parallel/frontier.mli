@@ -22,7 +22,20 @@
     subtrees beyond the stop point and may observe pruning there. The
     iterative-bounding loop only consumes [pruned] when a level completes,
     where the flag is exact — so {!explore_bounded} is exactly
-    sequential-equivalent. *)
+    sequential-equivalent.
+
+    {b Partial-order-reduced walks are never partitioned.} The split-depth
+    scheme relies on depth-[split_depth] subtrees being independent: a
+    pinned prefix plus an ordinary walk below it covers exactly that
+    subtree. A reduction walk ([Sct_explore.Por.Walk]) breaks this — its
+    sleep sets and DPOR backtrack sets are global to the walk (a race
+    observed inside one subtree adds backtrack points to frames {e above}
+    the split depth, and a subtree's sleep set depends on which siblings
+    were explored before it), so the partitions are not independent and
+    their merge would not reproduce the sequential reduction.
+    [Drivers.run] therefore routes POR cells to the sequential path for
+    every [--jobs] value, exactly as it does for prefix-batched cells;
+    a POR cell's statistics are byte-identical for every pool size. *)
 
 val run :
   pool:Pool.t ->

@@ -133,10 +133,14 @@ let options_to_json (o : Techniques.options) =
     @ (match o.Techniques.time_limit with
       | None -> []
       | Some s -> [ ("time_limit", time_limit_to_json s) ])
+    @ (* emitted only when on, for the same byte-compatibility reason *)
+    (if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
+     else [])
     @
-    (* emitted only when on, for the same byte-compatibility reason *)
-    if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
-    else [])
+    (* emitted only when set: POR-free cells keep the pre-POR encoding *)
+    match o.Techniques.por with
+    | None -> []
+    | Some m -> [ ("por", Json.Str (Sct_explore.Por.mode_name m)) ])
 
 let options_of_json j =
   {
@@ -153,6 +157,12 @@ let options_of_json j =
       (match opt_field j "prefix_batch" get_bool with
       | Some b -> b
       | None -> false);
+    por =
+      opt_field j "por" (fun v ->
+          let s = get_string v in
+          match Sct_explore.Por.of_mode_name s with
+          | Some m -> m
+          | None -> error "unknown POR mode %S" s);
   }
 
 (* --- campaign slice progress --- *)
@@ -209,6 +219,11 @@ let stats_to_json (s : Stats.t) =
          ("steps_saved", Json.Int s.Stats.steps_saved);
        ]
      else [])
+    @ (* emitted only when nonzero: POR-free stats keep the pre-POR byte
+         encoding *)
+    (if s.Stats.por_pruned <> 0 then
+       [ ("por_pruned", Json.Int s.Stats.por_pruned) ]
+     else [])
     @ [
       ( "distinct",
         opt_to_json
@@ -247,6 +262,10 @@ let stats_of_json j =
       | None -> 0);
     steps_saved =
       (match opt_field j "steps_saved" get_int with
+      | Some n -> n
+      | None -> 0);
+    por_pruned =
+      (match opt_field j "por_pruned" get_int with
       | Some n -> n
       | None -> 0);
     distinct_schedules =

@@ -291,6 +291,7 @@ let gen_stats =
     let* executions = int_bound 100 in
     let* steps_executed = int_bound 1000 in
     let* steps_saved = int_bound 1000 in
+    let* por_pruned = int_bound 1000 in
     let* distinct =
       option (list_size (int_bound 5) (list_size (int_bound 4) (int_bound 2)))
     in
@@ -313,6 +314,7 @@ let gen_stats =
         executions;
         steps_executed;
         steps_saved;
+        por_pruned;
         distinct_schedules =
           Option.map
             (fun ss ->

@@ -11,6 +11,7 @@ let quick_cfg =
     max_steps = 3_000;
     race_runs = 3;
     prefix_batch = false;
+    por = None;
     techniques = Sct_explore.Techniques.all;
   }
 

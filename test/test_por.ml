@@ -232,6 +232,140 @@ let prop_por_finds_what_dfs_finds =
           = (d.Sct_explore.Dfs.to_first_bug <> None))
         Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
 
+(* --- the --por mode flag ------------------------------------------------ *)
+
+let test_parse_mode () =
+  List.iter
+    (fun (s, m) ->
+      match Sct_explore.Por.parse_mode s with
+      | Ok m' when m' = m -> ()
+      | Ok _ -> Alcotest.failf "%s parsed to the wrong mode" s
+      | Error e -> Alcotest.failf "%s rejected: %s" s e)
+    Sct_explore.Por.
+      [
+        ("sleep", Sleep);
+        ("dpor", Dpor);
+        ("dpor+sleep", Dpor_sleep);
+        ("both", Dpor_sleep);
+        ("DPOR", Dpor);
+      ];
+  match Sct_explore.Por.parse_mode "bogus" with
+  | Ok _ -> Alcotest.fail "bogus mode accepted"
+  | Error e ->
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error lists %s" m)
+            true
+            (Astring_contains.contains e m))
+        Sct_explore.Por.valid_mode_names
+
+(* --- the supports_por capability ---------------------------------------- *)
+
+let test_supports_por_capability () =
+  List.iter
+    (fun (t, expect) ->
+      Alcotest.(check bool)
+        (Sct_explore.Techniques.name t)
+        expect
+        (Sct_explore.Techniques.supports_por t))
+    Sct_explore.Techniques.
+      [
+        (DFS, true);
+        (IPB, true);
+        (IDB, true);
+        (Rand, false);
+        (PCT, false);
+        (Maple, false);
+        (SURW, false);
+      ]
+
+(* --- BPOR: the bounded walks against the plain bounded walks ------------ *)
+
+(* At every bound level the reduced walk explores a subset of the plain
+   bounded tree, so on exhausted spaces it must agree on bug-freedom while
+   counting no more schedules (the oracle's law, pinned here on the
+   hand-built programs whose shape we know). *)
+let test_bpor_bound_equivalence () =
+  List.iter
+    (fun program ->
+      List.iter
+        (fun bound ->
+          let plain =
+            Sct_explore.Dfs.explore ~promote:promote_all ~bound ~limit:cap
+              program
+          in
+          List.iter
+            (fun mode ->
+              let r =
+                Sct_explore.Por.explore ~promote:promote_all ~bound ~mode
+                  ~limit:cap program
+              in
+              Alcotest.(check bool) "no more schedules than plain" true
+                (r.Sct_explore.Por.counted <= plain.Sct_explore.Dfs.counted);
+              if
+                plain.Sct_explore.Dfs.complete
+                && not plain.Sct_explore.Dfs.hit_limit
+              then begin
+                Alcotest.(check bool) "complete" true
+                  r.Sct_explore.Por.complete;
+                Alcotest.(check bool) "bug-freedom agreement" true
+                  (r.Sct_explore.Por.buggy > 0
+                  = (plain.Sct_explore.Dfs.buggy > 0))
+              end)
+            Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
+        Sct_explore.Dfs.
+          [ Preemption 0; Preemption 1; Preemption 2; Delay 1; Delay 2 ])
+    [ racy_program; twostage; locked_counters ]
+
+(* The campaign-level law over the random bug-free family: every terminal
+   HB-signature of the POR-composed IPB/IDB campaign is a signature of the
+   plain campaign at the same bound (the reduced walk explores a subset of
+   the bounded tree), and both campaigns complete together. Signatures
+   rather than schedule sets: the walks may count equivalent schedules in
+   different orders across levels. *)
+let signatures_of strategy program =
+  let sigs = ref [] in
+  let s =
+    Sct_explore.Driver.explore ~promote:promote_all ~record_decisions:true
+      ~limit:cap
+      ~on_schedule:(fun r ->
+        sigs :=
+          Sct_explore.Hb_signature.(
+            to_string (of_decisions r.Runtime.r_decisions))
+          :: !sigs)
+      strategy program
+  in
+  (s, List.sort_uniq String.compare !sigs)
+
+let prop_bpor_signature_subset =
+  QCheck2.Test.make
+    ~name:"BPOR campaign signatures are a subset of the plain campaign's"
+    ~count:20 ~print:Test_programs_qcheck.print_program
+    Test_programs_qcheck.gen_program_gen (fun gp ->
+      let program = Test_programs_qcheck.build gp in
+      List.for_all
+        (fun kind ->
+          let plain, plain_sigs =
+            signatures_of (Sct_explore.Bounded.strategy ~kind ()) program
+          in
+          QCheck2.assume
+            (plain.Sct_explore.Stats.complete
+            && not plain.Sct_explore.Stats.hit_limit);
+          List.for_all
+            (fun mode ->
+              let bpor, bpor_sigs =
+                signatures_of
+                  (Sct_explore.Bounded.strategy ~por:mode ~kind ())
+                  program
+              in
+              bpor.Sct_explore.Stats.complete
+              && List.for_all
+                   (fun s -> List.mem s plain_sigs)
+                   bpor_sigs)
+            Sct_explore.Por.[ Dpor; Dpor_sleep ])
+        Sct_explore.Bounded.[ Preemption_bounding; Delay_bounding ])
+
 let suites =
   [
     ( "partial-order-reduction",
@@ -252,5 +386,12 @@ let suites =
           test_por_correct_program;
         QCheck_alcotest.to_alcotest prop_por_sound;
         QCheck_alcotest.to_alcotest prop_por_finds_what_dfs_finds;
+        Alcotest.test_case "--por mode names parse, errors list all modes"
+          `Quick test_parse_mode;
+        Alcotest.test_case "supports_por capability per technique" `Quick
+          test_supports_por_capability;
+        Alcotest.test_case "BPOR agrees with the plain bounded walks" `Quick
+          test_bpor_bound_equivalence;
+        QCheck_alcotest.to_alcotest prop_bpor_signature_subset;
       ] );
   ]

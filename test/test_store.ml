@@ -84,6 +84,11 @@ let gen_options =
       option (map (fun i -> float_of_int i /. 8.) (int_range 0 80_000))
     in
     let* prefix_batch = bool in
+    let* por =
+      option
+        (oneofl
+           Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
+    in
     return
       {
         Techniques.limit;
@@ -96,6 +101,7 @@ let gen_options =
         split_depth;
         time_limit;
         prefix_batch;
+        por;
       })
 
 let gen_stats =
@@ -117,6 +123,7 @@ let gen_stats =
     let* executions = int_bound 10_000 in
     let* steps_executed = int_bound 500_000 in
     let* steps_saved = int_bound 500_000 in
+    let* por_pruned = int_bound 10_000 in
     let* distinct = option (list_size (int_bound 6) gen_schedule) in
     return
       {
@@ -137,6 +144,7 @@ let gen_stats =
         executions;
         steps_executed;
         steps_saved;
+        por_pruned;
         distinct_schedules = Option.map Stats.Sched_set.of_list distinct;
       })
 
@@ -251,6 +259,30 @@ let fixture_stats_steps_value =
     steps_saved = 17;
   }
 
+let fixture_options_por =
+  {|{"v":1,"options":{"limit":10000,"seed":0,"max_steps":100000,"race_runs":10,"pct_change_points":2,"maple_profile_runs":10,"jobs":1,"split_depth":3,"por":"dpor+sleep"}}|}
+
+let fixture_options_por_value =
+  { Techniques.default_options with Techniques.por = Some Sct_explore.Por.Dpor_sleep }
+
+let fixture_stats_por =
+  {|{"v":1,"stats":{"technique":"IPB","bound":1,"bound_complete":true,"to_first_bug":null,"total":9,"new_at_bound":3,"buggy":0,"complete":true,"hit_limit":false,"first_bug":null,"n_threads":3,"max_enabled":2,"max_sched_points":7,"executions":12,"por_pruned":3,"distinct":null}}|}
+
+let fixture_stats_por_value =
+  {
+    (Stats.base ~technique:"IPB") with
+    Stats.bound = Some 1;
+    bound_complete = true;
+    total = 9;
+    new_at_bound = 3;
+    complete = true;
+    n_threads = 3;
+    max_enabled = 2;
+    max_sched_points = 7;
+    executions = 12;
+    por_pruned = 3;
+  }
+
 let test_fixture_stability () =
   Alcotest.(check (list int))
     "schedule fixture decodes" [ 0; 0; 1; 2 ]
@@ -313,7 +345,19 @@ let test_fixture_stability () =
   Alcotest.(check string)
     "step-counter stats fixture re-encodes byte-identically"
     fixture_stats_steps
-    (Codec.encode_stats fixture_stats_steps_value)
+    (Codec.encode_stats fixture_stats_steps_value);
+  Alcotest.(check bool)
+    "por options fixture decodes" true
+    (Codec.decode_options fixture_options_por = fixture_options_por_value);
+  Alcotest.(check string)
+    "por options fixture re-encodes byte-identically" fixture_options_por
+    (Codec.encode_options fixture_options_por_value);
+  Alcotest.(check stats_t)
+    "por stats fixture decodes" fixture_stats_por_value
+    (Codec.decode_stats fixture_stats_por);
+  Alcotest.(check string)
+    "por stats fixture re-encodes byte-identically" fixture_stats_por
+    (Codec.encode_stats fixture_stats_por_value)
 
 let expect_codec_error name f =
   match f () with
@@ -339,7 +383,10 @@ let test_version_gate () =
   expect_codec_error "malformed json" (fun () ->
       Codec.decode_stats {|{"v":1,"stats":|});
   expect_codec_error "negative tid" (fun () ->
-      Codec.decode_schedule {|{"v":1,"schedule":[-1]}|})
+      Codec.decode_schedule {|{"v":1,"schedule":[-1]}|});
+  expect_codec_error "unknown por mode" (fun () ->
+      Codec.decode_options
+        {|{"v":1,"options":{"limit":10000,"seed":0,"max_steps":100000,"race_runs":10,"pct_change_points":2,"maple_profile_runs":10,"jobs":1,"split_depth":3,"por":"bogus"}}|})
 
 (* --- artifacts --- *)
 
