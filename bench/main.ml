@@ -142,6 +142,31 @@ let perf_tests () =
                Sys.opaque_identity
                  (Sct_core.Runtime.exec ~promote:promote_all
                     ~record_decisions:false ~scheduler:rr_scheduler wsq)));
+        Test.make ~name:"rr-execution/spinwait"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_core.Runtime.exec ~promote:promote_all
+                    ~record_decisions:false ~scheduler:rr_scheduler
+                    (bench_program "yield.spinwait_bad"))));
+      ]
+  in
+  let yield_loops =
+    (* the yield-loop family under the execution-level bounding axes: the
+       cost of cutting spin subtrees rather than enumerating them *)
+    let spin = bench_program "yield.spinwait_bad" in
+    let cas = bench_program "yield.cas_yield_bad" in
+    Test.make_grouped ~name:"yield-loops"
+      [
+        Test.make ~name:"fair-bounding/spinwait"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Driver.explore ~promote:promote_all ~limit:300
+                    (Sct_explore.Axes.fair ()) spin)));
+        Test.make ~name:"length-bounding/cas-yield"
+          (Staged.stage (fun () ->
+               Sys.opaque_identity
+                 (Sct_explore.Driver.explore ~promote:promote_all ~limit:300
+                    (Sct_explore.Axes.length ()) cas)));
       ]
   in
   let techniques =
@@ -266,7 +291,7 @@ let perf_tests () =
       ]
   in
   Test.make_grouped ~name:"sctbench"
-    [ engine; techniques; race; parallel; tables ]
+    [ engine; techniques; yield_loops; race; parallel; tables ]
 
 (* Extension ablation 1 (paper §8 future work): partial-order reduction.
    POR needs complete dependence information, so every location is promoted
@@ -496,7 +521,11 @@ let steps_per_exec program =
     .Sct_core.Runtime.r_steps
 
 let engine_benchmarks =
-  [ ("rr-execution/twostage", "CS.twostage_bad"); ("rr-execution/wsq", "chess.WSQ") ]
+  [
+    ("rr-execution/twostage", "CS.twostage_bad");
+    ("rr-execution/wsq", "chess.WSQ");
+    ("rr-execution/spinwait", "yield.spinwait_bad");
+  ]
 
 let find_perf perf_rows suffix =
   List.find_opt (fun (n, _) -> String.ends_with ~suffix n) perf_rows

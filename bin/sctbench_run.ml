@@ -12,7 +12,7 @@ let seed_t =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let suite_t =
-  let doc = "Restrict to one suite (CB, chess, CS, inspect, misc, parsec, radbench, splash2, corpus)." in
+  let doc = "Restrict to one suite (CB, chess, CS, inspect, misc, parsec, radbench, splash2, yield, corpus)." in
   Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"SUITE" ~doc)
 
 let ids_t =
@@ -21,9 +21,9 @@ let ids_t =
 
 let techniques_t =
   let doc =
-    "Techniques to run (ipb, idb, dfs, rand, pct, maple, surw); repeatable \
-     and/or comma-separated, e.g. $(b,-t ipb,rand); default: the paper's \
-     five."
+    "Techniques to run (ipb, idb, dfs, rand, pct, maple, surw, fair, \
+     length, ivb, itb); repeatable and/or comma-separated, e.g. $(b,-t \
+     ipb,rand); default: the paper's five."
   in
   Arg.(value & opt_all string [] & info [ "technique"; "t" ] ~docv:"TECH" ~doc)
 
@@ -81,6 +81,30 @@ let parse_por = function
           prerr_endline msg;
           exit 1)
 
+let fair_bound_t =
+  let doc =
+    "Yield-difference bound for the $(b,fair) technique: a schedule is cut \
+     once a yielding thread is $(docv) yields ahead of the least-yielded \
+     live thread (dejafu's sctFairBound). Other techniques ignore it."
+  in
+  Arg.(
+    value
+    & opt int Sct_explore.Axes.default_fair_bound
+    & info [ "fair-bound" ] ~docv:"N" ~doc)
+
+let length_bound_t =
+  let doc =
+    "Schedule-length bound in scheduling points for the $(b,length) \
+     technique (dejafu's sctLengthBound). Other techniques ignore it."
+  in
+  Arg.(
+    value
+    & opt int Sct_explore.Axes.default_length_bound
+    & info [ "length-bound" ] ~docv:"N" ~doc)
+
+(* The two Axes bounds travel together through [options_of]. *)
+let bounds_t = Term.(const (fun f l -> (f, l)) $ fair_bound_t $ length_bound_t)
+
 let store_t =
   let doc =
     "Persist per-cell results and bug-witness artifacts to $(docv) \
@@ -122,7 +146,11 @@ let resolve_jobs jobs =
   if jobs <= 0 then Sct_parallel.Pool.default_jobs () else jobs
 
 let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false) ?por
-    ?time_limit limit seed =
+    ?time_limit
+    ?(bounds =
+      ( Sct_explore.Axes.default_fair_bound,
+        Sct_explore.Axes.default_length_bound )) limit seed =
+  let fair_bound, length_bound = bounds in
   {
     Sct_explore.Techniques.default_options with
     Sct_explore.Techniques.limit;
@@ -132,6 +160,8 @@ let options_of ?(jobs = 1) ?(split_depth = 3) ?(prefix_batch = false) ?por
     time_limit;
     prefix_batch;
     por;
+    fair_bound;
+    length_bound;
   }
 
 let parse_techniques names =
@@ -190,8 +220,8 @@ let list_cmd =
   Cmd.v
     (Cmd.info "list"
        ~doc:
-         "List the 52 SCTBench benchmarks (plus any $(b,--corpus) \
-          extensions).")
+         "List the 55 built-in benchmarks — the 52 of SCTBench plus the \
+          yield-loop family (plus any $(b,--corpus) extensions).")
     Term.(const run $ corpus_t)
 
 (* detect *)
@@ -212,14 +242,14 @@ let detect_cmd =
 
 (* run one benchmark *)
 let run_cmd =
-  let run limit seed jobs split_depth prefix_batch por time_limit techs store
-      resume name =
+  let run limit seed jobs split_depth prefix_batch por time_limit bounds techs
+      store resume name =
     match Sctbench.Registry.by_name name with
     | None -> prerr_endline ("unknown benchmark: " ^ name); exit 1
     | Some b ->
         let o =
           options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
-            ?time_limit limit seed
+            ?time_limit ~bounds limit seed
         in
         let techniques = parse_techniques techs in
         let store = open_store ~resume store in
@@ -260,7 +290,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one benchmark under the selected techniques.")
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
-      $ por_t $ time_limit_t $ techniques_t $ store_t $ resume_t $ name_t)
+      $ por_t $ time_limit_t $ bounds_t $ techniques_t $ store_t $ resume_t
+      $ name_t)
 
 let with_bench name f =
   match Sctbench.Registry.by_name name with
@@ -441,13 +472,13 @@ let por_cmd =
     Term.(const run $ limit_t $ name_t $ mode_t)
 
 (* the full study: tables and figures *)
-let study what limit seed jobs split_depth prefix_batch por time_limit suite
-    ids techs store resume corpus =
+let study what limit seed jobs split_depth prefix_batch por time_limit bounds
+    suite ids techs store resume corpus =
   load_corpus corpus;
   let benches = select suite ids in
   let o =
     options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
-      ?time_limit limit seed
+      ?time_limit ~bounds limit seed
   in
   match what with
   | `Table1 -> Sct_report.Table1.print benches
@@ -476,7 +507,7 @@ let study_cmd name what doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (study what) $ limit_t $ seed_t $ jobs_t $ split_depth_t
-      $ prefix_batch_t $ por_t $ time_limit_t $ suite_t $ ids_t
+      $ prefix_batch_t $ por_t $ time_limit_t $ bounds_t $ suite_t $ ids_t
       $ techniques_t $ store_t $ resume_t $ corpus_t)
 
 (* self-testing fuzz: generated programs under the differential oracle *)
@@ -813,8 +844,8 @@ let corpus_cmd =
       Term.(const run $ dir_t)
   in
   let run_cmd =
-    let run dir limit seed jobs split_depth prefix_batch por time_limit techs
-        store resume =
+    let run dir limit seed jobs split_depth prefix_batch por time_limit bounds
+        techs store resume =
       load_corpus (Some dir);
       let benches = Sctbench.Registry.of_suite Sctbench.Bench.Corpus in
       if benches = [] then begin
@@ -823,7 +854,7 @@ let corpus_cmd =
       end;
       let o =
         options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
-          ?time_limit limit seed
+          ?time_limit ~bounds limit seed
       in
       let techniques = parse_techniques techs in
       let store = open_store ~resume store in
@@ -849,8 +880,8 @@ let corpus_cmd =
             corpus's standing regression study.")
       Term.(
         const run $ dir_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ prefix_batch_t $ por_t $ time_limit_t $ techniques_t $ store_t
-        $ resume_t)
+        $ prefix_batch_t $ por_t $ time_limit_t $ bounds_t $ techniques_t
+        $ store_t $ resume_t)
   in
   Cmd.group
     (Cmd.info "corpus"
@@ -904,12 +935,12 @@ let parse_shard s =
       exit 1
 
 let run_campaign ~shard limit seed jobs split_depth prefix_batch por
-    time_limit suite ids techs policy slice store corpus =
+    time_limit bounds suite ids techs policy slice store corpus =
   load_corpus corpus;
   let benches = select suite ids in
   let o =
     options_of ~jobs ~split_depth ~prefix_batch ?por:(parse_por por)
-      ?time_limit limit seed
+      ?time_limit ~bounds limit seed
   in
   let techniques = parse_techniques techs in
   let policy = parse_policy policy in
@@ -941,8 +972,8 @@ let campaign_cmd =
   let grid_args run =
     Term.(
       const run $ limit_t $ seed_t $ jobs_t $ split_depth_t $ prefix_batch_t
-      $ por_t $ time_limit_t $ suite_t $ ids_t $ techniques_t $ policy_t
-      $ slice_t $ campaign_store_t $ corpus_t)
+      $ por_t $ time_limit_t $ bounds_t $ suite_t $ ids_t $ techniques_t
+      $ policy_t $ slice_t $ campaign_store_t $ corpus_t)
   in
   let run_cmd =
     Cmd.v
@@ -965,10 +996,10 @@ let campaign_cmd =
         required & opt (some string) None & info [ "shard" ] ~docv:"K/N" ~doc)
     in
     let run shard limit seed jobs split_depth prefix_batch por time_limit
-        suite ids techs policy slice store corpus =
+        bounds suite ids techs policy slice store corpus =
       run_campaign ~shard:(Some (parse_shard shard)) limit seed jobs
-        split_depth prefix_batch por time_limit suite ids techs policy slice
-        store corpus
+        split_depth prefix_batch por time_limit bounds suite ids techs policy
+        slice store corpus
     in
     Cmd.v
       (Cmd.info "worker"
@@ -978,7 +1009,7 @@ let campaign_cmd =
             $(b,store merge)).")
       Term.(
         const run $ shard_t $ limit_t $ seed_t $ jobs_t $ split_depth_t
-        $ prefix_batch_t $ por_t $ time_limit_t $ suite_t $ ids_t
+        $ prefix_batch_t $ por_t $ time_limit_t $ bounds_t $ suite_t $ ids_t
         $ techniques_t $ policy_t $ slice_t $ campaign_store_t $ corpus_t)
   in
   let status_cmd =

@@ -39,6 +39,37 @@ let run_slice ~pool ~promote ~slice ~prev (cell : Cell.t) =
                grants such a cell a slice, but stay total *)
             (e.Db.e_stats.Stats.total, 1))
   in
+  (* Re-run the cumulative prefix under a geometrically growing limit:
+     doubling bounds the total re-executed work by ~2x the final run, and
+     the last slice explores under the cell's exact limit. Consumed budget
+     counts cut runs (fair/length bounding): a cut execution charges the
+     budget without counting, and when the limit is hit
+     [total + cut_runs = target], so every slice strictly advances. *)
+  let rerun_growing () =
+    let target =
+      min o.Techniques.limit (max (consumed + slice) (2 * consumed))
+    in
+    let s =
+      Drivers.run ~pool ~promote
+        { o with Techniques.limit = target }
+        cell.Cell.technique program
+    in
+    let finished = (not s.Stats.hit_limit) || target >= o.Techniques.limit in
+    {
+      stats = s;
+      progress =
+        {
+          Codec.p_consumed = s.Stats.total + s.Stats.cut_runs;
+          p_slices = slices + 1;
+          p_done = finished;
+        };
+    }
+  in
+  if Techniques.sequential_only cell.Cell.technique then
+    (* the Axes bounding techniques declare no parallel plan; their cells
+       still slice by cumulative re-running on the sequential driver *)
+    rerun_growing ()
+  else
   match Techniques.sharding ~promote o cell.Cell.technique program with
   | Strategy.Shard_seed shard ->
       let hi = min o.Techniques.limit (consumed + slice) in
@@ -57,30 +88,7 @@ let run_slice ~pool ~promote ~slice ~prev (cell : Cell.t) =
             p_done = hi >= o.Techniques.limit;
           };
       }
-  | Strategy.Shard_tree _ ->
-      (* re-run the cumulative prefix under a geometrically growing limit:
-         doubling bounds the total re-executed work by ~2x the final run,
-         and the last slice explores under the cell's exact limit *)
-      let target =
-        min o.Techniques.limit (max (consumed + slice) (2 * consumed))
-      in
-      let s =
-        Drivers.run ~pool ~promote
-          { o with Techniques.limit = target }
-          cell.Cell.technique program
-      in
-      let finished =
-        (not s.Stats.hit_limit) || target >= o.Techniques.limit
-      in
-      {
-        stats = s;
-        progress =
-          {
-            Codec.p_consumed = s.Stats.total;
-            p_slices = slices + 1;
-            p_done = finished;
-          };
-      }
+  | Strategy.Shard_tree _ -> rerun_growing ()
   | Strategy.Shard_runs _ ->
       (* intrinsic-length campaign: one atomic slice *)
       let s = Drivers.run ~pool ~promote o cell.Cell.technique program in

@@ -12,20 +12,25 @@
       [Stats.merge] — exactly the contiguous-slice merge the parallel
       drivers already prove equal to the sequential run. A slice is
       itself sub-sharded across the pool.
-    - [Shard_tree] (DFS, IPB, IDB): tree walks carry backtracking state
-      that cannot be banked in a [Stats.t], so each slice {e re-runs} the
+    - [Shard_tree] (DFS, IPB, IDB) and the sequential-only bounding axes
+      (Fair, Length, IVB, ITB): tree walks carry backtracking state that
+      cannot be banked in a [Stats.t], so each slice {e re-runs} the
       cumulative prefix with a geometrically growing schedule limit
       [min limit (max (consumed+slice) (2·consumed))] — the doubling keeps
       total re-execution within a constant factor of the final run, and
       the last slice runs with the cell's exact limit (or exhausts the
       bounded space below it), making the final statistics literally the
       one-shot statistics. Cumulative stats {e replace} the previous
-      snapshot.
+      snapshot. Consumed budget counts cut runs (fair/length bounding
+      charge abandoned executions to the budget without counting them),
+      so a cut-heavy cell still advances every slice.
     - [Shard_runs] (MapleAlg): the campaign's length is intrinsic
       ([respects_limit = false]), so the cell runs as one atomic slice.
 
     Dispatch is from the declared sharding capability alone, like the
-    parallel drivers — no per-technique case analysis. *)
+    parallel drivers — no per-technique case analysis (the sequential-only
+    techniques are routed to the cumulative re-run model before the
+    capability probe, which they do not implement). *)
 
 type slice_result = {
   stats : Sct_explore.Stats.t;

@@ -51,3 +51,12 @@ let pp ppf = function
 
 let to_string op = Format.asprintf "%a" pp op
 let is_blocking = function Cond_wait _ | Barrier_wait _ -> true | _ -> false
+
+let obj_id = function
+  | Lock o | Try_lock o | Unlock o | Mutex_destroy o | Reacquire o
+  | Signal o | Broadcast o | Sem_wait o | Sem_post o | Barrier_wait o
+  | Barrier_resume o | Rd_lock o | Wr_lock o | Rw_unlock o ->
+      Some o
+  | Cond_wait (c, _) -> Some c
+  | Access { id; _ } -> Some id
+  | Spawn | Join _ | Yield -> None

@@ -43,3 +43,10 @@ val is_blocking : t -> bool
 (** [is_blocking op] is [true] when executing [op] can leave the executing
     thread disabled (condition waits and barrier waits). Used only for
     reporting; enabledness is decided by the runtime against object state. *)
+
+val obj_id : t -> int option
+(** The shared object the operation acts on: the runtime object id for
+    lock/semaphore/barrier/rwlock operations (the condition variable for
+    [Cond_wait]) and the location id for promoted accesses; [None] for
+    [Spawn], [Join] and [Yield], which touch no shared object. Variable
+    bounding keys preemption footprints on this id. *)

@@ -29,6 +29,12 @@ type _ Effect.t +=
    unwind (running their exception handlers) without being recorded. *)
 exception Aborted
 
+(* Raised by a scheduler to abandon the current execution: every enabled
+   continuation was filtered out by an execution-level bound (fair or
+   length bounding). [exec] tears the execution down normally and returns
+   a [Step_limit] result for the truncated prefix. *)
+exception Cut
+
 type status =
   | Run_op of Op.t * (unit, unit) Effect.Deep.continuation
   | Run_spawn of (unit -> unit) * (Tid.t, unit) Effect.Deep.continuation
@@ -191,6 +197,20 @@ let pending_op rt tid =
   match (thread rt tid).status with
   | (Run_op _ | Run_spawn _) as st -> Some (op_of_status st)
   | Blocked_cond _ | Blocked_barrier _ | Finished -> None
+
+(* Allocation-free probes for the bounding walks (consulted per decision on
+   fair / variable / thread bounded explorations). *)
+let pending_is_yield rt tid =
+  match (thread rt tid).status with
+  | Run_op (Op.Yield, _) -> true
+  | _ -> false
+
+let pending_obj_id rt tid =
+  match (thread rt tid).status with
+  | Run_op (op, _) -> ( match Op.obj_id op with Some o -> o | None -> -1)
+  | Run_spawn _ | Blocked_cond _ | Blocked_barrier _ | Finished -> -1
+
+let thread_live rt tid = (thread rt tid).t_live
 
 let mutex_st rt id ~ctx =
   match find_object rt id with
@@ -879,8 +899,14 @@ let exec ?(promote = fun _ -> false) ?listener ?(max_steps = 100_000)
     in
     let outcome = loop () in
     finish outcome
-  with e ->
-    (* A scheduler or listener callback raised: tear down and re-raise. *)
-    teardown rt;
-    restore ();
-    raise e
+  with
+  | Cut ->
+      (* The scheduler abandoned the execution (all enabled continuations
+         filtered by an execution-level bound): a terminal, non-buggy
+         truncated prefix, like an execution stopped at [max_steps]. *)
+      finish Outcome.Step_limit
+  | e ->
+      (* A scheduler or listener callback raised: tear down and re-raise. *)
+      teardown rt;
+      restore ();
+      raise e

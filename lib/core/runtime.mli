@@ -90,6 +90,13 @@ type ctx = {
 type scheduler = ctx -> Tid.t
 (** Must return a member of [c_enabled]. *)
 
+exception Cut
+(** Raised by a scheduler to abandon the current execution when every
+    enabled continuation is filtered out by an execution-level bound (fair
+    or length bounding). {!exec} catches it, tears the execution down
+    normally, and returns the truncated prefix as a [Step_limit] result —
+    a terminal, non-buggy run, exactly like one stopped at [max_steps]. *)
+
 type result = {
   r_outcome : Outcome.t;
   r_schedule : Schedule.t;
@@ -152,6 +159,19 @@ val listening : t -> bool
 
 val pending_op : t -> Tid.t -> Op.t option
 (** The visible operation [tid] is suspended before, if it is runnable. *)
+
+val pending_is_yield : t -> Tid.t -> bool
+(** Whether [tid] is suspended before a [Yield] — allocation-free, consulted
+    per decision by fair-bounded walks. *)
+
+val pending_obj_id : t -> Tid.t -> int
+(** The object id of [tid]'s pending operation, [-1] when the operation
+    touches no shared object (spawn/join/yield) or the thread is not
+    runnable. Variable bounding keys preemption footprints on this id. *)
+
+val thread_live : t -> Tid.t -> bool
+(** Whether [tid] has been created and not yet finished (it may be blocked).
+    Fair bounding compares yield counts across live threads. *)
 
 val thread_finished : t -> Tid.t -> bool
 val n_threads : t -> int

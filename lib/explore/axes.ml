@@ -1,0 +1,20 @@
+(* The non-paper bounding axes as first-class STRATEGY instances: fair
+   bounding, length bounding, and the iterated footprint bounds (variable
+   and thread bounding). See axes.mli for the semantics and provenance. *)
+
+let default_fair_bound = 5
+let default_length_bound = 250
+
+let fair ?max_levels ?(bound = default_fair_bound) () =
+  Bounded.strategy ?max_levels ~fair:bound ~technique:"Fair"
+    ~kind:Bounded.Preemption_bounding ()
+
+let length ?(bound = default_length_bound) () =
+  Dfs.strategy_of_walk ~technique:"Length"
+    (Dfs.Walk.make ~length:bound ~bound:Dfs.Unbounded ())
+
+let variable ?max_levels () =
+  Bounded.strategy ?max_levels ~kind:Bounded.Variable_bounding ()
+
+let threads ?max_levels () =
+  Bounded.strategy ?max_levels ~kind:Bounded.Thread_bounding ()

@@ -1,15 +1,31 @@
 open Sct_core
 
-type kind = Preemption_bounding | Delay_bounding
+type kind =
+  | Preemption_bounding
+  | Delay_bounding
+  | Variable_bounding
+  | Thread_bounding
 
 let technique_name = function
   | Preemption_bounding -> "IPB"
   | Delay_bounding -> "IDB"
+  | Variable_bounding -> "IVB"
+  | Thread_bounding -> "ITB"
 
 let bound_of kind c =
   match kind with
   | Preemption_bounding -> Dfs.Preemption c
   | Delay_bounding -> Dfs.Delay c
+  | Variable_bounding -> Dfs.Variable c
+  | Thread_bounding -> Dfs.Threads c
+
+(* The structural kinds are the paper's: their per-level trees can be
+   restructured by the prefix-batch and POR machineries. The footprint
+   kinds (IVB/ITB) have path-dependent level counting, which neither
+   machinery supports. *)
+let structural = function
+  | Preemption_bounding | Delay_bounding -> true
+  | Variable_bounding | Thread_bounding -> false
 
 (* One bound level's walk, plain or reduced: the level strategy below is
    generic over which core enumerates the level's tree. *)
@@ -18,15 +34,20 @@ type level_walk = {
   lw_choose : Sct_core.Runtime.ctx -> Sct_core.Tid.t;
   lw_on_terminal : Sct_core.Runtime.result -> Strategy.verdict;
   lw_pruned : unit -> bool;
+  lw_aux_pruned : unit -> bool;
+      (** the level lost executions to an execution-level filter (fair
+          bounding): exhausting an unpruned level no longer proves the
+          whole space explored *)
 }
 
-let plain_walk c ~kind =
-  let w = Dfs.Walk.make ~count_exact:c ~bound:(bound_of kind c) () in
+let plain_walk ?fair c ~kind =
+  let w = Dfs.Walk.make ~count_exact:c ?fair ~bound:(bound_of kind c) () in
   {
     lw_begin_run = (fun () -> Dfs.Walk.begin_run w);
     lw_choose = Dfs.Walk.choose w;
     lw_on_terminal = Dfs.Walk.on_terminal w;
     lw_pruned = (fun () -> Dfs.Walk.pruned w);
+    lw_aux_pruned = (fun () -> Dfs.Walk.aux_pruned w);
   }
 
 let por_walk c ~kind ~mode ~on_prune =
@@ -38,6 +59,7 @@ let por_walk c ~kind ~mode ~on_prune =
     lw_choose = Por.Walk.choose w;
     lw_on_terminal = Por.Walk.on_terminal w;
     lw_pruned = (fun () -> Por.Walk.pruned w);
+    lw_aux_pruned = (fun () -> false);
   }
 
 (* The iterative-bounding campaign as a STRATEGY: one phase per bound
@@ -56,28 +78,38 @@ let por_walk c ~kind ~mode ~on_prune =
    [Por.Walk.pruned] reports bound cut-offs exactly like the plain walk
    (including backtrack points deferred to the next level) and never
    reports sleep-set pruning, which is covered within the level. *)
-let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
-    Strategy.t =
+let strategy ?(max_levels = 64) ?por ?fair ?technique
+    ?(on_prune = fun () -> ()) ~kind () : Strategy.t =
   (module struct
-    let technique = technique_name kind
+    let technique =
+      match technique with Some t -> t | None -> technique_name kind
+
     let tracks_distinct = false
     let respects_limit = true
-    let supports_prefix_batch = true
-    let supports_por = true
+
+    (* the batch/POR machineries restructure the level's tree, which is
+       only sound for the structural kinds without execution-level
+       filters *)
+    let supports_prefix_batch = structural kind && fair = None
+    let supports_por = structural kind && fair = None
 
     type state = {
       mutable c : int;
       mutable walk : level_walk;
       mutable found : bool;  (** bug among this level's counted schedules *)
+      mutable any_aux : bool;
+          (** some level lost executions to the fair filter *)
       mutable started : bool;
     }
 
     let walk_at c =
       match por with
-      | None -> plain_walk c ~kind
+      | None -> plain_walk ?fair c ~kind
       | Some mode -> por_walk c ~kind ~mode ~on_prune
 
-    let init () = { c = 0; walk = walk_at 0; found = false; started = false }
+    let init () =
+      { c = 0; walk = walk_at 0; found = false; any_aux = false;
+        started = false }
 
     let phase c =
       Strategy.Phase { ph_bound = Some c; ph_new_at_bound = true }
@@ -87,7 +119,9 @@ let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
         st.started <- true;
         phase 0
       end
-      else if st.found then
+      else begin
+      if st.walk.lw_aux_pruned () then st.any_aux <- true;
+      if st.found then
         (* the level is exhausted here (the driver consults us only on a
            phase-over verdict), hence bound_complete *)
         Strategy.Finished
@@ -98,11 +132,12 @@ let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
             f_new_at_bound = true;
           }
       else if not (st.walk.lw_pruned ()) then
-        (* nothing was cut off by the bound: the whole schedule space has
-           been explored; no bug exists for this benchmark model *)
+        (* nothing was cut off by the structural bound: the whole schedule
+           space has been explored — unless the fair filter cut some
+           executions, which no structural bound level would restore *)
         Strategy.Finished
           {
-            f_complete = true;
+            f_complete = not st.any_aux;
             f_bound = Some st.c;
             f_bound_complete = true;
             f_new_at_bound = true;
@@ -124,6 +159,7 @@ let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
           phase c
         end
       end
+      end
 
     let begin_run st = st.walk.lw_begin_run ()
     let listener _ = None
@@ -138,12 +174,12 @@ let strategy ?(max_levels = 64) ?por ?(on_prune = fun () -> ()) ~kind () :
       v
   end)
 
-let explore ?promote ?max_steps ?max_levels ?por ?on_prune ?deadline ~kind
-    ~limit program =
+let explore ?promote ?max_steps ?max_levels ?por ?fair ?technique ?on_prune
+    ?deadline ~kind ~limit program =
   (* reduced campaigns budget raw executions too (see Driver.explore) *)
   let max_executions = match por with Some _ -> Some limit | None -> None in
   Driver.explore ?promote ?max_steps ?max_executions ?deadline ~limit
-    (strategy ?max_levels ?por ?on_prune ~kind ())
+    (strategy ?max_levels ?por ?fair ?technique ?on_prune ~kind ())
     program
 
 (* The same level progression over an abstract walk runner — the shape the

@@ -39,17 +39,34 @@
       for every [--jobs] value, as it already does for batched cells, so
       statistics stay byte-identical across [jobs]. *)
 
-type kind = Preemption_bounding | Delay_bounding
+type kind =
+  | Preemption_bounding
+  | Delay_bounding
+  | Variable_bounding
+      (** iterative variable bounding: level [c] counts the schedules that
+          preempt around at most (exactly, for counting) [c] distinct
+          shared objects ({!Dfs.bound.Variable}) *)
+  | Thread_bounding
+      (** iterative thread bounding: level [c] counts the schedules that
+          preempt at most (exactly) [c] distinct threads
+          ({!Dfs.bound.Threads}) *)
 
 val technique_name : kind -> string
-(** ["IPB"] or ["IDB"]. *)
+(** ["IPB"], ["IDB"], ["IVB"] or ["ITB"]. *)
 
 val bound_of : kind -> int -> Dfs.bound
 (** The level-[c] walk bound of this kind. *)
 
+val structural : kind -> bool
+(** Whether the kind's per-level trees may be restructured by the
+    prefix-batch and POR machineries (IPB/IDB only: the footprint kinds
+    count levels path-dependently). *)
+
 val strategy :
   ?max_levels:int ->
   ?por:Por.mode ->
+  ?fair:int ->
+  ?technique:string ->
   ?on_prune:(unit -> unit) ->
   kind:kind ->
   unit ->
@@ -57,13 +74,24 @@ val strategy :
 (** The iterative-bounding strategy; [max_levels] (default 64) caps the
     number of bound levels as a safety net. [por] runs each level on the
     BPOR reduction walk (see the module preamble); [on_prune] fires once
-    per sleep-pruned run, feeding the [Stats.por_pruned] counter. *)
+    per sleep-pruned run, feeding the [Stats.por_pruned] counter.
+
+    [fair] composes the fair filter of {!Dfs.Walk.make} with every level's
+    walk (the [Axes.fair] technique: iterative preemption bounding over
+    fairly-bounded executions, the composition of the dejafu default
+    bounds). A campaign with [fair] (or a non-structural [kind]) declares
+    [supports_prefix_batch = false] and [supports_por = false], and its
+    [Stats.complete] additionally requires that no level cut an execution
+    on the fair filter. [technique] overrides the recorded technique
+    name. *)
 
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?max_levels:int ->
   ?por:Por.mode ->
+  ?fair:int ->
+  ?technique:string ->
   ?on_prune:(unit -> unit) ->
   ?deadline:float ->
   kind:kind ->

@@ -1,6 +1,11 @@
 open Sct_core
 
-type bound = Unbounded | Preemption of int | Delay of int
+type bound =
+  | Unbounded
+  | Preemption of int
+  | Delay of int
+  | Variable of int
+  | Threads of int
 
 type level_result = Strategy.walk_result = {
   counted : int;
@@ -60,6 +65,8 @@ module Walk = struct
     w_bound : bound;
     w_bound_c : int;
     w_count_exact : int option;
+    w_fair : int option;
+    w_length : int option;
     w_max_branch_depth : int;
     w_on_exec : (Runtime.result -> frontier_info -> unit) option;
     st : stack;
@@ -67,20 +74,30 @@ module Walk = struct
     mutable depth : int;
     mutable cur_count : int;
     mutable pruned : bool;
+    mutable aux_pruned : bool;
+    mutable cut_run : bool;
     mutable branched_below : bool;
     mutable exhausted : bool;
+    (* per-run footprint of preemption keys (Variable/Threads bounds):
+       [cur_count] is its cardinality *)
+    mutable foot : int array;
+    mutable foot_len : int;
+    (* per-run yield counts by tid (fair bounding only) *)
+    mutable yields : int array;
   }
 
-  let make ?prefix ?(max_branch_depth = max_int) ?count_exact ?on_exec ~bound
-      () =
+  let make ?prefix ?(max_branch_depth = max_int) ?count_exact ?fair ?length
+      ?on_exec ~bound () =
     let w =
       {
         w_bound = bound;
         w_bound_c =
           (match bound with
           | Unbounded -> max_int
-          | Preemption c | Delay c -> c);
+          | Preemption c | Delay c | Variable c | Threads c -> c);
         w_count_exact = count_exact;
+        w_fair = fair;
+        w_length = length;
         w_max_branch_depth = max_branch_depth;
         w_on_exec = on_exec;
         st = { frames = Array.init 1024 (fun _ -> fresh_frame ()); len = 0 };
@@ -88,8 +105,13 @@ module Walk = struct
         depth = 0;
         cur_count = 0;
         pruned = false;
+        aux_pruned = false;
+        cut_run = false;
         branched_below = false;
         exhausted = false;
+        foot = Array.make 16 0;
+        foot_len = 0;
+        yields = Array.make 8 0;
       }
     in
     (* A pinned prefix is seeded as exhausted frames: it is replayed (with
@@ -107,6 +129,35 @@ module Walk = struct
         w.replay_len <- w.st.len);
     w
 
+  (* Per-run footprint membership: linear scan over a handful of keys. The
+     footprints of the iterated footprint bounds (Variable/Threads) are at
+     most the bound level + 1 long, tiny by construction. *)
+  let foot_mem w key =
+    let rec go i = i < w.foot_len && (w.foot.(i) = key || go (i + 1)) in
+    go 0
+
+  let foot_add w key =
+    if w.foot_len = Array.length w.foot then begin
+      let old = w.foot in
+      w.foot <- Array.make (2 * Array.length old) 0;
+      Array.blit old 0 w.foot 0 (Array.length old)
+    end;
+    w.foot.(w.foot_len) <- key;
+    w.foot_len <- w.foot_len + 1
+
+  (* The footprint key a preemption at this decision charges: the shared
+     object the preempted thread was about to touch (Variable bounding) or
+     the preempted thread itself (Threads bounding). *)
+  let foot_key w (ctx : Runtime.ctx) =
+    match (w.w_bound, ctx.c_last) with
+    | Variable _, Some l -> Runtime.pending_obj_id ctx.c_rt l
+    | Threads _, Some l -> l
+    | _ -> -1
+
+  (* Cost of scheduling [t] next, without committing anything. For the
+     footprint bounds a preemption costs 1 only the first time its key
+     enters this run's footprint, so the cost of a path is the cardinality
+     of its footprint — path-determined, hence monotone in the bound. *)
   let delta w (ctx : Runtime.ctx) t =
     match w.w_bound with
     | Unbounded -> 0
@@ -115,14 +166,70 @@ module Walk = struct
     | Delay _ ->
         Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled
           t
+    | Variable _ | Threads _ ->
+        if Preemption.delta ~last:ctx.c_last ~enabled:ctx.c_enabled t = 0 then 0
+        else if foot_mem w (foot_key w ctx) then 0
+        else 1
+
+  (* Commit the chosen decision's bound cost (recording the footprint key
+     when it is new). *)
+  let commit_count w (ctx : Runtime.ctx) t =
+    let d = delta w ctx t in
+    (match w.w_bound with
+    | (Variable _ | Threads _) when d > 0 -> foot_add w (foot_key w ctx)
+    | _ -> ());
+    w.cur_count <- w.cur_count + d
+
+  let yield_count w t = if t < Array.length w.yields then w.yields.(t) else 0
+
+  (* Record the chosen decision's yield, growing the per-tid counts on
+     demand. Only called when fair bounding is on. *)
+  let note_yield w (ctx : Runtime.ctx) t =
+    if Runtime.pending_is_yield ctx.c_rt t then begin
+      if t >= Array.length w.yields then begin
+        let old = w.yields in
+        let n = max (2 * Array.length old) (t + 1) in
+        w.yields <- Array.make n 0;
+        Array.blit old 0 w.yields 0 (Array.length old)
+      end;
+      w.yields.(t) <- w.yields.(t) + 1
+    end
+
+  (* Fair bounding admits a yield by [t] only while its yield count stays
+     within [b] of the least-yielding live thread — so a thread spinning in
+     a yield loop is forced to let the threads it waits on run. Non-yield
+     operations are never restricted. *)
+  let fair_ok w (ctx : Runtime.ctx) t =
+    match w.w_fair with
+    | None -> true
+    | Some b ->
+        (not (Runtime.pending_is_yield ctx.c_rt t))
+        ||
+        let min_y = ref max_int in
+        for tid = 0 to ctx.c_n_threads - 1 do
+          if Runtime.thread_live ctx.c_rt tid then
+            min_y := min !min_y (yield_count w tid)
+        done;
+        yield_count w t + 1 - !min_y <= b
+
+  let cut w =
+    w.aux_pruned <- true;
+    w.cut_run <- true;
+    raise Runtime.Cut
 
   let begin_run w =
     w.depth <- 0;
     w.cur_count <- 0;
-    w.branched_below <- false
+    w.branched_below <- false;
+    w.cut_run <- false;
+    w.foot_len <- 0;
+    if w.w_fair <> None then Array.fill w.yields 0 (Array.length w.yields) 0
 
   let choose w (ctx : Runtime.ctx) =
     let i = w.depth in
+    (* length bounding: schedules of length exactly [l] are still admitted;
+       asking for decision [l] means the run would exceed it *)
+    (match w.w_length with Some l when i >= l -> cut w | _ -> ());
     w.depth <- i + 1;
     if i < w.replay_len then begin
       let fr = w.st.frames.(i) in
@@ -133,13 +240,19 @@ module Walk = struct
               mismatch at decision %d (is the program's state created \
               inside its closure?)"
              i);
-      w.cur_count <- w.cur_count + delta w ctx fr.chosen;
+      commit_count w ctx fr.chosen;
+      if w.w_fair <> None then note_yield w ctx fr.chosen;
       fr.chosen
     end
     else begin
       match ctx.c_enabled with
       | [ t ] ->
-          (* the only child; its delta is 0, so it is always in bound *)
+          (* the only child; its delta is 0, so it is always in bound —
+             but fair bounding may still cut an unaccompanied yield loop *)
+          if w.w_fair <> None then begin
+            if not (fair_ok w ctx t) then cut w;
+            note_yield w ctx t
+          end;
           if i < w.w_max_branch_depth then
             push w.st ~chosen:t ~rest:[] ~enabled:ctx.c_enabled
               ~fp:ctx.c_enabled_fp;
@@ -150,15 +263,36 @@ module Walk = struct
           in
           let allowed =
             List.filter
-              (fun t -> w.cur_count + delta w ctx t <= w.w_bound_c)
+              (fun t ->
+                w.cur_count + delta w ctx t <= w.w_bound_c && fair_ok w ctx t)
               order
           in
-          if List.compare_lengths allowed order < 0 then w.pruned <- true;
+          if List.compare_lengths allowed order < 0 then begin
+            (* attribute the shortfall: a structural-bound cut climbs
+               iterated-bounding levels ([pruned]); a fair cut only clears
+               completeness ([aux_pruned]) — no larger structural bound
+               would restore the filtered children *)
+            if
+              List.exists
+                (fun t -> w.cur_count + delta w ctx t > w.w_bound_c)
+                order
+            then w.pruned <- true;
+            if
+              List.exists
+                (fun t ->
+                  w.cur_count + delta w ctx t <= w.w_bound_c
+                  && not (fair_ok w ctx t))
+                order
+            then w.aux_pruned <- true
+          end;
           match allowed with
           | [] ->
-              (* A zero-cost child always exists within any bound (see
-                 DESIGN), so the filtered list cannot be empty. *)
-              assert false
+              (* A zero-cost child always exists within any structural
+                 bound (see DESIGN), so only the fair filter can empty the
+                 list: every enabled thread is an over-bound yield.
+                 Abandon the execution. *)
+              w.cut_run <- true;
+              raise Runtime.Cut
           | t :: rest ->
               if i >= w.w_max_branch_depth then begin
                 (* frontier-enumeration mode: below the split depth, follow
@@ -167,7 +301,8 @@ module Walk = struct
                 if rest <> [] then w.branched_below <- true
               end
               else push w.st ~chosen:t ~rest ~enabled ~fp:ctx.c_enabled_fp;
-              w.cur_count <- w.cur_count + delta w ctx t;
+              commit_count w ctx t;
+              if w.w_fair <> None then note_yield w ctx t;
               t)
     end
 
@@ -197,6 +332,9 @@ module Walk = struct
       match w.w_bound with
       | Unbounded | Preemption _ -> res.r_pc
       | Delay _ -> res.r_dc
+      (* footprint cardinality is path-dependent, so it is read off the
+         walk's own accounting at the terminal, not the result record *)
+      | Variable _ | Threads _ -> w.cur_count
     in
     match w.w_count_exact with None -> true | Some c -> exact = c
 
@@ -215,12 +353,19 @@ module Walk = struct
               (fr.chosen, fr.f_enabled))
         in
         f res { fi_prefix; fi_branched_below = w.branched_below });
-    let v_counts = counts w res in
+    let cut = w.cut_run in
+    let v_counts = (not cut) && counts w res in
     w.exhausted <- not (backtrack w);
-    { Strategy.v_counts; v_phase_over = w.exhausted }
+    { Strategy.v_counts; v_phase_over = w.exhausted; v_cut = cut }
 
   let pruned w = w.pruned
+  let aux_pruned w = w.aux_pruned
   let exhausted w = w.exhausted
+
+  (* Whether the walk carries an execution-level filter (fair or length
+     bounding). Unrestricted walks are the only ones whose schedule trees
+     the prefix-batch and POR machineries may restructure. *)
+  let restricted w = w.w_fair <> None || w.w_length <> None
 end
 
 (* --- the single-level STRATEGY instance --------------------------------- *)
@@ -230,8 +375,8 @@ let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
     let technique = technique
     let tracks_distinct = false
     let respects_limit = true
-    let supports_prefix_batch = true
-    let supports_por = true
+    let supports_prefix_batch = not (Walk.restricted w)
+    let supports_por = not (Walk.restricted w)
 
     type state = { w : Walk.t; mutable started : bool }
 
@@ -241,7 +386,7 @@ let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
       if st.started then
         Strategy.Finished
           {
-            f_complete = Walk.exhausted st.w;
+            f_complete = Walk.exhausted st.w && not (Walk.aux_pruned st.w);
             f_bound = None;
             f_bound_complete = false;
             f_new_at_bound = false;
@@ -257,8 +402,8 @@ let strategy_of_walk ?(technique = "DFS") (w : Walk.t) : Strategy.t =
     let on_terminal st res = Walk.on_terminal st.w res
   end)
 
-let strategy ?count_exact ~bound () =
-  strategy_of_walk (Walk.make ?count_exact ~bound ())
+let strategy ?count_exact ?fair ?length ~bound () =
+  strategy_of_walk (Walk.make ?count_exact ?fair ?length ~bound ())
 
 (* --- walk-result lifting and the compatibility front-end ---------------- *)
 
@@ -298,10 +443,12 @@ let stats_of ~technique (r : level_result) =
     steps_saved = r.steps_saved;
   }
 
-let explore ?promote ?max_steps ?count_exact ?on_schedule ?record_decisions
-    ?prefix ?max_branch_depth ?on_exec ?deadline ~bound ~limit program =
+let explore ?promote ?max_steps ?count_exact ?fair ?length ?on_schedule
+    ?record_decisions ?prefix ?max_branch_depth ?on_exec ?deadline ~bound
+    ~limit program =
   let w =
-    Walk.make ?prefix ?max_branch_depth ?count_exact ?on_exec ~bound ()
+    Walk.make ?prefix ?max_branch_depth ?count_exact ?fair ?length ?on_exec
+      ~bound ()
   in
   let s =
     Driver.explore ?promote ?max_steps ?record_decisions ?on_schedule

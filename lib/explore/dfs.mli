@@ -16,6 +16,15 @@ type bound =
   | Unbounded
   | Preemption of int  (** prune schedules with [PC > c] *)
   | Delay of int  (** prune schedules with [DC > c] *)
+  | Variable of int
+      (** variable bounding: prune schedules that preempt around more than
+          [c] distinct shared objects — the cost of a preemption is 1 only
+          the first time the preempted thread's pending shared object (id
+          [-1] for objectless operations) enters the run's footprint *)
+  | Threads of int
+      (** thread bounding: prune schedules that preempt more than [c]
+          distinct threads — the cost of a preemption is 1 only the first
+          time the preempted thread enters the run's footprint *)
 
 type level_result = Strategy.walk_result = {
   counted : int;  (** terminal schedules counted by this call *)
@@ -57,10 +66,20 @@ module Walk : sig
     ?prefix:(Sct_core.Tid.t * Sct_core.Tid.t list) array ->
     ?max_branch_depth:int ->
     ?count_exact:int ->
+    ?fair:int ->
+    ?length:int ->
     ?on_exec:(Sct_core.Runtime.result -> frontier_info -> unit) ->
     bound:bound ->
     unit ->
     t
+  (** [fair] composes fair bounding with the structural bound: a thread may
+      yield only while its per-run yield count stays within [fair] of the
+      least-yielding live thread; when every enabled candidate is an
+      over-bound yield the execution is abandoned ({!Sct_core.Runtime.Cut},
+      a [v_cut] verdict). [length] cuts executions asking for more than
+      [length] decisions (schedules of exactly [length] still count). Both
+      filters only remove whole runs, never restructure the tree, so the
+      walk order of surviving schedules is unchanged. *)
 
   val begin_run : t -> unit
   val choose : t -> Sct_core.Runtime.ctx -> Sct_core.Tid.t
@@ -72,20 +91,39 @@ module Walk : sig
 
   val counts : t -> Sct_core.Runtime.result -> bool
   val pruned : t -> bool
+
+  val aux_pruned : t -> bool
+  (** Some execution was cut (or some candidate filtered) by the fair or
+      length filter: the walk is no longer complete for the underlying
+      structural bound, and no larger structural bound restores the cut
+      children (iterative bounding must not climb levels over it). *)
+
   val exhausted : t -> bool
+
+  val restricted : t -> bool
+  (** The walk carries a fair or length filter. Restricted walks declare
+      [supports_prefix_batch = false] and [supports_por = false]: both
+      machineries restructure the schedule tree, which is only sound for
+      unrestricted walks. *)
 end
 
 val strategy_of_walk : ?technique:string -> Walk.t -> Strategy.t
 (** The single-phase strategy driving the given walk; the caller keeps the
     walk to read {!Walk.pruned} after the campaign. *)
 
-val strategy : ?count_exact:int -> bound:bound -> unit -> Strategy.t
-(** A fresh single-level DFS strategy (the [--technique dfs] registration). *)
+val strategy :
+  ?count_exact:int -> ?fair:int -> ?length:int -> bound:bound -> unit ->
+  Strategy.t
+(** A fresh single-level DFS strategy (the [--technique dfs] registration;
+    with [fair]/[length], the execution-level bounding axes of
+    {!Axes}). *)
 
 val explore :
   ?promote:(string -> bool) ->
   ?max_steps:int ->
   ?count_exact:int ->
+  ?fair:int ->
+  ?length:int ->
   ?on_schedule:(Sct_core.Runtime.result -> unit) ->
   ?record_decisions:bool ->
   ?prefix:(Sct_core.Tid.t * Sct_core.Tid.t list) array ->

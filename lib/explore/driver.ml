@@ -12,6 +12,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
   let st = S.init () in
   let limit = if S.respects_limit then limit else max_int in
   let counted = ref 0 in
+  let cuts = ref 0 in
   let phase_counted = ref 0 in
   let buggy = ref 0 in
   let to_first_bug = ref None in
@@ -47,9 +48,11 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
   (* Reduced (POR) campaigns budget raw executions, not only counted
      schedules: a reduction that counts few schedules would otherwise
      never spend its budget and climb bound levels through an
-     astronomically larger raw tree. *)
+     astronomically larger raw tree. Cut executions (fair/length bounding)
+     are charged the same way: a cut prefix is not a terminal schedule, but
+     a cut-heavy space must not spin without budget progress. *)
   let budget_spent () =
-    !counted >= limit
+    !counted + !cuts >= limit
     || match max_executions with Some m -> !executions >= m | None -> false
   in
   let rec phases () =
@@ -74,6 +77,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     max_enabled := max !max_enabled res.Runtime.r_max_enabled;
     max_points := max !max_points res.Runtime.r_multi_points;
     let v = S.on_terminal st res in
+    if v.Strategy.v_cut then incr cuts;
     if v.Strategy.v_counts then begin
       incr counted;
       incr phase_counted;
@@ -130,6 +134,7 @@ let explore ?(promote = fun _ -> false) ?(max_steps = 100_000)
     max_sched_points = !max_points;
     executions = !executions;
     steps_executed = !steps;
+    cut_runs = !cuts;
     distinct_schedules = !seen;
   }
 

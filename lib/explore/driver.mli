@@ -27,7 +27,11 @@ val explore :
     executions ([Stats.hit_deadline]), or — with [stop_on_bug] — the first
     buggy schedule was counted. When both fire on the same execution the
     schedule limit wins, so deadline-free runs are byte-for-byte
-    deterministic.
+    deterministic. Cut executions ([v_cut] verdicts, fair/length bounding)
+    are charged against the schedule budget alongside counted terminals
+    (the limit check is [counted + cut_runs >= limit]) and reported as
+    [Stats.cut_runs]: a cut prefix is not a terminal schedule, but a
+    cut-heavy space must not spin without budget progress.
 
     [max_executions] (default: unlimited) additionally charges the budget
     per raw execution, counted or not, reported as [Stats.hit_limit]. The

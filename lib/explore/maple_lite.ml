@@ -316,6 +316,7 @@ let strategy ?(promote = fun _ -> false) ?(profile_runs = 10) ~seed () :
         Strategy.v_counts = true;
         v_phase_over =
           (match st.stage with Finished_ -> true | _ -> false);
+        v_cut = false;
       }
   end)
 

@@ -99,7 +99,8 @@ let strategy ?(promote = fun _ -> false) ?(max_steps = 100_000)
 
     let listener _ = None
     let choose st ctx = pct_choose ~change_points st.run ctx
-    let on_terminal _ _ = { Strategy.v_counts = true; v_phase_over = false }
+    let on_terminal _ _ =
+      { Strategy.v_counts = true; v_phase_over = false; v_cut = false }
   end)
 
 let explore_shard ?promote ?max_steps ?change_points ?deadline ~seed ~k ~lo

@@ -152,7 +152,10 @@ module Walk = struct
       w_bound_c =
         (match bound with
         | Dfs.Unbounded -> max_int
-        | Dfs.Preemption c | Dfs.Delay c -> c);
+        | Dfs.Preemption c | Dfs.Delay c -> c
+        | Dfs.Variable _ | Dfs.Threads _ ->
+            (* the footprint bounds declare [supports_por = false] *)
+            invalid_arg "Sct_explore.Por: footprint bounds are unsupported");
       w_count_exact = count_exact;
       w_on_prune = on_prune;
       st = { frames = Array.make 1024 dummy_frame; len = 0 };
@@ -173,6 +176,7 @@ module Walk = struct
     | Dfs.Unbounded -> 0
     | Dfs.Preemption _ -> Preemption.delta ~last ~enabled t
     | Dfs.Delay _ -> Delay.delays ~n ~last ~enabled t
+    | Dfs.Variable _ | Dfs.Threads _ -> assert false (* rejected by [make] *)
 
   let clock_of w t =
     match Hashtbl.find_opt w.clocks t with
@@ -476,6 +480,7 @@ module Walk = struct
         match w.w_bound with
         | Dfs.Unbounded | Dfs.Preemption _ -> res.Runtime.r_pc
         | Dfs.Delay _ -> res.Runtime.r_dc
+        | Dfs.Variable _ | Dfs.Threads _ -> assert false (* rejected by [make] *)
       in
       match w.w_count_exact with None -> true | Some c -> exact = c
 
@@ -486,7 +491,7 @@ module Walk = struct
       w.w_on_prune ()
     end;
     w.exhausted <- not (backtrack w);
-    { Strategy.v_counts; v_phase_over = w.exhausted }
+    { Strategy.v_counts; v_phase_over = w.exhausted; v_cut = false }
 
   let pruned w = w.pruned
   let pruned_runs w = w.pruned_runs

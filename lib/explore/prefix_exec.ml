@@ -141,6 +141,9 @@ let run_worker ~result_w ~control_r ?promote ?max_steps ~(prefix : Strategy.pref
     match bound with
     | Dfs.Unbounded -> max_int
     | Dfs.Preemption c | Dfs.Delay c -> c
+    | Dfs.Variable _ | Dfs.Threads _ ->
+        (* the footprint bounds declare [supports_prefix_batch = false] *)
+        invalid_arg "Sct_explore.Prefix_exec: footprint bounds are unsupported"
   in
   let depth = ref 0 in
   let cur = ref 0 in
@@ -153,6 +156,7 @@ let run_worker ~result_w ~control_r ?promote ?max_steps ~(prefix : Strategy.pref
     | Dfs.Delay _ ->
         Delay.delays ~n:ctx.c_n_threads ~last:ctx.c_last ~enabled:ctx.c_enabled
           t
+    | Dfs.Variable _ | Dfs.Threads _ -> assert false (* rejected above *)
   in
   let reap pid =
     match snd (Unix.waitpid [] pid) with
@@ -235,6 +239,9 @@ let fork_explore ?promote ?max_steps ?count_exact ?(prefix = [||]) ?deadline
       match bound with
       | Dfs.Unbounded | Dfs.Preemption _ -> res.r_pc
       | Dfs.Delay _ -> res.r_dc
+      | Dfs.Variable _ | Dfs.Threads _ ->
+          invalid_arg
+            "Sct_explore.Prefix_exec: footprint bounds are unsupported"
     in
     match count_exact with None -> true | Some c -> exact = c
   in

@@ -49,7 +49,8 @@ let strategy ?(seed = 0) ?(lo = 0) () : Strategy.t =
 
     let listener _ = None
     let choose st ctx = uniform_choose st.rng ctx
-    let on_terminal _ _ = { Strategy.v_counts = true; v_phase_over = false }
+    let on_terminal _ _ =
+      { Strategy.v_counts = true; v_phase_over = false; v_cut = false }
   end)
 
 let explore_shard ?promote ?max_steps ?stop_on_bug ?deadline ~seed ~lo ~hi

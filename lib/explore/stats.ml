@@ -31,6 +31,7 @@ type t = {
   steps_executed : int;
   steps_saved : int;
   por_pruned : int;
+  cut_runs : int;
   distinct_schedules : Sched_set.t option;
 }
 
@@ -66,6 +67,7 @@ let base ~technique =
     steps_executed = 0;
     steps_saved = 0;
     por_pruned = 0;
+    cut_runs = 0;
     distinct_schedules = None;
   }
 
@@ -134,6 +136,7 @@ let merge a b =
     steps_executed = a.steps_executed + b.steps_executed;
     steps_saved = a.steps_saved + b.steps_saved;
     por_pruned = a.por_pruned + b.por_pruned;
+    cut_runs = a.cut_runs + b.cut_runs;
     distinct_schedules =
       merge_opt Sched_set.union a.distinct_schedules b.distinct_schedules;
   }
@@ -157,6 +160,7 @@ let equal a b =
   && a.steps_executed = b.steps_executed
   && a.steps_saved = b.steps_saved
   && a.por_pruned = b.por_pruned
+  && a.cut_runs = b.cut_runs
   && Option.equal Sched_set.equal a.distinct_schedules b.distinct_schedules
 
 let pp ppf t =
@@ -169,6 +173,7 @@ let pp ppf t =
     ^ (if t.steps_saved > 0 then
          Printf.sprintf " steps=%d saved=%d" t.steps_executed t.steps_saved
        else "")
+    ^ (if t.por_pruned > 0 then Printf.sprintf " por_pruned=%d" t.por_pruned
+       else "")
     ^
-    if t.por_pruned > 0 then Printf.sprintf " por_pruned=%d" t.por_pruned
-    else "")
+    if t.cut_runs > 0 then Printf.sprintf " cuts=%d" t.cut_runs else "")

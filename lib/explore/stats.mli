@@ -62,6 +62,13 @@ type t = {
           [0] on campaigns without [--por]; summed by {!merge}; emitted by
           the store codec only when nonzero, so pre-POR journals and
           fingerprints round-trip byte-identically. *)
+  cut_runs : int;
+      (** executions abandoned mid-run by an execution-level bound (fair or
+          length bounding): truncated prefixes, not terminal schedules, but
+          charged against the budget alongside [total]. [0] for every other
+          technique; summed by {!merge}; emitted by the store codec only
+          when nonzero, so pre-existing journals and fingerprints
+          round-trip byte-identically. *)
   distinct_schedules : Sched_set.t option;
       (** the distinct schedules among [total], when the technique tracks
           them (the random scheduler re-explores duplicates, paper §3);

@@ -15,7 +15,7 @@ type finish = {
 }
 
 type phase_step = Phase of phase | Finished of finish
-type verdict = { v_counts : bool; v_phase_over : bool }
+type verdict = { v_counts : bool; v_phase_over : bool; v_cut : bool }
 
 module type STRATEGY = sig
   val technique : string

@@ -41,6 +41,12 @@ type verdict = {
       (** the terminal schedule counts against the budget (iterative
           bounding replays out-of-level schedules without counting them) *)
   v_phase_over : bool;  (** the phase is exhausted; ask for the next one *)
+  v_cut : bool;
+      (** the execution was cut mid-run by an execution-level bound (fair
+          or length bounding raised {!Sct_core.Runtime.Cut}): the truncated
+          prefix is not a terminal schedule ([v_counts] is false), but the
+          driver charges it against the budget so cut-heavy spaces cannot
+          spin without budget progress *)
 }
 
 module type STRATEGY = sig

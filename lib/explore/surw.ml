@@ -144,7 +144,8 @@ let strategy ?(promote = fun _ -> false) ?(max_steps = 100_000) ?estimates
 
     let listener _ = None
     let choose st ctx = surw_choose st.run ctx
-    let on_terminal _ _ = { Strategy.v_counts = true; v_phase_over = false }
+    let on_terminal _ _ =
+      { Strategy.v_counts = true; v_phase_over = false; v_cut = false }
   end)
 
 let explore_shard ?promote ?max_steps ?deadline ~estimates ~seed ~lo ~hi

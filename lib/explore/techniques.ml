@@ -1,7 +1,18 @@
-type t = IPB | IDB | DFS | Rand | PCT | Maple | SURW
+type t =
+  | IPB
+  | IDB
+  | DFS
+  | Rand
+  | PCT
+  | Maple
+  | SURW
+  | Fair
+  | Length
+  | IVB
+  | ITB
 
 let all_paper = [ IPB; IDB; DFS; Rand; Maple ]
-let all = [ IPB; IDB; DFS; Rand; PCT; Maple; SURW ]
+let all = [ IPB; IDB; DFS; Rand; PCT; Maple; SURW; Fair; Length; IVB; ITB ]
 
 let name = function
   | IPB -> "IPB"
@@ -11,6 +22,10 @@ let name = function
   | PCT -> "PCT"
   | Maple -> "MapleAlg"
   | SURW -> "SURW"
+  | Fair -> "Fair"
+  | Length -> "Length"
+  | IVB -> "IVB"
+  | ITB -> "ITB"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -21,9 +36,17 @@ let of_name s =
   | "pct" -> Some PCT
   | "maple" | "maplealg" -> Some Maple
   | "surw" -> Some SURW
+  | "fair" -> Some Fair
+  | "length" -> Some Length
+  | "ivb" -> Some IVB
+  | "itb" -> Some ITB
   | _ -> None
 
-let valid_names = [ "ipb"; "idb"; "dfs"; "rand"; "pct"; "maple"; "surw" ]
+let valid_names =
+  [
+    "ipb"; "idb"; "dfs"; "rand"; "pct"; "maple"; "surw"; "fair"; "length";
+    "ivb"; "itb";
+  ]
 
 let parse_list ?(default = all_paper) specs =
   let names =
@@ -65,6 +88,8 @@ type options = {
   time_limit : float option;
   prefix_batch : bool;
   por : Por.mode option;
+  fair_bound : int;
+  length_bound : int;
 }
 
 let default_options =
@@ -80,6 +105,8 @@ let default_options =
     time_limit = None;
     prefix_batch = false;
     por = None;
+    fair_bound = Axes.default_fair_bound;
+    length_bound = Axes.default_length_bound;
   }
 
 let deadline_of o = Driver.deadline_of_time_limit o.time_limit
@@ -102,6 +129,18 @@ let strategy ?(promote = fun _ -> false) o technique program =
         ~seed:o.seed ()
   | SURW ->
       Surw.strategy ~promote ~max_steps:o.max_steps ~seed:o.seed program ()
+  | Fair -> Axes.fair ~bound:o.fair_bound ()
+  | Length -> Axes.length ~bound:o.length_bound ()
+  | IVB -> Axes.variable ()
+  | ITB -> Axes.threads ()
+
+(* The bounding axes beyond the paper run on the sequential driver for
+   every [--jobs] value: their schedule trees cannot be partitioned by the
+   frontier (path-dependent footprint counting, execution-level cuts), and
+   a sequential cell inside a parallel suite stays byte-identical. *)
+let sequential_only = function
+  | Fair | Length | IVB | ITB -> true
+  | IPB | IDB | DFS | Rand | PCT | Maple | SURW -> false
 
 (* Declared parallel plan per technique, consumed by Sct_parallel.Drivers.
    Again pure registration: the technique only names its capability
@@ -138,6 +177,12 @@ let sharding ?(promote = fun _ -> false) o technique program =
   | SURW ->
       Surw.sharding ~promote ~max_steps:o.max_steps ?deadline ~seed:o.seed
         program
+  | Fair | Length | IVB | ITB ->
+      invalid_arg
+        (Printf.sprintf
+           "Sct_explore.Techniques.sharding: %s is sequential-only \
+            (Sct_parallel.Drivers.run routes it to the sequential driver)"
+           (name technique))
 
 let supports_prefix_batch technique =
   (* read off the strategy's declared capability; options/program do not
@@ -179,7 +224,7 @@ let run_por ~promote ~(mode : Por.mode) o technique program =
     | IDB ->
         Bounded.explore ~promote ~max_steps:o.max_steps ~por:mode ~on_prune
           ?deadline ~kind:Bounded.Delay_bounding ~limit:o.limit program
-    | Rand | PCT | Maple | SURW -> assert false
+    | Rand | PCT | Maple | SURW | Fair | Length | IVB | ITB -> assert false
   in
   { s with Stats.por_pruned = !pruned }
 
@@ -203,7 +248,7 @@ let run ?(promote = fun _ -> false) o technique program =
     | IDB ->
         Bounded.explore_batched ~promote ~max_steps:o.max_steps ?deadline
           ~kind:Bounded.Delay_bounding ~limit:o.limit program
-    | Rand | PCT | Maple | SURW -> assert false
+    | Rand | PCT | Maple | SURW | Fair | Length | IVB | ITB -> assert false
   end
   else
     Driver.explore ~promote ~max_steps:o.max_steps ?deadline:(deadline_of o)

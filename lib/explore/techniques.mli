@@ -5,11 +5,23 @@
     Every technique is a {!Strategy.STRATEGY} value; {!run} is nothing but
     {!Driver.explore} applied to the registered strategy. *)
 
-type t = IPB | IDB | DFS | Rand | PCT | Maple | SURW
+type t =
+  | IPB
+  | IDB
+  | DFS
+  | Rand
+  | PCT
+  | Maple
+  | SURW
+  | Fair  (** fair bounding over iterative preemption bounding ({!Axes}) *)
+  | Length  (** length bounding ({!Axes}) *)
+  | IVB  (** iterative variable bounding ({!Axes}) *)
+  | ITB  (** iterative thread bounding ({!Axes}) *)
 
 val all_paper : t list
 (** The five techniques of Table 3, in the paper's column order. PCT and
-    SURW are study extensions, excluded from the paper tables by default. *)
+    SURW are study extensions, excluded from the paper tables by default;
+    so are the {!Axes} bounding axes (Fair, Length, IVB, ITB). *)
 
 val all : t list
 (** Every technique, paper order first, then the extensions. *)
@@ -62,12 +74,20 @@ type options = {
           [prefix_batch] — a POR cell always runs unbatched (visible as
           [Stats.steps_saved = 0]) and sequential for every [jobs] value;
           other techniques are unaffected *)
+  fair_bound : int;
+      (** the Fair technique's yield-difference bound ([--fair-bound],
+          default {!Axes.default_fair_bound}); other techniques ignore it *)
+  length_bound : int;
+      (** the Length technique's schedule-length bound ([--length-bound],
+          default {!Axes.default_length_bound}); other techniques ignore
+          it *)
 }
 
 val default_options : options
 (** [limit = 10_000; seed = 0; max_steps = 100_000; race_runs = 10;
     pct_change_points = 2; maple_profile_runs = 10; jobs = 1;
-    split_depth = 3; time_limit = None; prefix_batch = false; por = None]. *)
+    split_depth = 3; time_limit = None; prefix_batch = false; por = None;
+    fair_bound = 5; length_bound = 250]. *)
 
 val deadline_of : options -> float option
 (** The absolute deadline for a campaign starting now, from
@@ -81,6 +101,13 @@ val strategy :
 (** The registered strategy of a technique under the given options — pure
     registration; all control flow lives in {!Driver.explore}. *)
 
+val sequential_only : t -> bool
+(** The technique runs on the sequential driver for every [--jobs] value
+    (the {!Axes} techniques: their schedule trees cannot be partitioned by
+    the frontier). [Sct_parallel.Drivers.run] consults this before
+    {!sharding}; suite-level cell parallelism still applies, and cell
+    statistics stay byte-identical across [jobs]. *)
+
 val sharding :
   ?promote:(string -> bool) ->
   options ->
@@ -88,7 +115,8 @@ val sharding :
   (unit -> unit) ->
   Strategy.sharding
 (** The declared parallel plan of a technique, dispatched by
-    [Sct_parallel.Drivers] from the capability constructor alone. *)
+    [Sct_parallel.Drivers] from the capability constructor alone.
+    @raise Invalid_argument on a {!sequential_only} technique. *)
 
 val supports_prefix_batch : t -> bool
 (** The technique's declared [supports_prefix_batch] capability (read off

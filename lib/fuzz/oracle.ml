@@ -90,18 +90,27 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
       | None, Some _ -> fail "algebra" "%s: witness without to_first_bug" n);
       if t <> Techniques.Maple then begin
         require "algebra"
-          (s.Stats.total <= cfg.limit)
-          "%s: total=%d exceeds the budget %d" n s.Stats.total cfg.limit;
+          (s.Stats.total + s.Stats.cut_runs <= cfg.limit)
+          "%s: total=%d + cuts=%d exceeds the budget %d" n s.Stats.total
+          s.Stats.cut_runs cfg.limit;
         (* reduced campaigns also budget raw executions (see
            Driver.explore), so under [por] the limit may be hit with fewer
-           counted schedules than the budget *)
+           counted schedules than the budget; cut executions (fair/length
+           bounding) charge the budget the same way without counting *)
         require "algebra"
           ((not s.Stats.hit_limit)
-          || s.Stats.total = cfg.limit
+          || s.Stats.total + s.Stats.cut_runs = cfg.limit
           || (cfg.por <> None && s.Stats.executions = cfg.limit))
-          "%s: hit_limit with total=%d <> limit=%d (executions=%d)" n
-          s.Stats.total cfg.limit s.Stats.executions
+          "%s: hit_limit with total=%d + cuts=%d <> limit=%d (executions=%d)"
+          n s.Stats.total s.Stats.cut_runs cfg.limit s.Stats.executions
       end;
+      (* only the execution-level filters may abandon runs *)
+      (match t with
+      | Techniques.Fair | Techniques.Length -> ()
+      | _ ->
+          require "algebra" (s.Stats.cut_runs = 0)
+            "%s: cut_runs=%d on a technique with no execution-level filter"
+            n s.Stats.cut_runs);
       (match Stats.distinct s with
       | None -> ()
       | Some d ->
@@ -206,6 +215,69 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
       end
   | _ -> ());
 
+  (* ---- axes agreement: complete bounding-axis campaigns vs full DFS ---- *)
+  (* Fair/Length/IVB/ITB report [complete] only when no run was cut and no
+     candidate was filtered — the walk provably covered the whole schedule
+     space. Such a campaign must agree with exhaustive DFS on bug-freedom,
+     and (comparing two plain walks of the same tree) count the same
+     schedules. Under [por] the DFS cell is reduced while the axes always
+     run plain, so only the bug agreement applies. *)
+  (match dfs_stat with
+  | Some dfs when dfs.Stats.complete ->
+      List.iter
+        (fun t ->
+          match stat t with
+          | Some s when s.Stats.complete ->
+              require "axes-agreement"
+                (Stats.found s = Stats.found dfs)
+                "%s explored the whole space but disagrees with exhaustive \
+                 DFS on bug-freedom"
+                (tname t);
+              if (not (Stats.found dfs)) && cfg.por = None then
+                require "axes-agreement"
+                  (s.Stats.total = dfs.Stats.total)
+                  "%s counted %d schedules on an exhausted bug-free space \
+                   of %d"
+                  (tname t) s.Stats.total dfs.Stats.total
+          | _ -> ())
+        [ Techniques.Fair; Techniques.Length; Techniques.IVB; Techniques.ITB ]
+  | _ -> ());
+
+  (* ---- axes at an unreachable bound: nothing cut, nothing lost --------- *)
+  (* Fair bounding at a bound no yield imbalance can reach admits every
+     schedule the plain preemption-bounded walk admits, and length bounding
+     at an unreachable cap never cuts: each must be byte-identical to its
+     unrestricted counterpart (modulo the technique name) — the no-bug-lost
+     direction of the execution-level filters. *)
+  (let m = sub_limit cfg.limit in
+   let o_sub =
+     { o with Techniques.limit = m; prefix_batch = false; por = None }
+   in
+   if selected Techniques.Fair && selected Techniques.IPB then begin
+     let ipb = Techniques.run ~promote o_sub Techniques.IPB program in
+     let fair =
+       Techniques.run ~promote
+         { o_sub with Techniques.fair_bound = max_int }
+         Techniques.Fair program
+     in
+     require "axes-unbounded"
+       (Stats.equal { fair with Stats.technique = ipb.Stats.technique } ipb)
+       "Fair at an unreachable bound differs from plain IPB (%a vs %a)"
+       Stats.pp fair Stats.pp ipb
+   end;
+   if selected Techniques.Length && selected Techniques.DFS then begin
+     let dfs = Techniques.run ~promote o_sub Techniques.DFS program in
+     let len =
+       Techniques.run ~promote
+         { o_sub with Techniques.length_bound = max_int }
+         Techniques.Length program
+     in
+     require "axes-unbounded"
+       (Stats.equal { len with Stats.technique = dfs.Stats.technique } dfs)
+       "Length at an unreachable cap differs from plain DFS (%a vs %a)"
+       Stats.pp len Stats.pp dfs
+   end);
+
   (* ---- POR vs full DFS, all locations visible -------------------------- *)
   (* A DFS-based cross-check; skipped when the campaign deselected DFS. *)
   let por_limit = sub_limit cfg.limit in
@@ -258,6 +330,8 @@ let check ?(wrap = fun r -> r) cfg ~seed program =
               match bound with
               | Dfs.Preemption c -> Printf.sprintf "pb=%d" c
               | Dfs.Delay c -> Printf.sprintf "db=%d" c
+              | Dfs.Variable c -> Printf.sprintf "vb=%d" c
+              | Dfs.Threads c -> Printf.sprintf "tb=%d" c
               | Dfs.Unbounded -> "unbounded"
             in
             let plain =

@@ -1,7 +1,8 @@
 (** The cross-technique differential oracle.
 
     One generated program is run under every technique of the study
-    (DFS, IPB, IDB, Rand, PCT, MapleAlg, SURW) through the real pipeline —
+    (DFS, IPB, IDB, Rand, PCT, MapleAlg, SURW, and the Fair/Length/IVB/ITB
+    bounding axes) through the real pipeline —
     race detection, promotion, then {!Sct_explore.Techniques.run} — and the
     relational guarantees the paper's headline claims rest on are checked:
 
@@ -25,8 +26,17 @@
     - {b Witness replayability} (paper §1): every reported bug witness must
       replay through {!Sct_explore.Replay} to the same bug, by the same
       thread, with the same preemption and delay counts.
-    - {b Schedule-count algebra}: counted schedules never exceed the
-      budget; [hit_limit] means the budget was spent exactly; distinct
+    - {b Axes agreement / no bug lost}: a Fair/Length/IVB/ITB campaign
+      reporting [complete] provably covered the whole schedule space, so
+      it must agree with exhaustive DFS on bug-freedom (and, two plain
+      walks of one tree, on the schedule count); Fair at an unreachable
+      yield bound must be byte-identical to plain IPB, and Length at an
+      unreachable cap byte-identical to plain DFS, modulo the technique
+      name — nothing is cut, so nothing is lost.
+    - {b Schedule-count algebra}: counted schedules plus cut runs never
+      exceed the budget; [hit_limit] means the budget was spent exactly
+      (cut executions charge it without counting); only the
+      execution-level filters (Fair, Length) may cut runs; distinct
       schedules are between 1 and [total]; bound-[c] walk counts are
       monotone in [c], and delay-bounded counts never exceed
       preemption-bounded counts at the same level (DC ≥ PC, paper §2);

@@ -67,6 +67,8 @@ let run ~pool ?(promote = fun _ -> false) (o : Techniques.options) technique
     (* POR campaigns likewise: backtrack and sleep sets are global to the
        reduction walk, so depth-[split_depth] subtrees are not independent
        and the frontier cannot partition them (see por.mli) *)
+    || Techniques.sequential_only technique
+    (* the Axes bounding techniques declare no parallel plan at all *)
   then Techniques.run ~promote o technique program
   else
     match Techniques.sharding ~promote o technique program with

@@ -7,6 +7,7 @@ type suite =
   | Parsec
   | Radbench
   | Splash2
+  | Yield
   | Corpus
 
 let suite_name = function
@@ -18,6 +19,7 @@ let suite_name = function
   | Parsec -> "parsec"
   | Radbench -> "radbench"
   | Splash2 -> "splash2"
+  | Yield -> "yield"
   | Corpus -> "corpus"
 
 let suite_of_name s =
@@ -30,6 +32,7 @@ let suite_of_name s =
   | "parsec" -> Some Parsec
   | "radbench" -> Some Radbench
   | "splash2" | "splash" -> Some Splash2
+  | "yield" -> Some Yield
   | "corpus" -> Some Corpus
   | _ -> None
 
@@ -108,4 +111,5 @@ let table1_types = function
   | Parsec -> "Parallel workloads"
   | Radbench -> "Tests cases for real applications"
   | Splash2 -> "Parallel workloads"
+  | Yield -> "Spin/yield-loop test cases for fair and length bounding"
   | Corpus -> "Mined extension suite (generated programs promoted by corpus)"

@@ -6,9 +6,13 @@
     Table 3 row for the benchmark is carried alongside, so the benches can
     report paper-vs-measured shape agreement. *)
 
-(** [Corpus] is the mined extension suite: entries promoted by the
-    [Sct_corpus] factory rather than reimplemented from SCTBench. It never
-    appears in Table 1 (which renders the paper's eight suites). *)
+(** [Yield] is the yield-loop extension family ({!Yield_loops}): spin/yield
+    programs exercising fair and length bounding. [Corpus] is the mined
+    extension suite: entries promoted by the [Sct_corpus] factory rather
+    than reimplemented from SCTBench. Neither appears in Table 1 (which
+    renders the paper's eight suites), and neither takes part in the
+    paper-agreement report — their [paper_row]s record this model's own
+    expectations. *)
 type suite =
   | CB
   | CHESS
@@ -18,6 +22,7 @@ type suite =
   | Parsec
   | Radbench
   | Splash2
+  | Yield
   | Corpus
 
 val suite_name : suite -> string

@@ -1,8 +1,9 @@
-(** The assembled SCTBench registry: the paper's 52 benchmarks, sorted by
+(** The assembled SCTBench registry: the paper's 52 benchmarks plus the
+    3-entry yield-loop family ([Yield_loops], ids 52..54), sorted by
     benchmark id, plus any registered extension entries (mined corpus
     programs promoted by [Sct_corpus]).
 
-    The static set is immutable — [all] is always exactly the 52 — while
+    The static set is immutable — [all] is always exactly the 55 — while
     extensions accumulate through {!register}. The lookup functions
     ([by_id], [by_name], [of_suite], [names]) see both, so a loaded corpus
     flows through every downstream consumer (tables, campaign
@@ -10,13 +11,13 @@
     cases. *)
 
 val all : Bench.t list
-(** The 52 paper benchmarks only; never includes extensions. *)
+(** The 55 static benchmarks only; never includes extensions. *)
 
 val register : Bench.t -> (unit, string) result
 (** Add an extension entry. Fails (without registering) if its id or
     qualified name collides with any static or already-registered entry.
     Extension ids conventionally start at 1000 to stay clear of the
-    paper's 0..51. *)
+    static 0..54. *)
 
 val extensions : unit -> Bench.t list
 (** Registered extension entries, in registration order. *)

@@ -1,0 +1,162 @@
+(* The yield-loop family, ids 52..54 (study extension): spin/yield loops
+   that make plain systematic exploration drown in yield-spam schedules.
+   These are the programs fair bounding and length bounding exist for
+   (dejafu's sctFairBound / sctLengthBound): a fair-bounded walk cuts every
+   schedule in which one thread yields far more often than its peers, so
+   the busy-wait subtrees collapse and the interesting preemptions come
+   within budget. Every loop carries a generous iteration cap so the
+   round-robin execution terminates, but the caps are large enough that
+   DFS and plain IPB exhaust realistic schedule limits inside the spin
+   regions. *)
+
+open Sct_core
+
+let v = Sct.Var.make
+
+(* 52. yield.spinwait_bad — a publisher/spin-waiter pair with the classic
+   reversed publication: the ready flag is raised *before* the payload is
+   written, so a waiter that wakes between the two writes reads stale data.
+   The exposing schedule needs exactly one preemption, but it sits at the
+   very start of the program, and three decoy threads spin on a flag that
+   is never raised: plain IPB enumerates the thousands of late yield-spam
+   preemption placements first and exhausts even the paper's 10,000
+   schedule limit before reaching the early one, while DFS never escapes
+   the exponential spin subtrees at all. Fair bounding truncates every
+   spin at the yield-difference bound, shrinking the walk to a few hundred
+   (mostly cut) executions. *)
+let spinwait_bad () =
+  let flag = v ~name:"sw_flag" false in
+  let data = v ~name:"sw_data" 0 in
+  let never = v ~name:"sw_never" false in
+  let spin_wait ~cap f =
+    let seen = ref false and tries = ref 0 in
+    while (not !seen) && !tries < cap do
+      seen := Sct.Var.read f;
+      if not !seen then begin
+        incr tries;
+        Sct.yield ()
+      end
+    done;
+    !seen
+  in
+  let waiter =
+    Sct.spawn (fun () ->
+        if spin_wait ~cap:16 flag then
+          Sct.check (Sct.Var.read data = 1) "spinwait: flag up before data")
+  in
+  let decoys =
+    List.init 3 (fun _ ->
+        Sct.spawn (fun () -> ignore (spin_wait ~cap:80 never)))
+  in
+  (* BUG: the flag is published before the payload. *)
+  Sct.Var.write flag true;
+  Sct.Var.write data 1;
+  Sct.join waiter;
+  List.iter Sct.join decoys
+
+(* 53. yield.cas_yield_bad — a test-and-set lock acquired with a bounded
+   yield back-off, protecting a counter updated by a non-atomic load/store
+   pair. An impatient worker that exhausts its back-off barges into the
+   critical section without the lock, losing an update: one preemption
+   parks the holder mid-update while the barger yields through its whole
+   back-off. The witness spends 3 yields, so it survives a fair bound only
+   because the cap is below the default yield-difference bound of 5 — the
+   no-bug-lost direction of fair bounding (a fair bound under 3 loses
+   it). *)
+let cas_yield_bad () =
+  let lock = Sct.Atomic.make ~name:"cy_lock" 0 in
+  (* the counter is atomic so its load/store are scheduling points without
+     depending on the race-detection phase observing the (rare) barge *)
+  let counter = Sct.Atomic.make ~name:"cy_counter" 0 in
+  let worker () =
+    let cap = 3 in
+    let got = ref (Sct.Atomic.compare_and_set lock 0 1) in
+    let tries = ref 0 in
+    while (not !got) && !tries < cap do
+      incr tries;
+      Sct.yield ();
+      got := Sct.Atomic.compare_and_set lock 0 1
+    done;
+    (* BUG: after a failed back-off the worker updates anyway, and the
+       load/store pair is not atomic. *)
+    Sct.Atomic.store counter (Sct.Atomic.load counter + 1);
+    if !got then Sct.Atomic.store lock 0
+  in
+  let t1 = Sct.spawn worker in
+  let t2 = Sct.spawn worker in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Atomic.load counter = 2) "cas_yield: lost update"
+
+(* 54. yield.livelock_bad — a polite Dekker-style pair: each thread raises
+   its intent flag, backs off (clear, yield, retry) whenever it sees the
+   other's, and gives up after four attempts. Parking one thread with its
+   intent raised starves the other through all of its attempts, so the
+   mutual-starvation check falls to preemption bound 2. The point of the
+   benchmark is that the starving schedules keep the yield counts balanced
+   (each back-off yields once per attempt, capped at 4, under the default
+   fair bound of 5): fair bounding must explore exactly the plain IPB tree
+   here, byte for byte — the fair-noop direction, complementing
+   spinwait_bad's fair-prunes-everything direction. *)
+let livelock_bad () =
+  let intent = [| v ~name:"ll_intent0" false; v ~name:"ll_intent1" false |] in
+  let entered = v ~name:"ll_entered" 0 in
+  let polite me =
+    let cap = 4 in
+    let won = ref false and tries = ref 0 in
+    while (not !won) && !tries < cap do
+      incr tries;
+      Sct.Var.write intent.(me) true;
+      if Sct.Var.read intent.(1 - me) then begin
+        (* back off politely and retry *)
+        Sct.Var.write intent.(me) false;
+        Sct.yield ()
+      end
+      else begin
+        Sct.Var.write entered (Sct.Var.read entered + 1);
+        Sct.Var.write intent.(me) false;
+        won := true
+      end
+    done
+  in
+  let t1 = Sct.spawn (fun () -> polite 0) in
+  let t2 = Sct.spawn (fun () -> polite 1) in
+  Sct.join t1;
+  Sct.join t2;
+  Sct.check (Sct.Var.read entered >= 1) "livelock: both threads starved"
+
+let row = Bench.paper_row
+let e = Bench.entry ~suite:Bench.Yield
+
+let entries =
+  [
+    e ~id:52 ~name:"spinwait_bad"
+      ~description:
+        "Reversed flag/data publication behind three decoy spin loops: the \
+         one-preemption witness hides beyond thousands of yield-spam \
+         schedules, so IPB and DFS exhaust the full limit — fair bounding \
+         collapses the spins and finds it inside 250 executions."
+      ~paper:
+        (row ~threads:5 ~max_enabled:5 ~idb:1 ~dfs:false ~rand:true
+           ~maple:true ())
+      ~expect_idb:1 spinwait_bad;
+    e ~id:53 ~name:"cas_yield_bad"
+      ~description:
+        "Test-and-set lock with a bounded yield back-off: an impatient \
+         worker barges in unlocked after its back-off and loses an update; \
+         the witness spends 3 yields, inside the default fair bound."
+      ~paper:
+        (row ~threads:3 ~max_enabled:2 ~ipb:1 ~idb:1 ~dfs:true ~rand:true
+           ~maple:true ())
+      ~expect_ipb:1 ~expect_idb:1 cas_yield_bad;
+    e ~id:54 ~name:"livelock_bad"
+      ~description:
+        "Polite Dekker-style pair with bounded back-off: parking one \
+         thread with its intent raised starves the other, at preemption \
+         bound 2; the starving schedules are yield-balanced, so fair \
+         bounding explores exactly the plain IPB tree."
+      ~paper:
+        (row ~threads:3 ~max_enabled:2 ~ipb:2 ~idb:2 ~dfs:true ~rand:true
+           ~maple:false ())
+      ~expect_ipb:2 ~expect_idb:2 livelock_bad;
+  ]

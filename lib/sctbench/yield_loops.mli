@@ -1,0 +1,6 @@
+(** The yield-loop family (study extension, ids 52..54): spin/yield loops
+    that plain systematic exploration drowns in and fair/length bounding
+    tame. See the implementation for per-benchmark mechanism notes. *)
+
+val entries : Bench.t list
+(** The registry entries this suite contributes. *)

@@ -136,11 +136,19 @@ let options_to_json (o : Techniques.options) =
     @ (* emitted only when on, for the same byte-compatibility reason *)
     (if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
      else [])
-    @
-    (* emitted only when set: POR-free cells keep the pre-POR encoding *)
-    match o.Techniques.por with
+    @ (* emitted only when set: POR-free cells keep the pre-POR encoding *)
+    (match o.Techniques.por with
     | None -> []
     | Some m -> [ ("por", Json.Str (Sct_explore.Por.mode_name m)) ])
+    @ (* emitted only when non-default: cells that never touch the Axes
+         bounds keep the pre-axes encoding *)
+    (if o.Techniques.fair_bound <> Sct_explore.Axes.default_fair_bound then
+       [ ("fair_bound", Json.Int o.Techniques.fair_bound) ]
+     else [])
+    @
+    if o.Techniques.length_bound <> Sct_explore.Axes.default_length_bound then
+      [ ("length_bound", Json.Int o.Techniques.length_bound) ]
+    else [])
 
 let options_of_json j =
   {
@@ -163,6 +171,14 @@ let options_of_json j =
           match Sct_explore.Por.of_mode_name s with
           | Some m -> m
           | None -> error "unknown POR mode %S" s);
+    fair_bound =
+      (match opt_field j "fair_bound" get_int with
+      | Some b -> b
+      | None -> Sct_explore.Axes.default_fair_bound);
+    length_bound =
+      (match opt_field j "length_bound" get_int with
+      | Some b -> b
+      | None -> Sct_explore.Axes.default_length_bound);
   }
 
 (* --- campaign slice progress --- *)
@@ -224,6 +240,10 @@ let stats_to_json (s : Stats.t) =
     (if s.Stats.por_pruned <> 0 then
        [ ("por_pruned", Json.Int s.Stats.por_pruned) ]
      else [])
+    @ (* emitted only when nonzero: cut-free stats (every technique except
+         fair/length bounding) keep the pre-cut byte encoding *)
+    (if s.Stats.cut_runs <> 0 then [ ("cut_runs", Json.Int s.Stats.cut_runs) ]
+     else [])
     @ [
       ( "distinct",
         opt_to_json
@@ -268,6 +288,8 @@ let stats_of_json j =
       (match opt_field j "por_pruned" get_int with
       | Some n -> n
       | None -> 0);
+    cut_runs =
+      (match opt_field j "cut_runs" get_int with Some n -> n | None -> 0);
     distinct_schedules =
       opt_field j "distinct" (fun v ->
           Stats.Sched_set.of_list

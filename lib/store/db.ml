@@ -49,16 +49,24 @@ let fingerprint ~bench ~technique (o : Techniques.options) =
            unbatched cell's, so the two must never alias *)
       (if o.Techniques.prefix_batch then [ ("prefix_batch", Json.Bool true) ]
        else [])
-      @
-      (* only-when-set: a reduced cell explores a different schedule set,
-         so it must never alias the plain cell (and POR-free fingerprints
-         stay byte-identical to pre-POR stores). Recorded even alongside
-         [prefix_batch] — the run falls back to unbatched, but the request
-         is part of the cell's identity *)
-      match o.Techniques.por with
+      @ (* only-when-set: a reduced cell explores a different schedule set,
+           so it must never alias the plain cell (and POR-free fingerprints
+           stay byte-identical to pre-POR stores). Recorded even alongside
+           [prefix_batch] — the run falls back to unbatched, but the request
+           is part of the cell's identity *)
+      (match o.Techniques.por with
       | None -> []
-      | Some m ->
-          [ ("por", Json.Str (Sct_explore.Por.mode_name m)) ]))
+      | Some m -> [ ("por", Json.Str (Sct_explore.Por.mode_name m)) ])
+      @ (* only-when-non-default, so pre-Axes fingerprints are unchanged;
+           a Fair/Length cell at a different bound explores a different
+           schedule set and must never alias *)
+      (if o.Techniques.fair_bound <> Sct_explore.Axes.default_fair_bound then
+         [ ("fair_bound", Json.Int o.Techniques.fair_bound) ]
+       else [])
+      @
+      if o.Techniques.length_bound <> Sct_explore.Axes.default_length_bound
+      then [ ("length_bound", Json.Int o.Techniques.length_bound) ]
+      else []))
   |> Digest.string |> Digest.to_hex
 
 (* The "progress" field is emitted only on campaign records, so cells

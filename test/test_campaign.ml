@@ -47,8 +47,9 @@ let append_torn_record dir =
   output_string oc {|{"v":1,"key":"torn|};
   close_out oc
 
-(* --- the test grid: 2 benchmarks × all 7 techniques, so every sharding
-   capability (seed ranges, tree walks, run batches) gets sliced --- *)
+(* --- the test grid: 2 benchmarks × all 11 techniques, so every sharding
+   capability (seed ranges, tree walks, run batches) and the
+   sequential-only bounding axes all get sliced --- *)
 
 let pick name =
   match Sctbench.Registry.by_name name with
@@ -135,10 +136,10 @@ let oneshot_cells =
 let test_grid_order () =
   let cells = grid () in
   Alcotest.(check int)
-    "2 benches x 7 techniques" 14 (List.length cells);
+    "2 benches x 11 techniques" 22 (List.length cells);
   Alcotest.(check (list int))
     "consecutive indices"
-    (List.init 14 Fun.id)
+    (List.init 22 Fun.id)
     (List.map (fun c -> c.Cell.index) cells);
   (* benchmark-major, techniques in registry order *)
   Alcotest.(check (list string))
@@ -146,21 +147,24 @@ let test_grid_order () =
     [
       "CS.lazy01_bad/IPB"; "CS.lazy01_bad/IDB"; "CS.lazy01_bad/DFS";
       "CS.lazy01_bad/Rand"; "CS.lazy01_bad/PCT"; "CS.lazy01_bad/MapleAlg";
-      "CS.lazy01_bad/SURW"; "CS.account_bad/IPB"; "CS.account_bad/IDB";
-      "CS.account_bad/DFS"; "CS.account_bad/Rand"; "CS.account_bad/PCT";
-      "CS.account_bad/MapleAlg"; "CS.account_bad/SURW";
+      "CS.lazy01_bad/SURW"; "CS.lazy01_bad/Fair"; "CS.lazy01_bad/Length";
+      "CS.lazy01_bad/IVB"; "CS.lazy01_bad/ITB"; "CS.account_bad/IPB";
+      "CS.account_bad/IDB"; "CS.account_bad/DFS"; "CS.account_bad/Rand";
+      "CS.account_bad/PCT"; "CS.account_bad/MapleAlg"; "CS.account_bad/SURW";
+      "CS.account_bad/Fair"; "CS.account_bad/Length"; "CS.account_bad/IVB";
+      "CS.account_bad/ITB";
     ]
     (List.map Cell.name cells);
   let keys = List.map (fun c -> c.Cell.key) cells in
   Alcotest.(check int)
-    "keys are distinct" 14
+    "keys are distinct" 22
     (List.length (List.sort_uniq compare keys))
 
 let test_shard_partition () =
   let cells = grid () in
   let shards = List.init 3 (fun k -> Cell.shard ~k ~n:3 cells) in
   Alcotest.(check int)
-    "shards cover every cell" 14
+    "shards cover every cell" 22
     (List.length (List.concat shards));
   let indices =
     List.concat_map (List.map (fun c -> c.Cell.index)) shards
@@ -168,7 +172,7 @@ let test_shard_partition () =
   in
   Alcotest.(check (list int))
     "disjoint lease: each index exactly once"
-    (List.init 14 Fun.id) indices;
+    (List.init 22 Fun.id) indices;
   (match Cell.shard ~k:3 ~n:3 cells with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range shard accepted");

@@ -242,7 +242,9 @@ let test_run_all_pipeline () =
     (fun (t, s) ->
       match t with
       | Sct_explore.Techniques.IPB | Sct_explore.Techniques.IDB
-      | Sct_explore.Techniques.DFS | Sct_explore.Techniques.Rand ->
+      | Sct_explore.Techniques.DFS | Sct_explore.Techniques.Rand
+      | Sct_explore.Techniques.Fair | Sct_explore.Techniques.Length
+      | Sct_explore.Techniques.IVB | Sct_explore.Techniques.ITB ->
           Alcotest.(check bool)
             (Sct_explore.Techniques.name t ^ " finds figure1")
             true

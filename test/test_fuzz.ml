@@ -59,9 +59,12 @@ let test_compile_smoke () =
 
 (* --- the fixed-seed differential campaign ------------------------------- *)
 
+(* 200 programs, every technique of the study including the four bounding
+   axes: the ISSUE-grade regression net for the axes' oracle laws
+   (agreement, no-bug-lost, cut algebra). *)
 let test_campaign_clean () =
-  let s = Harness.run ~cfg:quick_cfg ~seed:0 ~count:15 () in
-  Alcotest.(check int) "15 programs checked" 15 s.Harness.s_programs;
+  let s = Harness.run ~cfg:quick_cfg ~seed:0 ~count:200 () in
+  Alcotest.(check int) "200 programs checked" 200 s.Harness.s_programs;
   (match s.Harness.s_counterexamples with
   | [] -> ()
   | cx :: _ ->

@@ -11,6 +11,7 @@ let () =
          Test_strategy.suites;
          Test_programs_qcheck.suites;
          Test_engine_hot.suites;
+         Test_bounding_axes.suites;
          Test_por.suites;
          Test_tools.suites;
          Test_hb.suites;

@@ -7,11 +7,11 @@
 open Sctbench
 
 let test_registry_complete () =
-  Alcotest.(check int) "52 benchmarks" 52 (List.length Registry.all);
+  Alcotest.(check int) "55 benchmarks" 55 (List.length Registry.all);
   let ids = List.map (fun (b : Bench.t) -> b.Bench.id) Registry.all in
-  Alcotest.(check (list int)) "ids are 0..51" (List.init 52 Fun.id) ids;
+  Alcotest.(check (list int)) "ids are 0..54" (List.init 55 Fun.id) ids;
   let names = List.map (fun (b : Bench.t) -> b.Bench.name) Registry.all in
-  Alcotest.(check int) "names unique" 52
+  Alcotest.(check int) "names unique" 55
     (List.length (List.sort_uniq compare names))
 
 let test_suite_sizes () =
@@ -23,7 +23,8 @@ let test_suite_sizes () =
   Alcotest.(check int) "misc" 2 (count Bench.Misc);
   Alcotest.(check int) "parsec" 4 (count Bench.Parsec);
   Alcotest.(check int) "radbench" 6 (count Bench.Radbench);
-  Alcotest.(check int) "splash2" 3 (count Bench.Splash2)
+  Alcotest.(check int) "splash2" 3 (count Bench.Splash2);
+  Alcotest.(check int) "yield" 3 (count Bench.Yield)
 
 let test_lookup () =
   (match Registry.by_name "misc.safestack" with
@@ -134,6 +135,9 @@ let quick_idb_benchmarks =
     "splash2.fft";
     "splash2.lu";
     "inspect.qsort_mt";
+    "yield.spinwait_bad";
+    "yield.cas_yield_bad";
+    "yield.livelock_bad";
   ]
 
 let idb_smoke name () =
@@ -184,7 +188,7 @@ let suites =
   [
     ( "sctbench-registry",
       [
-        Alcotest.test_case "52 entries with ids 0..51" `Quick
+        Alcotest.test_case "55 entries with ids 0..54" `Quick
           test_registry_complete;
         Alcotest.test_case "suite sizes match Table 1" `Quick test_suite_sizes;
         Alcotest.test_case "lookup by name and id" `Quick test_lookup;

@@ -89,6 +89,10 @@ let gen_options =
         (oneofl
            Sct_explore.Por.[ Sleep; Dpor; Dpor_sleep ])
     in
+    (* defaults included so the emit-only-when-non-default encoding is
+       exercised in both directions *)
+    let* fair_bound = int_range 1 10 in
+    let* length_bound = int_range 1 500 in
     return
       {
         Techniques.limit;
@@ -102,6 +106,8 @@ let gen_options =
         time_limit;
         prefix_batch;
         por;
+        fair_bound;
+        length_bound;
       })
 
 let gen_stats =

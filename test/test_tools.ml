@@ -109,7 +109,8 @@ let check_parse what specs expected =
   Alcotest.check parsed what expected
     (Sct_explore.Techniques.parse_list specs)
 
-let valid_names_msg = "valid: ipb, idb, dfs, rand, pct, maple, surw"
+let valid_names_msg =
+  "valid: ipb, idb, dfs, rand, pct, maple, surw, fair, length, ivb, itb"
 
 let test_technique_list () =
   let open Sct_explore.Techniques in
